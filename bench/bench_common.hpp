@@ -1,0 +1,59 @@
+// Shared helpers for the experiment benchmark binaries.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes::benchsupport {
+
+// Wall-clock seconds of a callable, best effort single shot.
+template <typename F>
+double time_seconds(F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+// Repeats fn until ~min_seconds elapsed; returns mean seconds per call.
+template <typename F>
+double time_per_call(F&& fn, double min_seconds = 0.05) {
+  double total = 0.0;
+  std::size_t calls = 0;
+  while (total < min_seconds) {
+    total += time_seconds(fn);
+    ++calls;
+  }
+  return total / static_cast<double>(calls);
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline symbolic_image make_scene(std::uint64_t seed, std::size_t n,
+                                 alphabet& names, int domain = 1024,
+                                 bool unique = false, int grid = 0) {
+  rng r(seed);
+  scene_params params;
+  params.width = domain;
+  params.height = domain;
+  params.object_count = n;
+  params.max_extent = std::max(4, domain / 8);
+  params.symbol_pool = unique ? n : std::max<std::size_t>(8, n / 4);
+  params.unique_symbols = unique;
+  params.grid = grid;
+  return random_scene(params, r, names);
+}
+
+}  // namespace bes::benchsupport

@@ -1,0 +1,85 @@
+// E3 — Convert_2D_Be_String construction cost (paper §3.2).
+//
+// Claim: O(n) beyond the sort; with the sort, O(n log n). The per-object
+// cost should stay flat (linear part) with a slowly growing log factor.
+#include "bench_common.hpp"
+
+#include "core/encoder.hpp"
+
+namespace bes {
+namespace {
+
+using benchsupport::make_scene;
+using benchsupport::print_header;
+using benchsupport::time_per_call;
+
+void print_scaling_table() {
+  print_header("E3: construction time scaling",
+               "Convert_2D_Be_String is O(n) ignoring the sort, O(n log n) "
+               "with it: time/n grows only logarithmically");
+  text_table table({"n", "encode (us)", "us / object", "tokens/axis(avg)"});
+  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    alphabet names;
+    const symbolic_image scene = make_scene(n, n, names, 1 << 16);
+    be_string2d out;
+    const double seconds = time_per_call([&] { out = encode(scene); });
+    table.add_row({std::to_string(n), fmt_double(seconds * 1e6, 1),
+                   fmt_double(seconds * 1e6 / static_cast<double>(n), 4),
+                   std::to_string((out.x.size() + out.y.size()) / 2)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void BM_Encode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const symbolic_image scene = make_scene(7, n, names, 1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode(scene));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+  state.counters["objects_per_s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Encode)->RangeMultiplier(4)->Range(16, 16384)->Complexity();
+
+void BM_BoundaryEventsOnly(benchmark::State& state) {
+  // The sort-dominated part in isolation.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const symbolic_image scene = make_scene(8, n, names, 1 << 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boundary_events(scene.icons(), axis::x));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BoundaryEventsOnly)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity();
+
+void BM_RenderAxisOnly(benchmark::State& state) {
+  // The linear part in isolation (events pre-sorted).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const symbolic_image scene = make_scene(9, n, names, 1 << 16);
+  const auto events = boundary_events(scene.icons(), axis::x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render_axis(events, scene.width()));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RenderAxisOnly)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace bes
+
+int main(int argc, char** argv) {
+  bes::print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

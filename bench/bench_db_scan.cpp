@@ -1,0 +1,161 @@
+// E9 — the demonstration retrieval system at database scale (paper §5).
+//
+// End-to-end: corpora built through the raster pipeline, scan throughput
+// with/without the inverted symbol index, serial vs parallel scoring, and
+// transform-invariant mode. The paper's demo system is interactive; the
+// claim reproduced here is that a full-database LCS scan is cheap enough to
+// serve queries at interactive latency for thousands of images.
+#include "bench_common.hpp"
+
+#include "db/query.hpp"
+#include "imaging/extract.hpp"
+#include "util/parallel.hpp"
+#include "workload/query_gen.hpp"
+
+namespace bes {
+namespace {
+
+using benchsupport::print_header;
+using benchsupport::time_per_call;
+
+image_database build_db(std::size_t images, std::size_t objects,
+                        std::size_t pool, bool through_raster = false) {
+  image_database db;
+  rng r(20010402);
+  scene_params params;
+  params.width = 256;
+  params.height = 256;
+  params.object_count = objects;
+  params.max_extent = 48;
+  params.symbol_pool = pool;
+  if (through_raster) params.disjoint = true;
+  for (std::size_t i = 0; i < images; ++i) {
+    symbolic_image scene = random_scene(params, r, db.symbols());
+    if (through_raster) {
+      scene = extract_icons(render_scene(scene));
+    }
+    db.add("scene" + std::to_string(i), std::move(scene));
+  }
+  return db;
+}
+
+void print_scan_table() {
+  print_header("E9a: full-scan query latency vs database size",
+               "LCS scans stay interactive; the symbol index, the histogram "
+               "pruner and threads shave the scan");
+  text_table table({"images", "serial (ms)", "indexed (ms)", "pruned (ms)",
+                    "LCS runs", "4 threads (ms)", "best-of-8 (ms)"});
+  for (std::size_t images : {100u, 400u, 1600u}) {
+    image_database db = build_db(images, 8, 40);
+    rng r(5);
+    alphabet scratch = db.symbols();
+    distortion_params d;
+    d.keep_fraction = 0.6;
+    const symbolic_image query =
+        distort(db.record(0).image, d, r, scratch);
+
+    query_options serial;
+    serial.use_index = false;
+    query_options indexed;
+    query_options pruned;
+    pruned.use_index = false;
+    pruned.histogram_pruning = true;
+    query_options threaded;
+    threaded.use_index = false;
+    threaded.threads = 4;
+    query_options invariant;
+    invariant.use_index = false;
+    invariant.transform_invariant = true;
+
+    const double t_serial =
+        1e3 * time_per_call([&] { benchmark::DoNotOptimize(search(db, query, serial)); });
+    const double t_indexed =
+        1e3 * time_per_call([&] { benchmark::DoNotOptimize(search(db, query, indexed)); });
+    search_stats stats;
+    const double t_pruned = 1e3 * time_per_call([&] {
+      benchmark::DoNotOptimize(search(db, query, pruned, &stats));
+    });
+    const double t_threads =
+        1e3 * time_per_call([&] { benchmark::DoNotOptimize(search(db, query, threaded)); });
+    const double t_invariant =
+        1e3 * time_per_call([&] { benchmark::DoNotOptimize(search(db, query, invariant)); });
+    table.add_row({std::to_string(images), fmt_double(t_serial, 2),
+                   fmt_double(t_indexed, 2), fmt_double(t_pruned, 2),
+                   std::to_string(stats.scored) + "/" +
+                       std::to_string(stats.scanned),
+                   fmt_double(t_threads, 2), fmt_double(t_invariant, 2)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void print_index_selectivity_table() {
+  print_header("E9b: inverted-index candidate selectivity",
+               "images sharing no query symbol are skipped outright");
+  text_table table({"symbol pool", "db images", "candidates for 5-symbol query"});
+  for (std::size_t pool : {10u, 40u, 160u}) {
+    image_database db = build_db(400, 5, pool);
+    const auto candidates = db.candidates(db.record(0).image);
+    table.add_row({std::to_string(pool), std::to_string(db.size()),
+                   std::to_string(candidates.size())});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void BM_SearchSerial(benchmark::State& state) {
+  image_database db = build_db(static_cast<std::size_t>(state.range(0)), 8, 40);
+  const symbolic_image& query = db.record(1).image;
+  query_options options;
+  options.use_index = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search(db, query, options));
+  }
+  state.counters["images_per_s"] = benchmark::Counter(
+      static_cast<double>(db.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SearchSerial)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SearchParallel(benchmark::State& state) {
+  image_database db = build_db(800, 8, 40);
+  const symbolic_image& query = db.record(1).image;
+  query_options options;
+  options.use_index = false;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(search(db, query, options));
+  }
+}
+BENCHMARK(BM_SearchParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RasterPipelineIngest(benchmark::State& state) {
+  // Cost of the full front half: render + label + extract + encode + insert.
+  rng r(9);
+  alphabet names;
+  scene_params params;
+  params.width = 256;
+  params.height = 256;
+  params.object_count = 8;
+  params.max_extent = 48;
+  params.disjoint = true;
+  const symbolic_image scene = random_scene(params, r, names);
+  for (auto _ : state) {
+    image_database db;
+    db.symbols() = names;
+    db.add("one", extract_icons(render_scene(scene)));
+    benchmark::DoNotOptimize(db.size());
+  }
+}
+BENCHMARK(BM_RasterPipelineIngest)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bes
+
+int main(int argc, char** argv) {
+  bes::print_scan_table();
+  bes::print_index_selectivity_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E8 — incremental insert/delete vs full reconversion (paper §3.2, last
+// paragraph).
+//
+// Claim: saving the 2D BE-string together with its MBR coordinates lets a
+// new object be placed by binary search (and a dropped object by a
+// sequential scan), instead of re-running Convert_2D_Be_String over all n
+// objects. The advantage grows with n.
+#include "bench_common.hpp"
+
+#include "core/editor.hpp"
+#include "core/encoder.hpp"
+
+namespace bes {
+namespace {
+
+using benchsupport::make_scene;
+using benchsupport::print_header;
+using benchsupport::time_per_call;
+
+void print_cost_table() {
+  print_header("E8: maintaining the string under object insertion/deletion",
+               "incremental maintenance beats full re-encode increasingly "
+               "with n (binary-search locate + ordered splice)");
+  text_table table({"n", "editor insert+erase (us)", "full re-encode (us)",
+                    "speedup"});
+  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    alphabet names;
+    const symbolic_image scene = make_scene(n, n, names, 1 << 16);
+    be_editor editor(scene);
+    const rect probe = rect::checked(10, 25, 10, 25);
+    const double incremental_us = 1e6 * time_per_call([&] {
+      const instance_id id = editor.insert(0, probe);
+      editor.erase(id);
+    });
+    symbolic_image copy = scene;
+    const double full_us = 1e6 * time_per_call([&] {
+      copy.add(0, probe);
+      benchmark::DoNotOptimize(encode(copy));
+      copy.remove(copy.size() - 1);
+    });
+    table.add_row({std::to_string(n), fmt_double(incremental_us, 2),
+                   fmt_double(full_us, 2),
+                   fmt_double(full_us / incremental_us, 1) + "x"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void BM_EditorInsertErase(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  be_editor editor(make_scene(1, n, names, 1 << 16));
+  const rect probe = rect::checked(100, 200, 100, 200);
+  for (auto _ : state) {
+    const instance_id id = editor.insert(0, probe);
+    editor.erase(id);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EditorInsertErase)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_FullReencodeAfterInsert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  symbolic_image scene = make_scene(2, n, names, 1 << 16);
+  const rect probe = rect::checked(100, 200, 100, 200);
+  for (auto _ : state) {
+    scene.add(0, probe);
+    benchmark::DoNotOptimize(encode(scene));
+    scene.remove(scene.size() - 1);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullReencodeAfterInsert)
+    ->RangeMultiplier(4)
+    ->Range(64, 16384)
+    ->Complexity();
+
+void BM_EditorRender(benchmark::State& state) {
+  // Rendering the tokens after edits is the O(n) part clients pay per read.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const be_editor editor(make_scene(3, n, names, 1 << 16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(editor.strings());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EditorRender)->RangeMultiplier(4)->Range(64, 16384)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace bes
+
+int main(int argc, char** argv) {
+  bes::print_cost_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

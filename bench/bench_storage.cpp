@@ -1,0 +1,131 @@
+// E2 — storage cost of the spatial representations (paper §3.1).
+//
+// Claim: a 2D BE-string needs between 2n (achieved: 2n+1) and 4n+1 tokens
+// per axis — O(n) — with NO cutting, while G-/C-string cutting blows up to
+// O(n^2) pieces on overlapping scenes.
+#include "bench_common.hpp"
+
+#include "baselines/b_string.hpp"
+#include "baselines/c_string.hpp"
+#include "baselines/g_string.hpp"
+#include "baselines/two_d_string.hpp"
+#include "core/encoder.hpp"
+
+namespace bes {
+namespace {
+
+using benchsupport::make_scene;
+using benchsupport::print_header;
+
+void print_bounds_table() {
+  print_header("E2a: BE-string tokens per axis vs the analytic bounds",
+               "2n <= tokens <= 4n+1 per axis; best case 2n+1, worst 4n+1");
+  text_table table({"n", "best-case", "2n+1", "worst-case", "4n+1",
+                    "random(x)", "grid(x)"});
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    alphabet names;
+    const auto best = encode(best_case_scene(n, names));
+    const auto worst = encode(worst_case_scene(n, names));
+    const auto random = encode(make_scene(n, n, names));
+    const auto grid = encode(make_scene(n + 1, n, names, 1024, false, 128));
+    table.add_row({std::to_string(n), std::to_string(best.x.size()),
+                   std::to_string(2 * n + 1), std::to_string(worst.x.size()),
+                   std::to_string(max_axis_tokens(n)),
+                   std::to_string(random.x.size()),
+                   std::to_string(grid.x.size())});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void print_model_comparison_table() {
+  print_header(
+      "E2b: storage units across representation models (both axes summed)",
+      "BE-string O(n) without cutting; G-string cuts superfluously; C-string "
+      "still O(n^2) worst case");
+  text_table table({"n", "2D-string", "B-string", "BE-string", "C-string-cut",
+                    "G-string-cut"});
+  for (std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    // A dense overlapping scene (small domain relative to object size).
+    alphabet names;
+    const symbolic_image scene = make_scene(n, n, names, 256);
+    const two_d_string twod = build_two_d_string(scene);
+    const b_string2d b = build_b_string(scene);
+    const be_string2d be = encode(scene);
+    table.add_row(
+        {std::to_string(n),
+         std::to_string(twod.u.symbol_count() + twod.u.operator_count() +
+                        twod.v.symbol_count() + twod.v.operator_count()),
+         std::to_string(b.storage_units()), std::to_string(be.total_tokens()),
+         std::to_string(c_string_segment_count(scene)),
+         std::to_string(g_string_segment_count(scene))});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void print_staircase_table() {
+  print_header("E2c: the cutting worst case (staircase of partial overlaps)",
+               "C-string pieces grow O(n^2) while BE-string stays 4n+1");
+  text_table table({"n", "BE tokens (x)", "C-string pieces (x)",
+                    "G-string pieces (x)"});
+  for (int n : {4, 8, 16, 32, 64}) {
+    alphabet names;
+    symbolic_image scene(8 * n + 64, 16);
+    for (int i = 0; i < n; ++i) {
+      scene.add(names.intern("S" + std::to_string(i)),
+                rect::checked(2 * i, 2 * i + n + 5, 0, 5));
+    }
+    table.add_row(
+        {std::to_string(n), std::to_string(encode(scene).x.size()),
+         std::to_string(c_string_cut(scene.icons(), axis::x).size()),
+         std::to_string(g_string_cut(scene.icons(), axis::x).size())});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void BM_EncodeTokens(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const symbolic_image scene = make_scene(1, n, names);
+  std::size_t tokens = 0;
+  for (auto _ : state) {
+    const be_string2d s = encode(scene);
+    tokens = s.total_tokens();
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.counters["tokens"] = static_cast<double>(tokens);
+  state.counters["tokens_per_object"] =
+      static_cast<double>(tokens) / static_cast<double>(n);
+}
+BENCHMARK(BM_EncodeTokens)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_GStringCut(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const symbolic_image scene = make_scene(2, n, names, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_string_segment_count(scene));
+  }
+}
+BENCHMARK(BM_GStringCut)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_CStringCut(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const symbolic_image scene = make_scene(2, n, names, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c_string_segment_count(scene));
+  }
+}
+BENCHMARK(BM_CStringCut)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+}  // namespace bes
+
+int main(int argc, char** argv) {
+  bes::print_bounds_table();
+  bes::print_model_comparison_table();
+  bes::print_staircase_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E7 — rotation/reflection retrieval by string reversal (paper §4/§5,
+// conclusions).
+//
+// Claim: "our approaches only need to reverse the string then apply the
+// similarity retrieval ... This process does not need any conversion of
+// spatial operators. It is more efficient and much easier then before."
+// We verify all 8 dihedral variants are retrieved with score 1 and compare
+// the cost of the string-level transform against geometric re-encoding.
+#include "bench_common.hpp"
+
+#include "core/transform.hpp"
+#include "db/query.hpp"
+
+namespace bes {
+namespace {
+
+using benchsupport::make_scene;
+using benchsupport::print_header;
+using benchsupport::time_per_call;
+
+void print_recovery_table() {
+  print_header("E7a: retrieving every linear transformation of a scene",
+               "all 8 variants score 1.0 under best-of-8 string reversal");
+  alphabet names;
+  const symbolic_image scene = make_scene(42, 10, names, 512);
+  image_database db;
+  db.symbols() = names;
+  // Store every transformed variant plus distractors.
+  for (dihedral t : all_dihedral) {
+    db.add(std::string(to_string(t)), apply(t, scene));
+  }
+  rng r(1);
+  scene_params params;
+  params.width = 512;
+  params.height = 512;
+  params.object_count = 10;
+  params.max_extent = 64;
+  for (int i = 0; i < 8; ++i) {
+    db.add("distractor" + std::to_string(i),
+           random_scene(params, r, db.symbols()));
+  }
+
+  text_table table({"stored variant", "plain score", "best-of-8 score",
+                    "recovered transform"});
+  const be_string2d qs = encode(scene);
+  for (std::size_t id = 0; id < 8; ++id) {
+    const db_record& rec = db.record(static_cast<image_id>(id));
+    const double plain = similarity(qs, rec.strings);
+    const transform_match best = best_transform_similarity(qs, rec.strings);
+    table.add_row({rec.name, fmt_double(plain, 3), fmt_double(best.score, 3),
+                   std::string(to_string(best.transform))});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void print_cost_table() {
+  print_header("E7b: string reversal vs geometric re-encoding",
+               "string transform avoids re-sorting; no operator conversion");
+  text_table table({"n", "string transform (us)", "geometric re-encode (us)",
+                    "speedup"});
+  for (std::size_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+    alphabet names;
+    const symbolic_image scene = make_scene(n, n, names, 1 << 15);
+    const be_string2d s = encode(scene);
+    const double string_us = 1e6 * time_per_call([&] {
+      benchmark::DoNotOptimize(apply(dihedral::rot90, s));
+    });
+    const double geom_us = 1e6 * time_per_call([&] {
+      benchmark::DoNotOptimize(encode(apply(dihedral::rot90, scene)));
+    });
+    table.add_row({std::to_string(n), fmt_double(string_us, 1),
+                   fmt_double(geom_us, 1),
+                   fmt_double(geom_us / string_us, 2) + "x"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void BM_StringTransform(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const be_string2d s = encode(make_scene(1, n, names, 1 << 15));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apply(dihedral::rot90, s));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StringTransform)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_GeometricReencode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const symbolic_image scene = make_scene(2, n, names, 1 << 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode(apply(dihedral::rot90, scene)));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GeometricReencode)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_BestOf8Similarity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const be_string2d q = encode(make_scene(3, n, names, 4096));
+  const be_string2d d = encode(make_scene(4, n, names, 4096));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(best_transform_similarity(q, d));
+  }
+}
+BENCHMARK(BM_BestOf8Similarity)->RangeMultiplier(4)->Range(8, 128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bes
+
+int main(int argc, char** argv) {
+  bes::print_recovery_table();
+  bes::print_cost_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// E5 — BE-string LCS similarity vs the type-i clique assessment (paper §2
+// vs §4).
+//
+// Claim: the 2D-string family needs O(n^2) relation pairs plus an
+// NP-complete maximum-complete-subgraph search; the modified LCS runs in
+// O(mn). The table shows the blow-up of the clique path as n grows while
+// the LCS path stays polynomial (who wins: BE-LCS, by orders of magnitude
+// at moderate n).
+#include "bench_common.hpp"
+
+#include "baselines/type_similarity.hpp"
+#include "core/encoder.hpp"
+#include "lcs/similarity.hpp"
+
+namespace bes {
+namespace {
+
+using benchsupport::make_scene;
+using benchsupport::print_header;
+using benchsupport::time_per_call;
+
+void print_crossover_table() {
+  print_header("E5: query cost, BE-LCS vs type-i maximum clique",
+               "LCS O(mn) vs O(n^2) pair graph + NP-complete clique; "
+               "duplicate symbols multiply the match graph");
+  text_table table({"n", "BE-LCS (us)", "type-2 (us)", "type-1 (us)",
+                    "type-0 (us)", "graph vertices", "graph edges"});
+  for (std::size_t n : {4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
+    alphabet names;
+    // Realistic icon vocabularies repeat (two chairs, three trees): each
+    // symbol appears ~2x, which is what makes the candidate-match graph —
+    // and the NP-complete clique instance — grow superlinearly.
+    rng scene_rng(n);
+    scene_params scene_cfg;
+    scene_cfg.width = 512;
+    scene_cfg.height = 512;
+    scene_cfg.object_count = n;
+    scene_cfg.max_extent = 64;
+    scene_cfg.symbol_pool = std::max<std::size_t>(2, n / 2);
+    const symbolic_image d = random_scene(scene_cfg, scene_rng, names);
+    rng r(n);
+    symbolic_image q(d.width(), d.height());
+    for (const icon& obj : d.icons()) {
+      const int dx = r.uniform_int(-4, 4);
+      rect mbr = obj.mbr;
+      if (mbr.x.lo + dx >= 0 && mbr.x.hi + dx <= d.width()) {
+        mbr.x.lo += dx;
+        mbr.x.hi += dx;
+      }
+      q.add(obj.symbol, mbr);
+    }
+    const be_string2d qs = encode(q);
+    const be_string2d ds = encode(d);
+
+    const double lcs_us =
+        1e6 * time_per_call([&] {
+          benchmark::DoNotOptimize(similarity(qs, ds));
+        });
+    double type_us[3] = {0, 0, 0};
+    type_similarity_result last;
+    for (int level = 0; level < 3; ++level) {
+      type_similarity_options options;
+      options.level = static_cast<similarity_type>(level);
+      type_us[level] = 1e6 * time_per_call([&] {
+        last = type_similarity(q, d, options);
+        benchmark::DoNotOptimize(last.matched_objects);
+      });
+    }
+    table.add_row({std::to_string(n), fmt_double(lcs_us, 1),
+                   fmt_double(type_us[2], 1), fmt_double(type_us[1], 1),
+                   fmt_double(type_us[0], 1),
+                   std::to_string(last.graph_vertices),
+                   std::to_string(last.graph_edges)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "(type-i columns include graph construction + exact Bron-Kerbosch)\n");
+}
+
+void print_agreement_table() {
+  print_header("E5b: do the two assessments agree on WHO matches?",
+               "LCS similarity orders candidates consistently with type-i "
+               "object counts on exact/sub-picture queries");
+  text_table table({"query kind", "BE-LCS score", "type-2 matched/total"});
+  alphabet names;
+  const symbolic_image scene = make_scene(77, 10, names, 512, true);
+  struct row {
+    const char* name;
+    symbolic_image query;
+  };
+  symbolic_image subset(scene.width(), scene.height());
+  for (std::size_t i = 0; i < 5; ++i) subset.add(scene.icons()[i]);
+  symbolic_image shuffled(scene.width(), scene.height());
+  for (const icon& obj : scene.icons()) {
+    // Mirror x: every left-right relation flips.
+    rect mbr = obj.mbr;
+    const int lo = scene.width() - mbr.x.hi;
+    const int hi = scene.width() - mbr.x.lo;
+    mbr.x = interval{lo, hi};
+    shuffled.add(obj.symbol, mbr);
+  }
+  const std::vector<row> rows = {{"identical", scene},
+                                 {"sub-picture (5/10)", subset},
+                                 {"x-mirrored", shuffled}};
+  for (const row& r : rows) {
+    const double lcs = similarity(encode(r.query), encode(scene));
+    const auto t2 =
+        type_similarity(r.query, scene, {similarity_type::type2, 0});
+    table.add_row({r.name, fmt_double(lcs, 3),
+                   std::to_string(t2.matched_objects) + "/" +
+                       std::to_string(r.query.size())});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void BM_BeLcsSimilarity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const be_string2d q = encode(make_scene(1, n, names, 512, true));
+  const be_string2d d = encode(make_scene(2, n, names, 512, true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(similarity(q, d));
+  }
+}
+BENCHMARK(BM_BeLcsSimilarity)->DenseRange(8, 40, 8);
+
+void BM_Type1Clique(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const symbolic_image q = make_scene(3, n, names, 512, true);
+  const symbolic_image d = make_scene(4, n, names, 512, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        type_similarity(q, d, {similarity_type::type1, 0}).matched_objects);
+  }
+}
+BENCHMARK(BM_Type1Clique)->DenseRange(8, 40, 8)->Unit(benchmark::kMicrosecond);
+
+void BM_Type1CliqueGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const symbolic_image q = make_scene(5, n, names, 512, true);
+  const symbolic_image d = make_scene(6, n, names, 512, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        type_similarity(q, d, {similarity_type::type1, 1}).matched_objects);
+  }
+}
+BENCHMARK(BM_Type1CliqueGreedy)
+    ->DenseRange(8, 40, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bes
+
+int main(int argc, char** argv) {
+  bes::print_crossover_table();
+  bes::print_agreement_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

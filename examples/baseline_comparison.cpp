@@ -1,0 +1,110 @@
+// baseline_comparison: one query, every similarity machine — the modified
+// LCS (paper §4) against the 2-D string family's type-0/1/2 maximum-clique
+// assessment (paper §2), with wall-clock costs. Also prints each model's
+// representation of the same picture for a side-by-side feel of the
+// formalisms.
+//
+//   ./baseline_comparison --objects 10
+#include <chrono>
+#include <cstdio>
+
+#include "baselines/b_string.hpp"
+#include "baselines/c_string.hpp"
+#include "baselines/g_string.hpp"
+#include "baselines/two_d_string.hpp"
+#include "baselines/type_similarity.hpp"
+#include "core/encoder.hpp"
+#include "core/serializer.hpp"
+#include "lcs/similarity.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/query_gen.hpp"
+
+namespace {
+
+template <typename F>
+double micros(F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bes;
+  arg_parser args("Every similarity model on one query/database pair.");
+  args.add_int("objects", 10, "icons per scene");
+  args.add_int("seed", 6, "seed");
+  try {
+    if (!args.parse(argc, argv)) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+
+  alphabet names;
+  rng r(static_cast<std::uint64_t>(args.get_int("seed")));
+  scene_params params;
+  params.width = 400;
+  params.height = 400;
+  params.object_count = static_cast<std::size_t>(args.get_int("objects"));
+  params.symbol_pool = params.object_count;
+  params.unique_symbols = true;
+  params.max_extent = 80;
+  const symbolic_image scene = random_scene(params, r, names);
+  distortion_params d;
+  d.keep_fraction = 0.7;
+  d.jitter = 5;
+  const symbolic_image query = distort(scene, d, r, names);
+
+  // ---- the representations side by side (x-axis only, for brevity) ----
+  std::printf("database image, four spatial string models (x-axis):\n");
+  std::printf("  2-D string : %s\n",
+              to_text(build_two_d_string(scene).u, names).c_str());
+  std::printf("  2D B-string: %s\n",
+              to_text(build_b_string(scene).x, names).c_str());
+  std::printf("  2D BE-string: %s\n",
+              to_text(encode(scene).x, names).c_str());
+  std::printf("  G-string pieces: %zu, C-string pieces: %zu (both axes)\n\n",
+              g_string_segment_count(scene), c_string_segment_count(scene));
+
+  // ---- the assessments ----
+  const be_string2d qs = encode(query);
+  const be_string2d ds = encode(scene);
+  text_table table({"assessment", "result", "time (us)"});
+
+  double score = 0;
+  double t = micros([&] { score = similarity(qs, ds); });
+  table.add_row({"BE-LCS (query norm)", fmt_double(score, 3), fmt_double(t, 1)});
+
+  t = micros([&] {
+    score = similarity(qs, ds, {norm_kind::query, true});
+  });
+  table.add_row({"BE-LCS (exact DP)", fmt_double(score, 3), fmt_double(t, 1)});
+
+  transform_match best;
+  t = micros([&] { best = best_transform_similarity(qs, ds); });
+  table.add_row({"BE-LCS best-of-8", fmt_double(best.score, 3), fmt_double(t, 1)});
+
+  for (similarity_type level :
+       {similarity_type::type0, similarity_type::type1,
+        similarity_type::type2}) {
+    type_similarity_result result;
+    t = micros([&] { result = type_similarity(query, scene, {level, 0}); });
+    table.add_row({std::string(to_string(level)) + " max clique",
+                   std::to_string(result.matched_objects) + "/" +
+                       std::to_string(query.size()) + " objects",
+                   fmt_double(t, 1)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nThe clique rows also paid an O(m^2 n^2) graph build; the paper's\n"
+      "argument is precisely that the LCS row scales as O(mn) instead.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// partial_query: the paper's headline retrieval scenario — "the query
+// targets and/or spatial relationships are not certain". Sweeps how much of
+// a target scene the query keeps / perturbs and shows the BE-LCS score
+// degrading smoothly while exact type-2 matching collapses.
+//
+//   ./partial_query --objects 10 --seed 3
+#include <cstdio>
+
+#include "baselines/type_similarity.hpp"
+#include "core/encoder.hpp"
+#include "lcs/similarity.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/query_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bes;
+  arg_parser args("Partial/uncertain-query similarity demo.");
+  args.add_int("objects", 10, "icons in the target scene");
+  args.add_int("seed", 3, "scene seed");
+  try {
+    if (!args.parse(argc, argv)) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+
+  alphabet names;
+  rng r(static_cast<std::uint64_t>(args.get_int("seed")));
+  scene_params params;
+  params.width = 512;
+  params.height = 512;
+  params.object_count = static_cast<std::size_t>(args.get_int("objects"));
+  params.symbol_pool = params.object_count;
+  params.unique_symbols = true;  // the type-i baselines' home turf
+  params.max_extent = 96;
+  const symbolic_image scene = random_scene(params, r, names);
+  const be_string2d scene_strings = encode(scene);
+
+  std::printf("target scene: %zu uniquely-labeled icons\n\n", scene.size());
+  text_table table({"query", "BE-LCS sim", "type-2 matched", "type-1 matched"});
+
+  auto add_row = [&](const char* label, const symbolic_image& query) {
+    const double lcs = similarity(encode(query), scene_strings);
+    const auto t2 = type_similarity(query, scene, {similarity_type::type2, 0});
+    const auto t1 = type_similarity(query, scene, {similarity_type::type1, 0});
+    table.add_row({label, fmt_double(lcs, 3),
+                   std::to_string(t2.matched_objects) + "/" +
+                       std::to_string(query.size()),
+                   std::to_string(t1.matched_objects) + "/" +
+                       std::to_string(query.size())});
+  };
+
+  add_row("exact copy", scene);
+  for (double keep : {0.8, 0.6, 0.4, 0.2}) {
+    distortion_params d;
+    d.keep_fraction = keep;
+    char label[64];
+    std::snprintf(label, sizeof(label), "keep %.0f%% of icons", keep * 100);
+    add_row(label, distort(scene, d, r, names));
+  }
+  for (int jitter : {2, 8, 24}) {
+    distortion_params d;
+    d.jitter = jitter;
+    char label[64];
+    std::snprintf(label, sizeof(label), "jitter +-%dpx", jitter);
+    add_row(label, distort(scene, d, r, names));
+  }
+  {
+    distortion_params d;
+    d.keep_fraction = 0.6;
+    d.jitter = 8;
+    d.decoys = 3;
+    d.decoy_shape.max_extent = 64;
+    add_row("60% + jitter + 3 decoys", distort(scene, d, r, names));
+  }
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nReading: the LCS column degrades smoothly with uncertainty; the\n"
+      "type-2 column drops to small consistent cores as soon as geometry\n"
+      "shifts — the problem the paper's evaluation method set out to fix.\n");
+  return 0;
+}

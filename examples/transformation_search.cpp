@@ -1,0 +1,87 @@
+// transformation_search: retrieval of rotated/reflected images by string
+// reversal (paper §4/§5). Stores all 8 dihedral variants of a scene among
+// distractors and shows plain vs transform-invariant retrieval.
+//
+//   ./transformation_search --objects 9 --distractors 20
+#include <cstdio>
+
+#include "db/query.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/scene_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bes;
+  arg_parser args("Rotation/reflection-invariant retrieval demo.");
+  args.add_int("objects", 9, "icons per scene");
+  args.add_int("distractors", 20, "unrelated scenes in the database");
+  args.add_int("seed", 11, "seed");
+  try {
+    if (!args.parse(argc, argv)) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+
+  rng r(static_cast<std::uint64_t>(args.get_int("seed")));
+  image_database db;
+  scene_params params;
+  params.width = 400;
+  params.height = 400;
+  params.object_count = static_cast<std::size_t>(args.get_int("objects"));
+  params.max_extent = 64;
+  const symbolic_image scene = random_scene(params, r, db.symbols());
+
+  // Store the 8 linear transformations of the scene...
+  for (dihedral t : all_dihedral) {
+    db.add("variant:" + std::string(to_string(t)), apply(t, scene));
+  }
+  // ...among unrelated distractors.
+  const auto distractors =
+      static_cast<std::size_t>(args.get_int("distractors"));
+  for (std::size_t i = 0; i < distractors; ++i) {
+    db.add("distractor" + std::to_string(i),
+           random_scene(params, r, db.symbols()));
+  }
+  std::printf("database: 8 transformed variants + %zu distractors\n\n",
+              distractors);
+
+  query_options plain;
+  plain.top_k = 10;
+  query_options invariant = plain;
+  invariant.transform_invariant = true;
+
+  const auto plain_results = search(db, scene, plain);
+  const auto invariant_results = search(db, scene, invariant);
+
+  std::printf("plain BE-LCS search (no reversal):\n");
+  text_table t1({"rank", "image", "score"});
+  for (std::size_t i = 0; i < plain_results.size() && i < 8; ++i) {
+    t1.add_row({std::to_string(i + 1), db.record(plain_results[i].id).name,
+                fmt_double(plain_results[i].score, 3)});
+  }
+  std::fputs(t1.str().c_str(), stdout);
+
+  std::printf("\ntransform-invariant search (best of 8 string reversals):\n");
+  text_table t2({"rank", "image", "score", "via transform"});
+  for (std::size_t i = 0; i < invariant_results.size() && i < 8; ++i) {
+    const query_result& result = invariant_results[i];
+    t2.add_row({std::to_string(i + 1), db.record(result.id).name,
+                fmt_double(result.score, 3),
+                std::string(to_string(result.transform))});
+  }
+  std::fputs(t2.str().c_str(), stdout);
+
+  std::size_t variants_at_top = 0;
+  for (std::size_t i = 0; i < 8 && i < invariant_results.size(); ++i) {
+    if (db.record(invariant_results[i].id).name.starts_with("variant:")) {
+      ++variants_at_top;
+    }
+  }
+  std::printf("\n%zu/8 top slots are the stored transformations.\n",
+              variants_at_top);
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "baselines/b_string.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace bes {
+
+std::size_t b_string_axis::storage_units() const noexcept {
+  std::size_t eq = 0;
+  for (bool flag : eq_with_next) eq += flag ? 1 : 0;
+  return boundaries.size() + eq;
+}
+
+namespace {
+
+b_string_axis build_axis(std::span<const icon> icons, axis which) {
+  const auto events = boundary_events(icons, which);
+  b_string_axis out;
+  out.boundaries.reserve(events.size());
+  for (const auto& e : events) out.boundaries.push_back(e.tok);
+  if (!events.empty()) {
+    out.eq_with_next.resize(events.size() - 1);
+    for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+      out.eq_with_next[i] = events[i].coord == events[i + 1].coord;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<symbol_id, interval>> pair_up(
+    const std::vector<token>& boundaries, const std::vector<int>& raw_ranks) {
+  // Ranks are only meaningful up to order isomorphism; normalize to the
+  // first boundary so BE-strings (whose leading edge dummy shifts every
+  // rank by one) and B-strings produce identical values.
+  std::vector<int> ranks = raw_ranks;
+  if (!ranks.empty()) {
+    const int base = ranks.front();
+    for (int& r : ranks) r -= base;
+  }
+  // First-begin pairs with first-end per symbol (FIFO), which is consistent
+  // for instances sorted by coordinate.
+  std::map<symbol_id, std::deque<int>> open;
+  std::vector<std::pair<symbol_id, interval>> out;
+  for (std::size_t i = 0; i < boundaries.size(); ++i) {
+    const token t = boundaries[i];
+    if (t.kind() == boundary_kind::begin) {
+      open[t.symbol()].push_back(ranks[i]);
+    } else {
+      auto& queue = open[t.symbol()];
+      if (queue.empty()) continue;  // malformed input; skip
+      const int begin_rank = queue.front();
+      queue.pop_front();
+      // Ranks are order-isomorphic to the original coordinates, so [begin
+      // rank, end rank) preserves every Allen relation of the real MBRs.
+      out.emplace_back(t.symbol(), interval{begin_rank, ranks[i]});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+b_string2d build_b_string(const symbolic_image& image) {
+  return b_string2d{build_axis(image.icons(), axis::x),
+                    build_axis(image.icons(), axis::y)};
+}
+
+std::string to_text(const b_string_axis& s, const alphabet& names) {
+  std::string out;
+  for (std::size_t i = 0; i < s.boundaries.size(); ++i) {
+    if (i != 0) {
+      out += s.eq_with_next[i - 1] ? " = " : " ";
+    }
+    const token t = s.boundaries[i];
+    out += names.name_of(t.symbol());
+    out += (t.kind() == boundary_kind::begin) ? ":b" : ":e";
+  }
+  return out;
+}
+
+std::vector<std::pair<symbol_id, interval>> rank_intervals(
+    const axis_string& s) {
+  std::vector<token> boundaries;
+  std::vector<int> ranks;
+  int rank = 0;
+  for (token t : s.tokens()) {
+    if (t.is_dummy()) {
+      ++rank;
+      continue;
+    }
+    boundaries.push_back(t);
+    ranks.push_back(rank);
+  }
+  return pair_up(boundaries, ranks);
+}
+
+std::vector<std::pair<symbol_id, interval>> rank_intervals(
+    const b_string_axis& s) {
+  std::vector<int> ranks(s.boundaries.size(), 0);
+  for (std::size_t i = 1; i < s.boundaries.size(); ++i) {
+    ranks[i] = ranks[i - 1] + (s.eq_with_next[i - 1] ? 0 : 1);
+  }
+  return pair_up(s.boundaries, ranks);
+}
+
+}  // namespace bes

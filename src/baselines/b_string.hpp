@@ -1,0 +1,56 @@
+// 2D B-string (paper §2, reference [8]): the closest ancestor of the
+// BE-string. Objects are represented by begin/end boundary symbols with NO
+// cutting; the single spatial operator '=' marks adjacent boundaries whose
+// projections are IDENTICAL. (The BE-string inverts this: its dummy object E
+// marks adjacent projections that are DISTINCT.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/be_string.hpp"
+#include "core/encoder.hpp"
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+// One axis of a 2D B-string: 2n boundary tokens plus equality marks.
+// eq_with_next[i] is true iff boundary i and i+1 project onto the same
+// coordinate (the '=' operator of the model).
+struct b_string_axis {
+  std::vector<token> boundaries;  // no dummies
+  std::vector<bool> eq_with_next;  // size = boundaries.size() - 1 (or 0)
+
+  // Storage cost: one unit per boundary symbol plus one per '=' operator.
+  [[nodiscard]] std::size_t storage_units() const noexcept;
+
+  friend bool operator==(const b_string_axis&, const b_string_axis&) = default;
+};
+
+struct b_string2d {
+  b_string_axis x;
+  b_string_axis y;
+
+  [[nodiscard]] std::size_t storage_units() const noexcept {
+    return x.storage_units() + y.storage_units();
+  }
+
+  friend bool operator==(const b_string2d&, const b_string2d&) = default;
+};
+
+[[nodiscard]] b_string2d build_b_string(const symbolic_image& image);
+
+[[nodiscard]] std::string to_text(const b_string_axis& s,
+                                  const alphabet& names);
+
+// Rank-space intervals of the object instances encoded in an axis string —
+// shared by B- and BE-strings (for BE-strings, ranks advance at dummies; for
+// B-strings, at missing '='). Instances of the same symbol are paired
+// first-begin-to-first-end. Used to show both models carry identical
+// relational information (tests).
+[[nodiscard]] std::vector<std::pair<symbol_id, interval>> rank_intervals(
+    const axis_string& s);
+[[nodiscard]] std::vector<std::pair<symbol_id, interval>> rank_intervals(
+    const b_string_axis& s);
+
+}  // namespace bes

@@ -1,0 +1,63 @@
+#include "baselines/c_string.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bes {
+
+namespace {
+
+// A candidate cut line: the end bound of an object, paired with its begin
+// bound so the "leading object" test (A.lo < piece.lo < A.hi < piece.hi)
+// is a scan.
+struct end_line {
+  int end;
+  int begin;
+  friend bool operator<(const end_line& a, const end_line& b) noexcept {
+    return a.end < b.end;
+  }
+};
+
+}  // namespace
+
+std::vector<segment> c_string_cut(std::span<const icon> icons, axis which) {
+  std::vector<end_line> ends;
+  ends.reserve(icons.size());
+  for (const icon& obj : icons) {
+    const interval side = which == axis::x ? obj.mbr.x : obj.mbr.y;
+    ends.push_back(end_line{side.hi, side.lo});
+  }
+  std::sort(ends.begin(), ends.end());
+
+  std::vector<segment> out;
+  for (std::size_t index = 0; index < icons.size(); ++index) {
+    const icon& obj = icons[index];
+    const interval side = which == axis::x ? obj.mbr.x : obj.mbr.y;
+    int start = side.lo;
+    // Repeatedly cut the remainder [start, side.hi) at the smallest end
+    // bound e of a leading object A: A.lo < start < e < side.hi.
+    for (;;) {
+      int cut_at = std::numeric_limits<int>::max();
+      auto it = std::upper_bound(ends.begin(), ends.end(),
+                                 end_line{start, std::numeric_limits<int>::min()});
+      for (; it != ends.end() && it->end < side.hi; ++it) {
+        if (it->begin < start) {
+          cut_at = it->end;
+          break;
+        }
+      }
+      if (cut_at == std::numeric_limits<int>::max()) break;
+      out.push_back(segment{index, obj.symbol, interval{start, cut_at}});
+      start = cut_at;
+    }
+    out.push_back(segment{index, obj.symbol, interval{start, side.hi}});
+  }
+  return out;
+}
+
+std::size_t c_string_segment_count(const symbolic_image& image) {
+  return c_string_cut(image.icons(), axis::x).size() +
+         c_string_cut(image.icons(), axis::y).size();
+}
+
+}  // namespace bes

@@ -1,0 +1,28 @@
+// 2D C-string cutting (paper §2, references [7][10]): minimizes cutting by
+// keeping the leading object whole and cutting only the trailing partner of
+// a partial overlap, at the end bound of the leading object. Still O(n^2)
+// pieces in the worst case (paper: "there will be O(n^2) cutting objects").
+//
+// Faithfulness note: we implement the Lee-Hsu cutting RULE (partial overlap
+// b1 < b2 < e1 < e2 cuts the trailing object at e1, recursively on the
+// remainder); the full C-string operator bookkeeping is not needed for the
+// storage/time experiments this module backs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "baselines/g_string.hpp"
+
+namespace bes {
+
+// All pieces on one axis after C-string cutting, ordered by owner then
+// coordinate. Objects that are not partially overlapped stay whole.
+[[nodiscard]] std::vector<segment> c_string_cut(std::span<const icon> icons,
+                                                axis which);
+
+// Total pieces over both axes — the C-string storage proxy used by E2.
+[[nodiscard]] std::size_t c_string_segment_count(const symbolic_image& image);
+
+}  // namespace bes

@@ -1,0 +1,160 @@
+#include "baselines/clique.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+namespace bes {
+
+undirected_graph::undirected_graph(std::size_t size)
+    : size_(size), words_((size + 63) / 64), bits_(size * words_, 0) {}
+
+void undirected_graph::add_edge(std::size_t u, std::size_t v) {
+  if (u == v) throw std::invalid_argument("undirected_graph: self loop");
+  if (u >= size_ || v >= size_) {
+    throw std::invalid_argument("undirected_graph: vertex out of range");
+  }
+  bits_[u * words_ + v / 64] |= std::uint64_t{1} << (v % 64);
+  bits_[v * words_ + u / 64] |= std::uint64_t{1} << (u % 64);
+}
+
+bool undirected_graph::adjacent(std::size_t u, std::size_t v) const noexcept {
+  return (bits_[u * words_ + v / 64] >> (v % 64)) & 1;
+}
+
+std::size_t undirected_graph::degree(std::size_t v) const noexcept {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words_; ++w) {
+    count += static_cast<std::size_t>(std::popcount(bits_[v * words_ + w]));
+  }
+  return count;
+}
+
+std::size_t undirected_graph::edge_count() const noexcept {
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < size_; ++v) total += degree(v);
+  return total / 2;
+}
+
+namespace {
+
+using bitset_t = std::vector<std::uint64_t>;
+
+std::size_t popcount_all(const bitset_t& bits) noexcept {
+  std::size_t count = 0;
+  for (std::uint64_t word : bits) {
+    count += static_cast<std::size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+bool test_bit(const bitset_t& bits, std::size_t v) noexcept {
+  return (bits[v / 64] >> (v % 64)) & 1;
+}
+
+void clear_bit(bitset_t& bits, std::size_t v) noexcept {
+  bits[v / 64] &= ~(std::uint64_t{1} << (v % 64));
+}
+
+void set_bit(bitset_t& bits, std::size_t v) noexcept {
+  bits[v / 64] |= std::uint64_t{1} << (v % 64);
+}
+
+struct bk_state {
+  const undirected_graph* graph;
+  std::vector<std::size_t> best;
+  std::vector<std::size_t> current;
+
+  void intersect_row(const bitset_t& in, std::size_t v, bitset_t& out) const {
+    const std::uint64_t* adj = graph->row(v);
+    for (std::size_t w = 0; w < in.size(); ++w) out[w] = in[w] & adj[w];
+  }
+
+  // Bron-Kerbosch with pivoting; P = candidates, X = already explored.
+  void expand(bitset_t p, bitset_t x) {
+    if (popcount_all(p) == 0 && popcount_all(x) == 0) {
+      if (current.size() > best.size()) best = current;
+      return;
+    }
+    if (current.size() + popcount_all(p) <= best.size()) return;  // bound
+
+    // Pivot: the vertex of P∪X with the most neighbours inside P.
+    std::size_t pivot = 0;
+    std::size_t pivot_links = 0;
+    bool have_pivot = false;
+    const std::size_t n = graph->size();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!test_bit(p, v) && !test_bit(x, v)) continue;
+      const std::uint64_t* adj = graph->row(v);
+      std::size_t links = 0;
+      for (std::size_t w = 0; w < p.size(); ++w) {
+        links += static_cast<std::size_t>(std::popcount(adj[w] & p[w]));
+      }
+      if (!have_pivot || links > pivot_links) {
+        pivot = v;
+        pivot_links = links;
+        have_pivot = true;
+      }
+    }
+
+    // Branch on P minus the pivot's neighbourhood.
+    bitset_t branch = p;
+    if (have_pivot) {
+      const std::uint64_t* adj = graph->row(pivot);
+      for (std::size_t w = 0; w < branch.size(); ++w) branch[w] &= ~adj[w];
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!test_bit(branch, v)) continue;
+      bitset_t p_next(p.size());
+      bitset_t x_next(x.size());
+      intersect_row(p, v, p_next);
+      intersect_row(x, v, x_next);
+      current.push_back(v);
+      expand(std::move(p_next), std::move(x_next));
+      current.pop_back();
+      clear_bit(p, v);
+      set_bit(x, v);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> max_clique_exact(const undirected_graph& graph) {
+  const std::size_t words = graph.words();
+  bk_state state;
+  state.graph = &graph;
+  bitset_t p(words, 0);
+  for (std::size_t v = 0; v < graph.size(); ++v) set_bit(p, v);
+  // Mask tail bits beyond size.
+  if (graph.size() % 64 != 0 && words > 0) {
+    p[words - 1] &= (std::uint64_t{1} << (graph.size() % 64)) - 1;
+  }
+  state.expand(std::move(p), bitset_t(words, 0));
+  std::sort(state.best.begin(), state.best.end());
+  return state.best;
+}
+
+std::vector<std::size_t> max_clique_greedy(const undirected_graph& graph) {
+  std::vector<std::size_t> order(graph.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return graph.degree(a) > graph.degree(b);
+  });
+  std::vector<std::size_t> clique;
+  for (std::size_t v : order) {
+    bool fits = true;
+    for (std::size_t u : clique) {
+      if (!graph.adjacent(u, v)) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) clique.push_back(v);
+  }
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+}  // namespace bes

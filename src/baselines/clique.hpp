@@ -1,0 +1,53 @@
+// Maximum clique ("maximum complete subgraph") — the NP-complete core of the
+// type-i similarity assessment the 2D-string family relies on (paper §2:
+// "finding maximum complete subgraph is an NP-complete problem ... It is not
+// suitable for large number of icon objects").
+//
+// Exact solver: Bron-Kerbosch with pivoting over packed bitsets, plus a
+// best-so-far bound. Greedy solver: highest-degree-first heuristic used when
+// the exact search would blow up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bes {
+
+// A simple undirected graph over vertices [0, size) with a packed adjacency
+// matrix; built once, then queried.
+class undirected_graph {
+ public:
+  explicit undirected_graph(std::size_t size);
+
+  // Adds the edge {u, v}. Self-loops are rejected with std::invalid_argument.
+  void add_edge(std::size_t u, std::size_t v);
+
+  [[nodiscard]] bool adjacent(std::size_t u, std::size_t v) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t degree(std::size_t v) const noexcept;
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+  // The adjacency row of v as packed 64-bit words (words() per row).
+  [[nodiscard]] const std::uint64_t* row(std::size_t v) const noexcept {
+    return bits_.data() + v * words_;
+  }
+  [[nodiscard]] std::size_t words() const noexcept { return words_; }
+
+ private:
+  std::size_t size_;
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+// Vertices of one maximum clique (exact). Exponential worst case; intended
+// for graphs up to a few hundred vertices as produced by type-i similarity
+// on realistic scenes.
+[[nodiscard]] std::vector<std::size_t> max_clique_exact(
+    const undirected_graph& graph);
+
+// A maximal (not necessarily maximum) clique by greedy degree ordering.
+[[nodiscard]] std::vector<std::size_t> max_clique_greedy(
+    const undirected_graph& graph);
+
+}  // namespace bes

@@ -1,0 +1,41 @@
+#include "baselines/g_string.hpp"
+
+#include <algorithm>
+
+namespace bes {
+
+std::vector<segment> g_string_cut(std::span<const icon> icons, axis which) {
+  // Collect every boundary coordinate once; each object is cut at all
+  // coordinates strictly inside its own interval.
+  std::vector<int> lines;
+  lines.reserve(icons.size() * 2);
+  for (const icon& obj : icons) {
+    const interval side = which == axis::x ? obj.mbr.x : obj.mbr.y;
+    lines.push_back(side.lo);
+    lines.push_back(side.hi);
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+
+  std::vector<segment> out;
+  for (std::size_t index = 0; index < icons.size(); ++index) {
+    const icon& obj = icons[index];
+    const interval side = which == axis::x ? obj.mbr.x : obj.mbr.y;
+    auto first =
+        std::upper_bound(lines.begin(), lines.end(), side.lo);  // > lo
+    int start = side.lo;
+    for (auto it = first; it != lines.end() && *it < side.hi; ++it) {
+      out.push_back(segment{index, obj.symbol, interval{start, *it}});
+      start = *it;
+    }
+    out.push_back(segment{index, obj.symbol, interval{start, side.hi}});
+  }
+  return out;
+}
+
+std::size_t g_string_segment_count(const symbolic_image& image) {
+  return g_string_cut(image.icons(), axis::x).size() +
+         g_string_cut(image.icons(), axis::y).size();
+}
+
+}  // namespace bes

@@ -1,0 +1,33 @@
+// 2D G-string cutting (paper §2, reference [3]): every object is cut along
+// the MBR boundary lines of every other object that crosses it, so the
+// symbolic string only ever needs the global operator set. The price is the
+// segment blow-up this module exists to measure (experiment E2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+// One axis-aligned piece of a (possibly cut) object.
+struct segment {
+  std::size_t owner = 0;  // index of the original icon
+  symbol_id symbol = 0;
+  interval piece;
+
+  friend bool operator==(const segment&, const segment&) = default;
+};
+
+// All pieces on one axis after G-string cutting, ordered by owner then
+// coordinate. An object crossed inside its interval by k boundary lines of
+// other objects yields k+1 pieces.
+[[nodiscard]] std::vector<segment> g_string_cut(std::span<const icon> icons,
+                                                axis which);
+
+// Total pieces over both axes — the G-string storage proxy used by E2.
+[[nodiscard]] std::size_t g_string_segment_count(const symbolic_image& image);
+
+}  // namespace bes

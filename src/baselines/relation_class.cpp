@@ -1,0 +1,96 @@
+#include "baselines/relation_class.hpp"
+
+namespace bes {
+
+type1_class type1_of(allen_relation r) noexcept {
+  switch (r) {
+    case allen_relation::before: return type1_class::disjoint_lt;
+    case allen_relation::after: return type1_class::disjoint_gt;
+    case allen_relation::meets: return type1_class::edge_lt;
+    case allen_relation::met_by: return type1_class::edge_gt;
+    case allen_relation::overlaps: return type1_class::partial_lt;
+    case allen_relation::overlapped_by: return type1_class::partial_gt;
+    case allen_relation::contains:
+    case allen_relation::started_by:
+    case allen_relation::finished_by:
+      return type1_class::contains;
+    case allen_relation::during:
+    case allen_relation::starts:
+    case allen_relation::finishes:
+      return type1_class::inside;
+    case allen_relation::equals: return type1_class::equal;
+  }
+  return type1_class::equal;
+}
+
+type0_class type0_of(allen_relation r) noexcept {
+  switch (type1_of(r)) {
+    case type1_class::disjoint_lt:
+    case type1_class::disjoint_gt:
+    case type1_class::edge_lt:
+    case type1_class::edge_gt:
+      return type0_class::apart;
+    case type1_class::partial_lt:
+    case type1_class::partial_gt:
+      return type0_class::intersect;
+    case type1_class::contains:
+    case type1_class::inside:
+      return type0_class::nested;
+    case type1_class::equal:
+      return type0_class::same;
+  }
+  return type0_class::same;
+}
+
+pair_relation relate(const rect& a, const rect& b) noexcept {
+  return pair_relation{classify(a.x, b.x), classify(a.y, b.y)};
+}
+
+bool compatible(similarity_type level, const pair_relation& a,
+                const pair_relation& b) noexcept {
+  switch (level) {
+    case similarity_type::type2:
+      return a.x == b.x && a.y == b.y;
+    case similarity_type::type1:
+      return type1_of(a.x) == type1_of(b.x) && type1_of(a.y) == type1_of(b.y);
+    case similarity_type::type0:
+      return type0_of(a.x) == type0_of(b.x) && type0_of(a.y) == type0_of(b.y);
+  }
+  return false;
+}
+
+std::string_view to_string(type1_class c) noexcept {
+  switch (c) {
+    case type1_class::disjoint_lt: return "disjoint<";
+    case type1_class::disjoint_gt: return "disjoint>";
+    case type1_class::edge_lt: return "edge<";
+    case type1_class::edge_gt: return "edge>";
+    case type1_class::partial_lt: return "partial<";
+    case type1_class::partial_gt: return "partial>";
+    case type1_class::contains: return "contains";
+    case type1_class::inside: return "inside";
+    case type1_class::equal: return "equal";
+  }
+  return "?";
+}
+
+std::string_view to_string(type0_class c) noexcept {
+  switch (c) {
+    case type0_class::apart: return "apart";
+    case type0_class::intersect: return "intersect";
+    case type0_class::nested: return "nested";
+    case type0_class::same: return "same";
+  }
+  return "?";
+}
+
+std::string_view to_string(similarity_type t) noexcept {
+  switch (t) {
+    case similarity_type::type0: return "type-0";
+    case similarity_type::type1: return "type-1";
+    case similarity_type::type2: return "type-2";
+  }
+  return "?";
+}
+
+}  // namespace bes

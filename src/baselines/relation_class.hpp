@@ -1,0 +1,68 @@
+// Coarsenings of Allen's interval algebra that define the type-0/1/2
+// similarity levels of the 2D-string literature (paper §2: "they always
+// define three type of similarity, type-i (i = 0, 1, 2) ... type-1 is
+// stricter then type-0, type-2 is stricter then type-1").
+//
+// Our concrete grading (documented in DESIGN.md §3):
+//   type-2: the exact Allen relation on both axes (13 values, directional);
+//   type-1: the C-string operator class (9 values, directional) — disjoint,
+//           edge-to-edge, partial overlap (each with direction), contains,
+//           inside, equal;
+//   type-0: the coarse category (4 values, direction-free) — apart,
+//           intersect, nested, same.
+// Each level factors through the previous one, which yields the strictness
+// nesting the papers require (property-tested).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "geometry/allen.hpp"
+#include "geometry/rect.hpp"
+
+namespace bes {
+
+enum class type1_class : std::uint8_t {
+  disjoint_lt,  // a strictly before b
+  disjoint_gt,
+  edge_lt,  // a meets b
+  edge_gt,
+  partial_lt,  // a overlaps b from the left
+  partial_gt,
+  contains,  // b inside a (incl. shared begin or end)
+  inside,
+  equal,
+};
+
+enum class type0_class : std::uint8_t {
+  apart,      // disjoint or merely touching
+  intersect,  // partial interior overlap
+  nested,     // one inside the other
+  same,       // identical projection
+};
+
+[[nodiscard]] type1_class type1_of(allen_relation r) noexcept;
+[[nodiscard]] type0_class type0_of(allen_relation r) noexcept;
+
+// The pairwise spatial relationship of two MBRs: one Allen relation per axis.
+struct pair_relation {
+  allen_relation x;
+  allen_relation y;
+
+  friend bool operator==(const pair_relation&, const pair_relation&) = default;
+};
+
+[[nodiscard]] pair_relation relate(const rect& a, const rect& b) noexcept;
+
+enum class similarity_type : std::uint8_t { type0, type1, type2 };
+
+// True iff relations `a` and `b` agree at the given strictness level on both
+// axes.
+[[nodiscard]] bool compatible(similarity_type level, const pair_relation& a,
+                              const pair_relation& b) noexcept;
+
+[[nodiscard]] std::string_view to_string(type1_class c) noexcept;
+[[nodiscard]] std::string_view to_string(type0_class c) noexcept;
+[[nodiscard]] std::string_view to_string(similarity_type t) noexcept;
+
+}  // namespace bes

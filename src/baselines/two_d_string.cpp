@@ -1,0 +1,64 @@
+#include "baselines/two_d_string.hpp"
+
+#include <algorithm>
+
+namespace bes {
+
+std::size_t projection_string::symbol_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& group : groups) count += group.size();
+  return count;
+}
+
+std::size_t projection_string::operator_count() const noexcept {
+  const std::size_t symbols = symbol_count();
+  return symbols == 0 ? 0 : symbols - 1;
+}
+
+namespace {
+
+projection_string project(const symbolic_image& image, bool x_axis) {
+  // (2*center, symbol) sorted; equal centers collapse into one group.
+  std::vector<std::pair<int, symbol_id>> keyed;
+  keyed.reserve(image.size());
+  for (const icon& obj : image.icons()) {
+    const interval side = x_axis ? obj.mbr.x : obj.mbr.y;
+    keyed.emplace_back(side.mid2(), obj.symbol);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  projection_string out;
+  for (std::size_t i = 0; i < keyed.size();) {
+    std::vector<symbol_id> group;
+    const int coord = keyed[i].first;
+    while (i < keyed.size() && keyed[i].first == coord) {
+      group.push_back(keyed[i].second);
+      ++i;
+    }
+    out.groups.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace
+
+two_d_string build_two_d_string(const symbolic_image& image) {
+  return two_d_string{project(image, true), project(image, false)};
+}
+
+std::string to_text(const projection_string& s, const alphabet& names) {
+  std::string out;
+  for (std::size_t g = 0; g < s.groups.size(); ++g) {
+    if (g != 0) out += " < ";
+    for (std::size_t k = 0; k < s.groups[g].size(); ++k) {
+      if (k != 0) out += " = ";
+      out += names.name_of(s.groups[g][k]);
+    }
+  }
+  return out;
+}
+
+std::string to_text(const two_d_string& s, const alphabet& names) {
+  return "( " + to_text(s.u, names) + " , " + to_text(s.v, names) + " )";
+}
+
+}  // namespace bes

@@ -1,0 +1,43 @@
+// Chang's original 2-D String (paper §2, reference [2]): a symbolic
+// projection of object reference points (we use MBR centers) along each
+// axis, with '<' between distinct projections and '=' inside a group of
+// coincident ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+// One axis of a 2-D string: groups of symbols at the same projection
+// coordinate, listed left-to-right / bottom-to-top. Symbols within a group
+// are '='-related; consecutive groups are '<'-related.
+struct projection_string {
+  std::vector<std::vector<symbol_id>> groups;
+
+  // Storage cost in the 2-D string sense: one symbol per object plus one
+  // operator between every adjacent pair of symbols.
+  [[nodiscard]] std::size_t symbol_count() const noexcept;
+  [[nodiscard]] std::size_t operator_count() const noexcept;
+
+  friend bool operator==(const projection_string&,
+                         const projection_string&) = default;
+};
+
+struct two_d_string {
+  projection_string u;  // x-axis
+  projection_string v;  // y-axis
+
+  friend bool operator==(const two_d_string&, const two_d_string&) = default;
+};
+
+// Builds the 2-D string from MBR centers (doubled to stay integral).
+[[nodiscard]] two_d_string build_two_d_string(const symbolic_image& image);
+
+[[nodiscard]] std::string to_text(const projection_string& s,
+                                  const alphabet& names);
+[[nodiscard]] std::string to_text(const two_d_string& s, const alphabet& names);
+
+}  // namespace bes

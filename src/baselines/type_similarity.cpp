@@ -1,0 +1,47 @@
+#include "baselines/type_similarity.hpp"
+
+namespace bes {
+
+type_similarity_result type_similarity(
+    const symbolic_image& query, const symbolic_image& database_image,
+    const type_similarity_options& options) {
+  const auto& q = query.icons();
+  const auto& d = database_image.icons();
+
+  // Vertices: symbol-compatible match candidates.
+  std::vector<std::pair<std::size_t, std::size_t>> vertices;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    for (std::size_t j = 0; j < d.size(); ++j) {
+      if (q[i].symbol == d[j].symbol) vertices.emplace_back(i, j);
+    }
+  }
+
+  type_similarity_result result;
+  result.graph_vertices = vertices.size();
+  if (vertices.empty()) return result;
+
+  undirected_graph graph(vertices.size());
+  for (std::size_t a = 0; a < vertices.size(); ++a) {
+    const auto [ia, ja] = vertices[a];
+    for (std::size_t b = a + 1; b < vertices.size(); ++b) {
+      const auto [ib, jb] = vertices[b];
+      if (ia == ib || ja == jb) continue;  // an icon may be matched once
+      const pair_relation in_query = relate(q[ia].mbr, q[ib].mbr);
+      const pair_relation in_db = relate(d[ja].mbr, d[jb].mbr);
+      if (compatible(options.level, in_query, in_db)) graph.add_edge(a, b);
+    }
+  }
+  result.graph_edges = graph.edge_count();
+
+  const bool greedy = options.greedy_above != 0 &&
+                      vertices.size() > options.greedy_above;
+  const std::vector<std::size_t> clique =
+      greedy ? max_clique_greedy(graph) : max_clique_exact(graph);
+  result.used_greedy = greedy;
+  result.matched_objects = clique.size();
+  result.matches.reserve(clique.size());
+  for (std::size_t v : clique) result.matches.push_back(vertices[v]);
+  return result;
+}
+
+}  // namespace bes

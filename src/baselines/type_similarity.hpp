@@ -1,0 +1,47 @@
+// Type-i similarity assessment of the 2D-string family (paper §2):
+//
+//   "they examine all spatial relationship pairs between any two objects in
+//    query image versus pairs in an image of database. Build type-i subgraph
+//    if the pair satisfies type-i constraints. After examining, they find
+//    the maximum complete subgraph for each type-i graph. The number of
+//    objects in maximum complete subgraph is the similarity."
+//
+// Vertices are candidate object matches (query icon i <-> db icon j, same
+// symbol); two matches are connected iff they use distinct icons on both
+// sides and the pairwise spatial relations agree at the chosen type level on
+// both axes. The clique therefore selects a consistent common sub-picture.
+// Building the graph is O(m^2 n^2) relation comparisons; solving it is
+// NP-complete — exactly the cost the BE-string LCS replaces (experiment E5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/clique.hpp"
+#include "baselines/relation_class.hpp"
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+struct type_similarity_options {
+  similarity_type level = similarity_type::type1;
+  // Fall back to the greedy solver above this vertex count (0 = never).
+  std::size_t greedy_above = 0;
+};
+
+struct type_similarity_result {
+  // Number of objects in the maximum complete subgraph — the similarity.
+  std::size_t matched_objects = 0;
+  // The matching realizing it: (query icon index, db icon index) pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> matches;
+  // Diagnostics for the benchmarks.
+  std::size_t graph_vertices = 0;
+  std::size_t graph_edges = 0;
+  bool used_greedy = false;
+};
+
+[[nodiscard]] type_similarity_result type_similarity(
+    const symbolic_image& query, const symbolic_image& database_image,
+    const type_similarity_options& options = {});
+
+}  // namespace bes

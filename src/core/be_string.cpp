@@ -1,0 +1,37 @@
+#include "core/be_string.hpp"
+
+#include <unordered_map>
+
+namespace bes {
+
+std::size_t axis_string::dummy_count() const noexcept {
+  std::size_t count = 0;
+  for (token t : tokens_) count += t.is_dummy() ? 1 : 0;
+  return count;
+}
+
+std::size_t axis_string::boundary_count() const noexcept {
+  return tokens_.size() - dummy_count();
+}
+
+bool axis_string::well_formed() const noexcept {
+  bool previous_dummy = false;
+  std::unordered_map<symbol_id, long> balance;
+  for (token t : tokens_) {
+    if (t.is_dummy()) {
+      if (previous_dummy) return false;
+      previous_dummy = true;
+      continue;
+    }
+    previous_dummy = false;
+    long& open = balance[t.symbol()];
+    open += (t.kind() == boundary_kind::begin) ? 1 : -1;
+    if (open < 0) return false;
+  }
+  for (const auto& [symbol, open] : balance) {
+    if (open != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace bes

@@ -1,0 +1,61 @@
+// BE-strings: the axis string (1-D) and the 2D BE-string pair.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/token.hpp"
+
+namespace bes {
+
+// One axis of a 2D BE-string. A thin vector-of-token value type with
+// well-formedness checks; construction is normally via the encoder.
+class axis_string {
+ public:
+  axis_string() = default;
+  explicit axis_string(std::vector<token> tokens) : tokens_(std::move(tokens)) {}
+
+  [[nodiscard]] const std::vector<token>& tokens() const noexcept {
+    return tokens_;
+  }
+  [[nodiscard]] std::span<const token> span() const noexcept {
+    return tokens_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return tokens_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tokens_.empty(); }
+  [[nodiscard]] token at(std::size_t i) const { return tokens_.at(i); }
+
+  [[nodiscard]] std::size_t dummy_count() const noexcept;
+  [[nodiscard]] std::size_t boundary_count() const noexcept;
+
+  // A BE-string is well formed iff
+  //  * no two dummies are adjacent (one dummy fully describes a gap),
+  //  * for every symbol, begin- and end-boundary counts are equal, and in
+  //    every prefix ends never outnumber begins (instances are [lo, hi) with
+  //    lo < hi, so each end is preceded by its begin).
+  [[nodiscard]] bool well_formed() const noexcept;
+
+  friend bool operator==(const axis_string&, const axis_string&) = default;
+
+ private:
+  std::vector<token> tokens_;
+};
+
+// The 2D BE-string (u, v) of paper §3.1.
+struct be_string2d {
+  axis_string x;
+  axis_string y;
+
+  [[nodiscard]] std::size_t total_tokens() const noexcept {
+    return x.size() + y.size();
+  }
+  [[nodiscard]] bool well_formed() const noexcept {
+    return x.well_formed() && y.well_formed();
+  }
+
+  friend bool operator==(const be_string2d&, const be_string2d&) = default;
+};
+
+}  // namespace bes

@@ -1,0 +1,127 @@
+#include "core/editor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bes {
+
+namespace {
+
+bool event_less(const boundary_event& a, const boundary_event& b) noexcept {
+  return a < b;
+}
+
+}  // namespace
+
+be_editor::be_editor(int width, int height) : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("be_editor: dimensions must be positive");
+  }
+}
+
+be_editor::be_editor(const symbolic_image& image)
+    : be_editor(image.width(), image.height()) {
+  x_events_.reserve(image.size() * 2);
+  y_events_.reserve(image.size() * 2);
+  for (const icon& obj : image.icons()) {
+    const instance_id id = next_id_++;
+    instances_.emplace_back(id, instance_record{obj.symbol, obj.mbr});
+    x_events_.push_back(
+        {{obj.mbr.x.lo, token::boundary(obj.symbol, boundary_kind::begin)},
+         id});
+    x_events_.push_back(
+        {{obj.mbr.x.hi, token::boundary(obj.symbol, boundary_kind::end)}, id});
+    y_events_.push_back(
+        {{obj.mbr.y.lo, token::boundary(obj.symbol, boundary_kind::begin)},
+         id});
+    y_events_.push_back(
+        {{obj.mbr.y.hi, token::boundary(obj.symbol, boundary_kind::end)}, id});
+  }
+  auto by_event = [](const annotated_event& a, const annotated_event& b) {
+    return event_less(a.event, b.event);
+  };
+  std::sort(x_events_.begin(), x_events_.end(), by_event);
+  std::sort(y_events_.begin(), y_events_.end(), by_event);
+}
+
+void be_editor::insert_axis(std::vector<annotated_event>& events, int coord,
+                            token tok, instance_id id) {
+  const boundary_event key{coord, tok};
+  // Paper: "binary search with key MBR coordinates and identifier".
+  auto pos = std::lower_bound(
+      events.begin(), events.end(), key,
+      [](const annotated_event& a, const boundary_event& k) {
+        return event_less(a.event, k);
+      });
+  events.insert(pos, annotated_event{key, id});
+}
+
+instance_id be_editor::insert(symbol_id symbol, const rect& mbr) {
+  if (!mbr.valid() || mbr.x.lo < 0 || mbr.x.hi > width_ || mbr.y.lo < 0 ||
+      mbr.y.hi > height_) {
+    throw std::invalid_argument("be_editor::insert: invalid MBR " +
+                                to_string(mbr));
+  }
+  const instance_id id = next_id_++;
+  instances_.emplace_back(id, instance_record{symbol, mbr});
+  insert_axis(x_events_, mbr.x.lo,
+              token::boundary(symbol, boundary_kind::begin), id);
+  insert_axis(x_events_, mbr.x.hi, token::boundary(symbol, boundary_kind::end),
+              id);
+  insert_axis(y_events_, mbr.y.lo,
+              token::boundary(symbol, boundary_kind::begin), id);
+  insert_axis(y_events_, mbr.y.hi, token::boundary(symbol, boundary_kind::end),
+              id);
+  return id;
+}
+
+void be_editor::erase_axis(std::vector<annotated_event>& events,
+                           instance_id id) {
+  // Paper: sequential search; redundant dummies disappear on render because
+  // dummies are derived from adjacent coordinates, never stored.
+  events.erase(std::remove_if(
+                   events.begin(), events.end(),
+                   [id](const annotated_event& e) { return e.instance == id; }),
+               events.end());
+}
+
+bool be_editor::erase(instance_id id) {
+  auto it = std::find_if(instances_.begin(), instances_.end(),
+                         [id](const auto& entry) { return entry.first == id; });
+  if (it == instances_.end()) return false;
+  instances_.erase(it);
+  erase_axis(x_events_, id);
+  erase_axis(y_events_, id);
+  return true;
+}
+
+std::optional<instance_id> be_editor::erase_first(symbol_id symbol) {
+  for (const annotated_event& e : x_events_) {
+    if (!e.event.tok.is_dummy() && e.event.tok.symbol() == symbol) {
+      const instance_id id = e.instance;
+      erase(id);
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+be_string2d be_editor::strings() const {
+  std::vector<boundary_event> xs;
+  std::vector<boundary_event> ys;
+  xs.reserve(x_events_.size());
+  ys.reserve(y_events_.size());
+  for (const annotated_event& e : x_events_) xs.push_back(e.event);
+  for (const annotated_event& e : y_events_) ys.push_back(e.event);
+  return be_string2d{render_axis(xs, width_), render_axis(ys, height_)};
+}
+
+symbolic_image be_editor::image() const {
+  symbolic_image out(width_, height_);
+  for (const auto& [id, record] : instances_) {
+    out.add(record.symbol, record.mbr);
+  }
+  return out;
+}
+
+}  // namespace bes

@@ -1,0 +1,82 @@
+// Incremental maintenance of a 2D BE-string image (paper §3.2, last
+// paragraph):
+//
+//   "Because the 2D BE-string is an order data, if we save the 2D BE-string
+//    with their MBR coordinates, we can easy find the location to be
+//    inserted for a new object ... using binary search ... When we want to
+//    drop an object ... we search the dropping object sequentially, delete
+//    it directly and eliminate the redundant dummy object."
+//
+// be_editor keeps, per axis, the coordinate-annotated boundary events in
+// sorted order (the "2D BE-string with their MBR coordinates"). Insertion is
+// two binary searches + ordered inserts per axis; deletion is a sequential
+// scan. Dummy objects are a pure function of adjacent coordinates, so
+// insertion/elimination of redundant dummies is implicit and the rendered
+// string is always exactly what a full re-encode would produce (property-
+// tested in tests/core_editor_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/be_string.hpp"
+#include "core/encoder.hpp"
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+using instance_id = std::uint32_t;
+
+class be_editor {
+ public:
+  // Starts from an existing picture (one bulk sort), or empty.
+  explicit be_editor(const symbolic_image& image);
+  be_editor(int width, int height);
+
+  // Inserts a new object; O(log n) locate + O(n) ordered insert per axis.
+  // Throws std::invalid_argument on an invalid or out-of-domain MBR.
+  instance_id insert(symbol_id symbol, const rect& mbr);
+
+  // Drops an object previously returned by insert()/the constructor order.
+  // Returns false if the instance is unknown (already removed).
+  bool erase(instance_id id);
+
+  // Drops the first (lowest x-begin) instance with the given symbol.
+  // Returns the removed instance id, or nullopt if no such symbol exists.
+  std::optional<instance_id> erase_first(symbol_id symbol);
+
+  // The current 2D BE-string; O(n) render from the maintained event lists.
+  [[nodiscard]] be_string2d strings() const;
+
+  // Reconstructs the symbolic picture (icons in instance-id order).
+  [[nodiscard]] symbolic_image image() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return instances_.size(); }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+ private:
+  struct annotated_event {
+    boundary_event event;
+    instance_id instance = 0;
+  };
+
+  struct instance_record {
+    symbol_id symbol = 0;
+    rect mbr;
+  };
+
+  void insert_axis(std::vector<annotated_event>& events, int coord, token tok,
+                   instance_id id);
+  static void erase_axis(std::vector<annotated_event>& events, instance_id id);
+
+  int width_;
+  int height_;
+  std::vector<annotated_event> x_events_;  // sorted by (coord, token)
+  std::vector<annotated_event> y_events_;
+  std::vector<std::pair<instance_id, instance_record>> instances_;  // id order
+  instance_id next_id_ = 0;
+};
+
+}  // namespace bes

@@ -1,0 +1,53 @@
+#include "core/encoder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bes {
+
+std::vector<boundary_event> boundary_events(std::span<const icon> icons,
+                                            axis which) {
+  std::vector<boundary_event> events;
+  events.reserve(icons.size() * 2);
+  for (const icon& obj : icons) {
+    const interval side = which == axis::x ? obj.mbr.x : obj.mbr.y;
+    events.push_back(
+        {side.lo, token::boundary(obj.symbol, boundary_kind::begin)});
+    events.push_back(
+        {side.hi, token::boundary(obj.symbol, boundary_kind::end)});
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+axis_string render_axis(std::span<const boundary_event> events,
+                        int max_coord) {
+  if (max_coord <= 0) {
+    throw std::invalid_argument("render_axis: max_coord must be positive");
+  }
+  std::vector<token> out;
+  if (events.empty()) {
+    // An empty picture is a single gap spanning the whole axis.
+    out.push_back(token::dummy());
+    return axis_string(std::move(out));
+  }
+  out.reserve(events.size() * 2 + 1);
+  if (events.front().coord != 0) out.push_back(token::dummy());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out.push_back(events[i].tok);
+    if (i + 1 < events.size() && events[i + 1].coord != events[i].coord) {
+      out.push_back(token::dummy());
+    }
+  }
+  if (events.back().coord != max_coord) out.push_back(token::dummy());
+  return axis_string(std::move(out));
+}
+
+be_string2d encode(const symbolic_image& image) {
+  const auto ex = boundary_events(image.icons(), axis::x);
+  const auto ey = boundary_events(image.icons(), axis::y);
+  return be_string2d{render_axis(ex, image.width()),
+                     render_axis(ey, image.height())};
+}
+
+}  // namespace bes

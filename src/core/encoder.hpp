@@ -1,0 +1,59 @@
+// Convert_2D_Be_String (paper §3.2, Algorithm 1): symbolic image -> 2D
+// BE-string.
+//
+// Per axis: project every icon's MBR to its begin/end boundary events, sort
+// by (coordinate, symbol, begin-before-end), then emit the boundary symbols
+// with a dummy E wherever two adjacent projections land on distinct
+// coordinates, plus leading/trailing dummies when the outermost boundaries
+// leave a gap to the image edges. O(n log n) with the sort, O(n) beyond it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/be_string.hpp"
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+// A single boundary projection on one axis.
+struct boundary_event {
+  int coord = 0;
+  token tok;  // never a dummy
+
+  // Paper line 13: "Combine MBR coordinate and object identifier as a key,
+  // sort the input data by ascending order."
+  friend constexpr bool operator<(const boundary_event& a,
+                                  const boundary_event& b) noexcept {
+    if (a.coord != b.coord) return a.coord < b.coord;
+    return a.tok < b.tok;
+  }
+  friend constexpr bool operator==(const boundary_event&,
+                                   const boundary_event&) = default;
+};
+
+enum class axis : std::uint8_t { x, y };
+
+// The 2n sorted boundary events of the icons on one axis.
+[[nodiscard]] std::vector<boundary_event> boundary_events(
+    std::span<const icon> icons, axis which);
+
+// Renders sorted events into an axis string over the domain [0, max_coord).
+// An empty event list yields the single-dummy string (the whole axis is one
+// gap). Precondition: events sorted, all coords within [0, max_coord].
+[[nodiscard]] axis_string render_axis(std::span<const boundary_event> events,
+                                      int max_coord);
+
+// Algorithm 1: the full conversion.
+[[nodiscard]] be_string2d encode(const symbolic_image& image);
+
+// Upper/lower bounds from paper §3.1: an axis of an n-object image holds at
+// least 2n and at most 4n+1 tokens.
+[[nodiscard]] constexpr std::size_t min_axis_tokens(std::size_t n) noexcept {
+  return 2 * n;
+}
+[[nodiscard]] constexpr std::size_t max_axis_tokens(std::size_t n) noexcept {
+  return 4 * n + 1;
+}
+
+}  // namespace bes

@@ -1,0 +1,92 @@
+#include "core/serializer.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bes {
+
+namespace {
+
+std::string token_text(token t, const alphabet& names) {
+  if (t.is_dummy()) return "E";
+  return names.name_of(t.symbol()) +
+         (t.kind() == boundary_kind::begin ? ":b" : ":e");
+}
+
+token parse_token(std::string_view word, alphabet& names) {
+  if (word == "E") return token::dummy();
+  const auto colon = word.rfind(':');
+  if (colon == std::string_view::npos || colon + 2 != word.size()) {
+    throw std::invalid_argument("parse_axis: malformed token '" +
+                                std::string(word) + "'");
+  }
+  const char role = word[colon + 1];
+  if (role != 'b' && role != 'e') {
+    throw std::invalid_argument("parse_axis: bad boundary role in '" +
+                                std::string(word) + "'");
+  }
+  const symbol_id id = names.intern(word.substr(0, colon));
+  return token::boundary(
+      id, role == 'b' ? boundary_kind::begin : boundary_kind::end);
+}
+
+}  // namespace
+
+std::string to_text(const axis_string& s, const alphabet& names) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += token_text(s.at(i), names);
+  }
+  return out;
+}
+
+std::string to_text(const be_string2d& s, const alphabet& names) {
+  return "( " + to_text(s.x, names) + " , " + to_text(s.y, names) + " )";
+}
+
+std::string paper_style(const axis_string& s, const alphabet& names) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    token t = s.at(i);
+    if (t.is_dummy()) {
+      out += 'E';
+    } else {
+      out += names.name_of(t.symbol());
+      out += (t.kind() == boundary_kind::begin) ? 'b' : 'e';
+    }
+  }
+  return out;
+}
+
+std::string paper_style(const be_string2d& s, const alphabet& names) {
+  return "(" + paper_style(s.x, names) + ", " + paper_style(s.y, names) + ")";
+}
+
+axis_string parse_axis(std::string_view text, alphabet& names) {
+  std::vector<token> tokens;
+  std::istringstream in{std::string(text)};
+  std::string word;
+  while (in >> word) tokens.push_back(parse_token(word, names));
+  return axis_string(std::move(tokens));
+}
+
+be_string2d parse_be_string(std::string_view text, alphabet& names) {
+  // Expected shape: ( <x tokens> , <y tokens> )
+  const auto open = text.find('(');
+  const auto close = text.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close <= open) {
+    throw std::invalid_argument("parse_be_string: missing parentheses");
+  }
+  const std::string_view body = text.substr(open + 1, close - open - 1);
+  const auto comma = body.find(',');
+  if (comma == std::string_view::npos) {
+    throw std::invalid_argument("parse_be_string: missing axis separator ','");
+  }
+  return be_string2d{parse_axis(body.substr(0, comma), names),
+                     parse_axis(body.substr(comma + 1), names)};
+}
+
+}  // namespace bes

@@ -1,0 +1,33 @@
+// Textual forms of BE-strings.
+//
+// Machine form (round-trippable): whitespace-separated tokens, `E` for the
+// dummy object and `NAME:b` / `NAME:e` for boundaries; the 2D form is
+// `( <x tokens> , <y tokens> )`.
+// Paper form (display only): the compact notation of the paper's worked
+// example, e.g. "EAbEBbEAeCb..." with one-letter symbols.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/be_string.hpp"
+#include "symbolic/alphabet.hpp"
+
+namespace bes {
+
+[[nodiscard]] std::string to_text(const axis_string& s, const alphabet& names);
+[[nodiscard]] std::string to_text(const be_string2d& s, const alphabet& names);
+
+// Compact display form: `E` + `<name>b` / `<name>e` run together.
+[[nodiscard]] std::string paper_style(const axis_string& s,
+                                      const alphabet& names);
+[[nodiscard]] std::string paper_style(const be_string2d& s,
+                                      const alphabet& names);
+
+// Parses the machine form. Unknown symbol names are interned into `names`.
+// Throws std::invalid_argument on malformed input.
+[[nodiscard]] axis_string parse_axis(std::string_view text, alphabet& names);
+[[nodiscard]] be_string2d parse_be_string(std::string_view text,
+                                          alphabet& names);
+
+}  // namespace bes

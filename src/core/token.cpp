@@ -1,0 +1,4 @@
+#include "core/token.hpp"
+
+// token is fully inline; this TU exists so the target has a home for the
+// header and for potential future out-of-line members.

@@ -1,0 +1,81 @@
+// Tokens of a BE-string: MBR boundary symbols and the dummy object 'E'.
+//
+// Paper §3.1: an axis string is a sequence d0 s1 d1 s2 d2 ... s2n d2n where
+// each s is the begin or end boundary of an icon object and each d is either
+// the dummy object E (adjacent boundary projections are DISTINCT) or the null
+// string (they coincide). We materialize only the non-null tokens, so a
+// dummy is simply one more token in the vector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "symbolic/alphabet.hpp"
+
+namespace bes {
+
+enum class boundary_kind : std::uint8_t {
+  begin,  // the lower MBR boundary of the object on this axis (paper: c_b)
+  end,    // the upper boundary (paper: c_e)
+};
+
+// The opposite boundary role (used by reversal-based transforms).
+[[nodiscard]] constexpr boundary_kind flipped(boundary_kind k) noexcept {
+  return k == boundary_kind::begin ? boundary_kind::end : boundary_kind::begin;
+}
+
+class token {
+ public:
+  // Tokens are comparable values; LCS matching is operator==.
+  token() = default;
+
+  [[nodiscard]] static constexpr token dummy() noexcept { return token{}; }
+  [[nodiscard]] static constexpr token boundary(symbol_id symbol,
+                                                boundary_kind kind) noexcept {
+    return token{symbol, kind};
+  }
+
+  [[nodiscard]] constexpr bool is_dummy() const noexcept {
+    return symbol_ == dummy_symbol;
+  }
+  // Preconditions for both accessors: !is_dummy().
+  [[nodiscard]] constexpr symbol_id symbol() const noexcept { return symbol_; }
+  [[nodiscard]] constexpr boundary_kind kind() const noexcept { return kind_; }
+
+  // The same boundary with begin/end swapped; dummy stays dummy.
+  [[nodiscard]] constexpr token role_swapped() const noexcept {
+    return is_dummy() ? *this : boundary(symbol_, flipped(kind_));
+  }
+
+  friend constexpr bool operator==(token, token) = default;
+
+  // Canonical intra-tie ordering used by the encoder for boundaries that
+  // project onto the same coordinate: by symbol id, then begin before end.
+  friend constexpr bool operator<(token a, token b) noexcept {
+    if (a.symbol_ != b.symbol_) return a.symbol_ < b.symbol_;
+    return static_cast<int>(a.kind_) < static_cast<int>(b.kind_);
+  }
+
+ private:
+  static constexpr symbol_id dummy_symbol =
+      std::numeric_limits<symbol_id>::max();
+
+  constexpr token(symbol_id symbol, boundary_kind kind) noexcept
+      : symbol_(symbol), kind_(kind) {}
+
+  symbol_id symbol_ = dummy_symbol;
+  boundary_kind kind_ = boundary_kind::begin;
+};
+
+}  // namespace bes
+
+template <>
+struct std::hash<bes::token> {
+  std::size_t operator()(bes::token t) const noexcept {
+    if (t.is_dummy()) return 0x9e3779b97f4a7c15ull;
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(t.symbol()) << 1) |
+        static_cast<std::uint64_t>(t.kind()));
+  }
+};

@@ -1,0 +1,52 @@
+#include "core/transform.hpp"
+
+#include <algorithm>
+
+namespace bes {
+
+axis_string reverse_swap(const axis_string& s) {
+  std::vector<token> out;
+  out.reserve(s.size());
+  for (auto it = s.tokens().rbegin(); it != s.tokens().rend(); ++it) {
+    out.push_back(it->role_swapped());
+  }
+  // Boundaries separated by no dummy project onto one shared coordinate; the
+  // encoder orders such ties canonically (symbol, then begin-before-end), so
+  // restore that order inside every maximal dummy-free run.
+  auto run_begin = out.begin();
+  while (run_begin != out.end()) {
+    if (run_begin->is_dummy()) {
+      ++run_begin;
+      continue;
+    }
+    auto run_end = run_begin;
+    while (run_end != out.end() && !run_end->is_dummy()) ++run_end;
+    std::sort(run_begin, run_end);
+    run_begin = run_end;
+  }
+  return axis_string(std::move(out));
+}
+
+be_string2d apply(dihedral t, const be_string2d& s) {
+  switch (t) {
+    case dihedral::identity:
+      return s;
+    case dihedral::rot90:  // (x,y) -> (y, W-x)
+      return be_string2d{s.y, reverse_swap(s.x)};
+    case dihedral::rot180:  // (x,y) -> (W-x, H-y)
+      return be_string2d{reverse_swap(s.x), reverse_swap(s.y)};
+    case dihedral::rot270:  // (x,y) -> (H-y, x)
+      return be_string2d{reverse_swap(s.y), s.x};
+    case dihedral::flip_x:  // (x,y) -> (x, H-y)
+      return be_string2d{s.x, reverse_swap(s.y)};
+    case dihedral::flip_y:  // (x,y) -> (W-x, y)
+      return be_string2d{reverse_swap(s.x), s.y};
+    case dihedral::transpose:  // (x,y) -> (y, x)
+      return be_string2d{s.y, s.x};
+    case dihedral::anti_transpose:  // (x,y) -> (H-y, W-x)
+      return be_string2d{reverse_swap(s.y), reverse_swap(s.x)};
+  }
+  return s;
+}
+
+}  // namespace bes

@@ -1,0 +1,31 @@
+// String-level linear transformations (paper §1, §4, conclusions).
+//
+// "For the similarity retrieval of rotation and reflection, our approaches
+// only need to reverse the string then apply the similarity retrieval and
+// evaluation ... without any conversion of spatial operators."
+//
+// Reversing an axis string with begin/end roles swapped is exactly the
+// mirror image of that axis: gaps (dummies) reverse along with the boundary
+// symbols, and each begin boundary becomes the end boundary of the mirrored
+// object. The 8 dihedral elements are combinations of axis reversal and axis
+// swap; apply() here commutes with the geometric transform in symbolic/
+// (property-tested in tests/core_transform_test.cpp):
+//
+//     encode(apply(t, image)) == apply(t, encode(image))
+#pragma once
+
+#include "core/be_string.hpp"
+#include "geometry/dihedral.hpp"
+
+namespace bes {
+
+// The mirrored axis: tokens reversed, begin<->end swapped, and boundary runs
+// that share a coordinate (maximal dummy-free runs) re-sorted into canonical
+// encoder order so the result is bit-identical to re-encoding the mirrored
+// geometry.
+[[nodiscard]] axis_string reverse_swap(const axis_string& s);
+
+// The transformed 2D BE-string.
+[[nodiscard]] be_string2d apply(dihedral t, const be_string2d& s);
+
+}  // namespace bes

@@ -1,0 +1,45 @@
+#include "db/database.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bes {
+
+std::vector<symbol_id> distinct_symbols(const symbolic_image& image) {
+  std::vector<symbol_id> out;
+  out.reserve(image.size());
+  for (const icon& obj : image.icons()) out.push_back(obj.symbol);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+image_id image_database::add(std::string name, symbolic_image image) {
+  const auto id = static_cast<image_id>(records_.size());
+  be_string2d strings = encode(image);
+  be_histogram2d histograms = make_histograms(strings);
+  index_.add(id, distinct_symbols(image));
+  records_.push_back(db_record{id, std::move(name), std::move(image),
+                               std::move(strings), std::move(histograms)});
+  return id;
+}
+
+const db_record& image_database::record(image_id id) const {
+  if (id >= records_.size()) {
+    throw std::out_of_range("image_database: unknown id " + std::to_string(id));
+  }
+  return records_[id];
+}
+
+std::vector<image_id> image_database::candidates(
+    std::span<const symbol_id> query_symbols) const {
+  return index_.lookup_any(query_symbols);
+}
+
+std::vector<image_id> image_database::candidates(
+    const symbolic_image& query) const {
+  const auto symbols = distinct_symbols(query);
+  return candidates(symbols);
+}
+
+}  // namespace bes

@@ -1,0 +1,69 @@
+// The symbolic image database (paper §3.2: "While building an image database
+// of 2D BE-string, we only require to call algorithm Convert_2D_Be_String
+// ... and save the results, the 2D BE-string, to database").
+//
+// Each record keeps the symbolic picture (authoritative), its 2D BE-string
+// (the retrieval representation, encoded on insert) and a name. An inverted
+// symbol index narrows query scans to images sharing at least one icon
+// symbol with the query.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/be_string.hpp"
+#include "core/encoder.hpp"
+#include "db/inverted_index.hpp"
+#include "lcs/token_histogram.hpp"
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+using image_id = std::uint32_t;
+
+struct db_record {
+  image_id id = 0;
+  std::string name;
+  symbolic_image image;
+  be_string2d strings;
+  // Precomputed token histograms backing the top-k scan pruner.
+  be_histogram2d histograms;
+};
+
+class image_database {
+ public:
+  image_database() = default;
+
+  // The alphabet shared by every image in this database.
+  [[nodiscard]] alphabet& symbols() noexcept { return alphabet_; }
+  [[nodiscard]] const alphabet& symbols() const noexcept { return alphabet_; }
+
+  // Encodes and stores a picture; returns its id (dense, insertion order).
+  image_id add(std::string name, symbolic_image image);
+
+  [[nodiscard]] const db_record& record(image_id id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const std::vector<db_record>& records() const noexcept {
+    return records_;
+  }
+
+  // Ids of images sharing at least one symbol with `query_symbols`
+  // (sorted, unique).
+  [[nodiscard]] std::vector<image_id> candidates(
+      std::span<const symbol_id> query_symbols) const;
+  [[nodiscard]] std::vector<image_id> candidates(
+      const symbolic_image& query) const;
+
+ private:
+  alphabet alphabet_;
+  std::vector<db_record> records_;
+  inverted_index index_;
+};
+
+// The distinct symbols of a picture (sorted).
+[[nodiscard]] std::vector<symbol_id> distinct_symbols(
+    const symbolic_image& image);
+
+}  // namespace bes

@@ -1,0 +1,32 @@
+#include "db/inverted_index.hpp"
+
+#include <algorithm>
+
+namespace bes {
+
+void inverted_index::add(std::uint32_t id, std::span<const symbol_id> symbols) {
+  for (symbol_id s : symbols) {
+    auto& list = lists_[s];
+    if (list.empty() || list.back() != id) list.push_back(id);
+  }
+}
+
+std::vector<std::uint32_t> inverted_index::lookup_any(
+    std::span<const symbol_id> symbols) const {
+  std::vector<std::uint32_t> out;
+  for (symbol_id s : symbols) {
+    auto it = lists_.find(s);
+    if (it == lists_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t inverted_index::postings(symbol_id symbol) const noexcept {
+  auto it = lists_.find(symbol);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+}  // namespace bes

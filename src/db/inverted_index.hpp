@@ -1,0 +1,32 @@
+// Inverted symbol index: symbol -> posting list of image ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "symbolic/alphabet.hpp"
+
+namespace bes {
+
+class inverted_index {
+ public:
+  // Registers an image under each of its (distinct) symbols. Ids must be
+  // added in increasing order so posting lists stay sorted.
+  void add(std::uint32_t id, std::span<const symbol_id> symbols);
+
+  // Union of the posting lists of `symbols` (sorted, unique).
+  [[nodiscard]] std::vector<std::uint32_t> lookup_any(
+      std::span<const symbol_id> symbols) const;
+
+  [[nodiscard]] std::size_t postings(symbol_id symbol) const noexcept;
+  [[nodiscard]] std::size_t distinct_symbols() const noexcept {
+    return lists_.size();
+  }
+
+ private:
+  std::unordered_map<symbol_id, std::vector<std::uint32_t>> lists_;
+};
+
+}  // namespace bes

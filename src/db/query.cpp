@@ -1,0 +1,135 @@
+#include "db/query.hpp"
+
+#include <algorithm>
+
+#include "util/parallel.hpp"
+
+namespace bes {
+
+namespace {
+
+bool better(const query_result& a, const query_result& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+std::vector<query_result> rank(std::vector<query_result> hits,
+                               const query_options& options) {
+  std::erase_if(hits, [&](const query_result& r) {
+    return r.score < options.min_score;
+  });
+  std::sort(hits.begin(), hits.end(), better);
+  if (options.top_k != 0 && hits.size() > options.top_k) {
+    hits.resize(options.top_k);
+  }
+  return hits;
+}
+
+std::vector<image_id> scan_ids(const image_database& db,
+                               std::span<const symbol_id> query_symbols,
+                               const query_options& options) {
+  if (options.use_index && !query_symbols.empty()) {
+    return db.candidates(query_symbols);
+  }
+  std::vector<image_id> all;
+  all.reserve(db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    all.push_back(static_cast<image_id>(i));
+  }
+  return all;
+}
+
+// Top-k scan with histogram upper-bound pruning. Candidates are visited in
+// decreasing bound order; once k results are held and the next bound cannot
+// reach the current k-th score, the remainder of the scan is skipped. The
+// result is IDENTICAL to the exhaustive scan (skipping requires
+// bound < k-th score, and true scores never exceed their bound).
+std::vector<query_result> pruned_search(const image_database& db,
+                                        const be_string2d& query_strings,
+                                        std::vector<image_id> ids,
+                                        const query_options& options,
+                                        search_stats* stats) {
+  const be_histogram2d query_histograms = make_histograms(query_strings);
+  struct bounded {
+    double bound;
+    image_id id;
+  };
+  std::vector<bounded> order;
+  order.reserve(ids.size());
+  for (image_id id : ids) {
+    order.push_back(bounded{
+        similarity_upper_bound(query_histograms, db.record(id).histograms,
+                               options.similarity.norm),
+        id});
+  }
+  std::sort(order.begin(), order.end(), [](const bounded& a, const bounded& b) {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.id < b.id;
+  });
+
+  std::vector<query_result> top;  // kept sorted by better()
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (top.size() == options.top_k && order[i].bound < top.back().score) {
+      if (stats != nullptr) stats->pruned += order.size() - i;
+      break;
+    }
+    const db_record& rec = db.record(order[i].id);
+    query_result r;
+    r.id = rec.id;
+    r.score = similarity(query_strings, rec.strings, options.similarity);
+    if (stats != nullptr) ++stats->scored;
+    if (r.score < options.min_score) continue;
+    auto pos = std::lower_bound(top.begin(), top.end(), r, better);
+    top.insert(pos, r);
+    if (top.size() > options.top_k) top.pop_back();
+  }
+  return top;
+}
+
+}  // namespace
+
+std::vector<query_result> search(const image_database& db,
+                                 const be_string2d& query_strings,
+                                 std::span<const symbol_id> query_symbols,
+                                 const query_options& options,
+                                 search_stats* stats) {
+  std::vector<image_id> ids = scan_ids(db, query_symbols, options);
+  if (stats != nullptr) {
+    *stats = search_stats{};
+    stats->scanned = ids.size();
+  }
+
+  if (options.histogram_pruning && options.top_k > 0 &&
+      !options.transform_invariant) {
+    return pruned_search(db, query_strings, std::move(ids), options, stats);
+  }
+
+  std::vector<query_result> hits(ids.size());
+  parallel_for(ids.size(), options.threads, [&](std::size_t k) {
+    const db_record& rec = db.record(ids[k]);
+    query_result r;
+    r.id = rec.id;
+    if (options.transform_invariant) {
+      const transform_match best = best_transform_similarity(
+          query_strings, rec.strings, options.similarity);
+      r.score = best.score;
+      r.transform = best.transform;
+    } else {
+      r.score = similarity(query_strings, rec.strings, options.similarity);
+    }
+    hits[k] = r;
+  });
+  if (stats != nullptr) stats->scored = hits.size();
+  return rank(std::move(hits), options);
+}
+
+std::vector<query_result> search(const image_database& db,
+                                 const symbolic_image& query,
+                                 const query_options& options,
+                                 search_stats* stats) {
+  const be_string2d strings = encode(query);
+  const std::vector<symbol_id> symbols = distinct_symbols(query);
+  return search(db, strings, symbols, options, stats);
+}
+
+}  // namespace bes

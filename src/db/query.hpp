@@ -1,0 +1,57 @@
+// The retrieval engine: rank database images by BE-string similarity to a
+// query picture (paper §4), optionally under the best of the 8 linear
+// transformations (paper §4/§5) and optionally in parallel.
+#pragma once
+
+#include <vector>
+
+#include "db/database.hpp"
+#include "lcs/similarity.hpp"
+
+namespace bes {
+
+struct query_options {
+  std::size_t top_k = 10;          // 0 = unlimited
+  double min_score = 0.0;          // drop results strictly below this
+  bool transform_invariant = false;  // try all 8 dihedral variants of the query
+  bool use_index = true;           // scan only images sharing >= 1 symbol
+  unsigned threads = 1;            // parallel scoring workers
+  // Skip the O(mn) LCS for candidates whose token-histogram upper bound
+  // cannot reach the current k-th score (results are identical to the
+  // unpruned scan; requires top_k > 0; implies a serial scan and is ignored
+  // for transform-invariant queries).
+  bool histogram_pruning = false;
+  similarity_options similarity;
+};
+
+struct query_result {
+  image_id id = 0;
+  double score = 0.0;
+  // Transform of the query that realized `score` (identity unless
+  // transform_invariant).
+  dihedral transform = dihedral::identity;
+
+  friend bool operator==(const query_result&, const query_result&) = default;
+};
+
+// Scan accounting (filled when a non-null pointer is passed to search).
+struct search_stats {
+  std::size_t scanned = 0;  // candidates considered
+  std::size_t scored = 0;   // LCS evaluations actually run
+  std::size_t pruned = 0;   // skipped via the histogram upper bound
+};
+
+// Ranks by score descending, ties by id ascending; truncates to top_k.
+[[nodiscard]] std::vector<query_result> search(const image_database& db,
+                                               const symbolic_image& query,
+                                               const query_options& options = {},
+                                               search_stats* stats = nullptr);
+
+// Same, for a query already encoded (query_symbols drive the index filter;
+// pass empty to force a full scan).
+[[nodiscard]] std::vector<query_result> search(
+    const image_database& db, const be_string2d& query_strings,
+    std::span<const symbol_id> query_symbols, const query_options& options = {},
+    search_stats* stats = nullptr);
+
+}  // namespace bes

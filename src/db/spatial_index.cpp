@@ -1,0 +1,60 @@
+#include "db/spatial_index.hpp"
+
+#include <algorithm>
+
+namespace bes {
+
+namespace {
+
+constexpr rtree::payload_t pack(image_id image, std::size_t icon_index) {
+  return (static_cast<rtree::payload_t>(image) << 32) |
+         static_cast<rtree::payload_t>(icon_index);
+}
+
+constexpr image_id image_of(rtree::payload_t payload) {
+  return static_cast<image_id>(payload >> 32);
+}
+
+constexpr std::size_t icon_of(rtree::payload_t payload) {
+  return static_cast<std::size_t>(payload & 0xffffffffull);
+}
+
+}  // namespace
+
+spatial_index::spatial_index(const image_database& db) : db_(&db) {
+  for (const db_record& rec : db.records()) {
+    for (std::size_t i = 0; i < rec.image.size(); ++i) {
+      tree_.insert(rec.image.icons()[i].mbr, pack(rec.id, i));
+    }
+  }
+}
+
+std::vector<image_id> spatial_index::decode(
+    std::vector<rtree::payload_t> hits,
+    std::optional<symbol_id> symbol) const {
+  std::vector<image_id> out;
+  out.reserve(hits.size());
+  for (rtree::payload_t payload : hits) {
+    const image_id id = image_of(payload);
+    if (symbol) {
+      const icon& obj = db_->record(id).image.icons()[icon_of(payload)];
+      if (obj.symbol != *symbol) continue;
+    }
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<image_id> spatial_index::images_overlapping(
+    const rect& window, std::optional<symbol_id> symbol) const {
+  return decode(tree_.search(window), symbol);
+}
+
+std::vector<image_id> spatial_index::images_contained(
+    const rect& window, std::optional<symbol_id> symbol) const {
+  return decode(tree_.search_contained(window), symbol);
+}
+
+}  // namespace bes

@@ -1,0 +1,42 @@
+// Spatial access path over a whole database: every icon MBR of every image
+// in one R-tree. Answers "which images have an icon (of symbol S) touching
+// / inside this region" — the size-and-location query family (paper §1,
+// category 2) that complements relation-based retrieval.
+#pragma once
+
+#include <optional>
+
+#include "db/database.hpp"
+#include "db/rtree.hpp"
+
+namespace bes {
+
+class spatial_index {
+ public:
+  // Indexes all icons of all current records. The index is a snapshot: add
+  // images first, then build.
+  explicit spatial_index(const image_database& db);
+
+  // Ids of images with at least one icon overlapping `window`, optionally
+  // restricted to a symbol (sorted, unique).
+  [[nodiscard]] std::vector<image_id> images_overlapping(
+      const rect& window, std::optional<symbol_id> symbol = {}) const;
+
+  // Same, icon fully inside `window`.
+  [[nodiscard]] std::vector<image_id> images_contained(
+      const rect& window, std::optional<symbol_id> symbol = {}) const;
+
+  [[nodiscard]] std::size_t indexed_icons() const noexcept {
+    return tree_.size();
+  }
+  [[nodiscard]] const rtree& tree() const noexcept { return tree_; }
+
+ private:
+  [[nodiscard]] std::vector<image_id> decode(
+      std::vector<rtree::payload_t> hits, std::optional<symbol_id> symbol) const;
+
+  const image_database* db_;
+  rtree tree_;
+};
+
+}  // namespace bes

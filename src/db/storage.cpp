@@ -1,0 +1,108 @@
+#include "db/storage.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace bes {
+
+namespace {
+
+[[noreturn]] void malformed(const std::filesystem::path& path,
+                            const std::string& detail) {
+  throw std::runtime_error("besdb: malformed " + path.string() + ": " + detail);
+}
+
+}  // namespace
+
+void save_database(const image_database& db,
+                   const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("besdb: cannot write " + path.string());
+  }
+  out << "BESDB 1\n";
+  out << "alphabet " << db.symbols().size() << '\n';
+  for (const std::string& name : db.symbols().names()) out << name << '\n';
+  out << "images " << db.size() << '\n';
+  for (const db_record& rec : db.records()) {
+    out << "image " << rec.image.width() << ' ' << rec.image.height() << ' '
+        << rec.image.size() << ' ' << rec.name << '\n';
+    for (const icon& obj : rec.image.icons()) {
+      out << "icon " << obj.symbol << ' ' << obj.mbr.x.lo << ' ' << obj.mbr.x.hi
+          << ' ' << obj.mbr.y.lo << ' ' << obj.mbr.y.hi << '\n';
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("besdb: write failed for " + path.string());
+  }
+}
+
+image_database load_database(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("besdb: cannot open " + path.string());
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "BESDB" || version != 1) {
+    malformed(path, "bad header");
+  }
+
+  std::string keyword;
+  std::size_t alphabet_count = 0;
+  if (!(in >> keyword >> alphabet_count) || keyword != "alphabet") {
+    malformed(path, "missing alphabet section");
+  }
+  image_database db;
+  {
+    std::string line;
+    std::getline(in, line);  // consume rest of count line
+    for (std::size_t i = 0; i < alphabet_count; ++i) {
+      if (!std::getline(in, line)) malformed(path, "truncated alphabet");
+      const symbol_id id = db.symbols().intern(line);
+      if (id != i) malformed(path, "duplicate symbol '" + line + "'");
+    }
+  }
+
+  std::size_t image_count = 0;
+  if (!(in >> keyword >> image_count) || keyword != "images") {
+    malformed(path, "missing images section");
+  }
+  for (std::size_t k = 0; k < image_count; ++k) {
+    int width = 0;
+    int height = 0;
+    std::size_t icon_count = 0;
+    if (!(in >> keyword >> width >> height >> icon_count) ||
+        keyword != "image") {
+      malformed(path, "bad image record " + std::to_string(k));
+    }
+    std::string name;
+    std::getline(in, name);
+    if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+
+    symbolic_image image(width, height);
+    for (std::size_t i = 0; i < icon_count; ++i) {
+      symbol_id symbol = 0;
+      int x_lo = 0;
+      int x_hi = 0;
+      int y_lo = 0;
+      int y_hi = 0;
+      if (!(in >> keyword >> symbol >> x_lo >> x_hi >> y_lo >> y_hi) ||
+          keyword != "icon") {
+        malformed(path, "bad icon record in image " + std::to_string(k));
+      }
+      if (symbol >= db.symbols().size()) {
+        malformed(path, "icon references unknown symbol id");
+      }
+      image.add(symbol,
+                rect{interval::checked(x_lo, x_hi), interval::checked(y_lo, y_hi)});
+    }
+    const image_id id = db.add(std::move(name), std::move(image));
+    // Integrity: the freshly encoded strings must be well formed.
+    if (!db.record(id).strings.well_formed()) {
+      malformed(path, "image " + std::to_string(k) + " encodes malformed");
+    }
+  }
+  return db;
+}
+
+}  // namespace bes

@@ -1,0 +1,24 @@
+// Database persistence: a versioned, line-oriented text format.
+//
+//   BESDB 1
+//   alphabet <count>
+//   <one symbol name per line>
+//   images <count>
+//   image <width> <height> <icon-count> <name (rest of line)>
+//   icon <symbol-id> <x.lo> <x.hi> <y.lo> <y.hi>      (icon-count times)
+//
+// Icons are authoritative; BE-strings are re-encoded on load and verified
+// well-formed, which doubles as an integrity check.
+#pragma once
+
+#include <filesystem>
+
+#include "db/database.hpp"
+
+namespace bes {
+
+// Throws std::runtime_error on I/O failure or malformed content.
+void save_database(const image_database& db, const std::filesystem::path& path);
+[[nodiscard]] image_database load_database(const std::filesystem::path& path);
+
+}  // namespace bes

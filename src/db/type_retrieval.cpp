@@ -1,0 +1,33 @@
+#include "db/type_retrieval.hpp"
+
+#include <algorithm>
+
+namespace bes {
+
+std::vector<type_retrieval_result> type_search(
+    const image_database& db, const symbolic_image& query,
+    const type_similarity_options& options, std::size_t top_k) {
+  std::vector<type_retrieval_result> out;
+  out.reserve(db.size());
+  for (const db_record& rec : db.records()) {
+    const type_similarity_result sim =
+        type_similarity(query, rec.image, options);
+    type_retrieval_result result;
+    result.id = rec.id;
+    result.matched = sim.matched_objects;
+    result.fraction = query.empty()
+                          ? 0.0
+                          : static_cast<double>(sim.matched_objects) /
+                                static_cast<double>(query.size());
+    out.push_back(result);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const type_retrieval_result& a, const type_retrieval_result& b) {
+              if (a.matched != b.matched) return a.matched > b.matched;
+              return a.id < b.id;
+            });
+  if (top_k != 0 && out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+}  // namespace bes

@@ -1,0 +1,30 @@
+// Database-scale retrieval with the type-i clique assessment — what a
+// 2D-string-family system would actually run per query (paper §2). Shared
+// by the benchmarks and the comparison examples.
+#pragma once
+
+#include <vector>
+
+#include "baselines/type_similarity.hpp"
+#include "db/database.hpp"
+
+namespace bes {
+
+struct type_retrieval_result {
+  image_id id = 0;
+  // Matched-object count and its query-relative fraction.
+  std::size_t matched = 0;
+  double fraction = 0.0;
+
+  friend bool operator==(const type_retrieval_result&,
+                         const type_retrieval_result&) = default;
+};
+
+// Ranks all database images by type-i matched-object count (descending,
+// ties by id). O(images * (m^2 n^2 + clique)) — the cost profile the
+// BE-string LCS replaces.
+[[nodiscard]] std::vector<type_retrieval_result> type_search(
+    const image_database& db, const symbolic_image& query,
+    const type_similarity_options& options = {}, std::size_t top_k = 0);
+
+}  // namespace bes

@@ -1,0 +1,48 @@
+#include "geometry/allen.hpp"
+
+namespace bes {
+
+allen_relation classify(interval a, interval b) noexcept {
+  if (a.hi < b.lo) return allen_relation::before;
+  if (a.hi == b.lo) return allen_relation::meets;
+  if (b.hi < a.lo) return allen_relation::after;
+  if (b.hi == a.lo) return allen_relation::met_by;
+  // The intervals now share interior points.
+  if (a.lo == b.lo && a.hi == b.hi) return allen_relation::equals;
+  if (a.lo == b.lo) {
+    return a.hi < b.hi ? allen_relation::starts : allen_relation::started_by;
+  }
+  if (a.hi == b.hi) {
+    return a.lo > b.lo ? allen_relation::finishes : allen_relation::finished_by;
+  }
+  if (a.lo > b.lo && a.hi < b.hi) return allen_relation::during;
+  if (b.lo > a.lo && b.hi < a.hi) return allen_relation::contains;
+  return a.lo < b.lo ? allen_relation::overlaps : allen_relation::overlapped_by;
+}
+
+allen_relation inverse(allen_relation r) noexcept {
+  // The enum is laid out symmetrically around `equals`.
+  constexpr int last = allen_relation_count - 1;
+  return static_cast<allen_relation>(last - static_cast<int>(r));
+}
+
+std::string_view to_string(allen_relation r) noexcept {
+  switch (r) {
+    case allen_relation::before: return "before";
+    case allen_relation::meets: return "meets";
+    case allen_relation::overlaps: return "overlaps";
+    case allen_relation::starts: return "starts";
+    case allen_relation::during: return "during";
+    case allen_relation::finishes: return "finishes";
+    case allen_relation::equals: return "equals";
+    case allen_relation::finished_by: return "finished_by";
+    case allen_relation::contains: return "contains";
+    case allen_relation::started_by: return "started_by";
+    case allen_relation::overlapped_by: return "overlapped_by";
+    case allen_relation::met_by: return "met_by";
+    case allen_relation::after: return "after";
+  }
+  return "?";
+}
+
+}  // namespace bes

@@ -1,0 +1,43 @@
+// Allen's 13 interval relations over half-open integer intervals.
+//
+// These are the exact pairwise relations that the 2D-string baseline family
+// reasons about (paper §2); the type-0/1/2 similarity baselines are defined
+// by coarsenings of this algebra (see baselines/relation_class.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "geometry/interval.hpp"
+
+namespace bes {
+
+enum class allen_relation : std::uint8_t {
+  before,         // a.hi  < b.lo
+  meets,          // a.hi == b.lo
+  overlaps,       // a.lo < b.lo < a.hi < b.hi
+  starts,         // a.lo == b.lo, a.hi < b.hi
+  during,         // b.lo < a.lo, a.hi < b.hi
+  finishes,       // b.lo < a.lo, a.hi == b.hi
+  equals,         // identical
+  finished_by,    // inverse of finishes
+  contains,       // inverse of during
+  started_by,     // inverse of starts
+  overlapped_by,  // inverse of overlaps
+  met_by,         // inverse of meets
+  after,          // inverse of before
+};
+
+inline constexpr int allen_relation_count = 13;
+
+// Classifies the relation of `a` with respect to `b`.
+// Preconditions: a.valid() && b.valid().
+[[nodiscard]] allen_relation classify(interval a, interval b) noexcept;
+
+// The relation of b w.r.t. a, given the relation of a w.r.t. b.
+[[nodiscard]] allen_relation inverse(allen_relation r) noexcept;
+
+// Stable lowercase name, e.g. "finished_by".
+[[nodiscard]] std::string_view to_string(allen_relation r) noexcept;
+
+}  // namespace bes

@@ -1,0 +1,99 @@
+#include "geometry/dihedral.hpp"
+
+namespace bes {
+
+bool swaps_axes(dihedral t) noexcept {
+  switch (t) {
+    case dihedral::rot90:
+    case dihedral::rot270:
+    case dihedral::transpose:
+    case dihedral::anti_transpose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+rect apply(dihedral t, const rect& r, int width, int height) noexcept {
+  const interval x = r.x;
+  const interval y = r.y;
+  // For half-open intervals, the reflection of [lo, hi) within [0, M) is
+  // [M - hi, M - lo).
+  const interval rx{width - x.hi, width - x.lo};
+  const interval ry{height - y.hi, height - y.lo};
+  switch (t) {
+    case dihedral::identity: return rect{x, y};
+    case dihedral::rot90: return rect{y, rx};            // (x,y)->(y, W-x)
+    case dihedral::rot180: return rect{rx, ry};          // (x,y)->(W-x, H-y)
+    case dihedral::rot270: return rect{ry, x};           // (x,y)->(H-y, x)
+    case dihedral::flip_x: return rect{x, ry};           // (x,y)->(x, H-y)
+    case dihedral::flip_y: return rect{rx, y};           // (x,y)->(W-x, y)
+    case dihedral::transpose: return rect{y, x};         // (x,y)->(y, x)
+    case dihedral::anti_transpose: return rect{ry, rx};  // (x,y)->(H-y, W-x)
+  }
+  return r;
+}
+
+dihedral inverse(dihedral t) noexcept {
+  switch (t) {
+    case dihedral::rot90: return dihedral::rot270;
+    case dihedral::rot270: return dihedral::rot90;
+    default: return t;  // identity, rot180 and all reflections are involutions
+  }
+}
+
+namespace {
+
+// Each dihedral element is a signed permutation matrix acting on (x, y)
+// (translations that keep the domain at the origin are implied and compose
+// automatically). rot90 maps (x,y)->(y, W-x), i.e. linear part (y, -x).
+struct mat2 {
+  int a, b, c, d;  // (x, y) -> (a*x + b*y, c*x + d*y)
+  friend bool operator==(const mat2&, const mat2&) = default;
+};
+
+constexpr mat2 matrix_of(dihedral t) noexcept {
+  switch (t) {
+    case dihedral::identity: return {1, 0, 0, 1};
+    case dihedral::rot90: return {0, 1, -1, 0};
+    case dihedral::rot180: return {-1, 0, 0, -1};
+    case dihedral::rot270: return {0, -1, 1, 0};
+    case dihedral::flip_x: return {1, 0, 0, -1};
+    case dihedral::flip_y: return {-1, 0, 0, 1};
+    case dihedral::transpose: return {0, 1, 1, 0};
+    case dihedral::anti_transpose: return {0, -1, -1, 0};
+  }
+  return {1, 0, 0, 1};
+}
+
+constexpr mat2 multiply(const mat2& m, const mat2& n) noexcept {
+  // Row-times-column product m*n (apply n first, then m).
+  return mat2{m.a * n.a + m.b * n.c, m.a * n.b + m.b * n.d,
+              m.c * n.a + m.d * n.c, m.c * n.b + m.d * n.d};
+}
+
+}  // namespace
+
+dihedral compose(dihedral first, dihedral second) noexcept {
+  const mat2 product = multiply(matrix_of(second), matrix_of(first));
+  for (dihedral t : all_dihedral) {
+    if (matrix_of(t) == product) return t;
+  }
+  return dihedral::identity;  // unreachable: D4 is closed under composition
+}
+
+std::string_view to_string(dihedral t) noexcept {
+  switch (t) {
+    case dihedral::identity: return "identity";
+    case dihedral::rot90: return "rot90";
+    case dihedral::rot180: return "rot180";
+    case dihedral::rot270: return "rot270";
+    case dihedral::flip_x: return "flip_x";
+    case dihedral::flip_y: return "flip_y";
+    case dihedral::transpose: return "transpose";
+    case dihedral::anti_transpose: return "anti_transpose";
+  }
+  return "?";
+}
+
+}  // namespace bes

@@ -1,0 +1,52 @@
+// The dihedral group D4: the 8 linear transformations the paper retrieves by
+// string reversal — identity, 90/180/270° clockwise rotations, reflections on
+// the x- and y-axis, and the two diagonal reflections.
+//
+// Geometric convention: a transform maps an image over domain [0,W)x[0,H)
+// (y up) onto a new domain; e.g. rot90 (clockwise) maps (x, y) -> (y, W - x),
+// giving a new domain [0,H)x[0,W).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "geometry/rect.hpp"
+
+namespace bes {
+
+enum class dihedral : std::uint8_t {
+  identity,
+  rot90,           // 90 degrees clockwise
+  rot180,          // 180 degrees
+  rot270,          // 270 degrees clockwise (= 90 ccw)
+  flip_x,          // reflection on the x-axis: mirror top<->bottom, (x,y)->(x,H-y)
+  flip_y,          // reflection on the y-axis: mirror left<->right, (x,y)->(W-x,y)
+  transpose,       // reflection on the main diagonal: (x,y)->(y,x)
+  anti_transpose,  // reflection on the anti-diagonal: (x,y)->(H-y,W-x)
+};
+
+inline constexpr std::array<dihedral, 8> all_dihedral = {
+    dihedral::identity,  dihedral::rot90,  dihedral::rot180,
+    dihedral::rot270,    dihedral::flip_x, dihedral::flip_y,
+    dihedral::transpose, dihedral::anti_transpose,
+};
+
+// True for rot90/rot270/transpose/anti_transpose: width and height swap.
+[[nodiscard]] bool swaps_axes(dihedral t) noexcept;
+
+// Transformed rectangle. (width, height) is the domain of the INPUT image.
+// Preconditions: r.valid(), r within [0,width)x[0,height).
+[[nodiscard]] rect apply(dihedral t, const rect& r, int width,
+                         int height) noexcept;
+
+// The transform that undoes t.
+[[nodiscard]] dihedral inverse(dihedral t) noexcept;
+
+// Group composition: apply `first`, then `second` (on the already-transformed
+// image). compose(inverse(t), t) == identity.
+[[nodiscard]] dihedral compose(dihedral first, dihedral second) noexcept;
+
+[[nodiscard]] std::string_view to_string(dihedral t) noexcept;
+
+}  // namespace bes

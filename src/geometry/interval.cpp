@@ -1,0 +1,25 @@
+#include "geometry/interval.hpp"
+
+namespace bes {
+
+interval interval::checked(int lo, int hi) {
+  if (lo >= hi) {
+    throw std::invalid_argument("interval: requires lo < hi, got [" +
+                                std::to_string(lo) + ", " + std::to_string(hi) +
+                                ")");
+  }
+  return interval{lo, hi};
+}
+
+interval intersect(interval a, interval b) {
+  if (!overlaps(a, b)) {
+    throw std::invalid_argument("intersect: intervals are disjoint");
+  }
+  return interval{a.lo > b.lo ? a.lo : b.lo, a.hi < b.hi ? a.hi : b.hi};
+}
+
+std::string to_string(interval v) {
+  return "[" + std::to_string(v.lo) + ", " + std::to_string(v.hi) + ")";
+}
+
+}  // namespace bes

@@ -1,0 +1,50 @@
+// Half-open integer intervals [lo, hi) — the 1-D projection of an MBR.
+#pragma once
+
+#include <compare>
+#include <stdexcept>
+#include <string>
+
+namespace bes {
+
+// A half-open interval on one axis. Invariant (checked by valid()/checked()):
+// lo < hi. Aggregates keep the type trivially copyable; call sites that
+// construct from untrusted input go through checked().
+struct interval {
+  int lo = 0;
+  int hi = 0;
+
+  friend auto operator<=>(const interval&, const interval&) = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return lo < hi; }
+  [[nodiscard]] constexpr int length() const noexcept { return hi - lo; }
+  [[nodiscard]] constexpr bool contains(int p) const noexcept {
+    return lo <= p && p < hi;
+  }
+  [[nodiscard]] constexpr int mid2() const noexcept { return lo + hi; }  // 2*center
+
+  // Throws std::invalid_argument unless lo < hi.
+  static interval checked(int lo, int hi);
+};
+
+// True iff the two intervals share at least one point.
+[[nodiscard]] constexpr bool overlaps(interval a, interval b) noexcept {
+  return a.lo < b.hi && b.lo < a.hi;
+}
+
+// True iff a fully contains b (not necessarily strictly).
+[[nodiscard]] constexpr bool contains(interval a, interval b) noexcept {
+  return a.lo <= b.lo && b.hi <= a.hi;
+}
+
+// Intersection; precondition: overlaps(a, b).
+[[nodiscard]] interval intersect(interval a, interval b);
+
+// Smallest interval covering both.
+[[nodiscard]] constexpr interval hull(interval a, interval b) noexcept {
+  return interval{a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi};
+}
+
+[[nodiscard]] std::string to_string(interval v);
+
+}  // namespace bes

@@ -1,0 +1,13 @@
+#include "geometry/rect.hpp"
+
+namespace bes {
+
+rect rect::checked(int x_lo, int x_hi, int y_lo, int y_hi) {
+  return rect{interval::checked(x_lo, x_hi), interval::checked(y_lo, y_hi)};
+}
+
+std::string to_string(const rect& r) {
+  return to_string(r.x) + "x" + to_string(r.y);
+}
+
+}  // namespace bes

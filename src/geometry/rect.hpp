@@ -1,0 +1,42 @@
+// Axis-aligned rectangles (MBRs) over half-open integer intervals.
+//
+// Coordinate convention (DESIGN.md §3): x grows rightward, y grows UPWARD —
+// the paper speaks of "bottommost"/"topmost" objects. Raster code converts
+// from row-major top-down storage at the imaging boundary.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "geometry/interval.hpp"
+
+namespace bes {
+
+struct rect {
+  interval x;
+  interval y;
+
+  friend auto operator<=>(const rect&, const rect&) = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return x.valid() && y.valid();
+  }
+  [[nodiscard]] constexpr long long area() const noexcept {
+    return static_cast<long long>(x.length()) * y.length();
+  }
+
+  // Throws std::invalid_argument unless both axes are valid.
+  static rect checked(int x_lo, int x_hi, int y_lo, int y_hi);
+};
+
+[[nodiscard]] constexpr bool overlaps(const rect& a, const rect& b) noexcept {
+  return overlaps(a.x, b.x) && overlaps(a.y, b.y);
+}
+
+[[nodiscard]] constexpr bool contains(const rect& a, const rect& b) noexcept {
+  return contains(a.x, b.x) && contains(a.y, b.y);
+}
+
+[[nodiscard]] std::string to_string(const rect& r);
+
+}  // namespace bes

@@ -1,0 +1,82 @@
+#include "imaging/ccl.hpp"
+
+#include <numeric>
+
+namespace bes {
+
+namespace {
+
+class union_find {
+ public:
+  std::int32_t make() {
+    parent_.push_back(static_cast<std::int32_t>(parent_.size()));
+    return parent_.back();
+  }
+
+  std::int32_t find(std::int32_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void unite(std::int32_t a, std::int32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[b < a ? a : b] = b < a ? b : a;  // smaller root wins
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::int32_t> parent_;
+};
+
+}  // namespace
+
+labeling label_components(const image8& img, std::uint8_t background) {
+  const int w = img.width();
+  const int h = img.height();
+  labeling out;
+  out.labels.assign(static_cast<std::size_t>(w) * h, -1);
+  union_find sets;
+  std::vector<std::int32_t> provisional(out.labels.size(), -1);
+
+  // Pass 1: provisional labels; merge with identical-valued left/up pixels.
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      const std::uint8_t value = img.at(col, row);
+      if (value == background) continue;
+      const std::size_t index = static_cast<std::size_t>(row) * w + col;
+      std::int32_t label = -1;
+      if (col > 0 && img.at(col - 1, row) == value) {
+        label = provisional[index - 1];
+      }
+      if (row > 0 && img.at(col, row - 1) == value) {
+        const std::int32_t up = provisional[index - w];
+        if (label == -1) {
+          label = up;
+        } else if (up != label) {
+          sets.unite(label, up);
+        }
+      }
+      if (label == -1) label = sets.make();
+      provisional[index] = label;
+    }
+  }
+
+  // Pass 2: compress to dense component ids.
+  std::vector<std::int32_t> dense(sets.size(), -1);
+  std::int32_t next = 0;
+  for (std::size_t i = 0; i < out.labels.size(); ++i) {
+    if (provisional[i] == -1) continue;
+    const std::int32_t root = sets.find(provisional[i]);
+    if (dense[root] == -1) dense[root] = next++;
+    out.labels[i] = dense[root];
+  }
+  out.component_count = next;
+  return out;
+}
+
+}  // namespace bes

@@ -1,0 +1,29 @@
+// Two-pass connected-component labeling with union-find.
+//
+// 4-connectivity; two pixels belong to the same component iff they are
+// adjacent AND share the same gray value, so touching icons with different
+// grays stay separate components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imaging/image.hpp"
+
+namespace bes {
+
+struct labeling {
+  // Per pixel (row-major, same layout as image8): component id, or -1 for
+  // background pixels.
+  std::vector<std::int32_t> labels;
+  std::int32_t component_count = 0;
+
+  [[nodiscard]] std::int32_t at(int col, int row, int width) const {
+    return labels[static_cast<std::size_t>(row) * width + col];
+  }
+};
+
+[[nodiscard]] labeling label_components(const image8& img,
+                                        std::uint8_t background);
+
+}  // namespace bes

@@ -1,0 +1,50 @@
+#include "imaging/extract.hpp"
+
+#include <algorithm>
+
+namespace bes {
+
+symbolic_image extract_icons(
+    const image8& raster, std::uint8_t background,
+    const std::unordered_map<std::uint8_t, symbol_id>& gray_to_symbol) {
+  const labeling labels = label_components(raster, background);
+  const int w = raster.width();
+  const int h = raster.height();
+
+  struct box {
+    int col_min, col_max, row_min, row_max;
+    std::uint8_t gray;
+    bool seen = false;
+  };
+  std::vector<box> boxes(static_cast<std::size_t>(labels.component_count));
+
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      const std::int32_t id = labels.at(col, row, w);
+      if (id < 0) continue;
+      box& b = boxes[static_cast<std::size_t>(id)];
+      if (!b.seen) {
+        b = box{col, col, row, row, raster.at(col, row), true};
+      } else {
+        b.col_min = std::min(b.col_min, col);
+        b.col_max = std::max(b.col_max, col);
+        b.row_min = std::min(b.row_min, row);
+        b.row_max = std::max(b.row_max, row);
+      }
+    }
+  }
+
+  symbolic_image out(w, h);
+  for (const box& b : boxes) {
+    if (!b.seen) continue;
+    auto it = gray_to_symbol.find(b.gray);
+    if (it == gray_to_symbol.end()) continue;  // unrecognized blob
+    // Raster rows [row_min, row_max] -> symbolic y band [h-1-row_max,
+    // h-1-row_min], half-open [h-1-row_max, h-row_min).
+    out.add(it->second, rect{interval{b.col_min, b.col_max + 1},
+                             interval{h - 1 - b.row_max, h - b.row_min}});
+  }
+  return out;
+}
+
+}  // namespace bes

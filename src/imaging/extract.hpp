@@ -1,0 +1,29 @@
+// Icon extraction: raster -> symbolic picture.
+//
+// The paper's input contract ("we have abstracted all objects and their MBR
+// coordinates") realized over our raster substrate: label connected
+// components, compute each component's pixel-exact MBR, convert raster rows
+// to the symbolic y-up coordinate system, and map gray levels to symbols.
+#pragma once
+
+#include "imaging/ccl.hpp"
+#include "imaging/render.hpp"
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+// Extracts icons from a labeled raster. `gray_to_symbol` assigns each
+// component's gray value a symbol; components whose gray has no mapping are
+// skipped (unknown clutter), mirroring a recognizer that ignores unknown
+// blobs. Icon order follows component discovery order (top-left first).
+[[nodiscard]] symbolic_image extract_icons(
+    const image8& raster, std::uint8_t background,
+    const std::unordered_map<std::uint8_t, symbol_id>& gray_to_symbol);
+
+// Convenience for the synthetic pipeline: extract from a rendered scene.
+[[nodiscard]] inline symbolic_image extract_icons(const rendered_scene& scene,
+                                                  std::uint8_t background = 255) {
+  return extract_icons(scene.raster, background, scene.gray_to_symbol);
+}
+
+}  // namespace bes

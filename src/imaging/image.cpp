@@ -1,0 +1,21 @@
+#include "imaging/image.hpp"
+
+namespace bes {
+
+image8::image8(int width, int height, std::uint8_t fill)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("image8: dimensions must be positive");
+  }
+  pixels_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+image_rgb::image_rgb(int width, int height, rgb fill)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("image_rgb: dimensions must be positive");
+  }
+  pixels_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+}  // namespace bes

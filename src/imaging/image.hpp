@@ -1,0 +1,86 @@
+// Raster substrate: 8-bit grayscale and 24-bit RGB images.
+//
+// Storage is row-major with row 0 at the TOP (raster convention); the
+// symbolic coordinate system has y growing upward, and only the extract/
+// render boundary converts between the two (DESIGN.md §3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace bes {
+
+class image8 {
+ public:
+  image8(int width, int height, std::uint8_t fill = 255);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  [[nodiscard]] std::uint8_t at(int col, int row) const {
+    check(col, row);
+    return pixels_[static_cast<std::size_t>(row) * width_ + col];
+  }
+  std::uint8_t& at(int col, int row) {
+    check(col, row);
+    return pixels_[static_cast<std::size_t>(row) * width_ + col];
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept {
+    return pixels_;
+  }
+  std::vector<std::uint8_t>& pixels() noexcept { return pixels_; }
+
+  friend bool operator==(const image8&, const image8&) = default;
+
+ private:
+  void check(int col, int row) const {
+    if (col < 0 || col >= width_ || row < 0 || row >= height_) {
+      throw std::out_of_range("image8: pixel out of range");
+    }
+  }
+
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+using rgb = std::array<std::uint8_t, 3>;
+
+class image_rgb {
+ public:
+  image_rgb(int width, int height, rgb fill = {255, 255, 255});
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  [[nodiscard]] rgb at(int col, int row) const {
+    check(col, row);
+    return pixels_[static_cast<std::size_t>(row) * width_ + col];
+  }
+  rgb& at(int col, int row) {
+    check(col, row);
+    return pixels_[static_cast<std::size_t>(row) * width_ + col];
+  }
+
+  [[nodiscard]] const std::vector<rgb>& pixels() const noexcept {
+    return pixels_;
+  }
+
+  friend bool operator==(const image_rgb&, const image_rgb&) = default;
+
+ private:
+  void check(int col, int row) const {
+    if (col < 0 || col >= width_ || row < 0 || row >= height_) {
+      throw std::out_of_range("image_rgb: pixel out of range");
+    }
+  }
+
+  int width_;
+  int height_;
+  std::vector<rgb> pixels_;
+};
+
+}  // namespace bes

@@ -1,0 +1,139 @@
+#include "imaging/pnm.hpp"
+
+#include <fstream>
+#include <string>
+
+namespace bes {
+
+namespace {
+
+// Reads the next header token, skipping whitespace and '#' comments.
+std::string next_header_token(std::istream& in) {
+  std::string token;
+  for (;;) {
+    const int c = in.get();
+    if (c == EOF) {
+      if (token.empty()) throw std::runtime_error("pnm: truncated header");
+      return token;
+    }
+    if (c == '#') {
+      std::string comment;
+      std::getline(in, comment);
+      if (!token.empty()) return token;
+      continue;
+    }
+    if (std::isspace(c) != 0) {
+      if (!token.empty()) return token;
+      continue;
+    }
+    token.push_back(static_cast<char>(c));
+  }
+}
+
+int header_int(std::istream& in, const char* what) {
+  const std::string token = next_header_token(in);
+  try {
+    return std::stoi(token);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("pnm: bad ") + what + " '" + token +
+                             "'");
+  }
+}
+
+struct pnm_header {
+  std::string magic;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+};
+
+pnm_header read_header(std::istream& in, const std::filesystem::path& path) {
+  pnm_header h;
+  h.magic = next_header_token(in);
+  h.width = header_int(in, "width");
+  h.height = header_int(in, "height");
+  h.maxval = header_int(in, "maxval");
+  if (h.width <= 0 || h.height <= 0) {
+    throw std::runtime_error("pnm: bad dimensions in " + path.string());
+  }
+  if (h.maxval <= 0 || h.maxval > 255) {
+    throw std::runtime_error("pnm: unsupported maxval in " + path.string());
+  }
+  return h;
+}
+
+std::uint8_t read_sample(std::istream& in, bool ascii, const char* what) {
+  if (ascii) {
+    const int value = header_int(in, what);
+    if (value < 0 || value > 255) {
+      throw std::runtime_error(std::string("pnm: sample out of range for ") +
+                               what);
+    }
+    return static_cast<std::uint8_t>(value);
+  }
+  const int c = in.get();
+  if (c == EOF) {
+    throw std::runtime_error(std::string("pnm: truncated data for ") + what);
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+}  // namespace
+
+image8 read_pgm(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pnm: cannot open " + path.string());
+  const pnm_header h = read_header(in, path);
+  if (h.magic != "P2" && h.magic != "P5") {
+    throw std::runtime_error("pnm: " + path.string() + " is not a PGM");
+  }
+  const bool ascii = h.magic == "P2";
+  image8 img(h.width, h.height, 0);
+  for (int row = 0; row < h.height; ++row) {
+    for (int col = 0; col < h.width; ++col) {
+      img.at(col, row) = read_sample(in, ascii, "pixel");
+    }
+  }
+  return img;
+}
+
+image_rgb read_ppm(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pnm: cannot open " + path.string());
+  const pnm_header h = read_header(in, path);
+  if (h.magic != "P3" && h.magic != "P6") {
+    throw std::runtime_error("pnm: " + path.string() + " is not a PPM");
+  }
+  const bool ascii = h.magic == "P3";
+  image_rgb img(h.width, h.height);
+  for (int row = 0; row < h.height; ++row) {
+    for (int col = 0; col < h.width; ++col) {
+      rgb& px = img.at(col, row);
+      px[0] = read_sample(in, ascii, "red");
+      px[1] = read_sample(in, ascii, "green");
+      px[2] = read_sample(in, ascii, "blue");
+    }
+  }
+  return img;
+}
+
+void write_pgm(const std::filesystem::path& path, const image8& img) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("pnm: cannot write " + path.string());
+  out << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.pixels().data()),
+            static_cast<std::streamsize>(img.pixels().size()));
+  if (!out) throw std::runtime_error("pnm: write failed for " + path.string());
+}
+
+void write_ppm(const std::filesystem::path& path, const image_rgb& img) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("pnm: cannot write " + path.string());
+  out << "P6\n" << img.width() << ' ' << img.height() << "\n255\n";
+  for (const rgb& px : img.pixels()) {
+    out.write(reinterpret_cast<const char*>(px.data()), 3);
+  }
+  if (!out) throw std::runtime_error("pnm: write failed for " + path.string());
+}
+
+}  // namespace bes

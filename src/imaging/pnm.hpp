@@ -1,0 +1,19 @@
+// PNM (PGM / PPM) image I/O — the self-contained replacement for OpenCV
+// image I/O in this reproduction (DESIGN.md §5). Reads both ASCII (P2/P3)
+// and binary (P5/P6) variants with maxval <= 255; writes binary.
+#pragma once
+
+#include <filesystem>
+
+#include "imaging/image.hpp"
+
+namespace bes {
+
+// Throws std::runtime_error on I/O failure or malformed content.
+[[nodiscard]] image8 read_pgm(const std::filesystem::path& path);
+[[nodiscard]] image_rgb read_ppm(const std::filesystem::path& path);
+
+void write_pgm(const std::filesystem::path& path, const image8& img);
+void write_ppm(const std::filesystem::path& path, const image_rgb& img);
+
+}  // namespace bes

@@ -1,0 +1,102 @@
+#include "imaging/render.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bes {
+
+namespace {
+
+// Symbolic y (up) -> raster row (down) for a pixel band [lo, hi).
+// Symbolic pixel rows y in [lo, hi) map to raster rows H-1-y.
+struct raster_band {
+  int row_begin;
+  int row_end;  // half-open
+};
+
+raster_band band_of(interval y, int height) noexcept {
+  return raster_band{height - y.hi, height - y.lo};
+}
+
+bool inside_shape(icon_shape shape, const rect& mbr, int col, int sym_y) {
+  switch (shape) {
+    case icon_shape::rectangle:
+      return true;
+    case icon_shape::ellipse: {
+      const double cx = 0.5 * (mbr.x.lo + mbr.x.hi);
+      const double cy = 0.5 * (mbr.y.lo + mbr.y.hi);
+      const double rx = 0.5 * mbr.x.length();
+      const double ry = 0.5 * mbr.y.length();
+      const double dx = (col + 0.5 - cx) / rx;
+      const double dy = (sym_y + 0.5 - cy) / ry;
+      return dx * dx + dy * dy <= 1.0;
+    }
+    case icon_shape::diamond: {
+      const double cx = 0.5 * (mbr.x.lo + mbr.x.hi);
+      const double cy = 0.5 * (mbr.y.lo + mbr.y.hi);
+      const double rx = 0.5 * mbr.x.length();
+      const double ry = 0.5 * mbr.y.length();
+      const double dx = std::abs(col + 0.5 - cx) / rx;
+      const double dy = std::abs(sym_y + 0.5 - cy) / ry;
+      return dx + dy <= 1.0;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+rendered_scene render_scene(const symbolic_image& scene,
+                            const render_options& options) {
+  if (scene.size() > 254) {
+    throw std::invalid_argument(
+        "render_scene: more instances than gray levels (max 254)");
+  }
+  rendered_scene out{image8(scene.width(), scene.height(), options.background),
+                     {}};
+  std::uint8_t gray = 0;
+  for (const icon& obj : scene.icons()) {
+    // Next gray level, skipping the background value.
+    do {
+      ++gray;
+    } while (gray == options.background);
+    out.gray_to_symbol.emplace(gray, obj.symbol);
+    const raster_band rows = band_of(obj.mbr.y, scene.height());
+    for (int row = rows.row_begin; row < rows.row_end; ++row) {
+      const int sym_y = scene.height() - 1 - row;
+      for (int col = obj.mbr.x.lo; col < obj.mbr.x.hi; ++col) {
+        if (inside_shape(options.shape, obj.mbr, col, sym_y)) {
+          out.raster.at(col, row) = gray;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+image_rgb render_preview(const symbolic_image& scene) {
+  image_rgb out(scene.width(), scene.height(), rgb{250, 250, 250});
+  auto hue = [](symbol_id s) -> rgb {
+    // A fixed palette cycle; collisions across many symbols are fine for a
+    // preview.
+    static constexpr rgb palette[] = {
+        {204, 51, 51},  {51, 153, 51},  {51, 102, 204}, {204, 153, 0},
+        {153, 51, 204}, {0, 153, 153},  {204, 102, 51}, {102, 102, 102},
+    };
+    return palette[s % (sizeof(palette) / sizeof(palette[0]))];
+  };
+  for (const icon& obj : scene.icons()) {
+    const rgb color = hue(obj.symbol);
+    for (int y = obj.mbr.y.lo; y < obj.mbr.y.hi; ++y) {
+      const int row = scene.height() - 1 - y;
+      for (int col = obj.mbr.x.lo; col < obj.mbr.x.hi; ++col) {
+        const bool border = y == obj.mbr.y.lo || y == obj.mbr.y.hi - 1 ||
+                            col == obj.mbr.x.lo || col == obj.mbr.x.hi - 1;
+        out.at(col, row) = border ? rgb{30, 30, 30} : color;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bes

@@ -1,0 +1,45 @@
+// Scene renderer: symbolic picture -> grayscale raster.
+//
+// Simulates the front half of the paper's pipeline (real photographs with
+// recognized icons) with synthetic rasters whose icons we control exactly:
+// every icon instance is drawn in its own gray level, so extraction can
+// recover instance identity, symbol, and exact MBR, and the round-trip
+// render -> label -> extract is property-testable.
+#pragma once
+
+#include <unordered_map>
+
+#include "imaging/image.hpp"
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+enum class icon_shape : std::uint8_t {
+  rectangle,  // fills the MBR exactly (lossless MBR recovery)
+  ellipse,    // inscribed ellipse (for demo visuals)
+  diamond,    // inscribed diamond
+};
+
+struct render_options {
+  std::uint8_t background = 255;
+  icon_shape shape = icon_shape::rectangle;
+};
+
+struct rendered_scene {
+  image8 raster;
+  // Gray level -> icon symbol for every instance drawn.
+  std::unordered_map<std::uint8_t, symbol_id> gray_to_symbol;
+};
+
+// Draws each icon in a distinct gray level (1, 2, 3, ... skipping the
+// background). Later icons paint over earlier ones where MBRs overlap.
+// Throws std::invalid_argument if the scene has more instances than
+// distinguishable gray levels (254).
+[[nodiscard]] rendered_scene render_scene(const symbolic_image& scene,
+                                          const render_options& options = {});
+
+// A colorized view of a scene for demo/PPM output: symbol hue, gray
+// background grid. Purely cosmetic; not used by extraction.
+[[nodiscard]] image_rgb render_preview(const symbolic_image& scene);
+
+}  // namespace bes

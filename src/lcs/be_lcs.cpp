@@ -1,0 +1,149 @@
+#include "lcs/be_lcs.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace bes {
+
+be_lcs_table be_lcs_fill(std::span<const token> q, std::span<const token> d) {
+  const std::size_t m = q.size();
+  const std::size_t n = d.size();
+  be_lcs_table w(m, n);
+  // First row and column are zero-initialized (paper lines 7-11).
+  for (std::size_t i = 1; i <= m; ++i) {
+    const token qi = q[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      // Copy the up or left cell with the larger absolute value, sign
+      // included (paper lines 16-19; up wins ties).
+      const std::int32_t up = w.at(i - 1, j);
+      const std::int32_t left = w.at(i, j - 1);
+      std::int32_t value = std::abs(up) >= std::abs(left) ? up : left;
+      // A symbol match may only extend the diagonal when it is a boundary
+      // symbol, or a dummy whose diagonal predecessor does not already end
+      // in a dummy (paper line 21); it must strictly improve (line 23).
+      if (qi == d[j - 1]) {
+        const std::int32_t diag = w.at(i - 1, j - 1);
+        if (!qi.is_dummy() || diag >= 0) {
+          const std::int32_t extended = std::abs(diag) + 1;
+          if (extended > std::abs(value)) {
+            value = qi.is_dummy() ? -extended : extended;
+          }
+        }
+      }
+      w.at(i, j) = value;
+    }
+  }
+  return w;
+}
+
+std::size_t be_lcs_length(std::span<const token> q, std::span<const token> d) {
+  const be_lcs_table w = be_lcs_fill(q, d);
+  return static_cast<std::size_t>(std::abs(w.at(q.size(), d.size())));
+}
+
+std::vector<token> be_lcs_string(std::span<const token> q,
+                                 const be_lcs_table& w) {
+  if (w.rows() != q.size() + 1) {
+    throw std::invalid_argument("be_lcs_string: table does not match q");
+  }
+  std::vector<token> out;
+  std::size_t i = w.rows() - 1;
+  std::size_t j = w.cols() - 1;
+  // Paper Algorithm 3, iteratively: prefer up, then left; a cell whose
+  // absolute value exceeds both neighbours was set by a diagonal match and
+  // contributes q[i-1] to the subsequence.
+  while (i > 0 && j > 0) {
+    const std::int32_t here = std::abs(w.at(i, j));
+    if (here == std::abs(w.at(i - 1, j))) {
+      --i;
+    } else if (here == std::abs(w.at(i, j - 1))) {
+      --j;
+    } else {
+      out.push_back(q[i - 1]);
+      --i;
+      --j;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<token> be_lcs_string(std::span<const token> q,
+                                 std::span<const token> d) {
+  return be_lcs_string(q, be_lcs_fill(q, d));
+}
+
+double be_lcs_weighted(std::span<const token> q, std::span<const token> d,
+                       double dummy_weight) {
+  if (dummy_weight < 0.0 || dummy_weight > 1.0) {
+    throw std::invalid_argument("be_lcs_weighted: weight must be in [0, 1]");
+  }
+  const std::size_t m = q.size();
+  const std::size_t n = d.size();
+  // Same two-layer structure as the exact DP, with real-valued gains.
+  const std::size_t stride = n + 1;
+  std::vector<double> solid((m + 1) * stride, 0.0);
+  std::vector<double> gap((m + 1) * stride, 0.0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    const token qi = q[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t here = i * stride + j;
+      const std::size_t up = (i - 1) * stride + j;
+      const std::size_t left = i * stride + (j - 1);
+      const std::size_t diag = (i - 1) * stride + (j - 1);
+      double best_solid = std::max(solid[up], solid[left]);
+      double best_gap = std::max(gap[up], gap[left]);
+      if (qi == d[j - 1]) {
+        if (qi.is_dummy()) {
+          best_gap = std::max(best_gap, solid[diag] + dummy_weight);
+        } else {
+          best_solid =
+              std::max(best_solid, std::max(solid[diag], gap[diag]) + 1.0);
+        }
+      }
+      solid[here] = best_solid;
+      gap[here] = best_gap;
+    }
+  }
+  return std::max(solid[m * stride + n], gap[m * stride + n]);
+}
+
+std::size_t be_lcs_length_exact(std::span<const token> q,
+                                std::span<const token> d) {
+  const std::size_t m = q.size();
+  const std::size_t n = d.size();
+  // Two layers over the same (m+1)x(n+1) grid:
+  //   solid[i][j] — best constrained common subsequence ending in a boundary
+  //                 symbol (or empty);
+  //   gap[i][j]   — best ending in a dummy.
+  // A dummy may only extend `solid`; a boundary extends either.
+  const std::size_t stride = n + 1;
+  std::vector<std::int32_t> solid((m + 1) * stride, 0);
+  std::vector<std::int32_t> gap((m + 1) * stride, 0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    const token qi = q[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::size_t here = i * stride + j;
+      const std::size_t up = (i - 1) * stride + j;
+      const std::size_t left = i * stride + (j - 1);
+      const std::size_t diag = (i - 1) * stride + (j - 1);
+      std::int32_t best_solid = std::max(solid[up], solid[left]);
+      std::int32_t best_gap = std::max(gap[up], gap[left]);
+      if (qi == d[j - 1]) {
+        if (qi.is_dummy()) {
+          best_gap = std::max(best_gap, solid[diag] + 1);
+        } else {
+          best_solid =
+              std::max(best_solid, std::max(solid[diag], gap[diag]) + 1);
+        }
+      }
+      solid[here] = best_solid;
+      gap[here] = best_gap;
+    }
+  }
+  return static_cast<std::size_t>(
+      std::max(solid[m * stride + n], gap[m * stride + n]));
+}
+
+}  // namespace bes

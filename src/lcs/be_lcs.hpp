@@ -1,0 +1,86 @@
+// The paper's modified LCS over BE-strings (§4.1, Algorithms 2 and 3).
+//
+// Two revisions of the classic algorithm:
+//  1. The common subsequence may never pick two dummy objects in a row —
+//     "only one dummy object sufficiently represents the relative spatial
+//     relationship between two boundary symbols".
+//  2. The direction matrix is dropped: a cell of the length table W is
+//     NEGATIVE iff the subsequence realizing it ends in a dummy, which is
+//     both the state needed by revision 1 and enough to re-infer the path
+//     (Algorithm 3).
+//
+// be_lcs_length/be_lcs_string are literal translations of Algorithms 2/3.
+// The paper's sign trick keeps only ONE candidate per cell; a priori that
+// could underestimate the constrained optimum on tie patterns, so
+// be_lcs_length_exact tracks both "ends in dummy" and "ends in boundary"
+// layers and is provably exact (oracle-tested against exhaustive search).
+// Measured: the two variants agreed on every one of >4.5M randomized token
+// pairs and all encoded scene pairs tried — the paper's shortcut holds up
+// (EXPERIMENTS.md fidelity note F1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/be_string.hpp"
+
+namespace bes {
+
+// The LCS length inferring table W; (m+1) x (n+1) signed cells.
+class be_lcs_table {
+ public:
+  be_lcs_table(std::size_t m, std::size_t n)
+      : rows_(m + 1), cols_(n + 1), cells_(rows_ * cols_, 0) {}
+
+  [[nodiscard]] std::int32_t at(std::size_t i, std::size_t j) const {
+    return cells_[i * cols_ + j];
+  }
+  std::int32_t& at(std::size_t i, std::size_t j) {
+    return cells_[i * cols_ + j];
+  }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t storage_cells() const noexcept {
+    return cells_.size();
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::int32_t> cells_;
+};
+
+// Algorithm 2: fills W for query string q and database string d.
+[[nodiscard]] be_lcs_table be_lcs_fill(std::span<const token> q,
+                                       std::span<const token> d);
+
+// |W[m][n]| — the modified-LCS length.
+[[nodiscard]] std::size_t be_lcs_length(std::span<const token> q,
+                                        std::span<const token> d);
+
+// Algorithm 3: reconstructs one common subsequence of length |W[m][n]| from
+// the filled table (iterative traceback; the paper's recursion bottoms out
+// identically). The result never contains two adjacent dummies.
+[[nodiscard]] std::vector<token> be_lcs_string(std::span<const token> q,
+                                               const be_lcs_table& w);
+
+// Convenience: fill + traceback.
+[[nodiscard]] std::vector<token> be_lcs_string(std::span<const token> q,
+                                               std::span<const token> d);
+
+// Exact constrained LCS via a two-layer DP (see header comment). Same O(mn)
+// complexity; always >= be_lcs_length and equal to the true optimum.
+[[nodiscard]] std::size_t be_lcs_length_exact(std::span<const token> q,
+                                              std::span<const token> d);
+
+// Weighted variant: maximizes (boundary matches) + dummy_weight * (dummy
+// matches) over constrained common subsequences. dummy_weight in [0, 1];
+// weight 1 recovers be_lcs_length_exact, weight 0 scores spatial-relation
+// carriers (dummies) as worthless and counts boundary matches only. Used by
+// the dummy-weight ablation.
+[[nodiscard]] double be_lcs_weighted(std::span<const token> q,
+                                     std::span<const token> d,
+                                     double dummy_weight);
+
+}  // namespace bes

@@ -1,0 +1,72 @@
+// Classic longest-common-subsequence (Cormen et al., the paper's [5]) as a
+// reusable template. Serves as the unmodified base the paper revises and as
+// the oracle in property tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bes {
+
+// Length of the LCS of a and b; O(|a|*|b|) time and space.
+template <typename T>
+[[nodiscard]] std::size_t lcs_length(std::span<const T> a,
+                                     std::span<const T> b) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  std::vector<std::size_t> table((m + 1) * (n + 1), 0);
+  auto cell = [&](std::size_t i, std::size_t j) -> std::size_t& {
+    return table[i * (n + 1) + j];
+  };
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cell(i, j) = cell(i - 1, j - 1) + 1;
+      } else {
+        cell(i, j) = std::max(cell(i - 1, j), cell(i, j - 1));
+      }
+    }
+  }
+  return cell(m, n);
+}
+
+// One LCS of a and b (ties broken toward earlier elements of a).
+template <typename T>
+[[nodiscard]] std::vector<T> lcs_string(std::span<const T> a,
+                                        std::span<const T> b) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  std::vector<std::size_t> table((m + 1) * (n + 1), 0);
+  auto cell = [&](std::size_t i, std::size_t j) -> std::size_t& {
+    return table[i * (n + 1) + j];
+  };
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cell(i, j) = cell(i - 1, j - 1) + 1;
+      } else {
+        cell(i, j) = std::max(cell(i - 1, j), cell(i, j - 1));
+      }
+    }
+  }
+  std::vector<T> out;
+  out.reserve(cell(m, n));
+  std::size_t i = m;
+  std::size_t j = n;
+  while (i > 0 && j > 0) {
+    if (a[i - 1] == b[j - 1] && cell(i, j) == cell(i - 1, j - 1) + 1) {
+      out.push_back(a[i - 1]);
+      --i;
+      --j;
+    } else if (cell(i - 1, j) >= cell(i, j - 1)) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bes

@@ -1,0 +1,54 @@
+#include "lcs/similarity.hpp"
+
+#include <algorithm>
+
+namespace bes {
+
+namespace {
+
+double normalize(std::size_t lcs, std::size_t m, std::size_t n,
+                 norm_kind norm) {
+  if (m == 0 || n == 0) return 0.0;
+  switch (norm) {
+    case norm_kind::query:
+      return static_cast<double>(lcs) / static_cast<double>(m);
+    case norm_kind::max_len:
+      return static_cast<double>(lcs) / static_cast<double>(std::max(m, n));
+    case norm_kind::dice:
+      return 2.0 * static_cast<double>(lcs) / static_cast<double>(m + n);
+    case norm_kind::min_len:
+      return static_cast<double>(lcs) / static_cast<double>(std::min(m, n));
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double axis_similarity(std::span<const token> q, std::span<const token> d,
+                       const similarity_options& options) {
+  const std::size_t lcs =
+      options.exact_lcs ? be_lcs_length_exact(q, d) : be_lcs_length(q, d);
+  return normalize(lcs, q.size(), d.size(), options.norm);
+}
+
+double similarity(const be_string2d& q, const be_string2d& d,
+                  const similarity_options& options) {
+  return 0.5 * (axis_similarity(q.x.span(), d.x.span(), options) +
+                axis_similarity(q.y.span(), d.y.span(), options));
+}
+
+transform_match best_transform_similarity(const be_string2d& q,
+                                          const be_string2d& d,
+                                          const similarity_options& options) {
+  transform_match best;
+  best.score = -1.0;
+  for (dihedral t : all_dihedral) {
+    const double score = similarity(apply(t, q), d, options);
+    if (score > best.score) {
+      best = transform_match{t, score};
+    }
+  }
+  return best;
+}
+
+}  // namespace bes

@@ -1,0 +1,54 @@
+// Similarity evaluation between a query image and a database image (paper
+// §4): the modified-LCS length of each axis pair, normalized and averaged.
+//
+// The paper's evaluation "can evaluate all similarity no matter how the
+// matched LCS string whether appears all query objects or not, or whether
+// appears all spatial relationships or not" — i.e. partial matches score
+// proportionally instead of being filtered out. The normalization policy is
+// configurable; the default divides by the query string length ("how much of
+// the query appears in the database image"), which is the reading that makes
+// sim(q, d) == 1 exactly when q is fully embedded in d.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/be_string.hpp"
+#include "core/transform.hpp"
+#include "lcs/be_lcs.hpp"
+
+namespace bes {
+
+enum class norm_kind : std::uint8_t {
+  query,    // lcs / |q|            (paper default: partial-query emphasis)
+  max_len,  // lcs / max(|q|, |d|)  (symmetric, penalizes extra db content)
+  dice,     // 2*lcs / (|q| + |d|)  (Sorensen-Dice)
+  min_len,  // lcs / min(|q|, |d|)  (containment)
+};
+
+struct similarity_options {
+  norm_kind norm = norm_kind::query;
+  // Use the exact two-layer DP instead of the paper's signed-table variant.
+  bool exact_lcs = false;
+};
+
+// Normalized similarity of one axis pair, in [0, 1].
+[[nodiscard]] double axis_similarity(std::span<const token> q,
+                                     std::span<const token> d,
+                                     const similarity_options& options = {});
+
+// Mean of the two axis similarities, in [0, 1].
+[[nodiscard]] double similarity(const be_string2d& q, const be_string2d& d,
+                                const similarity_options& options = {});
+
+// Similarity under the best of the 8 linear transformations of the query
+// (paper: rotation/reflection retrieval by string reversal).
+struct transform_match {
+  dihedral transform = dihedral::identity;
+  double score = 0.0;
+};
+[[nodiscard]] transform_match best_transform_similarity(
+    const be_string2d& q, const be_string2d& d,
+    const similarity_options& options = {});
+
+}  // namespace bes

@@ -1,0 +1,79 @@
+#include "lcs/token_histogram.hpp"
+
+#include <algorithm>
+
+namespace bes {
+
+namespace {
+
+bool token_less(token a, token b) noexcept {
+  // Total order: dummy first, then boundary (symbol, kind) order.
+  if (a.is_dummy() != b.is_dummy()) return a.is_dummy();
+  if (a.is_dummy()) return false;
+  return a < b;
+}
+
+}  // namespace
+
+token_histogram::token_histogram(std::span<const token> tokens) {
+  std::vector<token> sorted(tokens.begin(), tokens.end());
+  std::sort(sorted.begin(), sorted.end(), token_less);
+  for (token t : sorted) {
+    if (!counts_.empty() && counts_.back().value == t) {
+      ++counts_.back().count;
+    } else {
+      counts_.push_back(bucket{t, 1});
+    }
+  }
+  total_ = tokens.size();
+}
+
+std::size_t token_histogram::intersection_size(
+    const token_histogram& a, const token_histogram& b) noexcept {
+  std::size_t shared = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.counts_.size() && j < b.counts_.size()) {
+    if (token_less(a.counts_[i].value, b.counts_[j].value)) {
+      ++i;
+    } else if (token_less(b.counts_[j].value, a.counts_[i].value)) {
+      ++j;
+    } else {
+      shared += std::min(a.counts_[i].count, b.counts_[j].count);
+      ++i;
+      ++j;
+    }
+  }
+  return shared;
+}
+
+be_histogram2d make_histograms(const be_string2d& strings) {
+  return be_histogram2d{token_histogram(strings.x.span()),
+                        token_histogram(strings.y.span()), strings.x.size(),
+                        strings.y.size()};
+}
+
+double similarity_upper_bound(const be_histogram2d& q, const be_histogram2d& d,
+                              norm_kind norm) {
+  auto axis_bound = [&](const token_histogram& qh, std::size_t qlen,
+                        const token_histogram& dh, std::size_t dlen) {
+    if (qlen == 0 || dlen == 0) return 0.0;
+    const auto shared =
+        static_cast<double>(token_histogram::intersection_size(qh, dh));
+    switch (norm) {
+      case norm_kind::query:
+        return shared / static_cast<double>(qlen);
+      case norm_kind::max_len:
+        return shared / static_cast<double>(std::max(qlen, dlen));
+      case norm_kind::dice:
+        return 2.0 * shared / static_cast<double>(qlen + dlen);
+      case norm_kind::min_len:
+        return shared / static_cast<double>(std::min(qlen, dlen));
+    }
+    return 1.0;
+  };
+  return 0.5 * (axis_bound(q.x, q.x_len, d.x, d.x_len) +
+                axis_bound(q.y, q.y_len, d.y, d.y_len));
+}
+
+}  // namespace bes

@@ -1,0 +1,68 @@
+// Token histograms: an admissible upper bound for the (constrained) LCS.
+//
+// Any common subsequence of two strings uses each token value at most
+// min(count_q, count_d) times, so the multiset-intersection size bounds the
+// LCS length from above. The bound costs O(u) per pair (u = distinct token
+// values, typically tiny) against O(mn) for the LCS itself, which makes it
+// an effective top-k scan pruner (db/query.cpp): candidates whose bound
+// cannot beat the current k-th score are skipped without running the DP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/be_string.hpp"
+#include "lcs/similarity.hpp"
+
+namespace bes {
+
+// Sorted (token, count) pairs.
+class token_histogram {
+ public:
+  token_histogram() = default;
+  explicit token_histogram(std::span<const token> tokens);
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t distinct() const noexcept {
+    return counts_.size();
+  }
+
+  // Multiset intersection size — an upper bound on lcs(a, b) and therefore
+  // also on the constrained be_lcs(a, b).
+  [[nodiscard]] static std::size_t intersection_size(
+      const token_histogram& a, const token_histogram& b) noexcept;
+
+  friend bool operator==(const token_histogram&,
+                         const token_histogram&) = default;
+
+ private:
+  struct bucket {
+    token value;
+    std::uint32_t count = 0;
+    friend bool operator==(const bucket&, const bucket&) = default;
+  };
+  std::vector<bucket> counts_;  // sorted by token ordering
+  std::size_t total_ = 0;
+};
+
+// Histograms for both axes of a 2D BE-string.
+struct be_histogram2d {
+  token_histogram x;
+  token_histogram y;
+  std::size_t x_len = 0;
+  std::size_t y_len = 0;
+
+  friend bool operator==(const be_histogram2d&,
+                         const be_histogram2d&) = default;
+};
+
+[[nodiscard]] be_histogram2d make_histograms(const be_string2d& strings);
+
+// Upper bound on similarity(q, d) under the given normalization, computed
+// from histograms only; guaranteed >= the true score for the same norm.
+[[nodiscard]] double similarity_upper_bound(const be_histogram2d& q,
+                                            const be_histogram2d& d,
+                                            norm_kind norm);
+
+}  // namespace bes

@@ -1,0 +1,80 @@
+#include "metrics/retrieval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bes {
+
+namespace {
+
+bool is_relevant(std::uint32_t id, std::span<const std::uint32_t> relevant) {
+  return std::binary_search(relevant.begin(), relevant.end(), id);
+}
+
+}  // namespace
+
+double precision_at_k(std::span<const std::uint32_t> ranked,
+                      std::span<const std::uint32_t> relevant, std::size_t k) {
+  if (k == 0) return 0.0;
+  const std::size_t depth = std::min(k, ranked.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    hits += is_relevant(ranked[i], relevant) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double recall_at_k(std::span<const std::uint32_t> ranked,
+                   std::span<const std::uint32_t> relevant, std::size_t k) {
+  if (relevant.empty()) return 0.0;
+  const std::size_t depth = std::min(k, ranked.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    hits += is_relevant(ranked[i], relevant) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double average_precision(std::span<const std::uint32_t> ranked,
+                         std::span<const std::uint32_t> relevant) {
+  if (relevant.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (is_relevant(ranked[i], relevant)) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(relevant.size());
+}
+
+double ndcg_at_k(std::span<const std::uint32_t> ranked,
+                 std::span<const std::uint32_t> relevant, std::size_t k) {
+  if (relevant.empty() || k == 0) return 0.0;
+  const std::size_t depth = std::min(k, ranked.size());
+  double dcg = 0.0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    if (is_relevant(ranked[i], relevant)) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  const std::size_t ideal_depth = std::min(k, relevant.size());
+  for (std::size_t i = 0; i < ideal_depth; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return ideal == 0.0 ? 0.0 : dcg / ideal;
+}
+
+double reciprocal_rank(std::span<const std::uint32_t> ranked,
+                       std::span<const std::uint32_t> relevant) {
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (is_relevant(ranked[i], relevant)) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace bes

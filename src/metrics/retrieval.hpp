@@ -1,0 +1,35 @@
+// Rank-quality metrics for the retrieval experiments (binary relevance).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace bes {
+
+// `ranked`: result ids in rank order. `relevant`: the relevant ids (sorted
+// ascending). All metrics return 0 for empty inputs rather than dividing by
+// zero.
+
+[[nodiscard]] double precision_at_k(std::span<const std::uint32_t> ranked,
+                                    std::span<const std::uint32_t> relevant,
+                                    std::size_t k);
+
+[[nodiscard]] double recall_at_k(std::span<const std::uint32_t> ranked,
+                                 std::span<const std::uint32_t> relevant,
+                                 std::size_t k);
+
+// Mean of precision@rank over the ranks of relevant hits, divided by
+// |relevant| (standard AP).
+[[nodiscard]] double average_precision(std::span<const std::uint32_t> ranked,
+                                       std::span<const std::uint32_t> relevant);
+
+// Binary-gain nDCG@k.
+[[nodiscard]] double ndcg_at_k(std::span<const std::uint32_t> ranked,
+                               std::span<const std::uint32_t> relevant,
+                               std::size_t k);
+
+// 1/rank of the first relevant hit (0 if none).
+[[nodiscard]] double reciprocal_rank(std::span<const std::uint32_t> ranked,
+                                     std::span<const std::uint32_t> relevant);
+
+}  // namespace bes

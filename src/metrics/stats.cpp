@@ -1,0 +1,57 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace bes {
+
+double sample_stats::mean() const {
+  if (samples_.empty()) throw std::invalid_argument("sample_stats: empty");
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double sample_stats::min() const {
+  if (samples_.empty()) throw std::invalid_argument("sample_stats: empty");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double sample_stats::max() const {
+  if (samples_.empty()) throw std::invalid_argument("sample_stats: empty");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double sample_stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double sum = 0.0;
+  for (double v : samples_) sum += (v - m) * (v - m);
+  return std::sqrt(sum / static_cast<double>(samples_.size() - 1));
+}
+
+double sample_stats::percentile(double p) const {
+  if (samples_.empty()) throw std::invalid_argument("sample_stats: empty");
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("sample_stats: percentile out of range");
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::string sample_stats::summary(int digits) const {
+  if (samples_.empty()) return "n=0";
+  return "n=" + std::to_string(samples_.size()) +
+         " mean=" + fmt_double(mean(), digits) +
+         " p50=" + fmt_double(percentile(50), digits) +
+         " p95=" + fmt_double(percentile(95), digits) +
+         " max=" + fmt_double(max(), digits);
+}
+
+}  // namespace bes

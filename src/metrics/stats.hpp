@@ -1,0 +1,30 @@
+// Latency/size sample aggregation for the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bes {
+
+class sample_stats {
+ public:
+  void add(double value) { samples_.push_back(value); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+  // Nearest-rank percentile; p in [0, 100]. Throws std::invalid_argument on
+  // bad p or empty sample set.
+  [[nodiscard]] double percentile(double p) const;
+
+  // "n=40 mean=1.23 p50=1.11 p95=2.01 max=3.33" (units are the caller's).
+  [[nodiscard]] std::string summary(int digits = 3) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace bes

@@ -1,0 +1,83 @@
+#include "reasoning/allen_algebra.hpp"
+
+#include <array>
+#include <vector>
+
+namespace bes {
+
+namespace {
+
+// Builds the 13x13 composition table by enumerating all interval triples
+// over a domain of 8 points. Completeness: any consistent configuration of
+// three intervals uses at most 6 distinct endpoint coordinates, so every
+// realizable (r(a,b), r(b,c), r(a,c)) combination appears within the domain.
+std::array<std::array<relation_set, allen_relation_count>,
+           allen_relation_count>
+build_table() {
+  std::array<std::array<relation_set, allen_relation_count>,
+             allen_relation_count>
+      table{};
+  std::vector<interval> intervals;
+  constexpr int domain = 8;
+  for (int lo = 0; lo < domain; ++lo) {
+    for (int hi = lo + 1; hi <= domain; ++hi) {
+      intervals.push_back(interval{lo, hi});
+    }
+  }
+  for (interval a : intervals) {
+    for (interval b : intervals) {
+      const auto ab = static_cast<unsigned>(classify(a, b));
+      for (interval c : intervals) {
+        const auto bc = static_cast<unsigned>(classify(b, c));
+        table[ab][bc] |= singleton(classify(a, c));
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+relation_set compose(allen_relation ab, allen_relation bc) noexcept {
+  static const auto table = build_table();
+  return table[static_cast<unsigned>(ab)][static_cast<unsigned>(bc)];
+}
+
+relation_set compose(relation_set ab, relation_set bc) noexcept {
+  relation_set out = empty_relation_set;
+  for (int i = 0; i < allen_relation_count; ++i) {
+    const auto ri = static_cast<allen_relation>(i);
+    if (!contains(ab, ri)) continue;
+    for (int j = 0; j < allen_relation_count; ++j) {
+      const auto rj = static_cast<allen_relation>(j);
+      if (!contains(bc, rj)) continue;
+      out |= compose(ri, rj);
+    }
+  }
+  return out;
+}
+
+relation_set converse(relation_set set) noexcept {
+  relation_set out = empty_relation_set;
+  for (int i = 0; i < allen_relation_count; ++i) {
+    const auto r = static_cast<allen_relation>(i);
+    if (contains(set, r)) out |= singleton(inverse(r));
+  }
+  return out;
+}
+
+std::string to_string(relation_set set) {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < allen_relation_count; ++i) {
+    const auto r = static_cast<allen_relation>(i);
+    if (!contains(set, r)) continue;
+    if (!first) out += ", ";
+    out += to_string(r);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace bes

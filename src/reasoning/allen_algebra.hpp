@@ -1,0 +1,52 @@
+// Allen interval algebra: relation SETS and composition.
+//
+// The paper's keyword list includes "spatial reasoning"; this module supplies
+// the algebraic core — given r(a,b) and r(b,c), the set of relations possible
+// between a and c. The composition table is COMPUTED by exhaustive
+// enumeration over a small integer domain (any triple of relations is
+// realizable with at most 6 distinct coordinates, so a domain of 8 points is
+// complete), which makes it correct by construction instead of a 169-entry
+// hand-maintained table.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/allen.hpp"
+
+namespace bes {
+
+// A set of Allen relations as a 13-bit mask (bit i = relation i).
+using relation_set = std::uint16_t;
+
+inline constexpr relation_set empty_relation_set = 0;
+inline constexpr relation_set full_relation_set = (1u << allen_relation_count) - 1;
+
+[[nodiscard]] constexpr relation_set singleton(allen_relation r) noexcept {
+  return static_cast<relation_set>(1u << static_cast<unsigned>(r));
+}
+
+[[nodiscard]] constexpr bool contains(relation_set set,
+                                      allen_relation r) noexcept {
+  return (set & singleton(r)) != 0;
+}
+
+[[nodiscard]] constexpr int count(relation_set set) noexcept {
+  int n = 0;
+  for (relation_set bits = set; bits != 0; bits &= bits - 1) ++n;
+  return n;
+}
+
+// All relations possible between a and c given r(a,b) and r(b,c).
+[[nodiscard]] relation_set compose(allen_relation ab,
+                                   allen_relation bc) noexcept;
+
+// Set-valued composition: union over all pairs.
+[[nodiscard]] relation_set compose(relation_set ab, relation_set bc) noexcept;
+
+// The converse set: { inverse(r) : r in set }.
+[[nodiscard]] relation_set converse(relation_set set) noexcept;
+
+// Comma-separated relation names, e.g. "{before, meets}".
+[[nodiscard]] std::string to_string(relation_set set);
+
+}  // namespace bes

@@ -1,0 +1,73 @@
+#include "reasoning/predicates.hpp"
+
+#include "baselines/b_string.hpp"
+
+namespace bes {
+
+bool holds(spatial_predicate p, const rect& a, const rect& b) noexcept {
+  switch (p) {
+    case spatial_predicate::left_of: return a.x.hi <= b.x.lo;
+    case spatial_predicate::right_of: return b.x.hi <= a.x.lo;
+    case spatial_predicate::above: return a.y.lo >= b.y.hi;
+    case spatial_predicate::below: return b.y.lo >= a.y.hi;
+    case spatial_predicate::inside: return contains(b, a);
+    case spatial_predicate::contains: return contains(a, b);
+    case spatial_predicate::overlaps: return overlaps(a, b);
+    case spatial_predicate::disjoint_from: return !overlaps(a, b);
+    case spatial_predicate::meets_x: return a.x.hi == b.x.lo;
+    case spatial_predicate::meets_y: return a.y.hi == b.y.lo;
+    case spatial_predicate::same_place: return a == b;
+  }
+  return false;
+}
+
+std::string_view to_string(spatial_predicate p) noexcept {
+  switch (p) {
+    case spatial_predicate::left_of: return "left-of";
+    case spatial_predicate::right_of: return "right-of";
+    case spatial_predicate::above: return "above";
+    case spatial_predicate::below: return "below";
+    case spatial_predicate::inside: return "inside";
+    case spatial_predicate::contains: return "contains";
+    case spatial_predicate::overlaps: return "overlaps";
+    case spatial_predicate::disjoint_from: return "disjoint-from";
+    case spatial_predicate::meets_x: return "meets-x";
+    case spatial_predicate::meets_y: return "meets-y";
+    case spatial_predicate::same_place: return "same-place";
+  }
+  return "?";
+}
+
+std::optional<spatial_predicate> predicate_from_name(
+    std::string_view name) noexcept {
+  for (int i = 0; i < spatial_predicate_count; ++i) {
+    const auto p = static_cast<spatial_predicate>(i);
+    if (to_string(p) == name) return p;
+  }
+  return std::nullopt;
+}
+
+std::optional<be_pair_relation> rank_boxes(const be_string2d& strings,
+                                           symbol_id a, symbol_id b) {
+  const auto find_unique = [](const std::vector<std::pair<symbol_id, interval>>&
+                                  intervals,
+                              symbol_id wanted) -> std::optional<interval> {
+    std::optional<interval> found;
+    for (const auto& [symbol, span] : intervals) {
+      if (symbol != wanted) continue;
+      if (found) return std::nullopt;  // ambiguous: multiple instances
+      found = span;
+    }
+    return found;
+  };
+  const auto x_intervals = rank_intervals(strings.x);
+  const auto y_intervals = rank_intervals(strings.y);
+  const auto ax = find_unique(x_intervals, a);
+  const auto ay = find_unique(y_intervals, a);
+  const auto bx = find_unique(x_intervals, b);
+  const auto by = find_unique(y_intervals, b);
+  if (!ax || !ay || !bx || !by) return std::nullopt;
+  return be_pair_relation{rect{*ax, *ay}, rect{*bx, *by}};
+}
+
+}  // namespace bes

@@ -1,0 +1,54 @@
+// Directional spatial predicates over MBRs — the vocabulary of queries like
+// the paper's introduction example: "find all images which icon A locates at
+// the left side and icon B locates at the right".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "core/be_string.hpp"
+#include "geometry/rect.hpp"
+
+namespace bes {
+
+enum class spatial_predicate : std::uint8_t {
+  left_of,        // a entirely left of b: a.x.hi <= b.x.lo
+  right_of,       // mirror
+  above,          // a entirely above b: a.y.lo >= b.y.hi
+  below,          // mirror
+  inside,         // b contains a
+  contains,       // a contains b
+  overlaps,       // MBRs share a point
+  disjoint_from,  // they do not
+  meets_x,        // a.x.hi == b.x.lo (edge-to-edge horizontally)
+  meets_y,        // a.y.hi == b.y.lo (a directly below, touching)
+  same_place,     // identical MBRs
+};
+
+inline constexpr int spatial_predicate_count = 11;
+
+[[nodiscard]] bool holds(spatial_predicate p, const rect& a,
+                         const rect& b) noexcept;
+
+// Canonical name used by the query language ("left-of", "inside", ...).
+[[nodiscard]] std::string_view to_string(spatial_predicate p) noexcept;
+// Inverse parse; nullopt for unknown names.
+[[nodiscard]] std::optional<spatial_predicate> predicate_from_name(
+    std::string_view name) noexcept;
+
+// Spatial reasoning from the REPRESENTATION alone (no MBRs): the pairwise
+// relation of two uniquely-occurring symbols recovered from a 2D BE-string
+// via rank intervals. Returns nullopt if either symbol does not occur
+// exactly once per axis. Rank space preserves every Allen relation, so
+// predicates evaluated on these intervals agree with the geometric truth
+// except for the coordinate-metric ones (meets_*), which rank space also
+// preserves (coincident boundaries share a rank).
+struct be_pair_relation {
+  rect a;  // rank-space boxes
+  rect b;
+};
+[[nodiscard]] std::optional<be_pair_relation> rank_boxes(
+    const be_string2d& strings, symbol_id a, symbol_id b);
+
+}  // namespace bes

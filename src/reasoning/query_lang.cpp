@@ -1,0 +1,173 @@
+#include "reasoning/query_lang.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace bes {
+
+std::vector<std::string> spatial_query::variables() const {
+  std::vector<std::string> out;
+  auto note = [&](const std::string& name) {
+    if (std::find(out.begin(), out.end(), name) == out.end()) {
+      out.push_back(name);
+    }
+  };
+  for (const query_clause& clause : clauses) {
+    note(clause.subject);
+    note(clause.object);
+  }
+  return out;
+}
+
+spatial_query parse_query(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::vector<std::string> words;
+  std::string word;
+  while (in >> word) words.push_back(word);
+
+  spatial_query query;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    if (i + 3 > words.size()) {
+      throw std::invalid_argument(
+          "parse_query: incomplete clause near '" + words[i] + "'");
+    }
+    query_clause clause;
+    clause.subject = words[i];
+    const auto predicate = predicate_from_name(words[i + 1]);
+    if (!predicate) {
+      throw std::invalid_argument("parse_query: unknown predicate '" +
+                                  words[i + 1] + "'");
+    }
+    clause.predicate = *predicate;
+    clause.object = words[i + 2];
+    if (clause.subject == clause.object) {
+      throw std::invalid_argument(
+          "parse_query: clause relates '" + clause.subject + "' to itself");
+    }
+    query.clauses.push_back(std::move(clause));
+    i += 3;
+    if (i < words.size()) {
+      if (words[i] != "&" && words[i] != "and") {
+        throw std::invalid_argument("parse_query: expected '&' or 'and', got '" +
+                                    words[i] + "'");
+      }
+      ++i;
+      if (i == words.size()) {
+        throw std::invalid_argument("parse_query: dangling conjunction");
+      }
+    }
+  }
+  if (query.clauses.empty()) {
+    throw std::invalid_argument("parse_query: empty query");
+  }
+  return query;
+}
+
+namespace {
+
+struct assignment_search {
+  const spatial_query* query;
+  const symbolic_image* image;
+  // Per variable: candidate icon indices (instances of the symbol).
+  std::vector<std::vector<std::size_t>> candidates;
+  std::vector<std::size_t> variable_of_name;  // parallel to variables list
+  std::vector<int> chosen;                    // icon index per variable, -1 unset
+  std::map<std::string, std::size_t> variable_index;
+  std::size_t best = 0;
+
+  std::size_t satisfied_with(const std::vector<int>& binding) const {
+    std::size_t n = 0;
+    for (const query_clause& clause : query->clauses) {
+      const int a = binding[variable_index.at(clause.subject)];
+      const int b = binding[variable_index.at(clause.object)];
+      if (a < 0 || b < 0 || a == b) continue;
+      if (holds(clause.predicate,
+                image->icons()[static_cast<std::size_t>(a)].mbr,
+                image->icons()[static_cast<std::size_t>(b)].mbr)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  void descend(std::size_t variable) {
+    if (variable == candidates.size()) {
+      best = std::max(best, satisfied_with(chosen));
+      return;
+    }
+    // Leaving the variable unbound is allowed (its clauses just fail): this
+    // makes partial satisfaction well-defined when a symbol is absent.
+    chosen[variable] = -1;
+    descend(variable + 1);
+    for (std::size_t icon_index : candidates[variable]) {
+      // Injectivity across bound variables.
+      bool taken = false;
+      for (std::size_t v = 0; v < variable; ++v) {
+        if (chosen[v] == static_cast<int>(icon_index)) {
+          taken = true;
+          break;
+        }
+      }
+      if (taken) continue;
+      chosen[variable] = static_cast<int>(icon_index);
+      descend(variable + 1);
+      if (best == query->clauses.size()) return;  // cannot improve
+    }
+    chosen[variable] = -1;
+  }
+};
+
+}  // namespace
+
+std::size_t satisfied_clauses(const spatial_query& query,
+                              const symbolic_image& image,
+                              const alphabet& names) {
+  const std::vector<std::string> variables = query.variables();
+  assignment_search search;
+  search.query = &query;
+  search.image = &image;
+  search.candidates.resize(variables.size());
+  search.chosen.assign(variables.size(), -1);
+  for (std::size_t v = 0; v < variables.size(); ++v) {
+    search.variable_index[variables[v]] = v;
+    if (!names.knows(variables[v])) continue;  // unknown symbol: no instances
+    const symbol_id symbol = names.id_of(variables[v]);
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      if (image.icons()[i].symbol == symbol) {
+        search.candidates[v].push_back(i);
+      }
+    }
+  }
+  search.descend(0);
+  return search.best;
+}
+
+bool matches(const spatial_query& query, const symbolic_image& image,
+             const alphabet& names) {
+  return satisfied_clauses(query, image, names) == query.clauses.size();
+}
+
+std::vector<structured_result> search_structured(const image_database& db,
+                                                 const spatial_query& query,
+                                                 bool only_full) {
+  std::vector<structured_result> out;
+  for (const db_record& rec : db.records()) {
+    structured_result result;
+    result.id = rec.id;
+    result.total = query.clauses.size();
+    result.satisfied = satisfied_clauses(query, rec.image, db.symbols());
+    if (only_full && result.satisfied != result.total) continue;
+    out.push_back(result);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const structured_result& a, const structured_result& b) {
+              if (a.satisfied != b.satisfied) return a.satisfied > b.satisfied;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace bes

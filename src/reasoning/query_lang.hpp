@@ -1,0 +1,74 @@
+// A small textual spatial-query language over icon symbols — the paper's
+// introduction scenario made executable:
+//
+//     "find all images which icon A locates at the left side and icon B
+//      locates at the right"
+//
+//         =>   search_structured(db, parse_query("A left-of B"))
+//
+// Grammar (whitespace-separated):
+//     query  := clause ( ("&" | "and") clause )*
+//     clause := SYMBOL PREDICATE SYMBOL
+//     PREDICATE := left-of | right-of | above | below | inside | contains
+//                | overlaps | disjoint-from | meets-x | meets-y | same-place
+//
+// Each SYMBOL names an icon class; a clause holds on an image if SOME
+// instance assignment satisfies it. Across clauses the assignment must be
+// consistent (the same name binds the same instance) and injective.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/database.hpp"
+#include "reasoning/predicates.hpp"
+
+namespace bes {
+
+struct query_clause {
+  std::string subject;
+  spatial_predicate predicate = spatial_predicate::overlaps;
+  std::string object;
+
+  friend bool operator==(const query_clause&, const query_clause&) = default;
+};
+
+struct spatial_query {
+  std::vector<query_clause> clauses;
+
+  // Distinct symbol names referenced, in order of first appearance.
+  [[nodiscard]] std::vector<std::string> variables() const;
+};
+
+// Throws std::invalid_argument with a position-annotated message on syntax
+// errors or unknown predicates.
+[[nodiscard]] spatial_query parse_query(std::string_view text);
+
+// Number of clauses satisfiable simultaneously by the best consistent,
+// injective assignment of names to icon instances (exhaustive backtracking;
+// intended for queries over a handful of variables).
+[[nodiscard]] std::size_t satisfied_clauses(const spatial_query& query,
+                                            const symbolic_image& image,
+                                            const alphabet& names);
+
+// True iff every clause is satisfied by one assignment.
+[[nodiscard]] bool matches(const spatial_query& query,
+                           const symbolic_image& image, const alphabet& names);
+
+struct structured_result {
+  image_id id = 0;
+  std::size_t satisfied = 0;
+  std::size_t total = 0;
+
+  friend bool operator==(const structured_result&,
+                         const structured_result&) = default;
+};
+
+// Ranks database images by satisfied-clause count (desc, ties by id).
+// `only_full` keeps exact matches only.
+[[nodiscard]] std::vector<structured_result> search_structured(
+    const image_database& db, const spatial_query& query,
+    bool only_full = false);
+
+}  // namespace bes

@@ -1,0 +1,52 @@
+#include "symbolic/alphabet.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace bes {
+
+bool valid_symbol_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  for (unsigned char c : name) {
+    if (std::isspace(c) != 0) return false;
+    if (c == ':' || c == ',' || c == '(' || c == ')') return false;
+  }
+  // The bare token "E" is reserved for the dummy object in serialized form.
+  return name != "E";
+}
+
+symbol_id alphabet::intern(std::string_view name) {
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) {
+    return it->second;
+  }
+  if (!valid_symbol_name(name)) {
+    throw std::invalid_argument("alphabet: invalid symbol name '" +
+                                std::string(name) + "'");
+  }
+  const auto id = static_cast<symbol_id>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+symbol_id alphabet::id_of(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    throw std::out_of_range("alphabet: unknown symbol '" + std::string(name) +
+                            "'");
+  }
+  return it->second;
+}
+
+bool alphabet::knows(std::string_view name) const noexcept {
+  return ids_.find(std::string(name)) != ids_.end();
+}
+
+const std::string& alphabet::name_of(symbol_id id) const {
+  if (id >= names_.size()) {
+    throw std::out_of_range("alphabet: id out of range: " + std::to_string(id));
+  }
+  return names_[id];
+}
+
+}  // namespace bes

@@ -1,0 +1,53 @@
+// The icon symbol alphabet: a bidirectional name <-> id registry.
+//
+// The paper's symbol set V ("each symbol in V presents an icon object").
+// Symbols are interned once and referenced by dense 32-bit ids everywhere
+// else (tokens, strings, indexes), so comparisons on hot retrieval paths are
+// integer compares, never string compares.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bes {
+
+using symbol_id = std::uint32_t;
+
+class alphabet {
+ public:
+  alphabet() = default;
+
+  // Returns the id of `name`, interning it if new. Names must be non-empty
+  // and free of whitespace / ':' / ',' / parentheses (they appear verbatim in
+  // the textual serialization). Throws std::invalid_argument otherwise.
+  symbol_id intern(std::string_view name);
+
+  // Id of an existing name; throws std::out_of_range if unknown.
+  [[nodiscard]] symbol_id id_of(std::string_view name) const;
+
+  [[nodiscard]] bool knows(std::string_view name) const noexcept;
+
+  // Name of an id; throws std::out_of_range if out of bounds.
+  [[nodiscard]] const std::string& name_of(symbol_id id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+  // All names, indexed by id.
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+  friend bool operator==(const alphabet&, const alphabet&) = default;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, symbol_id> ids_;
+};
+
+// True iff `name` is acceptable to alphabet::intern.
+[[nodiscard]] bool valid_symbol_name(std::string_view name) noexcept;
+
+}  // namespace bes

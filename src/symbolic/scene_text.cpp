@@ -1,0 +1,63 @@
+#include "symbolic/scene_text.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bes {
+
+symbolic_image parse_scene(std::string_view text, alphabet& names) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    throw std::invalid_argument(
+        "parse_scene: missing ':' after the <width>x<height> header");
+  }
+  const std::string header{text.substr(0, colon)};
+  int width = 0;
+  int height = 0;
+  char x = 0;
+  std::istringstream header_in(header);
+  if (!(header_in >> width >> x >> height) || x != 'x') {
+    throw std::invalid_argument("parse_scene: bad dimensions '" + header + "'");
+  }
+  symbolic_image image(width, height);
+
+  std::string rest{text.substr(colon + 1)};
+  std::istringstream in(rest);
+  std::string icon_text;
+  while (std::getline(in, icon_text, ';')) {
+    std::istringstream icon_in(icon_text);
+    std::string symbol;
+    int x_lo = 0;
+    int x_hi = 0;
+    int y_lo = 0;
+    int y_hi = 0;
+    if (!(icon_in >> symbol)) continue;  // empty segment (trailing ';')
+    if (!(icon_in >> x_lo >> x_hi >> y_lo >> y_hi)) {
+      throw std::invalid_argument("parse_scene: bad icon '" + icon_text +
+                                  "' (want SYMBOL x_lo x_hi y_lo y_hi)");
+    }
+    std::string trailing;
+    if (icon_in >> trailing) {
+      throw std::invalid_argument("parse_scene: trailing junk '" + trailing +
+                                  "' in icon '" + icon_text + "'");
+    }
+    image.add(names.intern(symbol),
+              rect{interval::checked(x_lo, x_hi), interval::checked(y_lo, y_hi)});
+  }
+  return image;
+}
+
+std::string scene_text(const symbolic_image& image, const alphabet& names) {
+  std::ostringstream out;
+  out << image.width() << 'x' << image.height() << ':';
+  bool first = true;
+  for (const icon& obj : image.icons()) {
+    out << (first ? " " : "; ") << names.name_of(obj.symbol) << ' '
+        << obj.mbr.x.lo << ' ' << obj.mbr.x.hi << ' ' << obj.mbr.y.lo << ' '
+        << obj.mbr.y.hi;
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace bes

@@ -1,0 +1,28 @@
+// Query-by-sketch text format: a one-line description of a symbolic picture.
+//
+//     "12x11: A 2 6 3 9; B 4 10 1 5; C 6 8 5 7"
+//
+//   <width>x<height> ':' icon (';' icon)*
+//   icon := SYMBOL x_lo x_hi y_lo y_hi
+//
+// This is how a user of the §5-style demo system types a query scene
+// without drawing it; used by the `besdb query --sketch` command and tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+
+// Parses the sketch, interning unknown symbols into `names`.
+// Throws std::invalid_argument with a descriptive message on bad input.
+[[nodiscard]] symbolic_image parse_scene(std::string_view text,
+                                         alphabet& names);
+
+// The inverse: a sketch string that parse_scene maps back to `image`.
+[[nodiscard]] std::string scene_text(const symbolic_image& image,
+                                     const alphabet& names);
+
+}  // namespace bes

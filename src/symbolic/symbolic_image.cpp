@@ -1,0 +1,55 @@
+#include "symbolic/symbolic_image.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace bes {
+
+symbolic_image::symbolic_image(int width, int height)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("symbolic_image: dimensions must be positive");
+  }
+}
+
+std::size_t symbolic_image::add(symbol_id symbol, const rect& mbr) {
+  if (!mbr.valid()) {
+    throw std::invalid_argument("symbolic_image::add: invalid MBR " +
+                                to_string(mbr));
+  }
+  if (mbr.x.lo < 0 || mbr.x.hi > width_ || mbr.y.lo < 0 || mbr.y.hi > height_) {
+    throw std::invalid_argument("symbolic_image::add: MBR " + to_string(mbr) +
+                                " outside domain " + std::to_string(width_) +
+                                "x" + std::to_string(height_));
+  }
+  icons_.push_back(icon{symbol, mbr});
+  return icons_.size() - 1;
+}
+
+void symbolic_image::remove(std::size_t index) {
+  if (index >= icons_.size()) {
+    throw std::out_of_range("symbolic_image::remove: index out of range");
+  }
+  icons_.erase(icons_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+bool symbolic_image::disjoint() const noexcept {
+  for (std::size_t i = 0; i < icons_.size(); ++i) {
+    for (std::size_t j = i + 1; j < icons_.size(); ++j) {
+      if (overlaps(icons_[i].mbr, icons_[j].mbr)) return false;
+    }
+  }
+  return true;
+}
+
+symbolic_image apply(dihedral t, const symbolic_image& img) {
+  const bool swap = swaps_axes(t);
+  symbolic_image out(swap ? img.height() : img.width(),
+                     swap ? img.width() : img.height());
+  for (const icon& obj : img.icons()) {
+    out.add(obj.symbol, apply(t, obj.mbr, img.width(), img.height()));
+  }
+  return out;
+}
+
+}  // namespace bes

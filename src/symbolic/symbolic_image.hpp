@@ -1,0 +1,67 @@
+// Symbolic pictures: a set of icon objects with MBRs inside a bounded domain.
+//
+// This is the paper's input contract ("by default ... we have abstracted all
+// objects and their MBR coordinates from that image"). A symbolic_image is a
+// value type: cheap to copy for small scenes, equality-comparable, and the
+// unit stored in the image database.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/dihedral.hpp"
+#include "geometry/rect.hpp"
+#include "symbolic/alphabet.hpp"
+
+namespace bes {
+
+// One icon object: a symbol (icon class) plus its MBR. Distinct objects may
+// share the same symbol (two chairs in one scene).
+struct icon {
+  symbol_id symbol = 0;
+  rect mbr;
+
+  friend bool operator==(const icon&, const icon&) = default;
+};
+
+class symbolic_image {
+ public:
+  // An empty picture over the domain [0,width) x [0,height).
+  // Throws std::invalid_argument unless both dimensions are positive.
+  symbolic_image(int width, int height);
+
+  // Adds an icon. Throws std::invalid_argument if the MBR is invalid or not
+  // fully inside the image domain. Returns the icon's index.
+  std::size_t add(symbol_id symbol, const rect& mbr);
+  std::size_t add(const icon& obj) { return add(obj.symbol, obj.mbr); }
+
+  // Removes the icon at `index` (order of the remaining icons is preserved).
+  // Throws std::out_of_range on a bad index.
+  void remove(std::size_t index);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] const std::vector<icon>& icons() const noexcept {
+    return icons_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return icons_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return icons_.empty(); }
+
+  // True iff no two icons' MBRs share a point (used by extraction tests and
+  // the non-overlapping workload mode).
+  [[nodiscard]] bool disjoint() const noexcept;
+
+  friend bool operator==(const symbolic_image&,
+                         const symbolic_image&) = default;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<icon> icons_;
+};
+
+// The geometrically transformed picture (domain swaps for axis-swapping
+// elements). Property-tested against the string-level transform in core.
+[[nodiscard]] symbolic_image apply(dihedral t, const symbolic_image& img);
+
+}  // namespace bes

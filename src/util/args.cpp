@@ -1,0 +1,139 @@
+#include "util/args.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bes {
+
+namespace {
+
+std::string kind_name(int k) {
+  switch (k) {
+    case 0: return "string";
+    case 1: return "int";
+    case 2: return "double";
+    default: return "bool";
+  }
+}
+
+}  // namespace
+
+arg_parser::arg_parser(std::string description)
+    : description_(std::move(description)) {}
+
+void arg_parser::add_string(std::string name, std::string default_value,
+                            std::string help) {
+  flags_[std::move(name)] = flag{kind::string, std::move(default_value),
+                                 std::move(help)};
+}
+
+void arg_parser::add_int(std::string name, std::int64_t default_value,
+                         std::string help) {
+  flags_[std::move(name)] =
+      flag{kind::integer, std::to_string(default_value), std::move(help)};
+}
+
+void arg_parser::add_double(std::string name, double default_value,
+                            std::string help) {
+  flags_[std::move(name)] =
+      flag{kind::real, std::to_string(default_value), std::move(help)};
+}
+
+void arg_parser::add_bool(std::string name, bool default_value,
+                          std::string help) {
+  flags_[std::move(name)] =
+      flag{kind::boolean, default_value ? "true" : "false", std::move(help)};
+}
+
+bool arg_parser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag --" + name + "\n" + usage());
+    }
+    flag& f = it->second;
+    if (!value) {
+      if (f.type == kind::boolean) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        throw std::invalid_argument("flag --" + name + " requires a value");
+      }
+    }
+    // Validate the textual form eagerly so errors surface at parse time.
+    try {
+      switch (f.type) {
+        case kind::integer: (void)std::stoll(*value); break;
+        case kind::real: (void)std::stod(*value); break;
+        case kind::boolean:
+          if (*value != "true" && *value != "false") {
+            throw std::invalid_argument("bad bool");
+          }
+          break;
+        case kind::string: break;
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("flag --" + name + ": cannot parse '" +
+                                  *value + "' as " +
+                                  kind_name(static_cast<int>(f.type)));
+    }
+    f.value = *value;
+  }
+  return true;
+}
+
+const arg_parser::flag& arg_parser::find(std::string_view name,
+                                         kind expected) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("flag not registered: " + std::string(name));
+  }
+  if (it->second.type != expected) {
+    throw std::invalid_argument("flag type mismatch for: " + std::string(name));
+  }
+  return it->second;
+}
+
+const std::string& arg_parser::get_string(std::string_view name) const {
+  return find(name, kind::string).value;
+}
+
+std::int64_t arg_parser::get_int(std::string_view name) const {
+  return std::stoll(find(name, kind::integer).value);
+}
+
+double arg_parser::get_double(std::string_view name) const {
+  return std::stod(find(name, kind::real).value);
+}
+
+bool arg_parser::get_bool(std::string_view name) const {
+  return find(name, kind::boolean).value == "true";
+}
+
+std::string arg_parser::usage() const {
+  std::ostringstream out;
+  out << description_ << "\n\nFlags:\n";
+  for (const auto& [name, f] : flags_) {
+    out << "  --" << name << " (" << kind_name(static_cast<int>(f.type))
+        << ", default: " << f.value << ")\n      " << f.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace bes

@@ -1,0 +1,59 @@
+// Minimal command-line flag parser for the example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` flags.
+// Unknown flags raise an error listing the registered flags, so example
+// programs fail loudly rather than silently ignoring a typo.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bes {
+
+class arg_parser {
+ public:
+  // `description` is printed by usage().
+  explicit arg_parser(std::string description);
+
+  // Register flags before parse(). `help` is shown in usage().
+  void add_string(std::string name, std::string default_value, std::string help);
+  void add_int(std::string name, std::int64_t default_value, std::string help);
+  void add_double(std::string name, double default_value, std::string help);
+  void add_bool(std::string name, bool default_value, std::string help);
+
+  // Parses argv. Returns false (after printing usage) if --help was given.
+  // Throws std::invalid_argument on unknown flags or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get_string(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+  // Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class kind { string, integer, real, boolean };
+  struct flag {
+    kind type;
+    std::string value;  // canonical textual form
+    std::string help;
+  };
+
+  const flag& find(std::string_view name, kind expected) const;
+
+  std::string description_;
+  std::map<std::string, flag, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bes

@@ -1,0 +1,22 @@
+// Thread-parallel index loop used by the database scan path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace bes {
+
+// Invokes fn(i) for every i in [0, count), distributing indices over up to
+// `threads` worker threads (dynamic chunking over an atomic cursor, so skewed
+// per-item costs still balance). threads <= 1 runs inline on the caller.
+//
+// fn must be safe to invoke concurrently from multiple threads for distinct
+// indices. Exceptions thrown by fn are captured and the first one is
+// rethrown on the caller thread after all workers join.
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& fn);
+
+// Number of hardware threads, never less than 1.
+unsigned hardware_threads() noexcept;
+
+}  // namespace bes

@@ -1,0 +1,83 @@
+// Deterministic random number utilities.
+//
+// All stochastic components of the library (workload generators, property
+// tests, benchmarks) take an explicit `bes::rng&` so every run is seeded and
+// reproducible. Never use global random state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace bes {
+
+// A seeded pseudo-random generator with convenience samplers.
+//
+// Thin wrapper over std::mt19937_64; cheap to construct, movable, and
+// explicitly not copyable so two components never silently share a stream.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed) : engine_(seed) {}
+
+  rng(const rng&) = delete;
+  rng& operator=(const rng&) = delete;
+  rng(rng&&) = default;
+  rng& operator=(rng&&) = default;
+
+  // Uniform integer in the inclusive range [lo, hi]. Precondition: lo <= hi.
+  int uniform_int(int lo, int hi) {
+    if (lo > hi) throw std::invalid_argument("rng::uniform_int: lo > hi");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64() { return engine_(); }
+
+  // Uniform real in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  // Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("rng::pick: empty span");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<int>(items.size()) - 1))];
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  // Sample k distinct indices from [0, n) in increasing order.
+  // Precondition: k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    if (k > n) throw std::invalid_argument("rng::sample_indices: k > n");
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    shuffle(all);
+    all.resize(k);
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bes

@@ -1,0 +1,33 @@
+// Plain-text table formatting for paper-style result rows.
+//
+// The benchmark binaries print the tables/series from EXPERIMENTS.md with
+// this helper so every experiment's output is uniformly readable and easy to
+// diff against the recorded results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bes {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  // Each row must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column alignment, a header underline, and 2-space gutters.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision double -> string (printf "%.*f").
+[[nodiscard]] std::string fmt_double(double value, int digits = 3);
+
+}  // namespace bes

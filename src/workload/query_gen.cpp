@@ -1,0 +1,72 @@
+#include "workload/query_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bes {
+
+namespace {
+
+interval shifted_clamped(interval v, int delta, int domain) {
+  int lo = v.lo + delta;
+  int hi = v.hi + delta;
+  if (lo < 0) {
+    hi -= lo;
+    lo = 0;
+  }
+  if (hi > domain) {
+    lo -= hi - domain;
+    hi = domain;
+  }
+  return interval{std::max(0, lo), hi};
+}
+
+}  // namespace
+
+symbolic_image distort(const symbolic_image& target,
+                       const distortion_params& params, rng& rng,
+                       alphabet& names) {
+  if (params.keep_fraction <= 0.0 || params.keep_fraction > 1.0) {
+    throw std::invalid_argument("distort: keep_fraction must be in (0, 1]");
+  }
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(params.keep_fraction *
+                          static_cast<double>(target.size()))));
+
+  symbolic_image query(target.width(), target.height());
+  const auto kept =
+      rng.sample_indices(target.size(), std::min(keep, target.size()));
+  for (std::size_t index : kept) {
+    const icon& obj = target.icons()[index];
+    rect mbr = obj.mbr;
+    if (params.jitter > 0) {
+      mbr.x = shifted_clamped(mbr.x,
+                              rng.uniform_int(-params.jitter, params.jitter),
+                              target.width());
+      mbr.y = shifted_clamped(mbr.y,
+                              rng.uniform_int(-params.jitter, params.jitter),
+                              target.height());
+    }
+    query.add(obj.symbol, mbr);
+  }
+
+  if (params.decoys > 0) {
+    scene_params decoy = params.decoy_shape;
+    decoy.width = target.width();
+    decoy.height = target.height();
+    decoy.object_count = params.decoys;
+    decoy.unique_symbols = false;
+    decoy.disjoint = false;
+    const symbolic_image clutter = random_scene(decoy, rng, names);
+    for (const icon& obj : clutter.icons()) query.add(obj);
+  }
+
+  if (params.transform) {
+    return apply(*params.transform, query);
+  }
+  return query;
+}
+
+}  // namespace bes

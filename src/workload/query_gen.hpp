@@ -1,0 +1,31 @@
+// Query distortions with constructed ground truth (experiment E6): take a
+// target scene and degrade it the way real queries degrade — drop objects,
+// jitter positions, add clutter, or apply a linear transformation — while
+// remembering which database image it came from.
+#pragma once
+
+#include <optional>
+
+#include "geometry/dihedral.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+
+struct distortion_params {
+  // Fraction of the target's objects the query keeps (at least one).
+  double keep_fraction = 1.0;
+  // Max absolute per-axis translation of each kept MBR (clamped to domain).
+  int jitter = 0;
+  // Clutter objects added from the symbol pool.
+  std::size_t decoys = 0;
+  scene_params decoy_shape;  // extent/pool settings reused for decoys
+  // Applied geometrically to the finished query, if set.
+  std::optional<dihedral> transform;
+};
+
+// A distorted copy of `target`; deterministic given (params, rng state).
+[[nodiscard]] symbolic_image distort(const symbolic_image& target,
+                                     const distortion_params& params, rng& rng,
+                                     alphabet& names);
+
+}  // namespace bes

@@ -1,0 +1,109 @@
+#include "workload/scene_gen.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace bes {
+
+namespace {
+
+symbol_id pool_symbol(std::size_t index, alphabet& names) {
+  return names.intern("S" + std::to_string(index));
+}
+
+int snap(int value, int grid) {
+  return grid <= 1 ? value : (value / grid) * grid;
+}
+
+}  // namespace
+
+symbolic_image random_scene(const scene_params& params, rng& rng,
+                            alphabet& names) {
+  if (params.object_count == 0) {
+    return symbolic_image(params.width, params.height);
+  }
+  if (params.min_extent < 1 || params.max_extent < params.min_extent) {
+    throw std::invalid_argument("random_scene: bad extent range");
+  }
+  if (params.max_extent > params.width || params.max_extent > params.height) {
+    throw std::invalid_argument("random_scene: extents exceed domain");
+  }
+  if (params.unique_symbols && params.symbol_pool < params.object_count) {
+    throw std::invalid_argument(
+        "random_scene: unique_symbols needs pool >= count");
+  }
+
+  symbolic_image scene(params.width, params.height);
+  constexpr int max_attempts_per_object = 1000;
+  for (std::size_t i = 0; i < params.object_count; ++i) {
+    const symbol_id symbol =
+        params.unique_symbols
+            ? pool_symbol(i, names)
+            : pool_symbol(static_cast<std::size_t>(rng.uniform_int(
+                              0, static_cast<int>(params.symbol_pool) - 1)),
+                          names);
+    bool placed = false;
+    for (int attempt = 0; attempt < max_attempts_per_object; ++attempt) {
+      int w = rng.uniform_int(params.min_extent, params.max_extent);
+      int h = rng.uniform_int(params.min_extent, params.max_extent);
+      int x = rng.uniform_int(0, params.width - w);
+      int y = rng.uniform_int(0, params.height - h);
+      if (params.grid > 1) {
+        x = snap(x, params.grid);
+        y = snap(y, params.grid);
+        w = std::max(params.grid, snap(w, params.grid));
+        h = std::max(params.grid, snap(h, params.grid));
+        if (x + w > params.width) x = params.width - w;
+        if (y + h > params.height) y = params.height - h;
+        if (x < 0 || y < 0) continue;
+      }
+      const rect mbr{interval{x, x + w}, interval{y, y + h}};
+      if (params.disjoint) {
+        bool clear = true;
+        for (const icon& other : scene.icons()) {
+          if (overlaps(other.mbr, mbr)) {
+            clear = false;
+            break;
+          }
+        }
+        if (!clear) continue;
+      }
+      scene.add(symbol, mbr);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      throw std::runtime_error(
+          "random_scene: could not place disjoint object " + std::to_string(i));
+    }
+  }
+  return scene;
+}
+
+symbolic_image best_case_scene(std::size_t n, alphabet& names) {
+  // n identical full-domain MBRs: per axis, n coincident begins, n coincident
+  // ends, one dummy for the begin->end gap, flush edges: 2n+1 tokens.
+  symbolic_image scene(64, 64);
+  for (std::size_t i = 0; i < n; ++i) {
+    scene.add(pool_symbol(i, names), rect{interval{0, 64}, interval{0, 64}});
+  }
+  return scene;
+}
+
+symbolic_image worst_case_scene(std::size_t n, alphabet& names) {
+  // Strictly nested intervals with margins: every boundary coordinate is
+  // distinct and both edges have gaps: 2n boundaries + 2n-1 internal dummies
+  // + 2 edge dummies = 4n+1 tokens per axis.
+  const int m = static_cast<int>(n);
+  const int domain = 4 * m + 4;
+  symbolic_image scene(domain, domain);
+  for (int i = 0; i < m; ++i) {
+    const int lo = i + 1;
+    const int hi = domain - i - 1;
+    scene.add(pool_symbol(static_cast<std::size_t>(i), names),
+              rect{interval{lo, hi}, interval{lo, hi}});
+  }
+  return scene;
+}
+
+}  // namespace bes

@@ -1,0 +1,40 @@
+// Synthetic scene generators — the evaluation corpus substitute for the
+// paper's unpublished demo image collection (DESIGN.md §5).
+#pragma once
+
+#include "symbolic/symbolic_image.hpp"
+#include "util/rng.hpp"
+
+namespace bes {
+
+struct scene_params {
+  int width = 256;
+  int height = 256;
+  std::size_t object_count = 8;
+  int min_extent = 4;   // minimum MBR side length
+  int max_extent = 64;  // maximum MBR side length
+  // Symbols are drawn from a pool "S0".."S<k-1>" interned into the alphabet.
+  std::size_t symbol_pool = 8;
+  // Give every object a distinct pool symbol (requires pool >= count); the
+  // type-i baselines are defined over uniquely labeled pictures.
+  bool unique_symbols = false;
+  // Reject MBRs overlapping an already placed one (best effort: gives up
+  // after a bounded number of attempts and throws).
+  bool disjoint = false;
+  // Snap MBR corners to a grid, producing many coincident boundaries.
+  int grid = 0;  // 0 = off
+};
+
+// A random scene; deterministic given (params, rng state).
+[[nodiscard]] symbolic_image random_scene(const scene_params& params, rng& rng,
+                                          alphabet& names);
+
+// The storage-bound extremes of paper §3.1 (experiment E2):
+// best case — all boundary projections identical and flush with the image
+// edges (n stacked full-domain objects): exactly 2n+1 tokens per axis.
+[[nodiscard]] symbolic_image best_case_scene(std::size_t n, alphabet& names);
+// worst case — all 2n boundary projections distinct with gaps at both edges
+// (strictly nested intervals): exactly 4n+1 tokens per axis.
+[[nodiscard]] symbolic_image worst_case_scene(std::size_t n, alphabet& names);
+
+}  // namespace bes

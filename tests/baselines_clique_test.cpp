@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/clique.hpp"
+
+namespace bes {
+namespace {
+
+// Exponential oracle: try every vertex subset.
+std::size_t brute_force_max_clique(const undirected_graph& g) {
+  const std::size_t n = g.size();
+  std::size_t best = 0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<std::size_t> members;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask & (std::size_t{1} << v)) members.push_back(v);
+    }
+    bool clique = true;
+    for (std::size_t i = 0; i < members.size() && clique; ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (!g.adjacent(members[i], members[j])) {
+          clique = false;
+          break;
+        }
+      }
+    }
+    if (clique) best = std::max(best, members.size());
+  }
+  return best;
+}
+
+bool is_clique(const undirected_graph& g, const std::vector<std::size_t>& vs) {
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    for (std::size_t j = i + 1; j < vs.size(); ++j) {
+      if (!g.adjacent(vs[i], vs[j])) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Graph, EdgesAreSymmetric) {
+  undirected_graph g(4);
+  g.add_edge(0, 3);
+  EXPECT_TRUE(g.adjacent(0, 3));
+  EXPECT_TRUE(g.adjacent(3, 0));
+  EXPECT_FALSE(g.adjacent(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopAndOutOfRange) {
+  undirected_graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(Clique, EmptyGraph) {
+  undirected_graph g(0);
+  EXPECT_TRUE(max_clique_exact(g).empty());
+}
+
+TEST(Clique, IsolatedVerticesGiveSingleton) {
+  undirected_graph g(5);
+  EXPECT_EQ(max_clique_exact(g).size(), 1u);
+}
+
+TEST(Clique, TriangleInPath) {
+  undirected_graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);  // triangle {0,1,2}
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto clique = max_clique_exact(g);
+  EXPECT_EQ(clique, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Clique, CompleteGraph) {
+  const std::size_t n = 8;
+  undirected_graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+  }
+  EXPECT_EQ(max_clique_exact(g).size(), n);
+}
+
+TEST(Clique, BipartiteGraphHasSizeTwo) {
+  undirected_graph g(6);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 3; b < 6; ++b) g.add_edge(a, b);
+  }
+  EXPECT_EQ(max_clique_exact(g).size(), 2u);
+}
+
+TEST(Clique, WordBoundarySizes) {
+  // Exercise graphs straddling the 64-bit word boundary.
+  for (std::size_t n : {63u, 64u, 65u, 70u}) {
+    undirected_graph g(n);
+    // A clique on the last 5 vertices.
+    for (std::size_t i = n - 5; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+    }
+    EXPECT_EQ(max_clique_exact(g).size(), 5u) << n;
+  }
+}
+
+class CliqueRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueRandom, ExactMatchesBruteForce) {
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<int> size(1, 12);
+  std::bernoulli_distribution edge(0.4);
+  const std::size_t n = static_cast<std::size_t>(size(gen));
+  undirected_graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (edge(gen)) g.add_edge(i, j);
+    }
+  }
+  const auto exact = max_clique_exact(g);
+  EXPECT_TRUE(is_clique(g, exact));
+  EXPECT_EQ(exact.size(), brute_force_max_clique(g));
+  // Greedy is a valid clique and never beats exact.
+  const auto greedy = max_clique_greedy(g);
+  EXPECT_TRUE(is_clique(g, greedy));
+  EXPECT_LE(greedy.size(), exact.size());
+  EXPECT_GE(greedy.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliqueRandom, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/relation_class.hpp"
+
+namespace bes {
+namespace {
+
+std::vector<interval> small_intervals(int limit) {
+  std::vector<interval> out;
+  for (int lo = 0; lo < limit; ++lo) {
+    for (int hi = lo + 1; hi <= limit; ++hi) out.push_back(interval{lo, hi});
+  }
+  return out;
+}
+
+TEST(RelationClass, Type1Mapping) {
+  EXPECT_EQ(type1_of(allen_relation::before), type1_class::disjoint_lt);
+  EXPECT_EQ(type1_of(allen_relation::after), type1_class::disjoint_gt);
+  EXPECT_EQ(type1_of(allen_relation::meets), type1_class::edge_lt);
+  EXPECT_EQ(type1_of(allen_relation::met_by), type1_class::edge_gt);
+  EXPECT_EQ(type1_of(allen_relation::overlaps), type1_class::partial_lt);
+  EXPECT_EQ(type1_of(allen_relation::overlapped_by), type1_class::partial_gt);
+  EXPECT_EQ(type1_of(allen_relation::contains), type1_class::contains);
+  EXPECT_EQ(type1_of(allen_relation::started_by), type1_class::contains);
+  EXPECT_EQ(type1_of(allen_relation::finished_by), type1_class::contains);
+  EXPECT_EQ(type1_of(allen_relation::during), type1_class::inside);
+  EXPECT_EQ(type1_of(allen_relation::starts), type1_class::inside);
+  EXPECT_EQ(type1_of(allen_relation::finishes), type1_class::inside);
+  EXPECT_EQ(type1_of(allen_relation::equals), type1_class::equal);
+}
+
+TEST(RelationClass, Type0Mapping) {
+  EXPECT_EQ(type0_of(allen_relation::before), type0_class::apart);
+  EXPECT_EQ(type0_of(allen_relation::meets), type0_class::apart);
+  EXPECT_EQ(type0_of(allen_relation::after), type0_class::apart);
+  EXPECT_EQ(type0_of(allen_relation::overlaps), type0_class::intersect);
+  EXPECT_EQ(type0_of(allen_relation::overlapped_by), type0_class::intersect);
+  EXPECT_EQ(type0_of(allen_relation::during), type0_class::nested);
+  EXPECT_EQ(type0_of(allen_relation::contains), type0_class::nested);
+  EXPECT_EQ(type0_of(allen_relation::starts), type0_class::nested);
+  EXPECT_EQ(type0_of(allen_relation::equals), type0_class::same);
+}
+
+TEST(RelationClass, Type0FactorsThroughType1) {
+  // The coarse class must be a function of the type-1 class, which is what
+  // makes type-1 agreement imply type-0 agreement.
+  for (int i = 0; i < allen_relation_count; ++i) {
+    for (int j = 0; j < allen_relation_count; ++j) {
+      const auto a = static_cast<allen_relation>(i);
+      const auto b = static_cast<allen_relation>(j);
+      if (type1_of(a) == type1_of(b)) {
+        EXPECT_EQ(type0_of(a), type0_of(b))
+            << to_string(a) << " vs " << to_string(b);
+      }
+    }
+  }
+}
+
+TEST(RelationClass, StrictnessNestingExhaustive) {
+  // type-2 compatible => type-1 compatible => type-0 compatible, over all
+  // 13^2 x 13^2 relation pairs.
+  for (int ax = 0; ax < allen_relation_count; ++ax) {
+    for (int ay = 0; ay < allen_relation_count; ++ay) {
+      const pair_relation a{static_cast<allen_relation>(ax),
+                            static_cast<allen_relation>(ay)};
+      for (int bx = 0; bx < allen_relation_count; ++bx) {
+        for (int by = 0; by < allen_relation_count; ++by) {
+          const pair_relation b{static_cast<allen_relation>(bx),
+                                static_cast<allen_relation>(by)};
+          if (compatible(similarity_type::type2, a, b)) {
+            EXPECT_TRUE(compatible(similarity_type::type1, a, b));
+          }
+          if (compatible(similarity_type::type1, a, b)) {
+            EXPECT_TRUE(compatible(similarity_type::type0, a, b));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RelationClass, CompatibilityIsReflexiveAndSymmetric) {
+  const auto intervals = small_intervals(5);
+  const rect r1{intervals[0], intervals[3]};
+  const rect r2{intervals[5], intervals[8]};
+  const pair_relation p = relate(r1, r2);
+  for (similarity_type level :
+       {similarity_type::type0, similarity_type::type1,
+        similarity_type::type2}) {
+    EXPECT_TRUE(compatible(level, p, p));
+  }
+}
+
+TEST(RelationClass, RelateUsesBothAxes) {
+  const rect a = rect::checked(0, 2, 0, 2);
+  const rect b = rect::checked(5, 7, 0, 2);
+  const pair_relation p = relate(a, b);
+  EXPECT_EQ(p.x, allen_relation::before);
+  EXPECT_EQ(p.y, allen_relation::equals);
+}
+
+TEST(RelationClass, NamesAreStable) {
+  EXPECT_EQ(to_string(type1_class::partial_lt), "partial<");
+  EXPECT_EQ(to_string(type0_class::nested), "nested");
+  EXPECT_EQ(to_string(similarity_type::type2), "type-2");
+}
+
+TEST(RelationClass, DirectionalityMatters) {
+  // before vs after are type-1 DIFFERENT but type-0 SAME (direction-free).
+  const pair_relation ab{allen_relation::before, allen_relation::equals};
+  const pair_relation ba{allen_relation::after, allen_relation::equals};
+  EXPECT_FALSE(compatible(similarity_type::type1, ab, ba));
+  EXPECT_TRUE(compatible(similarity_type::type0, ab, ba));
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/b_string.hpp"
+#include "baselines/c_string.hpp"
+#include "baselines/g_string.hpp"
+#include "baselines/two_d_string.hpp"
+#include "core/encoder.hpp"
+#include "geometry/allen.hpp"
+#include "util/rng.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+symbolic_image random_scene_seeded(std::uint64_t seed, alphabet& names,
+                                   std::size_t count = 10) {
+  rng r(seed);
+  scene_params params;
+  params.object_count = count;
+  params.symbol_pool = 6;
+  return random_scene(params, r, names);
+}
+
+// --------------------------------------------------------- 2-D string
+
+TEST(TwoDString, GroupsByCenterCoordinate) {
+  alphabet names;
+  symbolic_image img(20, 20);
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  const symbol_id c = names.intern("C");
+  img.add(a, rect::checked(0, 4, 0, 4));    // center x = 2
+  img.add(b, rect::checked(1, 3, 6, 10));   // center x = 2 (same group)
+  img.add(c, rect::checked(10, 14, 0, 4));  // center x = 12
+  const two_d_string s = build_two_d_string(img);
+  ASSERT_EQ(s.u.groups.size(), 2u);
+  EXPECT_EQ(s.u.groups[0].size(), 2u);
+  EXPECT_EQ(s.u.groups[1].size(), 1u);
+  EXPECT_EQ(to_text(s.u, names), "A = B < C");
+}
+
+TEST(TwoDString, StorageCounts) {
+  alphabet names;
+  const symbolic_image img = random_scene_seeded(1, names, 7);
+  const two_d_string s = build_two_d_string(img);
+  EXPECT_EQ(s.u.symbol_count(), 7u);
+  EXPECT_EQ(s.u.operator_count(), 6u);
+}
+
+TEST(TwoDString, EmptyImage) {
+  const two_d_string s = build_two_d_string(symbolic_image(5, 5));
+  EXPECT_TRUE(s.u.groups.empty());
+  EXPECT_EQ(s.u.operator_count(), 0u);
+}
+
+// --------------------------------------------------------- G-string
+
+TEST(GString, NoOverlapNoCut) {
+  alphabet names;
+  symbolic_image img(20, 20);
+  img.add(names.intern("A"), rect::checked(0, 4, 0, 4));
+  img.add(names.intern("B"), rect::checked(10, 14, 10, 14));
+  EXPECT_EQ(g_string_cut(img.icons(), axis::x).size(), 2u);
+  EXPECT_EQ(g_string_segment_count(img), 4u);
+}
+
+TEST(GString, CrossingBoundaryCutsBothSides) {
+  alphabet names;
+  symbolic_image img(20, 20);
+  // B's begin (5) falls inside A, A's end (8) falls inside B.
+  img.add(names.intern("A"), rect::checked(0, 8, 0, 4));
+  img.add(names.intern("B"), rect::checked(5, 12, 0, 4));
+  const auto segments = g_string_cut(img.icons(), axis::x);
+  // A -> [0,5) [5,8); B -> [5,8) [8,12).
+  ASSERT_EQ(segments.size(), 4u);
+  EXPECT_EQ(segments[0].piece, (interval{0, 5}));
+  EXPECT_EQ(segments[1].piece, (interval{5, 8}));
+  EXPECT_EQ(segments[2].piece, (interval{5, 8}));
+  EXPECT_EQ(segments[3].piece, (interval{8, 12}));
+}
+
+TEST(GString, PiecesTileEachObjectExactly) {
+  alphabet names;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const symbolic_image img = random_scene_seeded(seed, names);
+    for (axis which : {axis::x, axis::y}) {
+      const auto segments = g_string_cut(img.icons(), which);
+      std::map<std::size_t, int> covered;
+      for (const segment& s : segments) {
+        EXPECT_TRUE(s.piece.valid());
+        covered[s.owner] += s.piece.length();
+      }
+      for (std::size_t i = 0; i < img.size(); ++i) {
+        const interval side =
+            which == axis::x ? img.icons()[i].mbr.x : img.icons()[i].mbr.y;
+        EXPECT_EQ(covered[i], side.length());
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- C-string
+
+TEST(CString, NoPartialOverlapNoCut) {
+  alphabet names;
+  symbolic_image img(20, 20);
+  img.add(names.intern("A"), rect::checked(0, 10, 0, 10));
+  img.add(names.intern("B"), rect::checked(2, 8, 2, 8));  // nested: no cut
+  EXPECT_EQ(c_string_cut(img.icons(), axis::x).size(), 2u);
+}
+
+TEST(CString, PartialOverlapCutsTrailingObjectOnly) {
+  alphabet names;
+  symbolic_image img(20, 20);
+  img.add(names.intern("A"), rect::checked(0, 8, 0, 4));
+  img.add(names.intern("B"), rect::checked(5, 12, 0, 4));
+  const auto segments = c_string_cut(img.icons(), axis::x);
+  // A stays whole; B is cut at A's end: [5,8) [8,12).
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].piece, (interval{0, 8}));
+  EXPECT_EQ(segments[1].piece, (interval{5, 8}));
+  EXPECT_EQ(segments[2].piece, (interval{8, 12}));
+}
+
+TEST(CString, NeverCutsMoreThanGString) {
+  alphabet names;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const symbolic_image img = random_scene_seeded(seed, names);
+    EXPECT_LE(c_string_segment_count(img), g_string_segment_count(img));
+    EXPECT_GE(c_string_segment_count(img), 2 * img.size());  // >= uncut
+  }
+}
+
+TEST(CString, StaircaseShowsQuadraticBlowup) {
+  // The classic O(n^2) worst case: a staircase of partially overlapping
+  // objects; object i is cut by all earlier ends.
+  alphabet names;
+  const int n = 12;
+  symbolic_image img(200, 200);
+  for (int i = 0; i < n; ++i) {
+    img.add(names.intern("S" + std::to_string(i)),
+            rect::checked(2 * i, 2 * i + n + 5, 0, 5));
+  }
+  const auto segments = c_string_cut(img.icons(), axis::x);
+  // Piece count grows quadratically: much more than 2n.
+  EXPECT_GT(segments.size(), static_cast<std::size_t>(3 * n));
+}
+
+TEST(CString, PiecesTileEachObjectExactly) {
+  alphabet names;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const symbolic_image img = random_scene_seeded(seed, names);
+    for (axis which : {axis::x, axis::y}) {
+      const auto segments = c_string_cut(img.icons(), which);
+      std::map<std::size_t, int> covered;
+      for (const segment& s : segments) {
+        EXPECT_TRUE(s.piece.valid());
+        covered[s.owner] += s.piece.length();
+      }
+      for (std::size_t i = 0; i < img.size(); ++i) {
+        const interval side =
+            which == axis::x ? img.icons()[i].mbr.x : img.icons()[i].mbr.y;
+        EXPECT_EQ(covered[i], side.length());
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------- B-string
+
+TEST(BString, MarksCoincidentBoundaries) {
+  alphabet names;
+  symbolic_image img(10, 10);
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  img.add(a, rect::checked(0, 5, 0, 5));
+  img.add(b, rect::checked(5, 10, 5, 10));  // B begins where A ends
+  const b_string2d s = build_b_string(img);
+  ASSERT_EQ(s.x.boundaries.size(), 4u);
+  // A:b A:e=B:b B:e — exactly one '=' on each axis.
+  EXPECT_EQ(std::count(s.x.eq_with_next.begin(), s.x.eq_with_next.end(), true),
+            1);
+  EXPECT_EQ(s.x.storage_units(), 5u);
+}
+
+TEST(BString, StorageIsDualOfBeString) {
+  // B-string stores 2n symbols + (#coincidences); BE-string stores 2n +
+  // (#distinct adjacent pairs + edge gaps). Together they partition the
+  // 2n-1 adjacent pairs (plus up to 2 edge dummies for BE).
+  alphabet names;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const symbolic_image img = random_scene_seeded(seed, names);
+    const std::size_t n = img.size();
+    const b_string2d b = build_b_string(img);
+    const be_string2d be = encode(img);
+    for (int side = 0; side < 2; ++side) {
+      const b_string_axis& bx = side == 0 ? b.x : b.y;
+      const axis_string& bex = side == 0 ? be.x : be.y;
+      const std::size_t eq_ops = bx.storage_units() - 2 * n;
+      const std::size_t dummies = bex.dummy_count();
+      // Interior adjacent pairs: 2n-1 = eq_ops + interior dummies; BE may
+      // additionally spend up to 2 edge dummies.
+      const std::size_t interior_dummies =
+          dummies - (bex.at(0).is_dummy() ? 1 : 0) -
+          (bex.at(bex.size() - 1).is_dummy() ? 1 : 0);
+      EXPECT_EQ(eq_ops + interior_dummies, 2 * n - 1);
+    }
+  }
+}
+
+TEST(BString, RankIntervalsAgreeAcrossModels) {
+  alphabet names;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const symbolic_image img = random_scene_seeded(seed, names);
+    const b_string2d b = build_b_string(img);
+    const be_string2d be = encode(img);
+    EXPECT_EQ(rank_intervals(be.x), rank_intervals(b.x));
+    EXPECT_EQ(rank_intervals(be.y), rank_intervals(b.y));
+  }
+}
+
+TEST(BString, RankIntervalsPreserveAllenRelations) {
+  // Unique-symbol scenes: the rank-space intervals must stand in exactly the
+  // same Allen relations as the true MBR projections.
+  alphabet names;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    rng r(seed);
+    scene_params params;
+    params.object_count = 8;
+    params.symbol_pool = 8;
+    params.unique_symbols = true;
+    const symbolic_image img = random_scene(params, r, names);
+    const be_string2d be = encode(img);
+    const auto ranked = rank_intervals(be.x);
+    ASSERT_EQ(ranked.size(), img.size());
+    std::map<symbol_id, interval> rank_of;
+    for (const auto& [symbol, ivl] : ranked) rank_of[symbol] = ivl;
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      for (std::size_t j = 0; j < img.size(); ++j) {
+        if (i == j) continue;
+        const icon& a = img.icons()[i];
+        const icon& b = img.icons()[j];
+        EXPECT_EQ(classify(rank_of[a.symbol], rank_of[b.symbol]),
+                  classify(a.mbr.x, b.mbr.x));
+      }
+    }
+  }
+}
+
+TEST(BString, ToTextShowsEquality) {
+  alphabet names;
+  symbolic_image img(10, 10);
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  img.add(a, rect::checked(0, 5, 0, 5));
+  img.add(b, rect::checked(5, 10, 5, 10));
+  const b_string2d s = build_b_string(img);
+  EXPECT_EQ(to_text(s.x, names), "A:b A:e = B:b B:e");
+}
+
+}  // namespace
+}  // namespace bes

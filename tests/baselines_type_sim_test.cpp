@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "baselines/type_similarity.hpp"
+#include "util/rng.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+symbolic_image unique_scene(std::uint64_t seed, alphabet& names,
+                            std::size_t count = 8) {
+  rng r(seed);
+  scene_params params;
+  params.object_count = count;
+  params.symbol_pool = count;
+  params.unique_symbols = true;
+  return random_scene(params, r, names);
+}
+
+TEST(TypeSimilarity, IdenticalImagesMatchAllObjects) {
+  alphabet names;
+  const symbolic_image img = unique_scene(1, names);
+  for (similarity_type level :
+       {similarity_type::type0, similarity_type::type1,
+        similarity_type::type2}) {
+    type_similarity_options options;
+    options.level = level;
+    const auto result = type_similarity(img, img, options);
+    EXPECT_EQ(result.matched_objects, img.size());
+    // The matching must be the identity pairing count-wise.
+    EXPECT_EQ(result.matches.size(), img.size());
+  }
+}
+
+TEST(TypeSimilarity, DisjointSymbolsMatchNothing) {
+  alphabet names;
+  symbolic_image a(20, 20);
+  symbolic_image b(20, 20);
+  a.add(names.intern("A"), rect::checked(0, 5, 0, 5));
+  b.add(names.intern("B"), rect::checked(0, 5, 0, 5));
+  const auto result = type_similarity(a, b);
+  EXPECT_EQ(result.matched_objects, 0u);
+  EXPECT_EQ(result.graph_vertices, 0u);
+}
+
+TEST(TypeSimilarity, StrictnessNestingOnRandomScenes) {
+  alphabet names;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const symbolic_image q = unique_scene(seed, names, 6);
+    const symbolic_image d = unique_scene(seed + 100, names, 6);
+    type_similarity_options o0{similarity_type::type0, 0};
+    type_similarity_options o1{similarity_type::type1, 0};
+    type_similarity_options o2{similarity_type::type2, 0};
+    const std::size_t s0 = type_similarity(q, d, o0).matched_objects;
+    const std::size_t s1 = type_similarity(q, d, o1).matched_objects;
+    const std::size_t s2 = type_similarity(q, d, o2).matched_objects;
+    EXPECT_LE(s2, s1);
+    EXPECT_LE(s1, s0);
+  }
+}
+
+TEST(TypeSimilarity, SubsetQueryMatchesFully) {
+  alphabet names;
+  const symbolic_image scene = unique_scene(3, names, 8);
+  symbolic_image query(scene.width(), scene.height());
+  for (std::size_t i = 0; i < 4; ++i) query.add(scene.icons()[i]);
+  const auto result = type_similarity(query, scene,
+                                      {similarity_type::type2, 0});
+  EXPECT_EQ(result.matched_objects, 4u);
+}
+
+TEST(TypeSimilarity, SingleMovedObjectDropsFromType2) {
+  alphabet names;
+  symbolic_image scene(40, 40);
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  const symbol_id c = names.intern("C");
+  scene.add(a, rect::checked(0, 5, 0, 5));
+  scene.add(b, rect::checked(10, 15, 10, 15));
+  scene.add(c, rect::checked(20, 25, 20, 25));
+  symbolic_image moved = scene;
+  moved.remove(2);
+  // C now overlaps B instead of being disjoint: pairwise relation changed.
+  moved.add(c, rect::checked(12, 17, 12, 17));
+  const auto result =
+      type_similarity(scene, moved, {similarity_type::type2, 0});
+  EXPECT_EQ(result.matched_objects, 2u);  // A and B still consistent
+}
+
+TEST(TypeSimilarity, DuplicateSymbolsUseInjectiveMatching) {
+  alphabet names;
+  const symbol_id a = names.intern("A");
+  symbolic_image q(30, 30);
+  q.add(a, rect::checked(0, 5, 0, 5));
+  q.add(a, rect::checked(10, 15, 0, 5));
+  symbolic_image d(30, 30);
+  d.add(a, rect::checked(0, 5, 0, 5));
+  d.add(a, rect::checked(10, 15, 0, 5));
+  d.add(a, rect::checked(20, 25, 0, 5));
+  const auto result = type_similarity(q, d, {similarity_type::type2, 0});
+  // Both query As can be matched to distinct db As with consistent
+  // relations; 2x3 = 6 candidate vertices.
+  EXPECT_EQ(result.graph_vertices, 6u);
+  EXPECT_EQ(result.matched_objects, 2u);
+  // Injectivity: matched db icons are distinct.
+  ASSERT_EQ(result.matches.size(), 2u);
+  EXPECT_NE(result.matches[0].second, result.matches[1].second);
+}
+
+TEST(TypeSimilarity, GreedyFallbackEngages) {
+  alphabet names;
+  const symbolic_image q = unique_scene(5, names, 8);
+  type_similarity_options options;
+  options.greedy_above = 1;  // force greedy
+  const auto result = type_similarity(q, q, options);
+  EXPECT_TRUE(result.used_greedy);
+  EXPECT_GE(result.matched_objects, 1u);
+  EXPECT_LE(result.matched_objects, q.size());
+}
+
+TEST(TypeSimilarity, EmptyQueryMatchesNothing) {
+  alphabet names;
+  const symbolic_image d = unique_scene(6, names);
+  const auto result = type_similarity(symbolic_image(10, 10), d);
+  EXPECT_EQ(result.matched_objects, 0u);
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/be_string.hpp"
+
+namespace bes {
+namespace {
+
+token Bb(symbol_id s) { return token::boundary(s, boundary_kind::begin); }
+token Be(symbol_id s) { return token::boundary(s, boundary_kind::end); }
+token E() { return token::dummy(); }
+
+// ---------------------------------------------------------------- token
+
+TEST(Token, DummyIdentity) {
+  EXPECT_TRUE(token::dummy().is_dummy());
+  EXPECT_FALSE(Bb(0).is_dummy());
+  EXPECT_EQ(token::dummy(), token::dummy());
+  EXPECT_NE(token::dummy(), Bb(0));
+}
+
+TEST(Token, BoundaryEqualityIsSymbolAndKind) {
+  EXPECT_EQ(Bb(3), Bb(3));
+  EXPECT_NE(Bb(3), Be(3));
+  EXPECT_NE(Bb(3), Bb(4));
+}
+
+TEST(Token, RoleSwap) {
+  EXPECT_EQ(Bb(7).role_swapped(), Be(7));
+  EXPECT_EQ(Be(7).role_swapped(), Bb(7));
+  EXPECT_TRUE(E().role_swapped().is_dummy());
+}
+
+TEST(Token, CanonicalOrder) {
+  EXPECT_LT(Bb(1), Be(1));  // begin before end for the same symbol
+  EXPECT_LT(Be(1), Bb(2));  // symbol dominates
+}
+
+TEST(Token, FlippedKind) {
+  EXPECT_EQ(flipped(boundary_kind::begin), boundary_kind::end);
+  EXPECT_EQ(flipped(boundary_kind::end), boundary_kind::begin);
+}
+
+TEST(Token, HashDistinguishesRoles) {
+  const std::hash<token> h;
+  EXPECT_NE(h(Bb(1)), h(Be(1)));
+  EXPECT_EQ(h(E()), h(token::dummy()));
+}
+
+// ---------------------------------------------------------------- axis
+
+TEST(AxisString, CountsSplitDummiesAndBoundaries) {
+  const axis_string s(std::vector<token>{E(), Bb(0), E(), Be(0), E()});
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.dummy_count(), 3u);
+  EXPECT_EQ(s.boundary_count(), 2u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(AxisString, EmptyIsWellFormed) {
+  EXPECT_TRUE(axis_string{}.well_formed());
+}
+
+TEST(AxisString, SingleDummyIsWellFormed) {
+  EXPECT_TRUE(axis_string(std::vector<token>{E()}).well_formed());
+}
+
+TEST(AxisString, AdjacentDummiesAreMalformed) {
+  EXPECT_FALSE(axis_string(std::vector<token>{E(), E()}).well_formed());
+  EXPECT_FALSE(
+      axis_string(std::vector<token>{Bb(0), E(), E(), Be(0)}).well_formed());
+}
+
+TEST(AxisString, UnbalancedBoundariesAreMalformed) {
+  // begin without end
+  EXPECT_FALSE(axis_string(std::vector<token>{Bb(0)}).well_formed());
+  // end before begin
+  EXPECT_FALSE(
+      axis_string(std::vector<token>{Be(0), E(), Bb(0)}).well_formed());
+  // counts differ
+  EXPECT_FALSE(
+      axis_string(std::vector<token>{Bb(0), E(), Be(0), E(), Be(0)})
+          .well_formed());
+}
+
+TEST(AxisString, InterleavedInstancesAreWellFormed) {
+  // Two instances of symbol 0: b b e e (nested) and b e b e (sequential).
+  EXPECT_TRUE(axis_string(std::vector<token>{Bb(0), E(), Bb(0), E(), Be(0),
+                                             E(), Be(0)})
+                  .well_formed());
+  EXPECT_TRUE(axis_string(std::vector<token>{Bb(0), E(), Be(0), Bb(0), E(),
+                                             Be(0)})
+                  .well_formed());
+}
+
+TEST(AxisString, MixedSymbolsBalanceIndependently) {
+  // Symbol 0 balanced, symbol 1 not.
+  EXPECT_FALSE(axis_string(std::vector<token>{Bb(0), Bb(1), E(), Be(0)})
+                   .well_formed());
+}
+
+TEST(AxisString, AtThrowsOutOfRange) {
+  const axis_string s(std::vector<token>{E()});
+  EXPECT_NO_THROW((void)s.at(0));
+  EXPECT_THROW((void)s.at(1), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- 2d
+
+TEST(BeString2d, TotalsAndWellFormedness) {
+  const axis_string good(std::vector<token>{Bb(0), E(), Be(0)});
+  const axis_string bad(std::vector<token>{E(), E()});
+  const be_string2d both_good{good, good};
+  EXPECT_EQ(both_good.total_tokens(), 6u);
+  EXPECT_TRUE(both_good.well_formed());
+  EXPECT_FALSE((be_string2d{good, bad}.well_formed()));
+  EXPECT_FALSE((be_string2d{bad, good}.well_formed()));
+}
+
+TEST(BeString2d, StructuralEquality) {
+  const axis_string a(std::vector<token>{Bb(0), E(), Be(0)});
+  const axis_string b(std::vector<token>{Bb(1), E(), Be(1)});
+  EXPECT_EQ((be_string2d{a, b}), (be_string2d{a, b}));
+  EXPECT_NE((be_string2d{a, b}), (be_string2d{b, a}));
+}
+
+}  // namespace
+}  // namespace bes

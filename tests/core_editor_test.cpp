@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/editor.hpp"
+#include "core/encoder.hpp"
+#include "util/rng.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+TEST(Editor, EmptyEditorRendersGapStrings) {
+  be_editor ed(10, 10);
+  const be_string2d s = ed.strings();
+  ASSERT_EQ(s.x.size(), 1u);
+  EXPECT_TRUE(s.x.at(0).is_dummy());
+}
+
+TEST(Editor, ConstructFromImageMatchesEncode) {
+  alphabet names;
+  rng r(5);
+  scene_params params;
+  params.object_count = 10;
+  const symbolic_image scene = random_scene(params, r, names);
+  be_editor ed(scene);
+  EXPECT_EQ(ed.strings(), encode(scene));
+  EXPECT_EQ(ed.image(), scene);
+}
+
+TEST(Editor, InsertMatchesReencode) {
+  alphabet names;
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  be_editor ed(20, 20);
+  symbolic_image reference(20, 20);
+  ed.insert(a, rect::checked(2, 6, 3, 9));
+  reference.add(a, rect::checked(2, 6, 3, 9));
+  EXPECT_EQ(ed.strings(), encode(reference));
+  ed.insert(b, rect::checked(6, 10, 9, 12));  // shares a boundary with A
+  reference.add(b, rect::checked(6, 10, 9, 12));
+  EXPECT_EQ(ed.strings(), encode(reference));
+}
+
+TEST(Editor, InsertValidatesMbr) {
+  be_editor ed(10, 10);
+  EXPECT_THROW((void)ed.insert(0, rect{interval{3, 3}, interval{0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ed.insert(0, rect::checked(0, 11, 0, 5)),
+               std::invalid_argument);
+}
+
+TEST(Editor, EraseRemovesAndEliminatesRedundantDummies) {
+  alphabet names;
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  be_editor ed(20, 20);
+  const instance_id ia = ed.insert(a, rect::checked(2, 6, 2, 6));
+  ed.insert(b, rect::checked(10, 14, 10, 14));
+  ASSERT_TRUE(ed.erase(ia));
+  symbolic_image reference(20, 20);
+  reference.add(b, rect::checked(10, 14, 10, 14));
+  EXPECT_EQ(ed.strings(), encode(reference));
+  EXPECT_EQ(ed.size(), 1u);
+}
+
+TEST(Editor, EraseUnknownIdReturnsFalse) {
+  be_editor ed(10, 10);
+  EXPECT_FALSE(ed.erase(123));
+}
+
+TEST(Editor, EraseFirstPicksLowestXBegin) {
+  alphabet names;
+  const symbol_id a = names.intern("A");
+  be_editor ed(20, 20);
+  ed.insert(a, rect::checked(8, 12, 0, 4));
+  const instance_id leftmost = ed.insert(a, rect::checked(1, 5, 5, 9));
+  const auto erased = ed.erase_first(a);
+  ASSERT_TRUE(erased.has_value());
+  EXPECT_EQ(*erased, leftmost);
+  EXPECT_EQ(ed.size(), 1u);
+}
+
+TEST(Editor, EraseFirstUnknownSymbol) {
+  be_editor ed(10, 10);
+  EXPECT_FALSE(ed.erase_first(42).has_value());
+}
+
+// The headline property (paper §3.2): any interleaving of inserts and
+// erases leaves the editor's string identical to a fresh full re-encode.
+class EditorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EditorProperty, IncrementalAlwaysEqualsReencode) {
+  rng r(GetParam());
+  alphabet names;
+  const int domain = 64;
+  be_editor ed(domain, domain);
+  std::vector<instance_id> live;
+
+  for (int step = 0; step < 60; ++step) {
+    const bool do_insert = live.empty() || r.chance(0.65);
+    if (do_insert) {
+      const int w = r.uniform_int(1, 16);
+      const int h = r.uniform_int(1, 16);
+      const int x = r.uniform_int(0, domain - w);
+      const int y = r.uniform_int(0, domain - h);
+      const auto symbol = static_cast<symbol_id>(r.uniform_int(0, 4));
+      live.push_back(
+          ed.insert(symbol, rect{interval{x, x + w}, interval{y, y + h}}));
+    } else {
+      const std::size_t pick = static_cast<std::size_t>(
+          r.uniform_int(0, static_cast<int>(live.size()) - 1));
+      ASSERT_TRUE(ed.erase(live[pick]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    EXPECT_EQ(ed.strings(), encode(ed.image())) << "step " << step;
+    EXPECT_EQ(ed.size(), live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditorProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "core/serializer.hpp"
+#include "util/rng.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+// The paper's Figure 1 / §3.1 worked example, reconstructed from the stated
+// dummy placements: on the x-axis there is a gap before A's begin and after
+// B's end, and A's end coincides with C's begin; on the y-axis B's end
+// coincides with C's begin.
+symbolic_image figure1_scene(alphabet& names) {
+  symbolic_image img(12, 11);
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  const symbol_id c = names.intern("C");
+  img.add(a, rect::checked(2, 6, 3, 9));
+  img.add(b, rect::checked(4, 10, 1, 5));
+  img.add(c, rect::checked(6, 8, 5, 7));
+  return img;
+}
+
+TEST(Encoder, Figure1MatchesPaperExample) {
+  alphabet names;
+  const be_string2d s = encode(figure1_scene(names));
+  EXPECT_EQ(paper_style(s.x, names), "EAbEBbEAeCbECeEBeE");
+  EXPECT_EQ(paper_style(s.y, names), "EBbEAbEBeCbECeEAeE");
+  EXPECT_TRUE(s.well_formed());
+}
+
+TEST(Encoder, Figure1CoincidentBoundariesGetNoDummy) {
+  alphabet names;
+  const be_string2d s = encode(figure1_scene(names));
+  // x-axis: ... A:e C:b adjacent with no dummy between them.
+  const auto& x = s.x.tokens();
+  const symbol_id a = names.id_of("A");
+  const symbol_id c = names.id_of("C");
+  bool found = false;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    if (!x[i].is_dummy() && x[i].symbol() == a &&
+        x[i].kind() == boundary_kind::end && !x[i + 1].is_dummy() &&
+        x[i + 1].symbol() == c && x[i + 1].kind() == boundary_kind::begin) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Encoder, EmptyImageIsOneGapPerAxis) {
+  const be_string2d s = encode(symbolic_image(10, 10));
+  ASSERT_EQ(s.x.size(), 1u);
+  ASSERT_EQ(s.y.size(), 1u);
+  EXPECT_TRUE(s.x.at(0).is_dummy());
+  EXPECT_TRUE(s.y.at(0).is_dummy());
+}
+
+TEST(Encoder, FullDomainObjectHasInteriorDummyOnly) {
+  alphabet names;
+  symbolic_image img(10, 10);
+  img.add(names.intern("A"), rect::checked(0, 10, 0, 10));
+  const be_string2d s = encode(img);
+  // A:b E A:e — flush edges, one interior gap: 2n+1 = 3 tokens.
+  ASSERT_EQ(s.x.size(), 3u);
+  EXPECT_FALSE(s.x.at(0).is_dummy());
+  EXPECT_TRUE(s.x.at(1).is_dummy());
+  EXPECT_FALSE(s.x.at(2).is_dummy());
+}
+
+TEST(Encoder, InteriorObjectHasEdgeDummies) {
+  alphabet names;
+  symbolic_image img(10, 10);
+  img.add(names.intern("A"), rect::checked(3, 6, 4, 7));
+  const be_string2d s = encode(img);
+  // E A:b E A:e E = 5 tokens = 4n+1 for n=1.
+  EXPECT_EQ(s.x.size(), 5u);
+  EXPECT_EQ(s.y.size(), 5u);
+  EXPECT_TRUE(s.x.at(0).is_dummy());
+  EXPECT_TRUE(s.x.at(4).is_dummy());
+}
+
+TEST(Encoder, BestCaseSceneHits2nPlus1) {
+  alphabet names;
+  for (std::size_t n : {1u, 2u, 5u, 16u}) {
+    const be_string2d s = encode(best_case_scene(n, names));
+    EXPECT_EQ(s.x.size(), 2 * n + 1) << "n=" << n;
+    EXPECT_EQ(s.y.size(), 2 * n + 1) << "n=" << n;
+  }
+}
+
+TEST(Encoder, WorstCaseSceneHits4nPlus1) {
+  alphabet names;
+  for (std::size_t n : {1u, 2u, 5u, 16u}) {
+    const be_string2d s = encode(worst_case_scene(n, names));
+    EXPECT_EQ(s.x.size(), max_axis_tokens(n)) << "n=" << n;
+    EXPECT_EQ(s.y.size(), max_axis_tokens(n)) << "n=" << n;
+  }
+}
+
+TEST(Encoder, TieBreakOrdersBySymbolThenKind) {
+  alphabet names;
+  symbolic_image img(10, 10);
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  // Both objects share every boundary coordinate.
+  img.add(b, rect::checked(2, 8, 2, 8));
+  img.add(a, rect::checked(2, 8, 2, 8));
+  const be_string2d s = encode(img);
+  // Run at coord 2: A:b then B:b (symbol order), run at 8: A:e then B:e.
+  ASSERT_EQ(s.x.size(), 7u);  // E A:b B:b E A:e B:e E
+  EXPECT_TRUE(s.x.at(0).is_dummy());
+  EXPECT_EQ(s.x.at(1), token::boundary(a, boundary_kind::begin));
+  EXPECT_EQ(s.x.at(2), token::boundary(b, boundary_kind::begin));
+  EXPECT_TRUE(s.x.at(3).is_dummy());
+  EXPECT_EQ(s.x.at(4), token::boundary(a, boundary_kind::end));
+  EXPECT_EQ(s.x.at(5), token::boundary(b, boundary_kind::end));
+  EXPECT_TRUE(s.x.at(6).is_dummy());
+}
+
+TEST(Encoder, SameSymbolBeginBeforeEndOnTie) {
+  alphabet names;
+  symbolic_image img(10, 10);
+  const symbol_id a = names.intern("A");
+  // First instance ends exactly where the second begins.
+  img.add(a, rect::checked(0, 5, 0, 10));
+  img.add(a, rect::checked(5, 10, 0, 10));
+  const be_string2d s = encode(img);
+  // x: A:b E A:b A:e E A:e (begin sorts before end at coord 5).
+  ASSERT_EQ(s.x.size(), 6u);
+  EXPECT_EQ(s.x.at(2), token::boundary(a, boundary_kind::begin));
+  EXPECT_EQ(s.x.at(3), token::boundary(a, boundary_kind::end));
+  EXPECT_TRUE(s.x.well_formed());
+}
+
+TEST(Encoder, RenderAxisRejectsBadDomain) {
+  EXPECT_THROW((void)render_axis({}, 0), std::invalid_argument);
+}
+
+// Property sweep: random scenes obey the storage bounds and well-formedness.
+class EncoderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EncoderProperty, BoundsAndWellFormedness) {
+  rng r(GetParam());
+  alphabet names;
+  scene_params params;
+  params.object_count = static_cast<std::size_t>(r.uniform_int(0, 40));
+  params.symbol_pool = 6;
+  params.grid = r.chance(0.5) ? 8 : 0;
+  const symbolic_image scene = random_scene(params, r, names);
+  const be_string2d s = encode(scene);
+  const std::size_t n = scene.size();
+  if (n == 0) {
+    EXPECT_EQ(s.x.size(), 1u);
+  } else {
+    EXPECT_GE(s.x.size(), min_axis_tokens(n));
+    EXPECT_LE(s.x.size(), max_axis_tokens(n));
+    EXPECT_GE(s.y.size(), min_axis_tokens(n));
+    EXPECT_LE(s.y.size(), max_axis_tokens(n));
+    EXPECT_EQ(s.x.boundary_count(), 2 * n);
+    EXPECT_EQ(s.y.boundary_count(), 2 * n);
+  }
+  EXPECT_TRUE(s.well_formed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderProperty,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+// Encoding must be a pure function of the icon SET (order-independent).
+TEST(Encoder, InsertionOrderIrrelevant) {
+  alphabet names;
+  rng r(99);
+  scene_params params;
+  params.object_count = 12;
+  const symbolic_image scene = random_scene(params, r, names);
+  symbolic_image shuffled(scene.width(), scene.height());
+  std::vector<icon> icons = scene.icons();
+  r.shuffle(icons);
+  for (const icon& obj : icons) shuffled.add(obj);
+  EXPECT_EQ(encode(scene), encode(shuffled));
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "core/serializer.hpp"
+
+namespace bes {
+namespace {
+
+be_string2d sample_string(alphabet& names) {
+  symbolic_image img(12, 11);
+  img.add(names.intern("A"), rect::checked(2, 6, 3, 9));
+  img.add(names.intern("B"), rect::checked(4, 10, 1, 5));
+  img.add(names.intern("C"), rect::checked(6, 8, 5, 7));
+  return encode(img);
+}
+
+TEST(Serializer, AxisRoundTrip) {
+  alphabet names;
+  const be_string2d s = sample_string(names);
+  const std::string text = to_text(s.x, names);
+  alphabet names2;
+  names2.intern("A");
+  names2.intern("B");
+  names2.intern("C");
+  EXPECT_EQ(parse_axis(text, names2), s.x);
+}
+
+TEST(Serializer, TwoDRoundTrip) {
+  alphabet names;
+  const be_string2d s = sample_string(names);
+  const std::string text = to_text(s, names);
+  alphabet names2;
+  names2.intern("A");
+  names2.intern("B");
+  names2.intern("C");
+  EXPECT_EQ(parse_be_string(text, names2), s);
+}
+
+TEST(Serializer, ParseInternsUnknownSymbols) {
+  alphabet names;
+  const axis_string s = parse_axis("E X:b E X:e E", names);
+  EXPECT_TRUE(names.knows("X"));
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_TRUE(s.well_formed());
+}
+
+TEST(Serializer, MachineFormUsesColonRoles) {
+  alphabet names;
+  const symbol_id a = names.intern("door");
+  axis_string s(std::vector<token>{token::dummy(),
+                                   token::boundary(a, boundary_kind::begin),
+                                   token::boundary(a, boundary_kind::end)});
+  EXPECT_EQ(to_text(s, names), "E door:b door:e");
+}
+
+TEST(Serializer, PaperStyleCompact) {
+  alphabet names;
+  const symbol_id a = names.intern("A");
+  axis_string s(std::vector<token>{token::dummy(),
+                                   token::boundary(a, boundary_kind::begin),
+                                   token::dummy(),
+                                   token::boundary(a, boundary_kind::end)});
+  EXPECT_EQ(paper_style(s, names), "EAbEAe");
+}
+
+TEST(Serializer, EmptyAxisParses) {
+  alphabet names;
+  EXPECT_EQ(parse_axis("", names).size(), 0u);
+  EXPECT_EQ(parse_axis("   ", names).size(), 0u);
+}
+
+TEST(Serializer, MalformedTokensThrow) {
+  alphabet names;
+  EXPECT_THROW((void)parse_axis("A", names), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("A:", names), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("A:x", names), std::invalid_argument);
+  EXPECT_THROW((void)parse_axis("A:bb", names), std::invalid_argument);
+}
+
+TEST(Serializer, MalformedTwoDThrows) {
+  alphabet names;
+  EXPECT_THROW((void)parse_be_string("A:b A:e", names), std::invalid_argument);
+  EXPECT_THROW((void)parse_be_string("( A:b A:e )", names),
+               std::invalid_argument);
+}
+
+TEST(Serializer, DummyRoundTrips) {
+  alphabet names;
+  const axis_string s = parse_axis("E", names);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.at(0).is_dummy());
+  EXPECT_EQ(to_text(s, names), "E");
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "db/query.hpp"
+#include "db/storage.hpp"
+#include "util/rng.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+std::filesystem::path temp_file(const char* stem) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("bestring_db_") + stem + "_" + std::to_string(::getpid()));
+}
+
+symbolic_image scene_with(alphabet& names,
+                          std::initializer_list<const char*> symbols) {
+  symbolic_image img(64, 64);
+  int offset = 0;
+  for (const char* s : symbols) {
+    img.add(names.intern(s),
+            rect::checked(offset, offset + 6, offset, offset + 6));
+    offset += 8;
+  }
+  return img;
+}
+
+image_database sample_db() {
+  image_database db;
+  db.add("ab", scene_with(db.symbols(), {"A", "B"}));
+  db.add("bc", scene_with(db.symbols(), {"B", "C"}));
+  db.add("cd", scene_with(db.symbols(), {"C", "D"}));
+  return db;
+}
+
+// ---------------------------------------------------------------- basics
+
+TEST(Database, AddAssignsDenseIds) {
+  image_database db = sample_db();
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.record(0).name, "ab");
+  EXPECT_EQ(db.record(2).name, "cd");
+  EXPECT_THROW((void)db.record(3), std::out_of_range);
+}
+
+TEST(Database, StringsEncodedOnInsert) {
+  image_database db = sample_db();
+  EXPECT_EQ(db.record(0).strings, encode(db.record(0).image));
+  EXPECT_TRUE(db.record(0).strings.well_formed());
+}
+
+TEST(Database, CandidatesViaIndex) {
+  image_database db = sample_db();
+  alphabet& names = db.symbols();
+  const std::vector<symbol_id> query_b = {names.id_of("B")};
+  EXPECT_EQ(db.candidates(query_b), (std::vector<image_id>{0, 1}));
+  const std::vector<symbol_id> query_ad = {names.id_of("A"), names.id_of("D")};
+  EXPECT_EQ(db.candidates(query_ad), (std::vector<image_id>{0, 2}));
+}
+
+TEST(Database, CandidatesForUnknownSymbolEmpty) {
+  image_database db = sample_db();
+  const std::vector<symbol_id> unknown = {999};
+  EXPECT_TRUE(db.candidates(unknown).empty());
+}
+
+TEST(InvertedIndex, DeduplicatesWithinImage) {
+  inverted_index index;
+  const std::vector<symbol_id> symbols = {1, 1, 2};
+  index.add(0, symbols);
+  EXPECT_EQ(index.postings(1), 1u);
+  EXPECT_EQ(index.postings(2), 1u);
+  EXPECT_EQ(index.postings(3), 0u);
+  EXPECT_EQ(index.distinct_symbols(), 2u);
+}
+
+// ---------------------------------------------------------------- search
+
+TEST(Search, ExactCopyRanksFirstWithScoreOne) {
+  image_database db = sample_db();
+  const auto results = search(db, db.record(1).image);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].id, 1u);
+  EXPECT_DOUBLE_EQ(results[0].score, 1.0);
+}
+
+TEST(Search, TopKTruncates) {
+  image_database db = sample_db();
+  query_options options;
+  options.top_k = 1;
+  EXPECT_EQ(search(db, db.record(0).image, options).size(), 1u);
+}
+
+TEST(Search, MinScoreFilters) {
+  image_database db = sample_db();
+  query_options options;
+  options.min_score = 1.01;  // nothing can reach this
+  EXPECT_TRUE(search(db, db.record(0).image, options).empty());
+}
+
+TEST(Search, IndexOffScansEverything) {
+  image_database db = sample_db();
+  alphabet& names = db.symbols();
+  // Query with a symbol absent from the db: index returns nothing, full
+  // scan still scores everything (dummy matches only).
+  symbolic_image query(64, 64);
+  query.add(names.intern("Z"), rect::checked(0, 6, 0, 6));
+  query_options with_index;
+  query_options without_index;
+  without_index.use_index = false;
+  without_index.top_k = 0;
+  EXPECT_TRUE(search(db, query, with_index).empty());
+  EXPECT_EQ(search(db, query, without_index).size(), db.size());
+}
+
+TEST(Search, ParallelMatchesSerial) {
+  image_database db;
+  rng r(3);
+  scene_params params;
+  params.object_count = 6;
+  params.symbol_pool = 4;
+  for (int i = 0; i < 40; ++i) {
+    db.add("img" + std::to_string(i),
+           random_scene(params, r, db.symbols()));
+  }
+  const symbolic_image& query = db.record(7).image;
+  query_options serial;
+  serial.top_k = 0;
+  query_options parallel = serial;
+  parallel.threads = 4;
+  EXPECT_EQ(search(db, query, serial), search(db, query, parallel));
+}
+
+TEST(Search, TransformInvariantFindsRotatedImage) {
+  image_database db;
+  rng r(4);
+  scene_params params;
+  params.object_count = 6;
+  params.symbol_pool = 6;
+  const symbolic_image original = random_scene(params, r, db.symbols());
+  db.add("original", original);
+  db.add("rotated", apply(dihedral::rot90, original));
+  db.add("other", random_scene(params, r, db.symbols()));
+
+  query_options plain;
+  plain.top_k = 0;
+  const auto without = search(db, original, plain);
+  query_options invariant = plain;
+  invariant.transform_invariant = true;
+  const auto with = search(db, original, invariant);
+
+  auto score_of = [](const std::vector<query_result>& rs, image_id id) {
+    for (const auto& r : rs) {
+      if (r.id == id) return r.score;
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(score_of(with, 1), 1.0);   // rotated copy: perfect match
+  EXPECT_LT(score_of(without, 1), 1.0);       // plain search misses it
+  // The reported transform maps the query onto the stored image.
+  for (const auto& res : with) {
+    if (res.id == 1) {
+      EXPECT_EQ(apply(res.transform, encode(original)),
+                db.record(1).strings);
+    }
+  }
+}
+
+TEST(Search, TiesBrokenByIdAscending) {
+  image_database db;
+  const symbolic_image img = scene_with(db.symbols(), {"A"});
+  db.add("first", img);
+  db.add("second", img);  // identical picture
+  const auto results = search(db, img);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].score, results[1].score);
+  EXPECT_LT(results[0].id, results[1].id);
+}
+
+// ---------------------------------------------------------------- storage
+
+TEST(Storage, SaveLoadRoundTrip) {
+  image_database db;
+  rng r(5);
+  scene_params params;
+  params.object_count = 5;
+  params.symbol_pool = 4;
+  for (int i = 0; i < 10; ++i) {
+    db.add("scene " + std::to_string(i),  // names with spaces must survive
+           random_scene(params, r, db.symbols()));
+  }
+  const auto path = temp_file("roundtrip");
+  save_database(db, path);
+  const image_database loaded = load_database(path);
+  ASSERT_EQ(loaded.size(), db.size());
+  EXPECT_EQ(loaded.symbols().names(), db.symbols().names());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto id = static_cast<image_id>(i);
+    EXPECT_EQ(loaded.record(id).name, db.record(id).name);
+    EXPECT_EQ(loaded.record(id).image, db.record(id).image);
+    EXPECT_EQ(loaded.record(id).strings, db.record(id).strings);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Storage, LoadedDatabaseAnswersQueriesIdentically) {
+  image_database db;
+  rng r(6);
+  scene_params params;
+  params.object_count = 6;
+  for (int i = 0; i < 12; ++i) {
+    db.add("img", random_scene(params, r, db.symbols()));
+  }
+  const auto path = temp_file("queries");
+  save_database(db, path);
+  const image_database loaded = load_database(path);
+  const symbolic_image& query = db.record(3).image;
+  EXPECT_EQ(search(db, query), search(loaded, query));
+  std::filesystem::remove(path);
+}
+
+TEST(Storage, RejectsMissingFile) {
+  EXPECT_THROW((void)load_database("/nonexistent/x.besdb"),
+               std::runtime_error);
+}
+
+TEST(Storage, RejectsBadHeader) {
+  const auto path = temp_file("badheader");
+  {
+    std::ofstream out(path);
+    out << "NOTADB 1\n";
+  }
+  EXPECT_THROW((void)load_database(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Storage, RejectsUnknownSymbolReference) {
+  const auto path = temp_file("badsymbol");
+  {
+    std::ofstream out(path);
+    out << "BESDB 1\nalphabet 1\nA\nimages 1\nimage 10 10 1 x\n"
+        << "icon 7 0 1 0 1\n";  // symbol 7 does not exist
+  }
+  EXPECT_THROW((void)load_database(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Storage, RejectsTruncatedIconList) {
+  const auto path = temp_file("truncated");
+  {
+    std::ofstream out(path);
+    out << "BESDB 1\nalphabet 1\nA\nimages 1\nimage 10 10 2 x\n"
+        << "icon 0 0 1 0 1\n";  // promised 2 icons, provided 1
+  }
+  EXPECT_THROW((void)load_database(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace bes

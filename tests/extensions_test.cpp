@@ -1,0 +1,215 @@
+// Tests for the extension modules: weighted LCS, type-i database retrieval,
+// and the scene-sketch text format.
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "db/type_retrieval.hpp"
+#include "lcs/be_lcs.hpp"
+#include "symbolic/scene_text.hpp"
+#include "util/rng.hpp"
+#include "workload/query_gen.hpp"
+
+namespace bes {
+namespace {
+
+token Bb(symbol_id s) { return token::boundary(s, boundary_kind::begin); }
+token Be(symbol_id s) { return token::boundary(s, boundary_kind::end); }
+token E() { return token::dummy(); }
+
+// ------------------------------------------------------- weighted LCS
+
+std::vector<token> random_tokens(rng& r, std::size_t max_len) {
+  std::vector<token> out(
+      static_cast<std::size_t>(r.uniform_int(0, static_cast<int>(max_len))));
+  for (token& t : out) {
+    const int pick = r.uniform_int(0, 4);
+    if (pick == 0) {
+      t = E();
+    } else {
+      const auto s = static_cast<symbol_id>(r.uniform_int(0, 1));
+      t = pick % 2 == 1 ? Bb(s) : Be(s);
+    }
+  }
+  return out;
+}
+
+// Exponential oracle for the weighted constrained objective.
+double brute_force_weighted(const std::vector<token>& q,
+                            const std::vector<token>& d, double w) {
+  double best = 0.0;
+  const std::size_t n = q.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<token> candidate;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) candidate.push_back(q[i]);
+    }
+    bool constrained = true;
+    double gain = 0.0;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      if (candidate[i].is_dummy()) {
+        gain += w;
+        if (i + 1 < candidate.size() && candidate[i + 1].is_dummy()) {
+          constrained = false;
+          break;
+        }
+      } else {
+        gain += 1.0;
+      }
+    }
+    if (!constrained) continue;
+    std::size_t j = 0;
+    for (token t : d) {
+      if (j < candidate.size() && candidate[j] == t) ++j;
+    }
+    if (j == candidate.size()) best = std::max(best, gain);
+  }
+  return best;
+}
+
+TEST(WeightedLcs, WeightOneEqualsExactLength) {
+  rng r(1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::vector<token> q = random_tokens(r, 14);
+    const std::vector<token> d = random_tokens(r, 14);
+    EXPECT_DOUBLE_EQ(be_lcs_weighted(q, d, 1.0),
+                     static_cast<double>(be_lcs_length_exact(q, d)));
+  }
+}
+
+TEST(WeightedLcs, WeightZeroCountsBoundaryMatchesOnly) {
+  const std::vector<token> q = {E(), Bb(0), E(), Be(0), E()};
+  EXPECT_DOUBLE_EQ(be_lcs_weighted(q, q, 0.0), 2.0);
+}
+
+TEST(WeightedLcs, RejectsOutOfRangeWeight) {
+  const std::vector<token> q = {Bb(0)};
+  EXPECT_THROW((void)be_lcs_weighted(q, q, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)be_lcs_weighted(q, q, 1.5), std::invalid_argument);
+}
+
+class WeightedLcsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedLcsOracle, MatchesBruteForce) {
+  rng r(GetParam());
+  const std::vector<token> q = random_tokens(r, 11);
+  const std::vector<token> d = random_tokens(r, 11);
+  for (double w : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_NEAR(be_lcs_weighted(q, d, w), brute_force_weighted(q, d, w), 1e-9)
+        << "w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedLcsOracle,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(WeightedLcs, MonotoneInWeight) {
+  rng r(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<token> q = random_tokens(r, 20);
+    const std::vector<token> d = random_tokens(r, 20);
+    double previous = -1.0;
+    for (double w : {0.0, 0.3, 0.7, 1.0}) {
+      const double score = be_lcs_weighted(q, d, w);
+      EXPECT_GE(score + 1e-12, previous);
+      previous = score;
+    }
+  }
+}
+
+// ------------------------------------------------------- type retrieval
+
+TEST(TypeRetrieval, ExactCopyRanksFirst) {
+  image_database db;
+  rng r(2);
+  scene_params params;
+  params.object_count = 6;
+  params.symbol_pool = 6;
+  params.unique_symbols = true;
+  for (int i = 0; i < 8; ++i) {
+    db.add("s" + std::to_string(i), random_scene(params, r, db.symbols()));
+  }
+  const auto results = type_search(db, db.record(3).image,
+                                   {similarity_type::type2, 0});
+  ASSERT_EQ(results.size(), db.size());
+  EXPECT_EQ(results[0].id, 3u);
+  EXPECT_EQ(results[0].matched, 6u);
+  EXPECT_DOUBLE_EQ(results[0].fraction, 1.0);
+  // Descending matched counts.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].matched, results[i].matched);
+  }
+}
+
+TEST(TypeRetrieval, TopKTruncates) {
+  image_database db;
+  rng r(3);
+  scene_params params;
+  params.object_count = 5;
+  for (int i = 0; i < 10; ++i) {
+    db.add("s", random_scene(params, r, db.symbols()));
+  }
+  EXPECT_EQ(type_search(db, db.record(0).image, {}, 3).size(), 3u);
+}
+
+TEST(TypeRetrieval, EmptyQueryScoresZero) {
+  image_database db;
+  rng r(4);
+  scene_params params;
+  db.add("s", random_scene(params, r, db.symbols()));
+  const auto results = type_search(db, symbolic_image(10, 10));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].matched, 0u);
+  EXPECT_DOUBLE_EQ(results[0].fraction, 0.0);
+}
+
+// ------------------------------------------------------- scene sketches
+
+TEST(SceneText, ParsesFigure1Sketch) {
+  alphabet names;
+  const symbolic_image scene =
+      parse_scene("12x11: A 2 6 3 9; B 4 10 1 5; C 6 8 5 7", names);
+  EXPECT_EQ(scene.width(), 12);
+  EXPECT_EQ(scene.height(), 11);
+  ASSERT_EQ(scene.size(), 3u);
+  EXPECT_EQ(scene.icons()[0].mbr, rect::checked(2, 6, 3, 9));
+  EXPECT_EQ(names.name_of(scene.icons()[2].symbol), "C");
+}
+
+TEST(SceneText, RoundTrip) {
+  alphabet names;
+  rng r(5);
+  scene_params params;
+  params.object_count = 7;
+  const symbolic_image scene = random_scene(params, r, names);
+  alphabet names2 = names;
+  EXPECT_EQ(parse_scene(scene_text(scene, names), names2), scene);
+}
+
+TEST(SceneText, EmptySceneRoundTrip) {
+  alphabet names;
+  const symbolic_image scene = parse_scene("10x10:", names);
+  EXPECT_TRUE(scene.empty());
+  EXPECT_EQ(scene_text(scene, names), "10x10:");
+}
+
+TEST(SceneText, TrailingSemicolonTolerated) {
+  alphabet names;
+  EXPECT_EQ(parse_scene("10x10: A 0 1 0 1;", names).size(), 1u);
+}
+
+TEST(SceneText, RejectsMalformedInput) {
+  alphabet names;
+  EXPECT_THROW((void)parse_scene("nocolon", names), std::invalid_argument);
+  EXPECT_THROW((void)parse_scene("axb: A 0 1 0 1", names),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scene("10x10: A 0 1", names), std::invalid_argument);
+  EXPECT_THROW((void)parse_scene("10x10: A 0 1 0 1 9", names),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scene("10x10: A 5 2 0 1", names),
+               std::invalid_argument);  // inverted interval
+  EXPECT_THROW((void)parse_scene("10x10: A 0 99 0 1", names),
+               std::invalid_argument);  // out of domain
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geometry/allen.hpp"
+#include "geometry/dihedral.hpp"
+#include "geometry/interval.hpp"
+#include "geometry/rect.hpp"
+
+namespace bes {
+namespace {
+
+// ---------------------------------------------------------------- interval
+
+TEST(Interval, CheckedAcceptsProper) {
+  const interval v = interval::checked(1, 4);
+  EXPECT_EQ(v.lo, 1);
+  EXPECT_EQ(v.hi, 4);
+  EXPECT_EQ(v.length(), 3);
+}
+
+TEST(Interval, CheckedRejectsEmptyAndInverted) {
+  EXPECT_THROW((void)interval::checked(3, 3), std::invalid_argument);
+  EXPECT_THROW((void)interval::checked(4, 1), std::invalid_argument);
+}
+
+TEST(Interval, ContainsIsHalfOpen) {
+  const interval v{2, 5};
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_TRUE(v.contains(4));
+  EXPECT_FALSE(v.contains(5));
+}
+
+TEST(Interval, OverlapsRequiresSharedInterior) {
+  EXPECT_TRUE(overlaps(interval{0, 3}, interval{2, 5}));
+  EXPECT_FALSE(overlaps(interval{0, 3}, interval{3, 5}));  // meets only
+  EXPECT_FALSE(overlaps(interval{0, 3}, interval{4, 5}));
+}
+
+TEST(Interval, ContainsInterval) {
+  EXPECT_TRUE(contains(interval{0, 10}, interval{0, 10}));
+  EXPECT_TRUE(contains(interval{0, 10}, interval{3, 4}));
+  EXPECT_FALSE(contains(interval{3, 4}, interval{0, 10}));
+}
+
+TEST(Interval, IntersectAndHull) {
+  EXPECT_EQ(intersect(interval{0, 5}, interval{3, 9}), (interval{3, 5}));
+  EXPECT_THROW((void)intersect(interval{0, 2}, interval{5, 6}),
+               std::invalid_argument);
+  EXPECT_EQ(hull(interval{0, 2}, interval{5, 6}), (interval{0, 6}));
+}
+
+TEST(Interval, ToStringFormat) {
+  EXPECT_EQ(to_string(interval{1, 3}), "[1, 3)");
+}
+
+// ---------------------------------------------------------------- allen
+
+// Direct predicate re-statement of each relation, independent of classify().
+bool holds(allen_relation r, interval a, interval b) {
+  switch (r) {
+    case allen_relation::before: return a.hi < b.lo;
+    case allen_relation::meets: return a.hi == b.lo;
+    case allen_relation::overlaps:
+      return a.lo < b.lo && b.lo < a.hi && a.hi < b.hi;
+    case allen_relation::starts: return a.lo == b.lo && a.hi < b.hi;
+    case allen_relation::during: return b.lo < a.lo && a.hi < b.hi;
+    case allen_relation::finishes: return b.lo < a.lo && a.hi == b.hi;
+    case allen_relation::equals: return a.lo == b.lo && a.hi == b.hi;
+    case allen_relation::finished_by: return a.lo < b.lo && b.hi == a.hi;
+    case allen_relation::contains: return a.lo < b.lo && b.hi < a.hi;
+    case allen_relation::started_by: return a.lo == b.lo && b.hi < a.hi;
+    case allen_relation::overlapped_by:
+      return b.lo < a.lo && a.lo < b.hi && b.hi < a.hi;
+    case allen_relation::met_by: return b.hi == a.lo;
+    case allen_relation::after: return b.hi < a.lo;
+  }
+  return false;
+}
+
+std::vector<interval> small_intervals(int limit) {
+  std::vector<interval> out;
+  for (int lo = 0; lo < limit; ++lo) {
+    for (int hi = lo + 1; hi <= limit; ++hi) out.push_back(interval{lo, hi});
+  }
+  return out;
+}
+
+TEST(Allen, ExhaustiveClassificationMatchesPredicates) {
+  const auto intervals = small_intervals(6);
+  for (interval a : intervals) {
+    for (interval b : intervals) {
+      const allen_relation r = classify(a, b);
+      EXPECT_TRUE(holds(r, a, b))
+          << to_string(a) << " vs " << to_string(b) << " -> " << to_string(r);
+      // Exactly one relation may hold.
+      int holding = 0;
+      for (int k = 0; k < allen_relation_count; ++k) {
+        holding += holds(static_cast<allen_relation>(k), a, b) ? 1 : 0;
+      }
+      EXPECT_EQ(holding, 1);
+    }
+  }
+}
+
+TEST(Allen, InversePairsExhaustive) {
+  const auto intervals = small_intervals(6);
+  for (interval a : intervals) {
+    for (interval b : intervals) {
+      EXPECT_EQ(inverse(classify(a, b)), classify(b, a));
+    }
+  }
+}
+
+TEST(Allen, InverseIsInvolution) {
+  for (int k = 0; k < allen_relation_count; ++k) {
+    const auto r = static_cast<allen_relation>(k);
+    EXPECT_EQ(inverse(inverse(r)), r);
+  }
+}
+
+TEST(Allen, EqualsIsSelfInverse) {
+  EXPECT_EQ(inverse(allen_relation::equals), allen_relation::equals);
+}
+
+TEST(Allen, NamesAreDistinct) {
+  std::vector<std::string_view> seen;
+  for (int k = 0; k < allen_relation_count; ++k) {
+    const auto name = to_string(static_cast<allen_relation>(k));
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), name), 0);
+    seen.push_back(name);
+  }
+}
+
+// ---------------------------------------------------------------- rect
+
+TEST(Rect, CheckedValidates) {
+  EXPECT_NO_THROW((void)rect::checked(0, 2, 0, 3));
+  EXPECT_THROW((void)rect::checked(2, 2, 0, 3), std::invalid_argument);
+  EXPECT_THROW((void)rect::checked(0, 2, 3, 3), std::invalid_argument);
+}
+
+TEST(Rect, AreaAndOverlap) {
+  const rect a = rect::checked(0, 4, 0, 3);
+  EXPECT_EQ(a.area(), 12);
+  EXPECT_TRUE(overlaps(a, rect::checked(3, 5, 2, 6)));
+  EXPECT_FALSE(overlaps(a, rect::checked(4, 5, 0, 3)));  // edge contact only
+  EXPECT_TRUE(contains(a, rect::checked(1, 2, 1, 2)));
+}
+
+// ---------------------------------------------------------------- dihedral
+
+TEST(Dihedral, IdentityFixesEverything) {
+  const rect r = rect::checked(1, 4, 2, 7);
+  EXPECT_EQ(apply(dihedral::identity, r, 10, 8), r);
+}
+
+TEST(Dihedral, KnownRotation90) {
+  // Domain 10x8; rot90 (cw): (x,y) -> (y, 10-x); rect [1,4)x[2,7) ->
+  // x' = [2,7), y' = [10-4, 10-1) = [6,9); new domain 8x10.
+  const rect r = rect::checked(1, 4, 2, 7);
+  EXPECT_EQ(apply(dihedral::rot90, r, 10, 8), rect::checked(2, 7, 6, 9));
+}
+
+TEST(Dihedral, KnownFlipY) {
+  const rect r = rect::checked(1, 4, 2, 7);
+  EXPECT_EQ(apply(dihedral::flip_y, r, 10, 8), rect::checked(6, 9, 2, 7));
+}
+
+TEST(Dihedral, ResultStaysInTransformedDomain) {
+  const rect r = rect::checked(1, 4, 2, 7);
+  for (dihedral t : all_dihedral) {
+    const rect out = apply(t, r, 10, 8);
+    const int w = swaps_axes(t) ? 8 : 10;
+    const int h = swaps_axes(t) ? 10 : 8;
+    EXPECT_TRUE(out.valid());
+    EXPECT_GE(out.x.lo, 0);
+    EXPECT_LE(out.x.hi, w);
+    EXPECT_GE(out.y.lo, 0);
+    EXPECT_LE(out.y.hi, h);
+  }
+}
+
+TEST(Dihedral, InverseUndoesTransform) {
+  const int w = 12;
+  const int h = 9;
+  const std::vector<rect> samples = {
+      rect::checked(0, 12, 0, 9), rect::checked(0, 1, 0, 1),
+      rect::checked(11, 12, 8, 9), rect::checked(3, 7, 2, 5)};
+  for (dihedral t : all_dihedral) {
+    const int tw = swaps_axes(t) ? h : w;
+    const int th = swaps_axes(t) ? w : h;
+    for (const rect& r : samples) {
+      EXPECT_EQ(apply(inverse(t), apply(t, r, w, h), tw, th), r)
+          << to_string(t);
+    }
+  }
+}
+
+TEST(Dihedral, ComposeMatchesSequentialApplication) {
+  const int w = 12;
+  const int h = 9;
+  const rect r = rect::checked(3, 7, 2, 5);
+  for (dihedral first : all_dihedral) {
+    const int mw = swaps_axes(first) ? h : w;
+    const int mh = swaps_axes(first) ? w : h;
+    for (dihedral second : all_dihedral) {
+      const rect sequential = apply(second, apply(first, r, w, h), mw, mh);
+      const rect composed = apply(compose(first, second), r, w, h);
+      EXPECT_EQ(sequential, composed)
+          << to_string(first) << " then " << to_string(second);
+    }
+  }
+}
+
+TEST(Dihedral, ComposeWithInverseIsIdentity) {
+  for (dihedral t : all_dihedral) {
+    EXPECT_EQ(compose(t, inverse(t)), dihedral::identity) << to_string(t);
+    EXPECT_EQ(compose(inverse(t), t), dihedral::identity) << to_string(t);
+  }
+}
+
+TEST(Dihedral, GroupIsClosedAndHasIdentity) {
+  for (dihedral a : all_dihedral) {
+    EXPECT_EQ(compose(a, dihedral::identity), a);
+    EXPECT_EQ(compose(dihedral::identity, a), a);
+  }
+}
+
+TEST(Dihedral, RotationsCycle) {
+  EXPECT_EQ(compose(dihedral::rot90, dihedral::rot90), dihedral::rot180);
+  EXPECT_EQ(compose(dihedral::rot180, dihedral::rot90), dihedral::rot270);
+  EXPECT_EQ(compose(dihedral::rot270, dihedral::rot90), dihedral::identity);
+}
+
+TEST(Dihedral, FlipsCompose) {
+  EXPECT_EQ(compose(dihedral::flip_x, dihedral::flip_y), dihedral::rot180);
+  EXPECT_EQ(compose(dihedral::transpose, dihedral::anti_transpose),
+            dihedral::rot180);
+}
+
+}  // namespace
+}  // namespace bes

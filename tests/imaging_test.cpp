@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "imaging/extract.hpp"
+#include "imaging/pnm.hpp"
+#include "util/rng.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+std::filesystem::path temp_file(const char* stem) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("bestring_test_") + stem + "_" +
+          std::to_string(::getpid()));
+}
+
+// ---------------------------------------------------------------- image
+
+TEST(Image, FillAndAccess) {
+  image8 img(4, 3, 7);
+  EXPECT_EQ(img.at(0, 0), 7);
+  img.at(3, 2) = 42;
+  EXPECT_EQ(img.at(3, 2), 42);
+  EXPECT_THROW((void)img.at(4, 0), std::out_of_range);
+  EXPECT_THROW((void)img.at(0, 3), std::out_of_range);
+  EXPECT_THROW(image8(0, 3), std::invalid_argument);
+}
+
+TEST(ImageRgb, FillAndAccess) {
+  image_rgb img(2, 2, rgb{1, 2, 3});
+  EXPECT_EQ(img.at(1, 1), (rgb{1, 2, 3}));
+  img.at(0, 1) = rgb{9, 8, 7};
+  EXPECT_EQ(img.at(0, 1), (rgb{9, 8, 7}));
+}
+
+// ---------------------------------------------------------------- pnm
+
+TEST(Pnm, PgmBinaryRoundTrip) {
+  image8 img(5, 4, 0);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 5; ++c) img.at(c, r) = static_cast<std::uint8_t>(r * 5 + c);
+  }
+  const auto path = temp_file("roundtrip.pgm");
+  write_pgm(path, img);
+  EXPECT_EQ(read_pgm(path), img);
+  std::filesystem::remove(path);
+}
+
+TEST(Pnm, PpmBinaryRoundTrip) {
+  image_rgb img(3, 2);
+  img.at(0, 0) = rgb{255, 0, 0};
+  img.at(2, 1) = rgb{0, 0, 255};
+  const auto path = temp_file("roundtrip.ppm");
+  write_ppm(path, img);
+  EXPECT_EQ(read_ppm(path), img);
+  std::filesystem::remove(path);
+}
+
+TEST(Pnm, ReadsAsciiPgmWithComments) {
+  const auto path = temp_file("ascii.pgm");
+  {
+    std::ofstream out(path);
+    out << "P2\n# a comment\n3 2\n255\n0 1 2\n3 4 5\n";
+  }
+  const image8 img = read_pgm(path);
+  EXPECT_EQ(img.width(), 3);
+  EXPECT_EQ(img.height(), 2);
+  EXPECT_EQ(img.at(2, 1), 5);
+  std::filesystem::remove(path);
+}
+
+TEST(Pnm, ReadsAsciiPpm) {
+  const auto path = temp_file("ascii.ppm");
+  {
+    std::ofstream out(path);
+    out << "P3\n2 1\n255\n255 0 0  0 255 0\n";
+  }
+  const image_rgb img = read_ppm(path);
+  EXPECT_EQ(img.at(0, 0), (rgb{255, 0, 0}));
+  EXPECT_EQ(img.at(1, 0), (rgb{0, 255, 0}));
+  std::filesystem::remove(path);
+}
+
+TEST(Pnm, RejectsMissingFileAndBadMagic) {
+  EXPECT_THROW((void)read_pgm("/nonexistent/nope.pgm"), std::runtime_error);
+  const auto path = temp_file("bad.pgm");
+  {
+    std::ofstream out(path);
+    out << "P7\n1 1\n255\n0\n";
+  }
+  EXPECT_THROW((void)read_pgm(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Pnm, RejectsTruncatedData) {
+  const auto path = temp_file("trunc.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n4 4\n255\nab";  // 2 bytes instead of 16
+  }
+  EXPECT_THROW((void)read_pgm(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------- ccl
+
+TEST(Ccl, EmptyImageHasNoComponents) {
+  const labeling l = label_components(image8(5, 5, 255), 255);
+  EXPECT_EQ(l.component_count, 0);
+}
+
+TEST(Ccl, SingleBlob) {
+  image8 img(5, 5, 255);
+  img.at(1, 1) = 10;
+  img.at(2, 1) = 10;
+  img.at(2, 2) = 10;
+  const labeling l = label_components(img, 255);
+  EXPECT_EQ(l.component_count, 1);
+  EXPECT_EQ(l.at(1, 1, 5), l.at(2, 2, 5));
+  EXPECT_EQ(l.at(0, 0, 5), -1);
+}
+
+TEST(Ccl, DiagonalPixelsAreSeparate) {
+  image8 img(4, 4, 255);
+  img.at(0, 0) = 10;
+  img.at(1, 1) = 10;  // 4-connectivity: diagonal does not connect
+  const labeling l = label_components(img, 255);
+  EXPECT_EQ(l.component_count, 2);
+}
+
+TEST(Ccl, TouchingDifferentValuesStaySeparate) {
+  image8 img(4, 1, 255);
+  img.at(0, 0) = 10;
+  img.at(1, 0) = 20;  // adjacent but different gray
+  const labeling l = label_components(img, 255);
+  EXPECT_EQ(l.component_count, 2);
+  EXPECT_NE(l.at(0, 0, 4), l.at(1, 0, 4));
+}
+
+TEST(Ccl, UShapeMergesAcrossRows) {
+  // A U-shape forces a union between two provisional labels.
+  image8 img(3, 3, 255);
+  img.at(0, 0) = 5;
+  img.at(2, 0) = 5;
+  img.at(0, 1) = 5;
+  img.at(2, 1) = 5;
+  img.at(0, 2) = 5;
+  img.at(1, 2) = 5;
+  img.at(2, 2) = 5;
+  const labeling l = label_components(img, 255);
+  EXPECT_EQ(l.component_count, 1);
+}
+
+// ---------------------------------------------------------------- extract
+
+TEST(Extract, SingleRectangleRecoversExactMbr) {
+  alphabet names;
+  symbolic_image scene(16, 12);
+  const symbol_id a = names.intern("A");
+  scene.add(a, rect::checked(3, 7, 2, 9));
+  const rendered_scene rendered = render_scene(scene);
+  const symbolic_image extracted = extract_icons(rendered);
+  ASSERT_EQ(extracted.size(), 1u);
+  EXPECT_EQ(extracted.icons()[0].symbol, a);
+  EXPECT_EQ(extracted.icons()[0].mbr, rect::checked(3, 7, 2, 9));
+}
+
+TEST(Extract, UnknownGraysAreSkipped) {
+  image8 img(8, 8, 255);
+  img.at(1, 1) = 10;  // no mapping registered
+  const symbolic_image out = extract_icons(img, 255, {});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Extract, RendererRejectsTooManyInstances) {
+  alphabet names;
+  symbolic_image scene(512, 2);
+  const symbol_id a = names.intern("A");
+  for (int i = 0; i < 255; ++i) {
+    scene.add(a, rect::checked(i * 2, i * 2 + 1, 0, 1));
+  }
+  EXPECT_THROW((void)render_scene(scene), std::invalid_argument);
+}
+
+// The pipeline property: render -> extract is the identity on disjoint
+// scenes (up to icon order).
+class ExtractRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtractRoundTrip, DisjointScenesSurviveExactly) {
+  rng r(GetParam());
+  alphabet names;
+  scene_params params;
+  params.width = 96;
+  params.height = 72;
+  params.object_count = 8;
+  params.max_extent = 20;
+  params.disjoint = true;
+  const symbolic_image scene = random_scene(params, r, names);
+  const symbolic_image extracted = extract_icons(render_scene(scene));
+  ASSERT_EQ(extracted.size(), scene.size());
+  // Compare as multisets of icons.
+  auto key = [](const icon& i) {
+    return std::tuple(i.symbol, i.mbr.x.lo, i.mbr.x.hi, i.mbr.y.lo, i.mbr.y.hi);
+  };
+  std::vector<std::tuple<symbol_id, int, int, int, int>> want, got;
+  for (const icon& i : scene.icons()) want.push_back(key(i));
+  for (const icon& i : extracted.icons()) got.push_back(key(i));
+  std::sort(want.begin(), want.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(want, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Extract, OcclusionSplitsPaintedOverObject) {
+  // Overlap: the later icon paints over the earlier; the earlier icon's
+  // remaining pixels may form several components, each with its symbol.
+  alphabet names;
+  symbolic_image scene(20, 10);
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  scene.add(a, rect::checked(0, 20, 3, 6));   // horizontal bar
+  scene.add(b, rect::checked(8, 12, 0, 10));  // vertical bar over it
+  const symbolic_image extracted = extract_icons(render_scene(scene));
+  // A is split into two pieces; B stays whole: 3 icons.
+  EXPECT_EQ(extracted.size(), 3u);
+  std::size_t a_count = 0;
+  for (const icon& i : extracted.icons()) {
+    a_count += i.symbol == a ? 1 : 0;
+  }
+  EXPECT_EQ(a_count, 2u);
+}
+
+TEST(Extract, EllipseAndDiamondShapesStayInsideMbr) {
+  alphabet names;
+  symbolic_image scene(32, 32);
+  const symbol_id a = names.intern("A");
+  scene.add(a, rect::checked(4, 20, 6, 26));
+  for (icon_shape shape : {icon_shape::ellipse, icon_shape::diamond}) {
+    render_options options;
+    options.shape = shape;
+    const rendered_scene rendered = render_scene(scene, options);
+    const symbolic_image extracted = extract_icons(rendered);
+    ASSERT_GE(extracted.size(), 1u);
+    for (const icon& i : extracted.icons()) {
+      EXPECT_TRUE(contains(scene.icons()[0].mbr, i.mbr));
+    }
+  }
+}
+
+TEST(RenderPreview, PaintsIconPixels) {
+  alphabet names;
+  symbolic_image scene(10, 10);
+  scene.add(names.intern("A"), rect::checked(2, 8, 2, 8));
+  const image_rgb preview = render_preview(scene);
+  // Interior pixel differs from untouched background.
+  EXPECT_NE(preview.at(5, 5), (rgb{250, 250, 250}));
+  EXPECT_EQ(preview.at(0, 0), (rgb{250, 250, 250}));
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,174 @@
+// End-to-end pipeline tests: raster scenes -> icon extraction -> BE-string
+// encoding -> database -> similarity retrieval, plus cross-checks between
+// the BE-string ranking and the type-i baselines.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baselines/type_similarity.hpp"
+#include "db/query.hpp"
+#include "db/storage.hpp"
+#include "imaging/extract.hpp"
+#include "util/rng.hpp"
+#include "workload/query_gen.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+TEST(Integration, RasterPipelineRetrievesRenderedScene) {
+  rng r(1);
+  image_database db;
+  scene_params params;
+  params.width = 128;
+  params.height = 96;
+  params.object_count = 7;
+  params.max_extent = 24;
+  params.disjoint = true;
+
+  // Build the corpus THROUGH the raster pipeline: render to pixels, then
+  // extract icons back before inserting, exactly as a deployment that only
+  // has bitmaps would.
+  std::vector<symbolic_image> originals;
+  for (int i = 0; i < 12; ++i) {
+    const symbolic_image scene = random_scene(params, r, db.symbols());
+    originals.push_back(scene);
+    const symbolic_image extracted = extract_icons(render_scene(scene));
+    db.add("scene" + std::to_string(i), extracted);
+  }
+
+  // Query with the original (pre-raster) scene: extraction was lossless for
+  // disjoint scenes, so the match must be perfect.
+  for (image_id target : {image_id{0}, image_id{5}, image_id{11}}) {
+    const auto results = search(db, originals[target]);
+    ASSERT_FALSE(results.empty());
+    EXPECT_EQ(results[0].id, target);
+    EXPECT_DOUBLE_EQ(results[0].score, 1.0);
+  }
+}
+
+TEST(Integration, PartialQueryStillRanksTargetFirst) {
+  rng r(2);
+  image_database db;
+  scene_params params;
+  params.object_count = 10;
+  params.symbol_pool = 12;
+  std::vector<symbolic_image> scenes;
+  for (int i = 0; i < 20; ++i) {
+    scenes.push_back(random_scene(params, r, db.symbols()));
+    db.add("s" + std::to_string(i), scenes.back());
+  }
+  // Keep 60% of the target's icons — the paper's partial-query scenario.
+  distortion_params d;
+  d.keep_fraction = 0.6;
+  int first_place = 0;
+  constexpr int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const image_id target = static_cast<image_id>(t);
+    const symbolic_image query = distort(scenes[target], d, r, db.symbols());
+    const auto results = search(db, query);
+    ASSERT_FALSE(results.empty());
+    if (results[0].id == target) ++first_place;
+  }
+  // Partial queries must overwhelmingly find their source image.
+  EXPECT_GE(first_place, 8) << "partial queries lost their target";
+}
+
+TEST(Integration, TransformInvariantSearchOverRasterPipeline) {
+  rng r(3);
+  image_database db;
+  scene_params params;
+  params.width = 96;
+  params.height = 64;
+  params.object_count = 6;
+  params.max_extent = 20;
+  params.disjoint = true;
+  const symbolic_image scene = random_scene(params, r, db.symbols());
+  // Store only the rotated rendering.
+  const symbolic_image rotated = apply(dihedral::rot270, scene);
+  db.add("rotated", extract_icons(render_scene(rotated)));
+  db.add("noise", random_scene(params, r, db.symbols()));
+
+  query_options options;
+  options.transform_invariant = true;
+  const auto results = search(db, scene, options);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].id, 0u);
+  EXPECT_DOUBLE_EQ(results[0].score, 1.0);
+}
+
+TEST(Integration, BeLcsAgreesWithType2OnExactMatches) {
+  // When a query image is an exact sub-picture, both the BE-LCS score and
+  // the type-2 clique agree it is a full match.
+  rng r(4);
+  alphabet names;
+  scene_params params;
+  params.object_count = 8;
+  params.symbol_pool = 8;
+  params.unique_symbols = true;
+  const symbolic_image scene = random_scene(params, r, names);
+  symbolic_image query(scene.width(), scene.height());
+  for (std::size_t i = 0; i < 4; ++i) query.add(scene.icons()[i]);
+
+  EXPECT_DOUBLE_EQ(similarity(encode(query), encode(scene)), 1.0);
+  const auto type2 =
+      type_similarity(query, scene, {similarity_type::type2, 0});
+  EXPECT_EQ(type2.matched_objects, query.size());
+}
+
+TEST(Integration, JitterHurtsType2BeforeBeLcs) {
+  // The paper's motivation for LCS scoring: small geometric perturbations
+  // break exact relation equality (type-2 similarity collapses) while the
+  // LCS score degrades smoothly. Aggregate over several seeds.
+  double lcs_total = 0.0;
+  double type2_total = 0.0;
+  constexpr int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    rng r(100 + static_cast<std::uint64_t>(t));
+    alphabet names;
+    scene_params params;
+    params.object_count = 8;
+    params.symbol_pool = 8;
+    params.unique_symbols = true;
+    const symbolic_image scene = random_scene(params, r, names);
+    distortion_params d;
+    d.jitter = 6;
+    const symbolic_image query = distort(scene, d, r, names);
+
+    lcs_total += similarity(encode(query), encode(scene));
+    const auto type2 =
+        type_similarity(query, scene, {similarity_type::type2, 0});
+    type2_total += static_cast<double>(type2.matched_objects) /
+                   static_cast<double>(query.size());
+  }
+  EXPECT_GT(lcs_total / trials, type2_total / trials);
+}
+
+TEST(Integration, SaveLoadSearchRoundTripThroughPipeline) {
+  rng r(5);
+  image_database db;
+  scene_params params;
+  params.object_count = 6;
+  for (int i = 0; i < 8; ++i) {
+    db.add("img" + std::to_string(i), random_scene(params, r, db.symbols()));
+  }
+  const auto path = std::filesystem::temp_directory_path() /
+                    "bestring_integration.besdb";
+  save_database(db, path);
+  const image_database loaded = load_database(path);
+  query_options options;
+  options.transform_invariant = true;
+  options.threads = 2;
+  const symbolic_image& query = db.record(2).image;
+  EXPECT_EQ(search(db, query, options), search(loaded, query, options));
+  std::filesystem::remove(path);
+}
+
+TEST(Integration, EmptyDatabaseYieldsNoResults) {
+  image_database db;
+  symbolic_image query(10, 10);
+  EXPECT_TRUE(search(db, query).empty());
+}
+
+}  // namespace
+}  // namespace bes

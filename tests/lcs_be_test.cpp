@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "lcs/be_lcs.hpp"
+#include "util/rng.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+token B(symbol_id s, boundary_kind k) { return token::boundary(s, k); }
+token Bb(symbol_id s) { return B(s, boundary_kind::begin); }
+token Be(symbol_id s) { return B(s, boundary_kind::end); }
+token E() { return token::dummy(); }
+
+// Exponential oracle for the CONSTRAINED LCS: the longest common subsequence
+// that never contains two adjacent dummies.
+std::size_t brute_force_constrained(const std::vector<token>& q,
+                                    const std::vector<token>& d) {
+  std::size_t best = 0;
+  const std::size_t n = q.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<token> candidate;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) candidate.push_back(q[i]);
+    }
+    bool constrained = true;
+    for (std::size_t i = 0; i + 1 < candidate.size(); ++i) {
+      if (candidate[i].is_dummy() && candidate[i + 1].is_dummy()) {
+        constrained = false;
+        break;
+      }
+    }
+    if (!constrained) continue;
+    std::size_t j = 0;
+    for (token t : d) {
+      if (j < candidate.size() && candidate[j] == t) ++j;
+    }
+    if (j == candidate.size()) best = std::max(best, candidate.size());
+  }
+  return best;
+}
+
+std::vector<token> random_tokens(rng& r, std::size_t max_len) {
+  std::vector<token> out(static_cast<std::size_t>(
+      r.uniform_int(0, static_cast<int>(max_len))));
+  for (token& t : out) {
+    const int pick = r.uniform_int(0, 4);
+    if (pick == 0) {
+      t = E();
+    } else {
+      const auto s = static_cast<symbol_id>(r.uniform_int(0, 1));
+      t = pick % 2 == 1 ? Bb(s) : Be(s);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ basic cases
+
+TEST(BeLcs, EmptyInputsGiveZero) {
+  const std::vector<token> empty;
+  const std::vector<token> some = {Bb(0), E(), Be(0)};
+  EXPECT_EQ(be_lcs_length(empty, some), 0u);
+  EXPECT_EQ(be_lcs_length(some, empty), 0u);
+}
+
+TEST(BeLcs, IdenticalStringTakesFullLength) {
+  // A well-formed BE-string has no adjacent dummies, so it is a valid
+  // constrained common subsequence of itself.
+  const std::vector<token> s = {E(), Bb(0), E(), Bb(1), E(),
+                                Be(0), E(), Be(1), E()};
+  EXPECT_EQ(be_lcs_length(s, s), s.size());
+  EXPECT_EQ(be_lcs_length_exact(s, s), s.size());
+}
+
+TEST(BeLcs, ConsecutiveDummiesNeverPicked) {
+  // q = E x E, d = E E: unconstrained LCS would be 2 (both dummies); the
+  // constrained answer is 1.
+  const std::vector<token> q = {E(), Bb(0), E()};
+  const std::vector<token> d = {E(), E()};
+  EXPECT_EQ(be_lcs_length(q, d), 1u);
+  EXPECT_EQ(be_lcs_length_exact(q, d), 1u);
+}
+
+TEST(BeLcs, AllDummiesCollapseToOne) {
+  const std::vector<token> q = {E()};
+  const std::vector<token> d = {E(), E(), E()};
+  EXPECT_EQ(be_lcs_length(q, d), 1u);
+}
+
+TEST(BeLcs, BeginAndEndAreDistinctSymbols) {
+  const std::vector<token> q = {Bb(0)};
+  const std::vector<token> d = {Be(0)};
+  EXPECT_EQ(be_lcs_length(q, d), 0u);
+}
+
+TEST(BeLcs, DifferentSymbolsDoNotMatch) {
+  const std::vector<token> q = {Bb(0), Be(0)};
+  const std::vector<token> d = {Bb(1), Be(1)};
+  EXPECT_EQ(be_lcs_length(q, d), 0u);
+}
+
+TEST(BeLcs, DummySandwichMatch) {
+  // Shared shape: begin, gap, end around different middles.
+  const std::vector<token> q = {Bb(0), E(), Bb(1), E(), Be(0)};
+  const std::vector<token> d = {Bb(0), E(), Bb(2), E(), Be(0)};
+  // Best: Bb(0) E Be(0) taking one of the dummies = 3... plus the second
+  // dummy cannot join (adjacent to the first once Bb(1)/Bb(2) drop out).
+  EXPECT_EQ(be_lcs_length_exact(q, d), 3u);
+  EXPECT_EQ(be_lcs_length(q, d), 3u);
+}
+
+// ------------------------------------------------------------ table/sign
+
+TEST(BeLcs, TableSignEncodesDummyTail) {
+  const std::vector<token> q = {E()};
+  const std::vector<token> d = {E()};
+  const be_lcs_table w = be_lcs_fill(q, d);
+  // Cell (1,1) holds -1: length 1, last symbol is a dummy.
+  EXPECT_EQ(w.at(1, 1), -1);
+}
+
+TEST(BeLcs, TableBoundaryMatchIsPositive) {
+  const std::vector<token> q = {Bb(0)};
+  const std::vector<token> d = {Bb(0)};
+  const be_lcs_table w = be_lcs_fill(q, d);
+  EXPECT_EQ(w.at(1, 1), 1);
+}
+
+TEST(BeLcs, TableDimensions) {
+  const std::vector<token> q(5, Bb(0));
+  const std::vector<token> d(7, Bb(0));
+  const be_lcs_table w = be_lcs_fill(q, d);
+  EXPECT_EQ(w.rows(), 6u);
+  EXPECT_EQ(w.cols(), 8u);
+  EXPECT_EQ(w.storage_cells(), 48u);  // (m+1)(n+1) — the paper's O(mn) space
+}
+
+// ------------------------------------------------------------ traceback
+
+TEST(BeLcs, TracebackRejectsMismatchedTable) {
+  const std::vector<token> q = {Bb(0)};
+  const std::vector<token> d = {Bb(0), Be(0)};
+  const be_lcs_table w = be_lcs_fill(q, d);
+  const std::vector<token> other(3, Bb(1));
+  EXPECT_THROW((void)be_lcs_string(other, w), std::invalid_argument);
+}
+
+bool is_subsequence(const std::vector<token>& needle,
+                    std::span<const token> hay) {
+  std::size_t j = 0;
+  for (token t : hay) {
+    if (j < needle.size() && needle[j] == t) ++j;
+  }
+  return j == needle.size();
+}
+
+class BeLcsTraceback : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BeLcsTraceback, ReconstructionIsValidCommonSubsequence) {
+  rng r(GetParam());
+  const std::vector<token> q = random_tokens(r, 18);
+  const std::vector<token> d = random_tokens(r, 18);
+  const std::size_t length = be_lcs_length(q, d);
+  const std::vector<token> s = be_lcs_string(q, d);
+  EXPECT_EQ(s.size(), length);
+  EXPECT_TRUE(is_subsequence(s, q));
+  EXPECT_TRUE(is_subsequence(s, d));
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    EXPECT_FALSE(s[i].is_dummy() && s[i + 1].is_dummy())
+        << "adjacent dummies in reconstructed LCS";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeLcsTraceback,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+// ------------------------------------------------------------ oracles
+
+class BeLcsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BeLcsOracle, ExactMatchesBruteForce) {
+  rng r(GetParam());
+  const std::vector<token> q = random_tokens(r, 12);
+  const std::vector<token> d = random_tokens(r, 12);
+  EXPECT_EQ(be_lcs_length_exact(q, d), brute_force_constrained(q, d));
+}
+
+TEST_P(BeLcsOracle, PaperVariantNeverExceedsExact) {
+  rng r(GetParam() + 1000);
+  const std::vector<token> q = random_tokens(r, 16);
+  const std::vector<token> d = random_tokens(r, 16);
+  const std::size_t paper = be_lcs_length(q, d);
+  const std::size_t exact = be_lcs_length_exact(q, d);
+  EXPECT_LE(paper, exact);
+  // The paper variant is realizable (traceback produces that many tokens),
+  // so it is also a lower bound witness.
+  EXPECT_EQ(be_lcs_string(q, d).size(), paper);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeLcsOracle,
+                         ::testing::Range<std::uint64_t>(0, 80));
+
+// On real (well-formed) BE-strings the two variants should agree nearly
+// always; they must agree exactly on encoded random scenes vs themselves and
+// their sub-scenes.
+class BeLcsRealStrings : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BeLcsRealStrings, SubsetQueryFullyEmbeds) {
+  rng r(GetParam());
+  alphabet names;
+  scene_params params;
+  params.object_count = static_cast<std::size_t>(r.uniform_int(2, 10));
+  params.symbol_pool = 6;
+  const symbolic_image scene = random_scene(params, r, names);
+  // Query: drop some icons, keep coordinates.
+  symbolic_image query(scene.width(), scene.height());
+  const auto kept = r.sample_indices(
+      scene.size(), std::max<std::size_t>(1, scene.size() / 2));
+  for (std::size_t k : kept) query.add(scene.icons()[k]);
+
+  const be_string2d qs = encode(query);
+  const be_string2d ds = encode(scene);
+  // Paper §4: a query whose icons and relations all appear in the database
+  // image is fully matched.
+  EXPECT_EQ(be_lcs_length(qs.x.span(), ds.x.span()), qs.x.size());
+  EXPECT_EQ(be_lcs_length(qs.y.span(), ds.y.span()), qs.y.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BeLcsRealStrings,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace bes

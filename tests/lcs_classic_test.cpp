@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "lcs/classic_lcs.hpp"
+
+namespace bes {
+namespace {
+
+std::vector<char> chars(const std::string& s) {
+  return std::vector<char>(s.begin(), s.end());
+}
+
+// Exponential oracle: longest subsequence of a that is also one of b.
+std::size_t brute_force_lcs(const std::vector<char>& a,
+                            const std::vector<char>& b) {
+  std::size_t best = 0;
+  const std::size_t n = a.size();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<char> candidate;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) candidate.push_back(a[i]);
+    }
+    // Subsequence check against b.
+    std::size_t j = 0;
+    for (char c : b) {
+      if (j < candidate.size() && candidate[j] == c) ++j;
+    }
+    if (j == candidate.size()) best = std::max(best, candidate.size());
+  }
+  return best;
+}
+
+TEST(ClassicLcs, CormenTextbookExample) {
+  const auto a = chars("ABCBDAB");
+  const auto b = chars("BDCABA");
+  EXPECT_EQ(lcs_length<char>(a, b), 4u);
+}
+
+TEST(ClassicLcs, EmptyInputs) {
+  const std::vector<char> empty;
+  const auto a = chars("ABC");
+  EXPECT_EQ(lcs_length<char>(empty, a), 0u);
+  EXPECT_EQ(lcs_length<char>(a, empty), 0u);
+  EXPECT_EQ(lcs_length<char>(empty, empty), 0u);
+}
+
+TEST(ClassicLcs, IdenticalStrings) {
+  const auto a = chars("XYZZY");
+  EXPECT_EQ(lcs_length<char>(a, a), a.size());
+}
+
+TEST(ClassicLcs, DisjointAlphabets) {
+  EXPECT_EQ(lcs_length<char>(chars("AAAA"), chars("BBBB")), 0u);
+}
+
+TEST(ClassicLcs, SymmetricLength) {
+  const auto a = chars("AGGTAB");
+  const auto b = chars("GXTXAYB");
+  EXPECT_EQ(lcs_length<char>(a, b), lcs_length<char>(b, a));
+  EXPECT_EQ(lcs_length<char>(a, b), 4u);  // GTAB
+}
+
+TEST(ClassicLcs, StringReconstructionIsValidAndMaximal) {
+  const auto a = chars("ABCBDAB");
+  const auto b = chars("BDCABA");
+  const auto s = lcs_string<char>(a, b);
+  EXPECT_EQ(s.size(), 4u);
+  // s must be a subsequence of both.
+  for (const auto& host : {a, b}) {
+    std::size_t j = 0;
+    for (char c : host) {
+      if (j < s.size() && s[j] == c) ++j;
+    }
+    EXPECT_EQ(j, s.size());
+  }
+}
+
+class ClassicLcsRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClassicLcsRandom, MatchesBruteForce) {
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<int> len(0, 10);
+  std::uniform_int_distribution<int> sym(0, 2);
+  std::vector<char> a(static_cast<std::size_t>(len(gen)));
+  std::vector<char> b(static_cast<std::size_t>(len(gen)));
+  for (char& c : a) c = static_cast<char>('A' + sym(gen));
+  for (char& c : b) c = static_cast<char>('A' + sym(gen));
+  EXPECT_EQ(lcs_length<char>(a, b), brute_force_lcs(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassicLcsRandom, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace bes

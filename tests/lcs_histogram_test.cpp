@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "db/query.hpp"
+#include "lcs/be_lcs.hpp"
+#include "lcs/token_histogram.hpp"
+#include "util/rng.hpp"
+#include "workload/query_gen.hpp"
+
+namespace bes {
+namespace {
+
+token Bb(symbol_id s) { return token::boundary(s, boundary_kind::begin); }
+token Be(symbol_id s) { return token::boundary(s, boundary_kind::end); }
+
+std::vector<token> random_tokens(rng& r, std::size_t max_len) {
+  std::vector<token> out(
+      static_cast<std::size_t>(r.uniform_int(0, static_cast<int>(max_len))));
+  for (token& t : out) {
+    const int pick = r.uniform_int(0, 4);
+    if (pick == 0) {
+      t = token::dummy();
+    } else {
+      const auto s = static_cast<symbol_id>(r.uniform_int(0, 2));
+      t = pick % 2 == 1 ? Bb(s) : Be(s);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- histogram
+
+TEST(TokenHistogram, CountsAndTotals) {
+  const std::vector<token> tokens = {token::dummy(), Bb(1), token::dummy(),
+                                     Bb(1), Be(1)};
+  const token_histogram h{std::span<const token>(tokens)};
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.distinct(), 3u);  // E, 1:b, 1:e
+}
+
+TEST(TokenHistogram, EmptyInput) {
+  const token_histogram h{std::span<const token>{}};
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.distinct(), 0u);
+  EXPECT_EQ(token_histogram::intersection_size(h, h), 0u);
+}
+
+TEST(TokenHistogram, IntersectionKnownValues) {
+  const std::vector<token> a = {token::dummy(), token::dummy(), Bb(0), Be(0)};
+  const std::vector<token> b = {token::dummy(), Bb(0), Bb(0), Bb(1)};
+  const token_histogram ha{std::span<const token>(a)};
+  const token_histogram hb{std::span<const token>(b)};
+  // min(2,1) dummies + min(1,2) 0:b = 2.
+  EXPECT_EQ(token_histogram::intersection_size(ha, hb), 2u);
+  EXPECT_EQ(token_histogram::intersection_size(hb, ha), 2u);
+}
+
+class HistogramBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramBound, IntersectionBoundsConstrainedLcs) {
+  rng r(GetParam());
+  const std::vector<token> q = random_tokens(r, 30);
+  const std::vector<token> d = random_tokens(r, 30);
+  const token_histogram hq{std::span<const token>(q)};
+  const token_histogram hd{std::span<const token>(d)};
+  const std::size_t bound = token_histogram::intersection_size(hq, hd);
+  EXPECT_GE(bound, be_lcs_length(q, d));
+  EXPECT_GE(bound, be_lcs_length_exact(q, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramBound,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+TEST(HistogramBound, SimilarityUpperBoundDominatesTrueScore) {
+  alphabet names;
+  rng r(3);
+  scene_params params;
+  params.object_count = 10;
+  for (int trial = 0; trial < 30; ++trial) {
+    const be_string2d a = encode(random_scene(params, r, names));
+    const be_string2d b = encode(random_scene(params, r, names));
+    const be_histogram2d ha = make_histograms(a);
+    const be_histogram2d hb = make_histograms(b);
+    for (norm_kind norm : {norm_kind::query, norm_kind::max_len,
+                           norm_kind::dice, norm_kind::min_len}) {
+      similarity_options options;
+      options.norm = norm;
+      EXPECT_GE(similarity_upper_bound(ha, hb, norm) + 1e-12,
+                similarity(a, b, options));
+    }
+  }
+}
+
+// ---------------------------------------------------------- pruning
+
+image_database sibling_corpus(std::size_t bases) {
+  image_database db;
+  rng r(17);
+  scene_params params;
+  params.object_count = 8;
+  params.symbol_pool = 10;
+  for (std::size_t i = 0; i < bases; ++i) {
+    const symbolic_image scene = random_scene(params, r, db.symbols());
+    db.add("base" + std::to_string(i), scene);
+    distortion_params sibling;
+    sibling.keep_fraction = 0.8;
+    sibling.jitter = 16;
+    db.add("sib" + std::to_string(i),
+           distort(scene, sibling, r, db.symbols()));
+  }
+  return db;
+}
+
+class PruningEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PruningEquivalence, PrunedTopKMatchesExhaustiveScan) {
+  const image_database db = sibling_corpus(25);
+  rng r(GetParam());
+  distortion_params d;
+  d.keep_fraction = 0.6;
+  d.jitter = 8;
+  alphabet scratch = db.symbols();
+  const symbolic_image query = distort(
+      db.record(static_cast<image_id>(GetParam() % db.size())).image, d, r,
+      scratch);
+  for (std::size_t k : {1u, 3u, 10u}) {
+    for (norm_kind norm : {norm_kind::query, norm_kind::dice}) {
+      query_options plain;
+      plain.top_k = k;
+      plain.similarity.norm = norm;
+      query_options pruned = plain;
+      pruned.histogram_pruning = true;
+      search_stats stats;
+      EXPECT_EQ(search(db, query, plain), search(db, query, pruned, &stats));
+      EXPECT_EQ(stats.scored + stats.pruned, stats.scanned);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Pruning, ActuallyPrunesOnSelectiveQueries) {
+  const image_database db = sibling_corpus(50);
+  rng r(5);
+  distortion_params d;
+  d.keep_fraction = 0.7;
+  alphabet scratch = db.symbols();
+  const symbolic_image query = distort(db.record(0).image, d, r, scratch);
+  query_options options;
+  options.top_k = 1;
+  options.histogram_pruning = true;
+  search_stats stats;
+  const auto results = search(db, query, options, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 0u);
+  EXPECT_GT(stats.pruned, 0u) << "bound never engaged";
+  EXPECT_LT(stats.scored, stats.scanned);
+}
+
+TEST(Pruning, MinScoreStillRespected) {
+  const image_database db = sibling_corpus(10);
+  query_options options;
+  options.top_k = 5;
+  options.histogram_pruning = true;
+  options.min_score = 1.01;
+  EXPECT_TRUE(search(db, db.record(0).image, options).empty());
+}
+
+TEST(Pruning, RecordHistogramsMatchStrings) {
+  const image_database db = sibling_corpus(5);
+  for (const db_record& rec : db.records()) {
+    EXPECT_EQ(rec.histograms, make_histograms(rec.strings));
+  }
+}
+
+}  // namespace
+}  // namespace bes

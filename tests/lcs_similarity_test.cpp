@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "lcs/similarity.hpp"
+#include "util/rng.hpp"
+#include "workload/query_gen.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+symbolic_image scene_from_seed(std::uint64_t seed, alphabet& names,
+                               std::size_t count = 8) {
+  rng r(seed);
+  scene_params params;
+  params.object_count = count;
+  params.symbol_pool = 6;
+  return random_scene(params, r, names);
+}
+
+TEST(Similarity, SelfSimilarityIsOneUnderEveryNorm) {
+  alphabet names;
+  const be_string2d s = encode(scene_from_seed(1, names));
+  for (norm_kind norm : {norm_kind::query, norm_kind::max_len, norm_kind::dice,
+                         norm_kind::min_len}) {
+    similarity_options options;
+    options.norm = norm;
+    EXPECT_DOUBLE_EQ(similarity(s, s, options), 1.0)
+        << static_cast<int>(norm);
+  }
+}
+
+TEST(Similarity, RangeStaysWithinZeroOne) {
+  alphabet names;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const be_string2d a = encode(scene_from_seed(i, names));
+    const be_string2d b = encode(scene_from_seed(i + 100, names));
+    for (norm_kind norm :
+         {norm_kind::query, norm_kind::max_len, norm_kind::dice}) {
+      similarity_options options;
+      options.norm = norm;
+      const double s = similarity(a, b, options);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(Similarity, MinLenNormCanExceedOthers) {
+  // min_len is a containment score; for a sub-picture it reaches 1.
+  alphabet names;
+  const symbolic_image scene = scene_from_seed(2, names);
+  symbolic_image query(scene.width(), scene.height());
+  query.add(scene.icons()[0]);
+  query.add(scene.icons()[1]);
+  similarity_options options;
+  options.norm = norm_kind::min_len;
+  EXPECT_DOUBLE_EQ(similarity(encode(query), encode(scene), options), 1.0);
+}
+
+TEST(Similarity, SubsetQueryScoresOneUnderQueryNorm) {
+  alphabet names;
+  const symbolic_image scene = scene_from_seed(3, names);
+  symbolic_image query(scene.width(), scene.height());
+  for (std::size_t i = 0; i < scene.size(); i += 2) {
+    query.add(scene.icons()[i]);
+  }
+  EXPECT_DOUBLE_EQ(similarity(encode(query), encode(scene)), 1.0);
+}
+
+TEST(Similarity, DisjointSymbolsScoreNearFloor) {
+  alphabet names;
+  symbolic_image a(32, 32);
+  symbolic_image b(32, 32);
+  a.add(names.intern("A"), rect::checked(2, 10, 2, 10));
+  b.add(names.intern("Z"), rect::checked(2, 10, 2, 10));
+  const double s = similarity(encode(a), encode(b));
+  // Only a single dummy can match per axis: 1/5 under the query norm.
+  EXPECT_NEAR(s, 0.2, 1e-9);
+}
+
+TEST(Similarity, DegradesMonotonicallyWithIconRemoval) {
+  // Removing query icons that exist in the db image cannot raise a
+  // max_len-normalized score against the full scene.
+  alphabet names;
+  const symbolic_image scene = scene_from_seed(4, names, 10);
+  const be_string2d ds = encode(scene);
+  similarity_options options;
+  options.norm = norm_kind::max_len;
+  double previous = 1.0;
+  symbolic_image shrinking = scene;
+  while (shrinking.size() > 1) {
+    shrinking.remove(shrinking.size() - 1);
+    const double s = similarity(encode(shrinking), ds, options);
+    EXPECT_LE(s, previous + 1e-12);
+    previous = s;
+  }
+}
+
+TEST(Similarity, ExactLcsOptionNeverLowersScore) {
+  alphabet names;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const be_string2d a = encode(scene_from_seed(i, names));
+    const be_string2d b = encode(scene_from_seed(i + 50, names));
+    similarity_options paper;
+    similarity_options exact;
+    exact.exact_lcs = true;
+    EXPECT_LE(similarity(a, b, paper), similarity(a, b, exact) + 1e-12);
+  }
+}
+
+// ------------------------------------------------- transform retrieval
+
+TEST(TransformSimilarity, RecoversAppliedTransform) {
+  alphabet names;
+  const symbolic_image scene = scene_from_seed(5, names);
+  const be_string2d qs = encode(scene);
+  for (dihedral t : all_dihedral) {
+    const be_string2d ds = encode(apply(t, scene));
+    const transform_match best = best_transform_similarity(qs, ds);
+    EXPECT_DOUBLE_EQ(best.score, 1.0) << to_string(t);
+    // The recovered transform must map q onto d exactly (it may differ from
+    // t when the scene is symmetric).
+    EXPECT_EQ(apply(best.transform, qs), ds) << to_string(t);
+  }
+}
+
+TEST(TransformSimilarity, IdentityQueryOnUnrelatedImage) {
+  alphabet names;
+  const be_string2d a = encode(scene_from_seed(6, names));
+  const be_string2d b = encode(scene_from_seed(7, names));
+  const transform_match best = best_transform_similarity(a, b);
+  EXPECT_GE(best.score, similarity(a, b));  // best-of-8 >= identity
+}
+
+TEST(TransformSimilarity, JitteredTransformedSceneStillRanksHigh) {
+  alphabet names;
+  rng r(8);
+  const symbolic_image scene = scene_from_seed(8, names);
+  distortion_params distortion;
+  distortion.jitter = 2;
+  distortion.transform = dihedral::rot90;
+  const symbolic_image query = distort(scene, distortion, r, names);
+  const transform_match best =
+      best_transform_similarity(encode(query), encode(scene));
+  EXPECT_GT(best.score, 0.5);
+}
+
+}  // namespace
+}  // namespace bes

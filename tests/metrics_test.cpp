@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "metrics/retrieval.hpp"
+#include "metrics/stats.hpp"
+
+namespace bes {
+namespace {
+
+using ids = std::vector<std::uint32_t>;
+
+// ---------------------------------------------------------------- retrieval
+
+TEST(Retrieval, PrecisionAtK) {
+  const ids ranked = {5, 1, 9, 2};
+  const ids relevant = {1, 2};  // sorted
+  EXPECT_DOUBLE_EQ(precision_at_k(ranked, relevant, 1), 0.0);
+  EXPECT_DOUBLE_EQ(precision_at_k(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at_k(ranked, relevant, 4), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at_k(ranked, relevant, 0), 0.0);
+}
+
+TEST(Retrieval, PrecisionCountsMissingTailAsMisses) {
+  const ids ranked = {1};
+  const ids relevant = {1};
+  // k larger than the result list: the divisor stays k.
+  EXPECT_DOUBLE_EQ(precision_at_k(ranked, relevant, 4), 0.25);
+}
+
+TEST(Retrieval, RecallAtK) {
+  const ids ranked = {5, 1, 9, 2};
+  const ids relevant = {1, 2, 7};
+  EXPECT_DOUBLE_EQ(recall_at_k(ranked, relevant, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(recall_at_k(ranked, relevant, 4), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(recall_at_k(ranked, ids{}, 4), 0.0);
+}
+
+TEST(Retrieval, AveragePrecisionTextbook) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  const ids ranked = {1, 8, 2, 9};
+  const ids relevant = {1, 2};
+  EXPECT_NEAR(average_precision(ranked, relevant), (1.0 + 2.0 / 3.0) / 2.0,
+              1e-12);
+}
+
+TEST(Retrieval, AveragePrecisionPenalizesUnretrieved) {
+  const ids ranked = {1};
+  const ids relevant = {1, 2};  // 2 never retrieved
+  EXPECT_DOUBLE_EQ(average_precision(ranked, relevant), 0.5);
+}
+
+TEST(Retrieval, NdcgPerfectRankingIsOne) {
+  const ids ranked = {1, 2, 3};
+  const ids relevant = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(ndcg_at_k(ranked, relevant, 3), 1.0);
+}
+
+TEST(Retrieval, NdcgLateHitScoresLess) {
+  const ids early = {1, 8, 9};
+  const ids late = {8, 9, 1};
+  const ids relevant = {1};
+  EXPECT_GT(ndcg_at_k(early, relevant, 3), ndcg_at_k(late, relevant, 3));
+  EXPECT_NEAR(ndcg_at_k(late, relevant, 3), 1.0 / std::log2(4.0), 1e-12);
+}
+
+TEST(Retrieval, ReciprocalRank) {
+  const ids ranked = {8, 9, 1};
+  const ids relevant = {1};
+  EXPECT_DOUBLE_EQ(reciprocal_rank(ranked, relevant), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(reciprocal_rank(ranked, ids{2}), 0.0);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, BasicAggregates) {
+  sample_stats s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+}
+
+TEST(Stats, Percentiles) {
+  sample_stats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  sample_stats s;
+  EXPECT_THROW((void)s.mean(), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(50), std::invalid_argument);
+  EXPECT_EQ(s.summary(), "n=0");
+}
+
+TEST(Stats, BadPercentileThrows) {
+  sample_stats s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+}
+
+TEST(Stats, SummaryMentionsKeyFigures) {
+  sample_stats s;
+  s.add(1.0);
+  s.add(2.0);
+  const std::string summary = s.summary(1);
+  EXPECT_NE(summary.find("n=2"), std::string::npos);
+  EXPECT_NE(summary.find("mean=1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bes

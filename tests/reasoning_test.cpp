@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "reasoning/allen_algebra.hpp"
+#include "reasoning/query_lang.hpp"
+#include "util/rng.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+// ------------------------------------------------------------- algebra
+
+TEST(AllenAlgebra, SingletonAndContains) {
+  const relation_set s = singleton(allen_relation::meets);
+  EXPECT_TRUE(contains(s, allen_relation::meets));
+  EXPECT_FALSE(contains(s, allen_relation::before));
+  EXPECT_EQ(count(s), 1);
+  EXPECT_EQ(count(full_relation_set), allen_relation_count);
+}
+
+TEST(AllenAlgebra, KnownCompositions) {
+  // before ; before = {before} — a classic entry.
+  EXPECT_EQ(compose(allen_relation::before, allen_relation::before),
+            singleton(allen_relation::before));
+  // equals is the identity of composition.
+  for (int i = 0; i < allen_relation_count; ++i) {
+    const auto r = static_cast<allen_relation>(i);
+    EXPECT_EQ(compose(allen_relation::equals, r), singleton(r));
+    EXPECT_EQ(compose(r, allen_relation::equals), singleton(r));
+  }
+  // during ; during = {during}.
+  EXPECT_EQ(compose(allen_relation::during, allen_relation::during),
+            singleton(allen_relation::during));
+  // meets ; met_by includes several possibilities (e.g. equals, overlaps...).
+  EXPECT_GT(count(compose(allen_relation::meets, allen_relation::met_by)), 1);
+}
+
+TEST(AllenAlgebra, CompositionIsSoundOnRandomTriples) {
+  // For random interval triples, the observed r(a,c) must always be inside
+  // compose(r(a,b), r(b,c)).
+  rng r(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto make = [&] {
+      const int lo = r.uniform_int(0, 20);
+      return interval{lo, lo + r.uniform_int(1, 10)};
+    };
+    const interval a = make();
+    const interval b = make();
+    const interval c = make();
+    EXPECT_TRUE(
+        contains(compose(classify(a, b), classify(b, c)), classify(a, c)));
+  }
+}
+
+TEST(AllenAlgebra, ConverseOfCompositionLaw) {
+  // (R ; S)^-1 == S^-1 ; R^-1 — the fundamental algebra identity.
+  for (int i = 0; i < allen_relation_count; ++i) {
+    for (int j = 0; j < allen_relation_count; ++j) {
+      const auto ri = static_cast<allen_relation>(i);
+      const auto rj = static_cast<allen_relation>(j);
+      EXPECT_EQ(converse(compose(ri, rj)),
+                compose(singleton(inverse(rj)), singleton(inverse(ri))));
+    }
+  }
+}
+
+TEST(AllenAlgebra, SetCompositionIsUnionOfPointwise) {
+  const relation_set ab =
+      singleton(allen_relation::before) | singleton(allen_relation::meets);
+  const relation_set bc = singleton(allen_relation::during);
+  EXPECT_EQ(compose(ab, bc),
+            static_cast<relation_set>(
+                compose(allen_relation::before, allen_relation::during) |
+                compose(allen_relation::meets, allen_relation::during)));
+}
+
+TEST(AllenAlgebra, ToStringListsMembers) {
+  const relation_set s =
+      singleton(allen_relation::before) | singleton(allen_relation::equals);
+  EXPECT_EQ(to_string(s), "{before, equals}");
+  EXPECT_EQ(to_string(empty_relation_set), "{}");
+}
+
+// ------------------------------------------------------------- predicates
+
+TEST(Predicates, DirectionalSemantics) {
+  const rect a = rect::checked(0, 4, 0, 4);
+  const rect b = rect::checked(6, 9, 0, 4);
+  EXPECT_TRUE(holds(spatial_predicate::left_of, a, b));
+  EXPECT_FALSE(holds(spatial_predicate::left_of, b, a));
+  EXPECT_TRUE(holds(spatial_predicate::right_of, b, a));
+  EXPECT_TRUE(holds(spatial_predicate::disjoint_from, a, b));
+  EXPECT_FALSE(holds(spatial_predicate::overlaps, a, b));
+}
+
+TEST(Predicates, VerticalSemanticsYUp) {
+  const rect low = rect::checked(0, 4, 0, 3);
+  const rect high = rect::checked(0, 4, 5, 8);
+  EXPECT_TRUE(holds(spatial_predicate::above, high, low));
+  EXPECT_TRUE(holds(spatial_predicate::below, low, high));
+  EXPECT_FALSE(holds(spatial_predicate::above, low, high));
+}
+
+TEST(Predicates, ContainmentAndEquality) {
+  const rect outer = rect::checked(0, 10, 0, 10);
+  const rect inner = rect::checked(2, 5, 2, 5);
+  EXPECT_TRUE(holds(spatial_predicate::inside, inner, outer));
+  EXPECT_TRUE(holds(spatial_predicate::contains, outer, inner));
+  EXPECT_TRUE(holds(spatial_predicate::same_place, outer, outer));
+  EXPECT_FALSE(holds(spatial_predicate::same_place, outer, inner));
+}
+
+TEST(Predicates, MeetsEdges) {
+  const rect a = rect::checked(0, 4, 0, 4);
+  const rect b = rect::checked(4, 8, 0, 4);
+  EXPECT_TRUE(holds(spatial_predicate::meets_x, a, b));
+  EXPECT_FALSE(holds(spatial_predicate::meets_x, b, a));
+  const rect below_rect = rect::checked(0, 4, 0, 2);
+  const rect above_rect = rect::checked(0, 4, 2, 5);
+  EXPECT_TRUE(holds(spatial_predicate::meets_y, below_rect, above_rect));
+}
+
+TEST(Predicates, NameRoundTrip) {
+  for (int i = 0; i < spatial_predicate_count; ++i) {
+    const auto p = static_cast<spatial_predicate>(i);
+    const auto parsed = predicate_from_name(to_string(p));
+    ASSERT_TRUE(parsed.has_value()) << to_string(p);
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(predicate_from_name("sideways-of").has_value());
+}
+
+TEST(Predicates, RankBoxesPreserveDirectionalTruth) {
+  // Spatial reasoning from the BE-string alone: predicates evaluated on
+  // rank boxes agree with the geometric MBRs (unique-symbol scenes).
+  alphabet names;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    rng r(seed);
+    scene_params params;
+    params.object_count = 6;
+    params.symbol_pool = 6;
+    params.unique_symbols = true;
+    const symbolic_image scene = random_scene(params, r, names);
+    const be_string2d strings = encode(scene);
+    for (std::size_t i = 0; i < scene.size(); ++i) {
+      for (std::size_t j = 0; j < scene.size(); ++j) {
+        if (i == j) continue;
+        const icon& a = scene.icons()[i];
+        const icon& b = scene.icons()[j];
+        const auto boxes = rank_boxes(strings, a.symbol, b.symbol);
+        ASSERT_TRUE(boxes.has_value());
+        for (int p = 0; p < spatial_predicate_count; ++p) {
+          const auto predicate = static_cast<spatial_predicate>(p);
+          EXPECT_EQ(holds(predicate, boxes->a, boxes->b),
+                    holds(predicate, a.mbr, b.mbr))
+              << to_string(predicate);
+        }
+      }
+    }
+  }
+}
+
+TEST(Predicates, RankBoxesAmbiguousForDuplicates) {
+  alphabet names;
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  symbolic_image scene(20, 20);
+  scene.add(a, rect::checked(0, 3, 0, 3));
+  scene.add(a, rect::checked(10, 13, 10, 13));  // second A -> ambiguous
+  scene.add(b, rect::checked(5, 8, 5, 8));
+  EXPECT_FALSE(rank_boxes(encode(scene), a, b).has_value());
+}
+
+// ------------------------------------------------------------- query lang
+
+TEST(QueryLang, ParsesConjunctions) {
+  const spatial_query q =
+      parse_query("A left-of B & B inside C and A overlaps C");
+  ASSERT_EQ(q.clauses.size(), 3u);
+  EXPECT_EQ(q.clauses[0],
+            (query_clause{"A", spatial_predicate::left_of, "B"}));
+  EXPECT_EQ(q.clauses[1], (query_clause{"B", spatial_predicate::inside, "C"}));
+  EXPECT_EQ(q.variables(), (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(QueryLang, RejectsMalformedQueries) {
+  EXPECT_THROW((void)parse_query(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_query("A left-of"), std::invalid_argument);
+  EXPECT_THROW((void)parse_query("A sideways-of B"), std::invalid_argument);
+  EXPECT_THROW((void)parse_query("A left-of B B inside C"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_query("A left-of B &"), std::invalid_argument);
+  EXPECT_THROW((void)parse_query("A left-of A"), std::invalid_argument);
+}
+
+symbolic_image intro_scene(alphabet& names) {
+  // A on the left, B on the right, C spanning the top.
+  symbolic_image img(100, 100);
+  img.add(names.intern("A"), rect::checked(5, 25, 10, 40));
+  img.add(names.intern("B"), rect::checked(70, 95, 10, 40));
+  img.add(names.intern("C"), rect::checked(0, 100, 60, 90));
+  return img;
+}
+
+TEST(QueryLang, PaperIntroExample) {
+  alphabet names;
+  const symbolic_image img = intro_scene(names);
+  EXPECT_TRUE(matches(parse_query("A left-of B"), img, names));
+  EXPECT_FALSE(matches(parse_query("B left-of A"), img, names));
+  EXPECT_TRUE(matches(parse_query("C above A & C above B"), img, names));
+}
+
+TEST(QueryLang, PartialSatisfactionCounts) {
+  alphabet names;
+  const symbolic_image img = intro_scene(names);
+  const spatial_query q = parse_query("A left-of B & B left-of A");
+  EXPECT_EQ(satisfied_clauses(q, img, names), 1u);
+  EXPECT_FALSE(matches(q, img, names));
+}
+
+TEST(QueryLang, UnknownSymbolFailsItsClausesOnly) {
+  alphabet names;
+  const symbolic_image img = intro_scene(names);
+  const spatial_query q = parse_query("A left-of B & A left-of Z");
+  EXPECT_EQ(satisfied_clauses(q, img, names), 1u);
+}
+
+TEST(QueryLang, DuplicateSymbolsPickConsistentInstances) {
+  alphabet names;
+  const symbol_id a = names.intern("A");
+  const symbol_id b = names.intern("B");
+  symbolic_image img(100, 100);
+  img.add(a, rect::checked(0, 10, 0, 10));    // left A
+  img.add(a, rect::checked(80, 90, 0, 10));   // right A
+  img.add(b, rect::checked(40, 50, 0, 10));   // middle B
+  // One A is left of B AND (the same A) below nothing... use two clauses
+  // that force choosing DIFFERENT instances consistently:
+  EXPECT_TRUE(matches(parse_query("A left-of B"), img, names));
+  EXPECT_TRUE(matches(parse_query("A right-of B"), img, names));
+  // But a single A cannot be both left and right of B.
+  EXPECT_EQ(
+      satisfied_clauses(parse_query("A left-of B & A right-of B"), img, names),
+      1u);
+}
+
+TEST(QueryLang, SearchStructuredRanksByClauseCount) {
+  image_database db;
+  const symbolic_image good = intro_scene(db.symbols());
+  symbolic_image half(100, 100);
+  half.add(db.symbols().id_of("A"), rect::checked(5, 25, 10, 40));
+  half.add(db.symbols().id_of("B"), rect::checked(70, 95, 10, 40));
+  // no C
+  symbolic_image none(100, 100);
+  none.add(db.symbols().id_of("B"), rect::checked(0, 10, 0, 10));
+  db.add("good", good);
+  db.add("half", half);
+  db.add("none", none);
+
+  const spatial_query q = parse_query("A left-of B & C above A");
+  const auto ranked = search_structured(db, q);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].id, 0u);
+  EXPECT_EQ(ranked[0].satisfied, 2u);
+  EXPECT_EQ(ranked[1].id, 1u);
+  EXPECT_EQ(ranked[1].satisfied, 1u);
+  EXPECT_EQ(ranked[2].satisfied, 0u);
+
+  const auto full_only = search_structured(db, q, true);
+  ASSERT_EQ(full_only.size(), 1u);
+  EXPECT_EQ(full_only[0].id, 0u);
+}
+
+}  // namespace
+}  // namespace bes

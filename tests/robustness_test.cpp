@@ -1,0 +1,145 @@
+// Robustness: every text-format reader (BE-string parser, scene sketches,
+// the query language, the database loader) must either succeed or throw a
+// std::exception on arbitrarily mutated input — never crash, hang, or
+// return a structurally invalid object.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/serializer.hpp"
+#include "db/storage.hpp"
+#include "reasoning/query_lang.hpp"
+#include "symbolic/scene_text.hpp"
+#include "util/rng.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+std::string mutate(std::string text, rng& r, int edits) {
+  static constexpr char pool[] =
+      "abcXYZ0123456789 :;,()&-.\nEb\t";
+  for (int e = 0; e < edits && !text.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(
+        r.uniform_int(0, static_cast<int>(text.size()) - 1));
+    switch (r.uniform_int(0, 2)) {
+      case 0:  // replace
+        text[pos] = pool[static_cast<std::size_t>(
+            r.uniform_int(0, sizeof(pool) - 2))];
+        break;
+      case 1:  // delete
+        text.erase(pos, 1);
+        break;
+      default:  // duplicate a chunk
+        text.insert(pos, text.substr(pos, 3));
+        break;
+    }
+  }
+  return text;
+}
+
+class ParserRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRobustness, AxisParserNeverCrashes) {
+  rng r(GetParam());
+  alphabet names;
+  symbolic_image scene(32, 32);
+  scene.add(names.intern("A"), rect::checked(1, 9, 2, 8));
+  scene.add(names.intern("B"), rect::checked(4, 20, 6, 30));
+  const std::string valid = to_text(encode(scene), names);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string garbled = mutate(valid, r, r.uniform_int(1, 10));
+    try {
+      alphabet scratch = names;
+      (void)parse_be_string(garbled, scratch);
+    } catch (const std::exception&) {
+      // throwing is acceptable; crashing is not
+    }
+  }
+}
+
+TEST_P(ParserRobustness, SceneSketchParserNeverCrashes) {
+  rng r(GetParam() + 100);
+  const std::string valid = "32x32: A 1 9 2 8; B 4 20 6 30";
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string garbled = mutate(valid, r, r.uniform_int(1, 10));
+    try {
+      alphabet scratch;
+      (void)parse_scene(garbled, scratch);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST_P(ParserRobustness, QueryLanguageParserNeverCrashes) {
+  rng r(GetParam() + 200);
+  const std::string valid = "A left-of B & C above A and B inside C";
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string garbled = mutate(valid, r, r.uniform_int(1, 8));
+    try {
+      (void)parse_query(garbled);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST_P(ParserRobustness, DatabaseLoaderNeverCrashesAndLoadsOnlyValidDbs) {
+  rng r(GetParam() + 300);
+  image_database db;
+  scene_params params;
+  params.object_count = 4;
+  params.width = 64;
+  params.height = 64;
+  params.max_extent = 16;
+  for (int i = 0; i < 3; ++i) {
+    db.add("img" + std::to_string(i), random_scene(params, r, db.symbols()));
+  }
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("bestring_robust_" + std::to_string(GetParam()));
+  save_database(db, path);
+  std::string valid;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    valid = buffer.str();
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    {
+      std::ofstream out(path);
+      out << mutate(valid, r, r.uniform_int(1, 12));
+    }
+    try {
+      const image_database loaded = load_database(path);
+      // If it loads, it must be structurally sound.
+      for (const db_record& rec : loaded.records()) {
+        EXPECT_TRUE(rec.strings.well_formed());
+        EXPECT_EQ(rec.strings, encode(rec.image));
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+// Unmutated baselines stay parseable (the fuzz above would be vacuous if
+// the valid inputs themselves failed).
+TEST(ParserRobustness, ValidInputsParse) {
+  alphabet names;
+  symbolic_image scene(32, 32);
+  scene.add(names.intern("A"), rect::checked(1, 9, 2, 8));
+  const be_string2d s = encode(scene);
+  alphabet scratch = names;
+  EXPECT_EQ(parse_be_string(to_text(s, names), scratch), s);
+  alphabet scratch2;
+  EXPECT_EQ(parse_scene("32x32: A 1 9 2 8", scratch2).size(), 1u);
+  EXPECT_EQ(parse_query("A left-of B").clauses.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "symbolic/alphabet.hpp"
+#include "symbolic/symbolic_image.hpp"
+
+namespace bes {
+namespace {
+
+// ---------------------------------------------------------------- alphabet
+
+TEST(Alphabet, InternIsIdempotent) {
+  alphabet a;
+  const symbol_id id = a.intern("chair");
+  EXPECT_EQ(a.intern("chair"), id);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(Alphabet, IdsAreDense) {
+  alphabet a;
+  EXPECT_EQ(a.intern("a"), 0u);
+  EXPECT_EQ(a.intern("b"), 1u);
+  EXPECT_EQ(a.intern("c"), 2u);
+}
+
+TEST(Alphabet, RoundTripNames) {
+  alphabet a;
+  const symbol_id id = a.intern("table");
+  EXPECT_EQ(a.name_of(id), "table");
+  EXPECT_EQ(a.id_of("table"), id);
+  EXPECT_TRUE(a.knows("table"));
+  EXPECT_FALSE(a.knows("lamp"));
+}
+
+TEST(Alphabet, UnknownLookupsThrow) {
+  alphabet a;
+  EXPECT_THROW((void)a.id_of("ghost"), std::out_of_range);
+  EXPECT_THROW((void)a.name_of(0), std::out_of_range);
+}
+
+TEST(Alphabet, RejectsInvalidNames) {
+  alphabet a;
+  EXPECT_THROW((void)a.intern(""), std::invalid_argument);
+  EXPECT_THROW((void)a.intern("has space"), std::invalid_argument);
+  EXPECT_THROW((void)a.intern("has:colon"), std::invalid_argument);
+  EXPECT_THROW((void)a.intern("has,comma"), std::invalid_argument);
+  EXPECT_THROW((void)a.intern("(paren"), std::invalid_argument);
+  // The dummy symbol name is reserved.
+  EXPECT_THROW((void)a.intern("E"), std::invalid_argument);
+}
+
+TEST(Alphabet, ValidSymbolNamePredicate) {
+  EXPECT_TRUE(valid_symbol_name("A"));
+  EXPECT_TRUE(valid_symbol_name("obj_1-x"));
+  EXPECT_FALSE(valid_symbol_name("E"));
+  EXPECT_FALSE(valid_symbol_name(""));
+}
+
+// ---------------------------------------------------------------- image
+
+TEST(SymbolicImage, RejectsBadDomain) {
+  EXPECT_THROW(symbolic_image(0, 5), std::invalid_argument);
+  EXPECT_THROW(symbolic_image(5, -1), std::invalid_argument);
+}
+
+TEST(SymbolicImage, AddValidatesMbr) {
+  symbolic_image img(10, 10);
+  EXPECT_NO_THROW(img.add(0, rect::checked(0, 10, 0, 10)));
+  EXPECT_THROW(img.add(0, rect{interval{3, 3}, interval{0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(img.add(0, rect::checked(0, 11, 0, 5)), std::invalid_argument);
+  EXPECT_THROW(img.add(0, rect{interval{-1, 2}, interval{0, 5}}),
+               std::invalid_argument);
+}
+
+TEST(SymbolicImage, RemoveKeepsOrder) {
+  symbolic_image img(10, 10);
+  img.add(0, rect::checked(0, 1, 0, 1));
+  img.add(1, rect::checked(1, 2, 1, 2));
+  img.add(2, rect::checked(2, 3, 2, 3));
+  img.remove(1);
+  ASSERT_EQ(img.size(), 2u);
+  EXPECT_EQ(img.icons()[0].symbol, 0u);
+  EXPECT_EQ(img.icons()[1].symbol, 2u);
+  EXPECT_THROW(img.remove(5), std::out_of_range);
+}
+
+TEST(SymbolicImage, DisjointDetection) {
+  symbolic_image img(10, 10);
+  img.add(0, rect::checked(0, 3, 0, 3));
+  img.add(1, rect::checked(5, 8, 5, 8));
+  EXPECT_TRUE(img.disjoint());
+  img.add(2, rect::checked(2, 6, 2, 6));
+  EXPECT_FALSE(img.disjoint());
+}
+
+TEST(SymbolicImage, GeometricTransformSwapsDomain) {
+  symbolic_image img(10, 6);
+  img.add(0, rect::checked(1, 4, 2, 5));
+  const symbolic_image rotated = apply(dihedral::rot90, img);
+  EXPECT_EQ(rotated.width(), 6);
+  EXPECT_EQ(rotated.height(), 10);
+  ASSERT_EQ(rotated.size(), 1u);
+  // rot90: (x,y) -> (y, W-x): x' = [2,5), y' = [10-4, 10-1) = [6,9).
+  EXPECT_EQ(rotated.icons()[0].mbr, rect::checked(2, 5, 6, 9));
+}
+
+TEST(SymbolicImage, TransformRoundTrip) {
+  symbolic_image img(10, 6);
+  img.add(0, rect::checked(1, 4, 2, 5));
+  img.add(1, rect::checked(0, 10, 0, 1));
+  for (dihedral t : all_dihedral) {
+    EXPECT_EQ(apply(inverse(t), apply(t, img)), img) << to_string(t);
+  }
+}
+
+TEST(SymbolicImage, EqualityIsStructural) {
+  symbolic_image a(5, 5);
+  symbolic_image b(5, 5);
+  EXPECT_EQ(a, b);
+  a.add(0, rect::checked(0, 1, 0, 1));
+  EXPECT_NE(a, b);
+  b.add(0, rect::checked(0, 1, 0, 1));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "util/rng.hpp"
+#include "workload/query_gen.hpp"
+#include "workload/scene_gen.hpp"
+
+namespace bes {
+namespace {
+
+TEST(SceneGen, RespectsCountAndDomain) {
+  rng r(1);
+  alphabet names;
+  scene_params params;
+  params.width = 100;
+  params.height = 80;
+  params.object_count = 15;
+  params.max_extent = 30;
+  const symbolic_image scene = random_scene(params, r, names);
+  EXPECT_EQ(scene.size(), 15u);
+  for (const icon& obj : scene.icons()) {
+    EXPECT_GE(obj.mbr.x.lo, 0);
+    EXPECT_LE(obj.mbr.x.hi, 100);
+    EXPECT_GE(obj.mbr.y.lo, 0);
+    EXPECT_LE(obj.mbr.y.hi, 80);
+    EXPECT_GE(obj.mbr.x.length(), params.min_extent);
+    EXPECT_LE(obj.mbr.x.length(), params.max_extent);
+  }
+}
+
+TEST(SceneGen, DeterministicGivenSeed) {
+  alphabet names1;
+  alphabet names2;
+  rng r1(42);
+  rng r2(42);
+  scene_params params;
+  EXPECT_EQ(random_scene(params, r1, names1), random_scene(params, r2, names2));
+}
+
+TEST(SceneGen, DisjointModeProducesDisjointScenes) {
+  rng r(2);
+  alphabet names;
+  scene_params params;
+  params.object_count = 10;
+  params.max_extent = 20;
+  params.disjoint = true;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(random_scene(params, r, names).disjoint());
+  }
+}
+
+TEST(SceneGen, DisjointImpossibleThrows) {
+  rng r(3);
+  alphabet names;
+  scene_params params;
+  params.width = 16;
+  params.height = 16;
+  params.min_extent = 12;
+  params.max_extent = 16;
+  params.object_count = 10;  // cannot fit 10 disjoint 12x12 in 16x16
+  params.disjoint = true;
+  EXPECT_THROW((void)random_scene(params, r, names), std::runtime_error);
+}
+
+TEST(SceneGen, UniqueSymbolsDistinct) {
+  rng r(4);
+  alphabet names;
+  scene_params params;
+  params.object_count = 9;
+  params.symbol_pool = 9;
+  params.unique_symbols = true;
+  const symbolic_image scene = random_scene(params, r, names);
+  std::vector<symbol_id> symbols;
+  for (const icon& obj : scene.icons()) symbols.push_back(obj.symbol);
+  std::sort(symbols.begin(), symbols.end());
+  EXPECT_EQ(std::adjacent_find(symbols.begin(), symbols.end()), symbols.end());
+}
+
+TEST(SceneGen, UniqueSymbolsNeedsBigPool) {
+  rng r(5);
+  alphabet names;
+  scene_params params;
+  params.object_count = 5;
+  params.symbol_pool = 3;
+  params.unique_symbols = true;
+  EXPECT_THROW((void)random_scene(params, r, names), std::invalid_argument);
+}
+
+TEST(SceneGen, GridModeSnapsBoundaries) {
+  rng r(6);
+  alphabet names;
+  scene_params params;
+  params.object_count = 12;
+  params.grid = 16;
+  const symbolic_image scene = random_scene(params, r, names);
+  for (const icon& obj : scene.icons()) {
+    EXPECT_EQ(obj.mbr.x.lo % 16, 0);
+    EXPECT_EQ(obj.mbr.y.lo % 16, 0);
+    EXPECT_EQ(obj.mbr.x.length() % 16, 0);
+  }
+}
+
+TEST(SceneGen, GridScenesCompressBetter) {
+  // Grid alignment produces coincident boundaries, shrinking the BE-string.
+  alphabet names;
+  rng r1(7);
+  rng r2(7);
+  scene_params loose;
+  loose.object_count = 30;
+  scene_params grid = loose;
+  grid.grid = 32;
+  const auto s_loose = encode(random_scene(loose, r1, names));
+  const auto s_grid = encode(random_scene(grid, r2, names));
+  EXPECT_LT(s_grid.total_tokens(), s_loose.total_tokens());
+}
+
+TEST(SceneGen, ZeroObjects) {
+  rng r(8);
+  alphabet names;
+  scene_params params;
+  params.object_count = 0;
+  EXPECT_TRUE(random_scene(params, r, names).empty());
+}
+
+TEST(SceneGen, BadExtentsThrow) {
+  rng r(9);
+  alphabet names;
+  scene_params params;
+  params.min_extent = 10;
+  params.max_extent = 5;
+  EXPECT_THROW((void)random_scene(params, r, names), std::invalid_argument);
+  scene_params huge;
+  huge.max_extent = 10000;
+  EXPECT_THROW((void)random_scene(huge, r, names), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- distort
+
+TEST(QueryGen, KeepFractionBounds) {
+  rng r(10);
+  alphabet names;
+  scene_params params;
+  params.object_count = 10;
+  const symbolic_image scene = random_scene(params, r, names);
+  distortion_params d;
+  d.keep_fraction = 0.5;
+  const symbolic_image query = distort(scene, d, r, names);
+  EXPECT_EQ(query.size(), 5u);
+}
+
+TEST(QueryGen, KeepFractionAtLeastOne) {
+  rng r(11);
+  alphabet names;
+  symbolic_image scene(32, 32);
+  scene.add(names.intern("A"), rect::checked(0, 4, 0, 4));
+  distortion_params d;
+  d.keep_fraction = 0.01;
+  EXPECT_EQ(distort(scene, d, r, names).size(), 1u);
+}
+
+TEST(QueryGen, RejectsBadKeepFraction) {
+  rng r(12);
+  alphabet names;
+  symbolic_image scene(32, 32);
+  scene.add(names.intern("A"), rect::checked(0, 4, 0, 4));
+  distortion_params d;
+  d.keep_fraction = 0.0;
+  EXPECT_THROW((void)distort(scene, d, r, names), std::invalid_argument);
+  d.keep_fraction = 1.5;
+  EXPECT_THROW((void)distort(scene, d, r, names), std::invalid_argument);
+}
+
+TEST(QueryGen, JitterPreservesSizeAndDomain) {
+  rng r(13);
+  alphabet names;
+  scene_params params;
+  params.object_count = 8;
+  const symbolic_image scene = random_scene(params, r, names);
+  distortion_params d;
+  d.jitter = 10;
+  const symbolic_image query = distort(scene, d, r, names);
+  ASSERT_EQ(query.size(), scene.size());
+  // Sizes preserved (order of kept icons follows original order).
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    EXPECT_EQ(query.icons()[i].mbr.x.length(),
+              scene.icons()[i].mbr.x.length());
+    EXPECT_EQ(query.icons()[i].mbr.y.length(),
+              scene.icons()[i].mbr.y.length());
+    EXPECT_GE(query.icons()[i].mbr.x.lo, 0);
+    EXPECT_LE(query.icons()[i].mbr.x.hi, scene.width());
+  }
+}
+
+TEST(QueryGen, DecoysAdded) {
+  rng r(14);
+  alphabet names;
+  scene_params params;
+  params.object_count = 6;
+  const symbolic_image scene = random_scene(params, r, names);
+  distortion_params d;
+  d.decoys = 3;
+  d.decoy_shape.max_extent = 16;
+  EXPECT_EQ(distort(scene, d, r, names).size(), 9u);
+}
+
+TEST(QueryGen, TransformChangesDomainConsistently) {
+  rng r(15);
+  alphabet names;
+  scene_params params;
+  params.width = 64;
+  params.height = 32;
+  params.object_count = 5;
+  params.max_extent = 20;
+  const symbolic_image scene = random_scene(params, r, names);
+  distortion_params d;
+  d.transform = dihedral::rot90;
+  const symbolic_image query = distort(scene, d, r, names);
+  EXPECT_EQ(query.width(), 32);
+  EXPECT_EQ(query.height(), 64);
+}
+
+TEST(QueryGen, IdentityDistortionIsExactCopy) {
+  rng r(16);
+  alphabet names;
+  scene_params params;
+  params.object_count = 7;
+  const symbolic_image scene = random_scene(params, r, names);
+  distortion_params d;  // defaults: keep all, no jitter, no decoys
+  const symbolic_image query = distort(scene, d, r, names);
+  EXPECT_EQ(query, scene);
+}
+
+}  // namespace
+}  // namespace bes

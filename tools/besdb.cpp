@@ -1,0 +1,231 @@
+// besdb — command-line front end to the BE-string image database.
+//
+//   besdb create  --out corpus.besdb [--images N --objects K --seed S]
+//   besdb info    corpus.besdb
+//   besdb show    corpus.besdb --id 3
+//   besdb query   corpus.besdb --id 3 [--keep 0.6 --jitter 4 --top-k 5
+//                                      --transform-invariant]
+//   besdb spatial corpus.besdb --query "S0 left-of S1 & S2 above S0"
+//   besdb window  corpus.besdb --x0 0 --x1 100 --y0 0 --y1 100 [--symbol S0]
+//
+// Every subcommand prints plain-text tables; exit code 0 on success, 1 on
+// user error (message on stderr).
+#include <cstdio>
+#include <string>
+
+#include "core/serializer.hpp"
+#include "db/query.hpp"
+#include "db/spatial_index.hpp"
+#include "db/storage.hpp"
+#include "metrics/stats.hpp"
+#include "reasoning/query_lang.hpp"
+#include "symbolic/scene_text.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workload/query_gen.hpp"
+
+namespace {
+
+using namespace bes;
+
+int cmd_create(arg_parser& args) {
+  const std::string out = args.get_string("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "create: --out is required\n");
+    return 1;
+  }
+  rng r(static_cast<std::uint64_t>(args.get_int("seed")));
+  scene_params params;
+  params.width = static_cast<int>(args.get_int("width"));
+  params.height = static_cast<int>(args.get_int("height"));
+  params.object_count = static_cast<std::size_t>(args.get_int("objects"));
+  params.symbol_pool = static_cast<std::size_t>(args.get_int("pool"));
+  params.max_extent = std::max(4, params.width / 6);
+  image_database db;
+  const auto images = static_cast<std::size_t>(args.get_int("images"));
+  for (std::size_t i = 0; i < images; ++i) {
+    db.add("scene" + std::to_string(i), random_scene(params, r, db.symbols()));
+  }
+  save_database(db, out);
+  std::printf("wrote %zu images (%zu symbols) to %s\n", db.size(),
+              db.symbols().size(), out.c_str());
+  return 0;
+}
+
+int cmd_info(const image_database& db) {
+  sample_stats icons;
+  sample_stats tokens;
+  for (const db_record& rec : db.records()) {
+    icons.add(static_cast<double>(rec.image.size()));
+    tokens.add(static_cast<double>(rec.strings.total_tokens()));
+  }
+  std::printf("images : %zu\n", db.size());
+  std::printf("symbols: %zu\n", db.symbols().size());
+  if (db.size() > 0) {
+    std::printf("icons  : %s\n", icons.summary(1).c_str());
+    std::printf("tokens : %s (per image, both axes)\n",
+                tokens.summary(1).c_str());
+  }
+  return 0;
+}
+
+int cmd_show(const image_database& db, arg_parser& args) {
+  const auto id = static_cast<image_id>(args.get_int("id"));
+  if (id >= db.size()) {
+    std::fprintf(stderr, "show: id %u out of range (db has %zu images)\n", id,
+                 db.size());
+    return 1;
+  }
+  const db_record& rec = db.record(id);
+  std::printf("image %u '%s'  %dx%d, %zu icons\n", rec.id, rec.name.c_str(),
+              rec.image.width(), rec.image.height(), rec.image.size());
+  text_table table({"symbol", "mbr"});
+  for (const icon& obj : rec.image.icons()) {
+    table.add_row({db.symbols().name_of(obj.symbol), to_string(obj.mbr)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\npaper notation : %s\n",
+              paper_style(rec.strings, db.symbols()).c_str());
+  std::printf("machine form   : %s\n",
+              to_text(rec.strings, db.symbols()).c_str());
+  return 0;
+}
+
+int cmd_query(const image_database& db, arg_parser& args) {
+  alphabet scratch = db.symbols();
+  symbolic_image query(1, 1);
+  std::string provenance;
+  if (const std::string sketch = args.get_string("sketch"); !sketch.empty()) {
+    // Query by sketch: "12x11: A 2 6 3 9; B 4 10 1 5".
+    query = parse_scene(sketch, scratch);
+    provenance = "sketch";
+  } else {
+    const auto id = static_cast<image_id>(args.get_int("id"));
+    if (id >= db.size()) {
+      std::fprintf(stderr, "query: id %u out of range\n", id);
+      return 1;
+    }
+    rng r(static_cast<std::uint64_t>(args.get_int("seed")));
+    distortion_params d;
+    d.keep_fraction = args.get_double("keep");
+    d.jitter = static_cast<int>(args.get_int("jitter"));
+    query = distort(db.record(id).image, d, r, scratch);
+    provenance = "distorted from image " + std::to_string(id);
+  }
+
+  query_options options;
+  options.top_k = static_cast<std::size_t>(args.get_int("top-k"));
+  options.transform_invariant = args.get_bool("transform-invariant");
+  const auto results = search(db, query, options);
+
+  std::printf("query: %zu icons (%s)\n\n", query.size(), provenance.c_str());
+  text_table table({"rank", "image", "score", "transform"});
+  int rank = 1;
+  for (const query_result& result : results) {
+    table.add_row({std::to_string(rank++), db.record(result.id).name,
+                   fmt_double(result.score, 3),
+                   std::string(to_string(result.transform))});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}
+
+int cmd_spatial(const image_database& db, arg_parser& args) {
+  const std::string text = args.get_string("query");
+  if (text.empty()) {
+    std::fprintf(stderr, "spatial: --query is required\n");
+    return 1;
+  }
+  const spatial_query query = parse_query(text);
+  const auto ranked =
+      search_structured(db, query, args.get_bool("full-only"));
+  text_table table({"image", "satisfied", "of"});
+  std::size_t shown = 0;
+  for (const structured_result& result : ranked) {
+    if (shown++ == static_cast<std::size_t>(args.get_int("top-k"))) break;
+    table.add_row({db.record(result.id).name, std::to_string(result.satisfied),
+                   std::to_string(result.total)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}
+
+int cmd_window(const image_database& db, arg_parser& args) {
+  const rect window = rect::checked(static_cast<int>(args.get_int("x0")),
+                                    static_cast<int>(args.get_int("x1")),
+                                    static_cast<int>(args.get_int("y0")),
+                                    static_cast<int>(args.get_int("y1")));
+  const spatial_index index(db);
+  std::optional<symbol_id> symbol;
+  if (const std::string name = args.get_string("symbol"); !name.empty()) {
+    if (!db.symbols().knows(name)) {
+      std::fprintf(stderr, "window: unknown symbol '%s'\n", name.c_str());
+      return 1;
+    }
+    symbol = db.symbols().id_of(name);
+  }
+  const auto hits = index.images_overlapping(window, symbol);
+  std::printf("%zu images have %s icon overlapping %s:\n", hits.size(),
+              symbol ? ("a '" + args.get_string("symbol") + "'").c_str()
+                     : "an",
+              to_string(window).c_str());
+  for (image_id id : hits) {
+    std::printf("  %s\n", db.record(id).name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bes;
+  arg_parser args(
+      "besdb <create|info|show|query|spatial|window> [db-file] [flags]");
+  args.add_string("out", "", "create: output path");
+  args.add_int("images", 30, "create: number of images");
+  args.add_int("objects", 8, "create: icons per image");
+  args.add_int("pool", 8, "create: symbol pool size");
+  args.add_int("width", 256, "create: image width");
+  args.add_int("height", 256, "create: image height");
+  args.add_int("seed", 1, "create/query: RNG seed");
+  args.add_int("id", 0, "show/query: image id");
+  args.add_double("keep", 0.7, "query: fraction of icons kept");
+  args.add_int("jitter", 4, "query: max icon displacement");
+  args.add_string("sketch", "",
+                  "query: a scene sketch like \"12x11: A 2 6 3 9; B 4 10 1 5\""
+                  " (overrides --id)");
+  args.add_int("top-k", 10, "query/spatial: results to print");
+  args.add_bool("transform-invariant", false, "query: best of 8 reversals");
+  args.add_string("query", "", "spatial: query text, e.g. \"A left-of B\"");
+  args.add_bool("full-only", false, "spatial: exact matches only");
+  args.add_int("x0", 0, "window: x low");
+  args.add_int("x1", 1, "window: x high");
+  args.add_int("y0", 0, "window: y low");
+  args.add_int("y1", 1, "window: y high");
+  args.add_string("symbol", "", "window: restrict to a symbol");
+
+  try {
+    if (!args.parse(argc, argv) || args.positional().empty()) {
+      std::fputs(args.usage().c_str(), stdout);
+      return args.positional().empty() ? 1 : 0;
+    }
+    const std::string& command = args.positional()[0];
+    if (command == "create") return cmd_create(args);
+    if (args.positional().size() < 2) {
+      std::fprintf(stderr, "%s: missing database file\n", command.c_str());
+      return 1;
+    }
+    const image_database db = load_database(args.positional()[1]);
+    if (command == "info") return cmd_info(db);
+    if (command == "show") return cmd_show(db, args);
+    if (command == "query") return cmd_query(db, args);
+    if (command == "spatial") return cmd_spatial(db, args);
+    if (command == "window") return cmd_window(db, args);
+    std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
+                 args.usage().c_str());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "besdb: %s\n", error.what());
+    return 1;
+  }
+}
