@@ -72,7 +72,7 @@ void print_norm_ablation() {
   print_header("ABL-a: similarity normalization policy",
                "query-length norm is the partial-match reading; symmetric "
                "norms punish db images with extra content");
-  const corpus c = build_corpus(60, 3);
+  const corpus c = build_corpus(benchsupport::smoke_cap<std::size_t>(60, 8), 3);
   distortion_params partial;
   partial.keep_fraction = 0.5;
   partial.jitter = 6;
@@ -86,8 +86,9 @@ void print_norm_ablation() {
         {"dice", norm_kind::dice}, {"min", norm_kind::min_len}}) {
     query_options options;
     options.similarity.norm = norm;
-    table.add_row({name, fmt_double(mean_p1(c, options, partial, 40), 3),
-                   fmt_double(mean_p1(c, options, cluttered, 40), 3)});
+    const std::size_t queries = benchsupport::smoke_cap<std::size_t>(40, 8);
+    table.add_row({name, fmt_double(mean_p1(c, options, partial, queries), 3),
+                   fmt_double(mean_p1(c, options, cluttered, queries), 3)});
   }
   std::fputs(table.str().c_str(), stdout);
 }
@@ -96,7 +97,7 @@ void print_lcs_variant_ablation() {
   print_header("ABL-b: paper signed-table LCS vs exact two-layer DP",
                "identical retrieval quality; the exact variant costs about "
                "the same O(mn)");
-  const corpus c = build_corpus(60, 3);
+  const corpus c = build_corpus(benchsupport::smoke_cap<std::size_t>(60, 8), 3);
   distortion_params d;
   d.keep_fraction = 0.6;
   d.jitter = 8;
@@ -111,7 +112,7 @@ void print_lcs_variant_ablation() {
       benchmark::DoNotOptimize(search(c.db, query, options));
     });
     table.add_row({exact ? "exact two-layer" : "paper signed-table",
-                   fmt_double(mean_p1(c, options, d, 40), 3),
+                   fmt_double(mean_p1(c, options, d, benchsupport::smoke_cap<std::size_t>(40, 8)), 3),
                    fmt_double(ms, 2)});
   }
   std::fputs(table.str().c_str(), stdout);
@@ -121,7 +122,7 @@ void print_filter_ablation() {
   print_header("ABL-c: candidate filtering before scoring",
                "the inverted symbol index and an R-tree window prefilter "
                "trade recall for scan work");
-  const corpus c = build_corpus(100, 3);
+  const corpus c = build_corpus(benchsupport::smoke_cap<std::size_t>(100, 8), 3);
   const spatial_index spatial(c.db);
   distortion_params d;
   d.keep_fraction = 0.6;
@@ -235,7 +236,5 @@ int main(int argc, char** argv) {
   bes::print_lcs_variant_ablation();
   bes::print_filter_ablation();
   bes::print_dummy_weight_ablation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bes::benchsupport::run_registered(argc, argv);
 }

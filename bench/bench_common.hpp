@@ -3,15 +3,56 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "workload/scene_gen.hpp"
 
 namespace bes::benchsupport {
+
+// Smoke mode (BES_BENCH_SMOKE set): the ctest `bench_smoke` label runs every
+// bench binary end to end with sweeps shrunk to a tiny N and the registered
+// microbenchmarks skipped, so a full smoke pass takes seconds, not minutes,
+// and the benches cannot bit-rot unnoticed.
+inline bool smoke() {
+  static const bool on = std::getenv("BES_BENCH_SMOKE") != nullptr;
+  return on;
+}
+
+// `full` normally; at most `tiny` under smoke.
+template <typename T>
+[[nodiscard]] T smoke_cap(T full, T tiny) {
+  return smoke() ? std::min(full, tiny) : full;
+}
+
+// Sweep points for an experiment table; smoke drops the points above
+// `tiny_max` (always keeping at least the smallest so the table is nonempty).
+template <typename T>
+[[nodiscard]] std::vector<T> smoke_sweep(std::initializer_list<T> full,
+                                         T tiny_max) {
+  std::vector<T> out;
+  for (T v : full) {
+    if (!smoke() || v <= tiny_max || out.empty()) out.push_back(v);
+  }
+  return out;
+}
+
+// Tail call for every bench main(): runs the registered google-benchmarks in
+// a normal run, skips them in smoke mode (the experiment tables above have
+// already exercised the code paths at tiny N).
+inline int run_registered(int argc, char** argv) {
+  if (smoke()) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
 
 // Wall-clock seconds of a callable, best effort single shot.
 template <typename F>
@@ -23,8 +64,11 @@ double time_seconds(F&& fn) {
 }
 
 // Repeats fn until ~min_seconds elapsed; returns mean seconds per call.
+// The default budget shrinks under smoke so tables with many timed cells
+// stay fast.
 template <typename F>
-double time_per_call(F&& fn, double min_seconds = 0.05) {
+double time_per_call(F&& fn, double min_seconds = -1.0) {
+  if (min_seconds < 0) min_seconds = smoke() ? 0.002 : 0.05;
   double total = 0.0;
   std::size_t calls = 0;
   while (total < min_seconds) {

@@ -18,7 +18,7 @@ void print_scaling_table() {
                "Convert_2D_Be_String is O(n) ignoring the sort, O(n log n) "
                "with it: time/n grows only logarithmically");
   text_table table({"n", "encode (us)", "us / object", "tokens/axis(avg)"});
-  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+  for (std::size_t n : benchsupport::smoke_sweep({64u, 256u, 1024u, 4096u, 16384u}, 256u)) {
     alphabet names;
     const symbolic_image scene = make_scene(n, n, names, 1 << 16);
     be_string2d out;
@@ -79,7 +79,5 @@ BENCHMARK(BM_RenderAxisOnly)
 
 int main(int argc, char** argv) {
   bes::print_scaling_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bes::benchsupport::run_registered(argc, argv);
 }

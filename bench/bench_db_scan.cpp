@@ -45,7 +45,7 @@ void print_scan_table() {
                "pruner and threads shave the scan");
   text_table table({"images", "serial (ms)", "indexed (ms)", "pruned (ms)",
                     "LCS runs", "4 threads (ms)", "best-of-8 (ms)"});
-  for (std::size_t images : {100u, 400u, 1600u}) {
+  for (std::size_t images : benchsupport::smoke_sweep({100u, 400u, 1600u}, 100u)) {
     image_database db = build_db(images, 8, 40);
     rng r(5);
     alphabet scratch = db.symbols();
@@ -92,8 +92,8 @@ void print_index_selectivity_table() {
   print_header("E9b: inverted-index candidate selectivity",
                "images sharing no query symbol are skipped outright");
   text_table table({"symbol pool", "db images", "candidates for 5-symbol query"});
-  for (std::size_t pool : {10u, 40u, 160u}) {
-    image_database db = build_db(400, 5, pool);
+  for (std::size_t pool : benchsupport::smoke_sweep({10u, 40u, 160u}, 160u)) {
+    image_database db = build_db(benchsupport::smoke_cap<std::size_t>(400, 50), 5, pool);
     const auto candidates = db.candidates(db.record(0).image);
     table.add_row({std::to_string(pool), std::to_string(db.size()),
                    std::to_string(candidates.size())});
@@ -155,7 +155,5 @@ BENCHMARK(BM_RasterPipelineIngest)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   bes::print_scan_table();
   bes::print_index_selectivity_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bes::benchsupport::run_registered(argc, argv);
 }

@@ -23,7 +23,7 @@ void print_cost_table() {
                "with n (binary-search locate + ordered splice)");
   text_table table({"n", "editor insert+erase (us)", "full re-encode (us)",
                     "speedup"});
-  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+  for (std::size_t n : benchsupport::smoke_sweep({64u, 256u, 1024u, 4096u, 16384u}, 256u)) {
     alphabet names;
     const symbolic_image scene = make_scene(n, n, names, 1 << 16);
     be_editor editor(scene);
@@ -93,7 +93,5 @@ BENCHMARK(BM_EditorRender)->RangeMultiplier(4)->Range(64, 16384)
 
 int main(int argc, char** argv) {
   bes::print_cost_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bes::benchsupport::run_registered(argc, argv);
 }

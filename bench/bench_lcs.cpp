@@ -19,8 +19,8 @@ void print_scaling_table() {
   print_header("E4: modified-LCS scaling over object counts",
                "O(mn) time and space; time per (m*n) cell stays flat");
   text_table table({"m", "n", "lcs(x) us", "us/(m*n) x1e3", "table cells"});
-  for (std::size_t m : {8u, 32u, 128u}) {
-    for (std::size_t n : {8u, 32u, 128u, 512u}) {
+  for (std::size_t m : benchsupport::smoke_sweep({8u, 32u, 128u}, 32u)) {
+    for (std::size_t n : benchsupport::smoke_sweep({8u, 32u, 128u, 512u}, 32u)) {
       alphabet names;
       const be_string2d q = encode(make_scene(m, m, names, 4096));
       const be_string2d d = encode(make_scene(n + 1, n, names, 4096));
@@ -47,7 +47,7 @@ void print_fidelity_table() {
   std::size_t agree = 0;
   std::size_t below = 0;
   std::size_t max_gap = 0;
-  constexpr int trials = 300;
+  const int trials = benchsupport::smoke_cap(300, 10);
   for (int t = 0; t < trials; ++t) {
     alphabet names;
     const be_string2d a =
@@ -116,7 +116,5 @@ BENCHMARK(BM_BeLcsTraceback)->RangeMultiplier(4)->Range(8, 512);
 int main(int argc, char** argv) {
   bes::print_scaling_table();
   bes::print_fidelity_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bes::benchsupport::run_registered(argc, argv);
 }

@@ -98,7 +98,7 @@ void print_belcs_quality_table() {
   print_header("E6a: BE-LCS retrieval quality under query distortion",
                "partial queries still retrieve their source image; scores "
                "degrade smoothly, not to zero");
-  const corpus c = build_corpus(200, 10, false);
+  const corpus c = build_corpus(benchsupport::smoke_cap<std::size_t>(200, 8), 10, false);
   text_table table(
       {"distortion", "P@1", "MRR", "nDCG@10"});
   struct cond {
@@ -133,7 +133,7 @@ void print_belcs_quality_table() {
   query_options options;
   options.top_k = 0;
   for (const cond& condition : conditions) {
-    const quality q = evaluate(c, condition.d, 60, [&](const symbolic_image& query) {
+    const quality q = evaluate(c, condition.d, benchsupport::smoke_cap<std::size_t>(60, 8), [&](const symbolic_image& query) {
       return ids_of(search(c.db, query, options));
     });
     table.add_row({condition.name, fmt_double(q.p_at_1, 3),
@@ -147,7 +147,7 @@ void print_vs_type_table() {
                "exact relation matching (type-2) collapses under geometric "
                "perturbation; LCS keeps ranking the right image first");
   // Small corpus: type-2 exact cliques on every candidate are expensive.
-  const corpus c = build_corpus(40, 8, true);
+  const corpus c = build_corpus(benchsupport::smoke_cap<std::size_t>(40, 4), 8, true);
   text_table table({"jitter px", "BE-LCS P@1", "type-2 P@1", "type-1 P@1"});
   query_options options;
   options.top_k = 0;
@@ -155,7 +155,7 @@ void print_vs_type_table() {
     distortion_params d;
     d.jitter = jitter;
     const quality lcs_quality =
-        evaluate(c, d, 40, [&](const symbolic_image& query) {
+        evaluate(c, d, benchsupport::smoke_cap<std::size_t>(40, 4), [&](const symbolic_image& query) {
           return ids_of(search(c.db, query, options));
         });
     auto clique_rank = [&](similarity_type level) {
@@ -174,8 +174,8 @@ void print_vs_type_table() {
         return out;
       };
     };
-    const quality t2 = evaluate(c, d, 40, clique_rank(similarity_type::type2));
-    const quality t1 = evaluate(c, d, 40, clique_rank(similarity_type::type1));
+    const quality t2 = evaluate(c, d, benchsupport::smoke_cap<std::size_t>(40, 4), clique_rank(similarity_type::type2));
+    const quality t1 = evaluate(c, d, benchsupport::smoke_cap<std::size_t>(40, 4), clique_rank(similarity_type::type1));
     table.add_row({std::to_string(jitter), fmt_double(lcs_quality.p_at_1, 3),
                    fmt_double(t2.p_at_1, 3), fmt_double(t1.p_at_1, 3)});
   }
@@ -205,7 +205,5 @@ BENCHMARK(BM_QueryLatency)->Arg(50)->Arg(200)->Arg(800)
 int main(int argc, char** argv) {
   bes::print_belcs_quality_table();
   bes::print_vs_type_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bes::benchsupport::run_registered(argc, argv);
 }

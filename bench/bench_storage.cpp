@@ -22,7 +22,7 @@ void print_bounds_table() {
                "2n <= tokens <= 4n+1 per axis; best case 2n+1, worst 4n+1");
   text_table table({"n", "best-case", "2n+1", "worst-case", "4n+1",
                     "random(x)", "grid(x)"});
-  for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+  for (std::size_t n : benchsupport::smoke_sweep({2u, 4u, 8u, 16u, 32u, 64u, 128u}, 16u)) {
     alphabet names;
     const auto best = encode(best_case_scene(n, names));
     const auto worst = encode(worst_case_scene(n, names));
@@ -44,7 +44,7 @@ void print_model_comparison_table() {
       "still O(n^2) worst case");
   text_table table({"n", "2D-string", "B-string", "BE-string", "C-string-cut",
                     "G-string-cut"});
-  for (std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+  for (std::size_t n : benchsupport::smoke_sweep({4u, 8u, 16u, 32u, 64u, 128u}, 16u)) {
     // A dense overlapping scene (small domain relative to object size).
     alphabet names;
     const symbolic_image scene = make_scene(n, n, names, 256);
@@ -67,7 +67,7 @@ void print_staircase_table() {
                "C-string pieces grow O(n^2) while BE-string stays 4n+1");
   text_table table({"n", "BE tokens (x)", "C-string pieces (x)",
                     "G-string pieces (x)"});
-  for (int n : {4, 8, 16, 32, 64}) {
+  for (int n : benchsupport::smoke_sweep({4, 8, 16, 32, 64}, 16)) {
     alphabet names;
     symbolic_image scene(8 * n + 64, 16);
     for (int i = 0; i < n; ++i) {
@@ -125,7 +125,5 @@ int main(int argc, char** argv) {
   bes::print_bounds_table();
   bes::print_model_comparison_table();
   bes::print_staircase_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bes::benchsupport::run_registered(argc, argv);
 }

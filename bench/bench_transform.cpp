@@ -58,7 +58,7 @@ void print_cost_table() {
                "string transform avoids re-sorting; no operator conversion");
   text_table table({"n", "string transform (us)", "geometric re-encode (us)",
                     "speedup"});
-  for (std::size_t n : {16u, 64u, 256u, 1024u, 4096u}) {
+  for (std::size_t n : benchsupport::smoke_sweep({16u, 64u, 256u, 1024u, 4096u}, 64u)) {
     alphabet names;
     const symbolic_image scene = make_scene(n, n, names, 1 << 15);
     const be_string2d s = encode(scene);
@@ -118,7 +118,5 @@ BENCHMARK(BM_BestOf8Similarity)->RangeMultiplier(4)->Range(8, 128)
 int main(int argc, char** argv) {
   bes::print_recovery_table();
   bes::print_cost_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bes::benchsupport::run_registered(argc, argv);
 }

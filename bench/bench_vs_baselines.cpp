@@ -25,7 +25,7 @@ void print_crossover_table() {
                "duplicate symbols multiply the match graph");
   text_table table({"n", "BE-LCS (us)", "type-2 (us)", "type-1 (us)",
                     "type-0 (us)", "graph vertices", "graph edges"});
-  for (std::size_t n : {4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
+  for (std::size_t n : benchsupport::smoke_sweep({4u, 6u, 8u, 12u, 16u, 24u, 32u}, 8u)) {
     alphabet names;
     // Realistic icon vocabularies repeat (two chairs, three trees): each
     // symbol appears ~2x, which is what makes the candidate-match graph —
@@ -156,7 +156,5 @@ BENCHMARK(BM_Type1CliqueGreedy)
 int main(int argc, char** argv) {
   bes::print_crossover_table();
   bes::print_agreement_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bes::benchsupport::run_registered(argc, argv);
 }

@@ -2,8 +2,7 @@
 // render them to PGM images, extract icons by connected-component labeling,
 // index them as 2D BE-strings, then answer a distorted query.
 //
-//   ./image_search --images 40 --objects 8 --keep 0.6 --jitter 4 \
-//                  --out-dir /tmp/bestring_demo
+//   ./image_search --images 40 --objects 8 --keep 0.6 --out-dir /tmp/demo
 #include <cstdio>
 #include <filesystem>
 

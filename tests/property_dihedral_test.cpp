@@ -1,0 +1,93 @@
+// Dihedral-transform consistency over all 8 group elements.
+//
+// core_transform_test.cpp pins encode(apply(t, scene)) == apply(t, encode(scene))
+// on the symbolic path. These suites extend that to the full imaging pipeline
+// (render -> extract -> encode) and to the group structure itself: transforming
+// the raster-derived encoding must equal re-running the pipeline on the
+// transformed scene, and composition/inverse must agree between the string and
+// geometric realizations for every pair of elements.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/encoder.hpp"
+#include "core/transform.hpp"
+#include "geometry/dihedral.hpp"
+#include "imaging/extract.hpp"
+#include "imaging/render.hpp"
+#include "support/test_support.hpp"
+
+namespace bes {
+namespace {
+
+using testsupport::be_string_invariants;
+using testsupport::make_scene;
+using testsupport::scene_opts;
+
+// Disjoint rectangle icons render and extract losslessly, so the imaging leg
+// introduces no MBR error and equality is exact.
+symbolic_image disjoint_scene(std::uint64_t seed, alphabet& names) {
+  scene_opts opts;
+  opts.object_count = 6;
+  opts.disjoint = true;
+  return make_scene(seed, names, opts);
+}
+
+class DihedralImaging : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DihedralImaging, ExtractionRecoversTheScene) {
+  alphabet names;
+  const symbolic_image scene = disjoint_scene(GetParam(), names);
+  const symbolic_image recovered = extract_icons(render_scene(scene));
+  EXPECT_EQ(encode(recovered), encode(scene));
+}
+
+TEST_P(DihedralImaging, StringTransformEqualsTransformedPipeline) {
+  alphabet names;
+  const symbolic_image scene = disjoint_scene(GetParam(), names);
+  const be_string2d encoded = encode(extract_icons(render_scene(scene)));
+  for (dihedral t : all_dihedral) {
+    const be_string2d via_string = apply(t, encoded);
+    const be_string2d via_pipeline =
+        encode(extract_icons(render_scene(apply(t, scene))));
+    EXPECT_EQ(via_string, via_pipeline) << to_string(t);
+    EXPECT_TRUE(be_string_invariants(via_string, scene.size()))
+        << to_string(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DihedralImaging,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+class DihedralGroup : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DihedralGroup, ComposeAgreesBetweenStringsAndGeometry) {
+  alphabet names;
+  const symbolic_image scene = make_scene(GetParam(), names);
+  const be_string2d s = encode(scene);
+  for (dihedral first : all_dihedral) {
+    for (dihedral second : all_dihedral) {
+      const dihedral composed = compose(first, second);
+      EXPECT_EQ(apply(second, apply(first, s)), apply(composed, s))
+          << to_string(first) << " then " << to_string(second);
+      EXPECT_EQ(encode(apply(composed, scene)), apply(composed, s))
+          << to_string(composed);
+    }
+  }
+}
+
+TEST_P(DihedralGroup, InverseRestoresStringAndScene) {
+  alphabet names;
+  const symbolic_image scene = make_scene(GetParam(), names);
+  const be_string2d s = encode(scene);
+  for (dihedral t : all_dihedral) {
+    EXPECT_EQ(apply(inverse(t), apply(t, s)), s) << to_string(t);
+    EXPECT_EQ(apply(inverse(t), apply(t, scene)), scene) << to_string(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DihedralGroup,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,123 @@
+// Tests of the test-support layer itself: golden fixtures encode to their
+// pinned strings, the seeded scene builder is deterministic, and the
+// invariant checkers both accept encoder output and reject malformed input.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/encoder.hpp"
+#include "core/serializer.hpp"
+#include "support/test_support.hpp"
+
+namespace bes {
+namespace {
+
+using testsupport::axis_well_formed;
+using testsupport::be_string_invariants;
+using testsupport::golden_fixtures;
+using testsupport::make_scene;
+using testsupport::scene_opts;
+
+TEST(GoldenFixtures, EncodeToPinnedPaperStrings) {
+  for (const auto& fixture : golden_fixtures()) {
+    alphabet names;
+    const symbolic_image scene = fixture.build(names);
+    const be_string2d s = encode(scene);
+    EXPECT_EQ(paper_style(s.x, names), fixture.paper_x) << fixture.name;
+    EXPECT_EQ(paper_style(s.y, names), fixture.paper_y) << fixture.name;
+    EXPECT_TRUE(be_string_invariants(s, scene.size())) << fixture.name;
+  }
+}
+
+TEST(SceneBuilder, DeterministicGivenSeed) {
+  alphabet names_a;
+  alphabet names_b;
+  const symbolic_image a = make_scene(42, names_a);
+  const symbolic_image b = make_scene(42, names_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(names_a, names_b);
+}
+
+TEST(SceneBuilder, DistinctSeedsDiffer) {
+  alphabet names;
+  EXPECT_NE(make_scene(1, names), make_scene(2, names));
+}
+
+TEST(SceneBuilder, HonorsObjectCountAndDomain) {
+  alphabet names;
+  scene_opts opts;
+  opts.object_count = 17;
+  opts.domain = 64;
+  const symbolic_image scene = make_scene(7, names, opts);
+  EXPECT_EQ(scene.size(), 17u);
+  EXPECT_EQ(scene.width(), 64);
+  EXPECT_EQ(scene.height(), 64);
+}
+
+TEST(SceneBuilder, DisjointModeYieldsDisjointScenes) {
+  alphabet names;
+  scene_opts opts;
+  opts.object_count = 6;
+  opts.disjoint = true;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    EXPECT_TRUE(make_scene(seed, names, opts).disjoint()) << "seed " << seed;
+  }
+}
+
+TEST(SceneBuilder, UniqueSymbolsAreDistinct) {
+  alphabet names;
+  scene_opts opts;
+  opts.object_count = 9;
+  opts.unique_symbols = true;
+  const symbolic_image scene = make_scene(3, names, opts);
+  std::set<symbol_id> seen;
+  for (const icon& obj : scene.icons()) seen.insert(obj.symbol);
+  EXPECT_EQ(seen.size(), scene.size());
+}
+
+TEST(InvariantCheckers, AcceptEncoderOutput) {
+  alphabet names;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const symbolic_image scene = make_scene(seed, names);
+    const be_string2d s = encode(scene);
+    EXPECT_TRUE(axis_well_formed(s.x)) << "seed " << seed;
+    EXPECT_TRUE(axis_well_formed(s.y)) << "seed " << seed;
+    EXPECT_TRUE(be_string_invariants(s, scene.size())) << "seed " << seed;
+  }
+}
+
+TEST(InvariantCheckers, AcceptEmptyScene) {
+  const be_string2d s = encode(symbolic_image(8, 8));
+  EXPECT_TRUE(be_string_invariants(s, 0));
+}
+
+TEST(InvariantCheckers, RejectAdjacentDummies) {
+  const axis_string s({token::dummy(), token::dummy()});
+  const auto result = axis_well_formed(s);
+  EXPECT_FALSE(result);
+  EXPECT_NE(std::string(result.message()).find("adjacent dummies"),
+            std::string::npos);
+}
+
+TEST(InvariantCheckers, RejectUnbalancedBoundaries) {
+  const axis_string s({token::boundary(0, boundary_kind::begin)});
+  const auto result = axis_well_formed(s);
+  EXPECT_FALSE(result);
+  EXPECT_NE(std::string(result.message()).find("begins"), std::string::npos);
+}
+
+TEST(InvariantCheckers, RejectEndBeforeBegin) {
+  const axis_string s({token::boundary(0, boundary_kind::end),
+                       token::boundary(0, boundary_kind::begin)});
+  EXPECT_FALSE(axis_well_formed(s));
+}
+
+TEST(InvariantCheckers, RejectWrongObjectCount) {
+  alphabet names;
+  const be_string2d s = encode(testsupport::figure1_scene(names));
+  EXPECT_TRUE(be_string_invariants(s, 3));
+  EXPECT_FALSE(be_string_invariants(s, 4));
+}
+
+}  // namespace
+}  // namespace bes
