@@ -88,6 +88,72 @@ void print_scan_table() {
   std::fputs(table.str().c_str(), stdout);
 }
 
+void print_batch_table() {
+  print_header("E9c: batch + threshold scan variants",
+               "search_batch amortizes per-query precomputation; the pruner "
+               "with a min_score floor and threads compounds on top");
+  text_table table({"images", "queries", "loop (ms/q)", "batch (ms/q)",
+                    "batch+prune (ms/q)", "+min_score .5", "+4 threads",
+                    "LCS runs"});
+  for (std::size_t images : benchsupport::smoke_sweep({200u, 800u}, 100u)) {
+    image_database db = build_db(images, 8, 40);
+    const std::size_t batch = benchsupport::smoke_cap<std::size_t>(16, 4);
+    std::vector<symbolic_image> queries;
+    rng r(7);
+    distortion_params d;
+    d.keep_fraction = 0.7;
+    alphabet scratch = db.symbols();
+    for (std::size_t i = 0; i < batch; ++i) {
+      queries.push_back(
+          distort(db.record(static_cast<image_id>(i % db.size())).image, d, r,
+                  scratch));
+    }
+    const auto per_query = [&](double total_s) {
+      return fmt_double(1e3 * total_s / static_cast<double>(batch), 2);
+    };
+
+    query_options plain;
+    plain.use_index = false;
+    const double t_loop = time_per_call([&] {
+      for (const symbolic_image& q : queries) {
+        benchmark::DoNotOptimize(search(db, q, plain));
+      }
+    });
+    const double t_batch = time_per_call(
+        [&] { benchmark::DoNotOptimize(search_batch(db, queries, plain)); });
+
+    query_options pruned = plain;
+    pruned.histogram_pruning = true;
+    const double t_pruned = time_per_call(
+        [&] { benchmark::DoNotOptimize(search_batch(db, queries, pruned)); });
+
+    query_options floored = pruned;
+    floored.min_score = 0.5;
+    std::vector<search_stats> stats;
+    const double t_floored = time_per_call([&] {
+      benchmark::DoNotOptimize(search_batch(db, queries, floored, &stats));
+    });
+
+    query_options threaded = floored;
+    threaded.threads = 4;
+    const double t_threads = time_per_call([&] {
+      benchmark::DoNotOptimize(search_batch(db, queries, threaded));
+    });
+
+    std::size_t scored = 0;
+    std::size_t scanned = 0;
+    for (const search_stats& s : stats) {
+      scored += s.scored;
+      scanned += s.scanned;
+    }
+    table.add_row({std::to_string(images), std::to_string(batch),
+                   per_query(t_loop), per_query(t_batch), per_query(t_pruned),
+                   per_query(t_floored), per_query(t_threads),
+                   std::to_string(scored) + "/" + std::to_string(scanned)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
 void print_index_selectivity_table() {
   print_header("E9b: inverted-index candidate selectivity",
                "images sharing no query symbol are skipped outright");
@@ -154,6 +220,7 @@ BENCHMARK(BM_RasterPipelineIngest)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bes::print_scan_table();
+  bes::print_batch_table();
   bes::print_index_selectivity_table();
   return bes::benchsupport::run_registered(argc, argv);
 }

@@ -2,7 +2,10 @@
 //
 // Claim: 2D_Be_LCS_Length takes O(mn) time and space, where m and n are the
 // object counts of the query and database image. time/(m*n) must stay flat
-// across the sweep, and table storage is (4m+2)(4n+2) cells.
+// across the sweep. The paper's (4m+2)(4n+2)-cell table survives only in
+// be_lcs_fill (traceback); length queries now run the rolling two-row
+// kernel, so E4 also measures its speedup over the full fill and its
+// O(min(m,n)) scratch, and E4c the early-exit band used by pruned scans.
 #include "bench_common.hpp"
 
 #include "core/encoder.hpp"
@@ -17,20 +20,65 @@ using benchsupport::time_per_call;
 
 void print_scaling_table() {
   print_header("E4: modified-LCS scaling over object counts",
-               "O(mn) time and space; time per (m*n) cell stays flat");
-  text_table table({"m", "n", "lcs(x) us", "us/(m*n) x1e3", "table cells"});
+               "O(mn) time; length-only queries run the rolling two-row "
+               "kernel in O(min(m,n)) scratch instead of the full table");
+  text_table table({"m", "n", "fill us", "rolling us", "speedup",
+                    "table cells", "scratch B"});
   for (std::size_t m : benchsupport::smoke_sweep({8u, 32u, 128u}, 32u)) {
     for (std::size_t n : benchsupport::smoke_sweep({8u, 32u, 128u, 512u}, 32u)) {
       alphabet names;
       const be_string2d q = encode(make_scene(m, m, names, 4096));
       const be_string2d d = encode(make_scene(n + 1, n, names, 4096));
-      const double seconds = time_per_call(
-          [&] { benchmark::DoNotOptimize(be_lcs_length(q.x.span(), d.x.span())); });
+      // The seed path: allocate and fill the whole (m+1)x(n+1) table, then
+      // read the corner — what be_lcs_length did before the rolling kernel.
+      const double fill_seconds = time_per_call([&] {
+        const be_lcs_table w = be_lcs_fill(q.x.span(), d.x.span());
+        benchmark::DoNotOptimize(w.at(q.x.size(), d.x.size()));
+      });
+      lcs_context ctx;
+      const double rolling_seconds = time_per_call([&] {
+        benchmark::DoNotOptimize(be_lcs_length(q.x.span(), d.x.span(), ctx));
+      });
       const be_lcs_table w = be_lcs_fill(q.x.span(), d.x.span());
       table.add_row(
-          {std::to_string(m), std::to_string(n), fmt_double(seconds * 1e6, 1),
-           fmt_double(seconds * 1e9 / static_cast<double>(m * n), 2),
-           std::to_string(w.storage_cells())});
+          {std::to_string(m), std::to_string(n),
+           fmt_double(fill_seconds * 1e6, 1),
+           fmt_double(rolling_seconds * 1e6, 1),
+           fmt_double(fill_seconds / rolling_seconds, 2),
+           std::to_string(w.storage_cells()),
+           std::to_string(ctx.scratch_bytes())});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+void print_band_table() {
+  print_header("E4c: early-exit band on low-similarity pairs",
+               "the admissible band (row max + remaining rows) cuts the DP "
+               "short once a threshold is unreachable; exact above it");
+  text_table table({"n", "threshold", "full us", "banded us", "speedup"});
+  for (std::size_t n : benchsupport::smoke_sweep({64u, 256u}, 64u)) {
+    alphabet names;
+    // Disjoint symbol pools: the true LCS is tiny (dummies only), so a high
+    // threshold lets the band bail after a handful of rows.
+    const be_string2d q = encode(make_scene(1, n, names, 4096));
+    const be_string2d d = encode(make_scene(2, n, names, 4096, true));
+    lcs_context ctx;
+    const double full = time_per_call([&] {
+      benchmark::DoNotOptimize(be_lcs_length(q.x.span(), d.x.span(), ctx));
+    });
+    const std::size_t shorter = std::min(q.x.size(), d.x.size());
+    for (double fraction : {0.5, 0.9}) {
+      const auto needed = static_cast<std::size_t>(
+          fraction * static_cast<double>(shorter));
+      const double banded = time_per_call([&] {
+        benchmark::DoNotOptimize(
+            be_lcs_length_bounded(q.x.span(), d.x.span(), needed, ctx));
+      });
+      table.add_row({std::to_string(n),
+                     std::to_string(needed) + "/" + std::to_string(shorter),
+                     fmt_double(full * 1e6, 1), fmt_double(banded * 1e6, 1),
+                     fmt_double(full / banded, 2)});
     }
   }
   std::fputs(table.str().c_str(), stdout);
@@ -98,6 +146,27 @@ BENCHMARK(BM_BeLcsExact)
     ->Range(8, 1024)
     ->Complexity(benchmark::oNSquared);
 
+void BM_BeLcsLengthBounded(benchmark::State& state) {
+  // Banded scoring of a dissimilar pair at 90% of the shorter string — the
+  // regime the pruned top-k scan puts the kernel in.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  alphabet names;
+  const be_string2d q = encode(make_scene(1, n, names, 8192));
+  const be_string2d d = encode(make_scene(2, n, names, 8192, true));
+  const std::size_t needed =
+      std::min(q.x.size(), d.x.size()) * 9 / 10;
+  lcs_context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        be_lcs_length_bounded(q.x.span(), d.x.span(), needed, ctx));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BeLcsLengthBounded)
+    ->RangeMultiplier(2)
+    ->Range(8, 1024)
+    ->Complexity(benchmark::oN);
+
 void BM_BeLcsTraceback(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   alphabet names;
@@ -115,6 +184,7 @@ BENCHMARK(BM_BeLcsTraceback)->RangeMultiplier(4)->Range(8, 512);
 
 int main(int argc, char** argv) {
   bes::print_scaling_table();
+  bes::print_band_table();
   bes::print_fidelity_table();
   return bes::benchsupport::run_registered(argc, argv);
 }

@@ -91,5 +91,35 @@ int main(int argc, char** argv) {
   if (!results.empty() && results[0].id == 0) {
     std::printf("-> the distorted query found its source image.\n");
   }
+
+  // Serving-style batch: one distorted query per scene in a small sample,
+  // answered in one search_batch call with the histogram pruner on. The
+  // per-query stats show how much of each scan the admissible bounds and
+  // the in-DP early-exit band saved.
+  const std::size_t batch = std::min<std::size_t>(db.size(), 8);
+  std::vector<symbolic_image> queries;
+  for (std::size_t i = 0; i < batch; ++i) {
+    queries.push_back(
+        distort(originals[i], distortion, r, scratch));
+  }
+  query_options batched = options;
+  batched.histogram_pruning = true;
+  std::vector<search_stats> stats;
+  const auto batch_results = search_batch(db, queries, batched, &stats);
+
+  std::printf("\nbatch of %zu pruned queries (scored/pruned of scanned):\n",
+              batch);
+  text_table batch_table({"query", "top hit", "score", "scored", "pruned",
+                          "band exits", "found self"});
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto& top = batch_results[i];
+    const bool self = !top.empty() && top[0].id == static_cast<image_id>(i);
+    batch_table.add_row(
+        {std::to_string(i), top.empty() ? "-" : db.record(top[0].id).name,
+         top.empty() ? "-" : fmt_double(top[0].score, 3),
+         std::to_string(stats[i].scored), std::to_string(stats[i].pruned),
+         std::to_string(stats[i].band_rejected), self ? "yes" : "no"});
+  }
+  std::fputs(batch_table.str().c_str(), stdout);
   return 0;
 }

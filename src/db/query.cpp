@@ -1,6 +1,10 @@
 #include "db/query.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
 
 #include "util/parallel.hpp"
 
@@ -39,51 +43,189 @@ std::vector<image_id> scan_ids(const image_database& db,
   return all;
 }
 
-// Top-k scan with histogram upper-bound pruning. Candidates are visited in
-// decreasing bound order; once k results are held and the next bound cannot
-// reach the current k-th score, the remainder of the scan is skipped. The
-// result is IDENTICAL to the exhaustive scan (skipping requires
-// bound < k-th score, and true scores never exceed their bound).
+// A running top-k under a mutex, shared by the pruned scan's workers. The
+// k-th score only grows as candidates are inserted, so reading it at any
+// moment yields an admissible pruning threshold: a candidate provably below
+// it can never enter the FINAL top-k either.
+class top_k_heap {
+ public:
+  top_k_heap(std::size_t capacity, double min_score)
+      : capacity_(capacity == 0 ? std::numeric_limits<std::size_t>::max()
+                                : capacity),
+        min_score_(min_score) {}
+
+  // max(min_score, current k-th score): scores strictly below can neither
+  // pass the result filter nor displace a held result.
+  [[nodiscard]] double threshold() const {
+    std::lock_guard lock(mutex_);
+    return top_.size() == capacity_ ? std::max(min_score_, top_.back().score)
+                                    : min_score_;
+  }
+
+  void insert(const query_result& r) {
+    std::lock_guard lock(mutex_);
+    const auto pos = std::lower_bound(top_.begin(), top_.end(), r, better);
+    top_.insert(pos, r);
+    if (top_.size() > capacity_) top_.pop_back();
+  }
+
+  [[nodiscard]] std::vector<query_result> take() { return std::move(top_); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<query_result> top_;  // kept sorted by better()
+  std::size_t capacity_;
+  double min_score_;
+};
+
+// Top-k scan with the two-stage admissible pruner. Stage 1: candidates are
+// visited in decreasing histogram-bound order and skipped (or, serially,
+// the whole tail dropped) once their bound falls below the running
+// threshold. Stage 2: survivors are scored through similarity_bounded, so
+// the threshold also cuts the DP short from the inside. Both stages discard
+// only candidates provably outside the final result, so the output is
+// IDENTICAL to the exhaustive scan for any thread count.
 std::vector<query_result> pruned_search(const image_database& db,
                                         const be_string2d& query_strings,
-                                        std::vector<image_id> ids,
+                                        const be_histogram2d& query_histograms,
+                                        std::span<const image_id> ids,
                                         const query_options& options,
                                         search_stats* stats) {
-  const be_histogram2d query_histograms = make_histograms(query_strings);
   struct bounded {
     double bound;
+    double y_cap;
     image_id id;
   };
-  std::vector<bounded> order;
-  order.reserve(ids.size());
-  for (image_id id : ids) {
-    order.push_back(bounded{
-        similarity_upper_bound(query_histograms, db.record(id).histograms,
-                               options.similarity.norm),
-        id});
-  }
+  std::vector<bounded> order(ids.size());
+  const norm_kind norm = options.similarity.norm;
+  parallel_for(ids.size(), options.threads, [&](std::size_t k) {
+    const image_id id = ids[k];
+    const be_histogram2d& h = db.record(id).histograms;
+    const double x_cap = axis_similarity_upper_bound(
+        query_histograms.x, query_histograms.x_len, h.x, h.x_len, norm);
+    const double y_cap = axis_similarity_upper_bound(
+        query_histograms.y, query_histograms.y_len, h.y, h.y_len, norm);
+    order[k] = bounded{0.5 * (x_cap + y_cap), y_cap, id};
+  });
   std::sort(order.begin(), order.end(), [](const bounded& a, const bounded& b) {
     if (a.bound != b.bound) return a.bound > b.bound;
     return a.id < b.id;
   });
 
-  std::vector<query_result> top;  // kept sorted by better()
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    if (top.size() == options.top_k && order[i].bound < top.back().score) {
-      if (stats != nullptr) stats->pruned += order.size() - i;
-      break;
+  top_k_heap top(options.top_k, options.min_score);
+  std::atomic<std::size_t> scored{0};
+  std::atomic<std::size_t> pruned{0};
+  std::atomic<std::size_t> band_rejected{0};
+
+  auto visit = [&](const bounded& c) {
+    const double threshold = top.threshold();
+    if (c.bound < threshold) {
+      pruned.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
-    const db_record& rec = db.record(order[i].id);
+    const db_record& rec = db.record(c.id);
+    scored.fetch_add(1, std::memory_order_relaxed);
+    const double score =
+        similarity_bounded(query_strings, rec.strings, options.similarity,
+                           threshold, lcs_context::thread_local_instance(),
+                           c.y_cap);
+    // Below the threshold the value may be an unfinished upper bound; either
+    // way the candidate cannot reach the final result.
+    if (score < threshold || score < options.min_score) {
+      band_rejected.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    top.insert(query_result{rec.id, score, dihedral::identity});
+  };
+
+  if (options.threads <= 1) {
+    // Serial fast path: bounds are sorted descending, so the first candidate
+    // below the threshold ends the scan outright.
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i].bound < top.threshold()) {
+        pruned.fetch_add(order.size() - i, std::memory_order_relaxed);
+        break;
+      }
+      visit(order[i]);
+    }
+  } else {
+    parallel_for(order.size(), options.threads,
+                 [&](std::size_t i) { visit(order[i]); });
+  }
+
+  if (stats != nullptr) {
+    stats->scored = scored.load();
+    stats->pruned = pruned.load();
+    stats->band_rejected = band_rejected.load();
+  }
+  return top.take();
+}
+
+std::vector<query_result> exhaustive_search(const image_database& db,
+                                            const be_string2d& query_strings,
+                                            const query_transforms* transforms,
+                                            std::span<const image_id> ids,
+                                            const query_options& options,
+                                            search_stats* stats) {
+  // Transform-invariant scans need the 8 query variants; build them once for
+  // the whole scan, never per record.
+  query_transforms local;
+  if (options.transform_invariant && transforms == nullptr) {
+    local = precompute_transforms(query_strings);
+    transforms = &local;
+  }
+  std::vector<query_result> hits(ids.size());
+  parallel_for(ids.size(), options.threads, [&](std::size_t k) {
+    const db_record& rec = db.record(ids[k]);
+    lcs_context& ctx = lcs_context::thread_local_instance();
     query_result r;
     r.id = rec.id;
-    r.score = similarity(query_strings, rec.strings, options.similarity);
-    if (stats != nullptr) ++stats->scored;
-    if (r.score < options.min_score) continue;
-    auto pos = std::lower_bound(top.begin(), top.end(), r, better);
-    top.insert(pos, r);
-    if (top.size() > options.top_k) top.pop_back();
+    if (options.transform_invariant) {
+      const transform_match best = best_transform_similarity(
+          *transforms, rec.strings, options.similarity, ctx);
+      r.score = best.score;
+      r.transform = best.transform;
+    } else {
+      r.score = similarity(query_strings, rec.strings, options.similarity, ctx);
+    }
+    hits[k] = r;
+  });
+  if (stats != nullptr) stats->scored = hits.size();
+  return rank(std::move(hits), options);
+}
+
+// The pruner needs a threshold to engage: either a top-k to defend or a
+// score floor. Transform-invariant scans bypass it (the histogram bound does
+// not cover the 7 non-identity variants).
+bool pruning_applies(const query_options& options) {
+  return options.histogram_pruning && !options.transform_invariant &&
+         (options.top_k > 0 || options.min_score > 0.0);
+}
+
+// Shared scan core. `histograms` and `transforms` are optional precomputed
+// per-query state (search_batch amortizes them); null means compute on
+// demand for the paths that need them.
+std::vector<query_result> search_impl(const image_database& db,
+                                      const be_string2d& query_strings,
+                                      std::span<const symbol_id> query_symbols,
+                                      const be_histogram2d* histograms,
+                                      const query_transforms* transforms,
+                                      const query_options& options,
+                                      search_stats* stats) {
+  const std::vector<image_id> ids = scan_ids(db, query_symbols, options);
+  if (stats != nullptr) {
+    *stats = search_stats{};
+    stats->scanned = ids.size();
   }
-  return top;
+  if (pruning_applies(options)) {
+    if (histograms != nullptr) {
+      return pruned_search(db, query_strings, *histograms, ids, options,
+                           stats);
+    }
+    return pruned_search(db, query_strings, make_histograms(query_strings),
+                         ids, options, stats);
+  }
+  return exhaustive_search(db, query_strings, transforms, ids, options, stats);
 }
 
 }  // namespace
@@ -93,34 +235,8 @@ std::vector<query_result> search(const image_database& db,
                                  std::span<const symbol_id> query_symbols,
                                  const query_options& options,
                                  search_stats* stats) {
-  std::vector<image_id> ids = scan_ids(db, query_symbols, options);
-  if (stats != nullptr) {
-    *stats = search_stats{};
-    stats->scanned = ids.size();
-  }
-
-  if (options.histogram_pruning && options.top_k > 0 &&
-      !options.transform_invariant) {
-    return pruned_search(db, query_strings, std::move(ids), options, stats);
-  }
-
-  std::vector<query_result> hits(ids.size());
-  parallel_for(ids.size(), options.threads, [&](std::size_t k) {
-    const db_record& rec = db.record(ids[k]);
-    query_result r;
-    r.id = rec.id;
-    if (options.transform_invariant) {
-      const transform_match best = best_transform_similarity(
-          query_strings, rec.strings, options.similarity);
-      r.score = best.score;
-      r.transform = best.transform;
-    } else {
-      r.score = similarity(query_strings, rec.strings, options.similarity);
-    }
-    hits[k] = r;
-  });
-  if (stats != nullptr) stats->scored = hits.size();
-  return rank(std::move(hits), options);
+  return search_impl(db, query_strings, query_symbols, nullptr, nullptr,
+                     options, stats);
 }
 
 std::vector<query_result> search(const image_database& db,
@@ -130,6 +246,65 @@ std::vector<query_result> search(const image_database& db,
   const be_string2d strings = encode(query);
   const std::vector<symbol_id> symbols = distinct_symbols(query);
   return search(db, strings, symbols, options, stats);
+}
+
+namespace {
+
+// Precomputed per-query scan state for a batch.
+struct query_plan {
+  be_histogram2d histograms;
+  query_transforms transforms;
+};
+
+std::vector<std::vector<query_result>> batch_impl(
+    const image_database& db, std::span<const be_string2d> queries,
+    std::span<const std::vector<symbol_id>> query_symbols,
+    const query_options& options, std::vector<search_stats>* stats) {
+  if (queries.size() != query_symbols.size()) {
+    throw std::invalid_argument(
+        "search_batch: queries and query_symbols sizes differ");
+  }
+  const bool want_histograms = pruning_applies(options);
+  const bool want_transforms = options.transform_invariant;
+  std::vector<query_plan> plans(queries.size());
+  parallel_for(queries.size(), options.threads, [&](std::size_t i) {
+    if (want_histograms) plans[i].histograms = make_histograms(queries[i]);
+    if (want_transforms) plans[i].transforms = precompute_transforms(queries[i]);
+  });
+
+  if (stats != nullptr) {
+    stats->assign(queries.size(), search_stats{});
+  }
+  std::vector<std::vector<query_result>> results(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    results[i] = search_impl(
+        db, queries[i], query_symbols[i],
+        want_histograms ? &plans[i].histograms : nullptr,
+        want_transforms ? &plans[i].transforms : nullptr, options,
+        stats != nullptr ? &(*stats)[i] : nullptr);
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<std::vector<query_result>> search_batch(
+    const image_database& db, std::span<const be_string2d> queries,
+    std::span<const std::vector<symbol_id>> query_symbols,
+    const query_options& options, std::vector<search_stats>* stats) {
+  return batch_impl(db, queries, query_symbols, options, stats);
+}
+
+std::vector<std::vector<query_result>> search_batch(
+    const image_database& db, std::span<const symbolic_image> queries,
+    const query_options& options, std::vector<search_stats>* stats) {
+  std::vector<be_string2d> strings(queries.size());
+  std::vector<std::vector<symbol_id>> symbols(queries.size());
+  parallel_for(queries.size(), options.threads, [&](std::size_t i) {
+    strings[i] = encode(queries[i]);
+    symbols[i] = distinct_symbols(queries[i]);
+  });
+  return batch_impl(db, strings, symbols, options, stats);
 }
 
 }  // namespace bes

@@ -16,10 +16,13 @@ struct query_options {
   bool transform_invariant = false;  // try all 8 dihedral variants of the query
   bool use_index = true;           // scan only images sharing >= 1 symbol
   unsigned threads = 1;            // parallel scoring workers
-  // Skip the O(mn) LCS for candidates whose token-histogram upper bound
-  // cannot reach the current k-th score (results are identical to the
-  // unpruned scan; requires top_k > 0; implies a serial scan and is ignored
-  // for transform-invariant queries).
+  // Two-stage admissible pruning: candidates whose token-histogram upper
+  // bound cannot reach max(min_score, current k-th score) are skipped
+  // outright, and candidates that are scored run their LCS DPs under an
+  // early-exit band at that same threshold, bailing as soon as the best
+  // still-achievable score falls below it. Results are identical to the
+  // unpruned scan. Honors `threads`; needs a threshold to engage (top_k > 0
+  // or min_score > 0) and is ignored for transform-invariant queries.
   bool histogram_pruning = false;
   similarity_options similarity;
 };
@@ -35,10 +38,16 @@ struct query_result {
 };
 
 // Scan accounting (filled when a non-null pointer is passed to search).
+// Every scanned candidate is either scored or pruned, on every scan path:
+// scanned == scored + pruned always holds, and an exhaustive scan reports
+// scored == scanned, pruned == 0.
 struct search_stats {
   std::size_t scanned = 0;  // candidates considered
-  std::size_t scored = 0;   // LCS evaluations actually run
-  std::size_t pruned = 0;   // skipped via the histogram upper bound
+  std::size_t scored = 0;   // LCS evaluations started
+  std::size_t pruned = 0;   // skipped outright via the histogram upper bound
+  // Of the scored, how many the early-exit band rejected: their banded DP
+  // either bailed before finishing or completed below the pruning threshold.
+  std::size_t band_rejected = 0;
 };
 
 // Ranks by score descending, ties by id ascending; truncates to top_k.
@@ -53,5 +62,27 @@ struct search_stats {
     const image_database& db, const be_string2d& query_strings,
     std::span<const symbol_id> query_symbols, const query_options& options = {},
     search_stats* stats = nullptr);
+
+// Batch retrieval: results[i] == search(db, queries[i], options), with the
+// per-query precomputation amortized. Encoding, symbol extraction, the
+// histograms backing the pruner, and — under transform_invariant — the 8
+// dihedral query variants are each computed exactly once per query up front
+// (in parallel across the batch), never per database record; the candidate
+// loops then run through parallel_for with options.threads workers,
+// including the histogram-pruned path. When `stats` is non-null it is
+// resized to queries.size() with per-query accounting.
+[[nodiscard]] std::vector<std::vector<query_result>> search_batch(
+    const image_database& db, std::span<const symbolic_image> queries,
+    const query_options& options = {},
+    std::vector<search_stats>* stats = nullptr);
+
+// Same, for queries already encoded; query_symbols[i] drives the index
+// filter for queries[i] (empty forces a full scan). The two spans must have
+// equal length.
+[[nodiscard]] std::vector<std::vector<query_result>> search_batch(
+    const image_database& db, std::span<const be_string2d> queries,
+    std::span<const std::vector<symbol_id>> query_symbols,
+    const query_options& options = {},
+    std::vector<search_stats>* stats = nullptr);
 
 }  // namespace bes

@@ -9,14 +9,22 @@
 //     both the state needed by revision 1 and enough to re-infer the path
 //     (Algorithm 3).
 //
-// be_lcs_length/be_lcs_string are literal translations of Algorithms 2/3.
-// The paper's sign trick keeps only ONE candidate per cell; a priori that
-// could underestimate the constrained optimum on tie patterns, so
+// be_lcs_string is a literal translation of Algorithm 3 over the Algorithm 2
+// table. The paper's sign trick keeps only ONE candidate per cell; a priori
+// that could underestimate the constrained optimum on tie patterns, so
 // be_lcs_length_exact tracks both "ends in dummy" and "ends in boundary"
 // layers and is provably exact (oracle-tested against exhaustive search).
 // Measured: the two variants agreed on every one of >4.5M randomized token
 // pairs and all encoded scene pairs tried — the paper's shortcut holds up
 // (EXPERIMENTS.md fidelity note F1).
+//
+// Length-only queries do not materialize the table: every *_length kernel is
+// a rolling two-row DP over a flat scratch buffer (an lcs_context) that is
+// reused across calls, so a scan over a database performs no per-pair
+// allocation and touches O(min(m, n)) memory instead of O(mn). The DP is
+// argument-symmetric (fuzzed in tests/lcs_fuzz_test.cpp), so the rows are
+// laid along the longer string. be_lcs_fill keeps the full table solely for
+// be_lcs_string's traceback.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +34,35 @@
 #include "core/be_string.hpp"
 
 namespace bes {
+
+// Reusable scratch for the rolling LCS kernels. One context per thread:
+// the kernels hand out spans into these buffers, so a context must never be
+// shared by concurrent calls. Buffers only grow; a scan that scores
+// thousands of candidates allocates O(1) times.
+class lcs_context {
+ public:
+  lcs_context() = default;
+  lcs_context(const lcs_context&) = delete;
+  lcs_context& operator=(const lcs_context&) = delete;
+
+  // Scratch of at least `cells` entries; contents are unspecified (kernels
+  // initialize what they read).
+  [[nodiscard]] std::span<std::int32_t> int_cells(std::size_t cells);
+  [[nodiscard]] std::span<double> real_cells(std::size_t cells);
+
+  // High-water scratch footprint, for benchmarks and memory assertions.
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept {
+    return ints_.capacity() * sizeof(std::int32_t) +
+           reals_.capacity() * sizeof(double);
+  }
+
+  // The calling thread's context — what the context-less entry points use.
+  [[nodiscard]] static lcs_context& thread_local_instance();
+
+ private:
+  std::vector<std::int32_t> ints_;
+  std::vector<double> reals_;
+};
 
 // The LCS length inferring table W; (m+1) x (n+1) signed cells.
 class be_lcs_table {
@@ -51,13 +88,29 @@ class be_lcs_table {
   std::vector<std::int32_t> cells_;
 };
 
-// Algorithm 2: fills W for query string q and database string d.
+// Algorithm 2: fills W for query string q and database string d. Needed only
+// when the matched subsequence itself is wanted (be_lcs_string traceback);
+// length queries should use the rolling kernels below.
 [[nodiscard]] be_lcs_table be_lcs_fill(std::span<const token> q,
                                        std::span<const token> d);
 
-// |W[m][n]| — the modified-LCS length.
+// |W[m][n]| — the modified-LCS length, via the rolling two-row kernel.
 [[nodiscard]] std::size_t be_lcs_length(std::span<const token> q,
                                         std::span<const token> d);
+[[nodiscard]] std::size_t be_lcs_length(std::span<const token> q,
+                                        std::span<const token> d,
+                                        lcs_context& ctx);
+
+// Early-exit band variant: identical to be_lcs_length whenever the true
+// length is >= min_needed. When the best still-achievable length (current
+// row max + one per remaining row, an admissible bound) drops below
+// min_needed the DP bails and returns that bound instead. Either way the
+// result is an upper bound on the true length, and (result >= min_needed)
+// iff (true length >= min_needed). min_needed == 0 disables the band.
+[[nodiscard]] std::size_t be_lcs_length_bounded(std::span<const token> q,
+                                                std::span<const token> d,
+                                                std::size_t min_needed,
+                                                lcs_context& ctx);
 
 // Algorithm 3: reconstructs one common subsequence of length |W[m][n]| from
 // the filled table (iterative traceback; the paper's recursion bottoms out
@@ -69,10 +122,19 @@ class be_lcs_table {
 [[nodiscard]] std::vector<token> be_lcs_string(std::span<const token> q,
                                                std::span<const token> d);
 
-// Exact constrained LCS via a two-layer DP (see header comment). Same O(mn)
-// complexity; always >= be_lcs_length and equal to the true optimum.
+// Exact constrained LCS via a two-layer rolling DP (see header comment).
+// Same O(mn) time; always >= be_lcs_length and equal to the true optimum.
 [[nodiscard]] std::size_t be_lcs_length_exact(std::span<const token> q,
                                               std::span<const token> d);
+[[nodiscard]] std::size_t be_lcs_length_exact(std::span<const token> q,
+                                              std::span<const token> d,
+                                              lcs_context& ctx);
+
+// Early-exit band over the exact DP; same contract as be_lcs_length_bounded.
+[[nodiscard]] std::size_t be_lcs_length_exact_bounded(std::span<const token> q,
+                                                      std::span<const token> d,
+                                                      std::size_t min_needed,
+                                                      lcs_context& ctx);
 
 // Weighted variant: maximizes (boundary matches) + dummy_weight * (dummy
 // matches) over constrained common subsequences. dummy_weight in [0, 1];
@@ -82,5 +144,8 @@ class be_lcs_table {
 [[nodiscard]] double be_lcs_weighted(std::span<const token> q,
                                      std::span<const token> d,
                                      double dummy_weight);
+[[nodiscard]] double be_lcs_weighted(std::span<const token> q,
+                                     std::span<const token> d,
+                                     double dummy_weight, lcs_context& ctx);
 
 }  // namespace bes

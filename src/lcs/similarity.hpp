@@ -10,6 +10,7 @@
 // sim(q, d) == 1 exactly when q is fully embedded in d.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -32,14 +33,40 @@ struct similarity_options {
   bool exact_lcs = false;
 };
 
-// Normalized similarity of one axis pair, in [0, 1].
+// Normalized similarity of one axis pair, in [0, 1]. The context-less
+// overloads score through the calling thread's lcs_context.
 [[nodiscard]] double axis_similarity(std::span<const token> q,
                                      std::span<const token> d,
                                      const similarity_options& options = {});
+[[nodiscard]] double axis_similarity(std::span<const token> q,
+                                     std::span<const token> d,
+                                     const similarity_options& options,
+                                     lcs_context& ctx);
 
 // Mean of the two axis similarities, in [0, 1].
 [[nodiscard]] double similarity(const be_string2d& q, const be_string2d& d,
                                 const similarity_options& options = {});
+[[nodiscard]] double similarity(const be_string2d& q, const be_string2d& d,
+                                const similarity_options& options,
+                                lcs_context& ctx);
+
+// Thresholded similarity with an in-DP early-exit band: identical to
+// similarity() whenever the true score is >= min_score. When the score is
+// provably < min_score the axis DPs bail as soon as their best-achievable
+// remaining value cannot reach the per-axis requirement, and an upper bound
+// on the true score (itself < min_score) is returned. So the result is
+// always >= the true score, and exact whenever it is >= min_score — which
+// makes it safe for top-k pruning: candidates whose result falls below the
+// running k-th score can be discarded without ever finishing their DP.
+// y_cap is an optional admissible cap on the y-axis similarity (e.g. from
+// token histograms) that tightens the x-axis band — the x axis is scored
+// first, so only the not-yet-scored axis benefits from a cap; 1.0 when
+// unknown.
+[[nodiscard]] double similarity_bounded(const be_string2d& q,
+                                        const be_string2d& d,
+                                        const similarity_options& options,
+                                        double min_score, lcs_context& ctx,
+                                        double y_cap = 1.0);
 
 // Similarity under the best of the 8 linear transformations of the query
 // (paper: rotation/reflection retrieval by string reversal).
@@ -47,6 +74,25 @@ struct transform_match {
   dihedral transform = dihedral::identity;
   double score = 0.0;
 };
+
+// The 8 dihedral variants of a query's BE-strings, indexed by
+// static_cast<std::size_t>(dihedral). Build this ONCE per search and reuse
+// it across database records: transforming the query is O(|q|) string work
+// that must not be repeated per candidate.
+struct query_transforms {
+  std::array<be_string2d, all_dihedral.size()> strings;
+};
+[[nodiscard]] query_transforms precompute_transforms(const be_string2d& q);
+
+[[nodiscard]] transform_match best_transform_similarity(
+    const query_transforms& q, const be_string2d& d,
+    const similarity_options& options = {});
+[[nodiscard]] transform_match best_transform_similarity(
+    const query_transforms& q, const be_string2d& d,
+    const similarity_options& options, lcs_context& ctx);
+
+// Single-pair convenience: precomputes the 8 variants internally. Scans over
+// many records should hoist precompute_transforms out of the loop instead.
 [[nodiscard]] transform_match best_transform_similarity(
     const be_string2d& q, const be_string2d& d,
     const similarity_options& options = {});

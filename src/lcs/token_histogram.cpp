@@ -53,27 +53,30 @@ be_histogram2d make_histograms(const be_string2d& strings) {
                         strings.y.size()};
 }
 
+double axis_similarity_upper_bound(const token_histogram& q,
+                                   std::size_t q_len, const token_histogram& d,
+                                   std::size_t d_len, norm_kind norm) {
+  if (q_len == 0 || d_len == 0) return 0.0;
+  const auto shared =
+      static_cast<double>(token_histogram::intersection_size(q, d));
+  switch (norm) {
+    case norm_kind::query:
+      return shared / static_cast<double>(q_len);
+    case norm_kind::max_len:
+      return shared / static_cast<double>(std::max(q_len, d_len));
+    case norm_kind::dice:
+      return 2.0 * shared / static_cast<double>(q_len + d_len);
+    case norm_kind::min_len:
+      return shared / static_cast<double>(std::min(q_len, d_len));
+  }
+  return 1.0;
+}
+
 double similarity_upper_bound(const be_histogram2d& q, const be_histogram2d& d,
                               norm_kind norm) {
-  auto axis_bound = [&](const token_histogram& qh, std::size_t qlen,
-                        const token_histogram& dh, std::size_t dlen) {
-    if (qlen == 0 || dlen == 0) return 0.0;
-    const auto shared =
-        static_cast<double>(token_histogram::intersection_size(qh, dh));
-    switch (norm) {
-      case norm_kind::query:
-        return shared / static_cast<double>(qlen);
-      case norm_kind::max_len:
-        return shared / static_cast<double>(std::max(qlen, dlen));
-      case norm_kind::dice:
-        return 2.0 * shared / static_cast<double>(qlen + dlen);
-      case norm_kind::min_len:
-        return shared / static_cast<double>(std::min(qlen, dlen));
-    }
-    return 1.0;
-  };
-  return 0.5 * (axis_bound(q.x, q.x_len, d.x, d.x_len) +
-                axis_bound(q.y, q.y_len, d.y, d.y_len));
+  return 0.5 *
+         (axis_similarity_upper_bound(q.x, q.x_len, d.x, d.x_len, norm) +
+          axis_similarity_upper_bound(q.y, q.y_len, d.y, d.y_len, norm));
 }
 
 }  // namespace bes

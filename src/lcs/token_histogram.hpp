@@ -59,6 +59,16 @@ struct be_histogram2d {
 
 [[nodiscard]] be_histogram2d make_histograms(const be_string2d& strings);
 
+// Upper bound on one axis_similarity under the given normalization, computed
+// from the axis histograms only; guaranteed >= the true axis score. The
+// query path feeds these per-axis caps into similarity_bounded to tighten
+// its in-DP early-exit band.
+[[nodiscard]] double axis_similarity_upper_bound(const token_histogram& q,
+                                                 std::size_t q_len,
+                                                 const token_histogram& d,
+                                                 std::size_t d_len,
+                                                 norm_kind norm);
+
 // Upper bound on similarity(q, d) under the given normalization, computed
 // from histograms only; guaranteed >= the true score for the same norm.
 [[nodiscard]] double similarity_upper_bound(const be_histogram2d& q,

@@ -1,0 +1,269 @@
+// search_stats semantics and pruned-scan equivalence.
+//
+// The contract under test: every scan path accounts each scanned candidate
+// as exactly one of scored/pruned (scanned == scored + pruned), exhaustive
+// scans never prune, and the pruned scan — histogram bound ordering, the
+// running k-th-score threshold, and the in-DP early-exit band, serial or
+// parallel — returns results identical to the exhaustive scan for the same
+// inputs. Plus search_batch == per-query search, for every mode.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "db/query.hpp"
+#include "util/rng.hpp"
+#include "workload/query_gen.hpp"
+
+namespace bes {
+namespace {
+
+// A corpus with near-duplicate pairs so top-k boundaries see score ties.
+image_database sibling_corpus(std::size_t bases, std::uint64_t seed = 23) {
+  image_database db;
+  rng r(seed);
+  scene_params params;
+  params.object_count = 8;
+  params.symbol_pool = 10;
+  for (std::size_t i = 0; i < bases; ++i) {
+    const symbolic_image scene = random_scene(params, r, db.symbols());
+    db.add("base" + std::to_string(i), scene);
+    distortion_params sibling;
+    sibling.keep_fraction = 0.8;
+    sibling.jitter = 16;
+    db.add("sib" + std::to_string(i), distort(scene, sibling, r, db.symbols()));
+  }
+  return db;
+}
+
+symbolic_image distorted_query(const image_database& db, std::uint64_t seed,
+                               double keep = 0.6) {
+  rng r(seed);
+  distortion_params d;
+  d.keep_fraction = keep;
+  d.jitter = 8;
+  alphabet scratch = db.symbols();
+  return distort(db.record(static_cast<image_id>(seed % db.size())).image, d,
+                 r, scratch);
+}
+
+// ------------------------------------------------------- stats invariants
+
+class StatsConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsConsistency, BothPathsPartitionScannedIdentically) {
+  const image_database db = sibling_corpus(20);
+  const symbolic_image query = distorted_query(db, GetParam());
+  query_options exhaustive;
+  exhaustive.top_k = 5;
+  query_options pruned = exhaustive;
+  pruned.histogram_pruning = true;
+
+  search_stats es;
+  search_stats ps;
+  const auto a = search(db, query, exhaustive, &es);
+  const auto b = search(db, query, pruned, &ps);
+  EXPECT_EQ(a, b);
+
+  // Same candidate set on both paths.
+  EXPECT_EQ(es.scanned, ps.scanned);
+  // Exhaustive: everything scored, nothing pruned, no band.
+  EXPECT_EQ(es.scored, es.scanned);
+  EXPECT_EQ(es.pruned, 0u);
+  EXPECT_EQ(es.band_rejected, 0u);
+  // Pruned: scored/pruned partition scanned; the band only rejects scored
+  // candidates.
+  EXPECT_EQ(ps.scored + ps.pruned, ps.scanned);
+  EXPECT_LE(ps.band_rejected, ps.scored);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsConsistency,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(StatsConsistency, ParallelPrunedPartitionsScannedToo) {
+  const image_database db = sibling_corpus(30);
+  const symbolic_image query = distorted_query(db, 3);
+  query_options pruned;
+  pruned.top_k = 5;
+  pruned.histogram_pruning = true;
+  pruned.threads = 4;
+  search_stats ps;
+  (void)search(db, query, pruned, &ps);
+  EXPECT_EQ(ps.scored + ps.pruned, ps.scanned);
+}
+
+// ------------------------------------- pruned == exhaustive, all variants
+
+class PrunedEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrunedEquivalence, EarlyExitTopKIsIdenticalToExhaustive) {
+  const image_database db = sibling_corpus(25, 29 + GetParam());
+  const symbolic_image query = distorted_query(db, GetParam());
+  for (std::size_t k : {1u, 4u, 10u}) {
+    for (double min_score : {0.0, 0.3, 0.6}) {
+      for (unsigned threads : {1u, 4u}) {
+        query_options plain;
+        plain.top_k = k;
+        plain.min_score = min_score;
+        query_options pruned = plain;
+        pruned.histogram_pruning = true;
+        pruned.threads = threads;
+        EXPECT_EQ(search(db, query, plain), search(db, query, pruned))
+            << "k=" << k << " min_score=" << min_score
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_P(PrunedEquivalence, HoldsUnderEveryNormAndBothKernels) {
+  // The band's admissibility math (min_tokens_for, the y-axis cap) is
+  // norm-dependent, and the exact kernel has its own banded path; sweep all
+  // of it against the exhaustive scan.
+  const image_database db = sibling_corpus(15, 61 + GetParam());
+  const symbolic_image query = distorted_query(db, GetParam());
+  for (norm_kind norm : {norm_kind::query, norm_kind::max_len, norm_kind::dice,
+                         norm_kind::min_len}) {
+    for (bool exact : {false, true}) {
+      query_options plain;
+      plain.top_k = 5;
+      plain.min_score = 0.4;
+      plain.similarity.norm = norm;
+      plain.similarity.exact_lcs = exact;
+      query_options pruned = plain;
+      pruned.histogram_pruning = true;
+      EXPECT_EQ(search(db, query, plain), search(db, query, pruned))
+          << "norm=" << static_cast<int>(norm) << " exact=" << exact;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunedEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(PrunedEquivalence, MinScoreOnlyPruningWithUnlimitedTopK) {
+  // top_k == 0 used to disable the pruner entirely; a min_score floor alone
+  // is enough of a threshold.
+  const image_database db = sibling_corpus(20);
+  const symbolic_image query = distorted_query(db, 5, 0.9);
+  query_options plain;
+  plain.top_k = 0;
+  plain.min_score = 0.8;
+  query_options pruned = plain;
+  pruned.histogram_pruning = true;
+  search_stats stats;
+  EXPECT_EQ(search(db, query, plain), search(db, query, pruned, &stats));
+  EXPECT_EQ(stats.scored + stats.pruned, stats.scanned);
+  EXPECT_GT(stats.pruned, 0u) << "min_score floor never engaged the pruner";
+}
+
+TEST(PrunedEquivalence, UnderfilledTopKStillPrunesViaMinScore) {
+  // Regression: the old scan only pruned once top_k results were held, so a
+  // min_score most candidates miss meant every one was fully scored even
+  // though its bound already ruled it out.
+  const image_database db = sibling_corpus(40);
+  const symbolic_image query = distorted_query(db, 7, 0.7);
+  query_options options;
+  options.top_k = 25;  // far more than will clear the floor
+  options.min_score = 0.75;
+  options.histogram_pruning = true;
+  search_stats stats;
+  const auto results = search(db, query, options, &stats);
+  EXPECT_LT(results.size(), options.top_k);  // the floor leaves top-k short
+  EXPECT_GT(stats.pruned, 0u)
+      << "bound below min_score must prune even while top-k is underfilled";
+  EXPECT_EQ(stats.scored + stats.pruned, stats.scanned);
+  query_options plain = options;
+  plain.histogram_pruning = false;
+  EXPECT_EQ(results, search(db, query, plain));
+}
+
+TEST(PrunedEquivalence, BandActuallyCutsDpsShort) {
+  // On a sibling-heavy corpus with a selective query the in-DP band must
+  // reject at least some scored candidates before they finish.
+  const image_database db = sibling_corpus(40);
+  const symbolic_image query = distorted_query(db, 1, 0.8);
+  query_options options;
+  options.top_k = 3;
+  options.histogram_pruning = true;
+  search_stats stats;
+  (void)search(db, query, options, &stats);
+  EXPECT_GT(stats.band_rejected, 0u) << "early-exit band never engaged";
+}
+
+// --------------------------------------------------------------- batching
+
+TEST(SearchBatch, MatchesPerQuerySearch) {
+  const image_database db = sibling_corpus(15);
+  std::vector<symbolic_image> queries;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    queries.push_back(distorted_query(db, s));
+  }
+  for (bool pruning : {false, true}) {
+    for (unsigned threads : {1u, 3u}) {
+      query_options options;
+      options.top_k = 5;
+      options.histogram_pruning = pruning;
+      options.threads = threads;
+      std::vector<search_stats> batch_stats;
+      const auto batched = search_batch(db, queries, options, &batch_stats);
+      ASSERT_EQ(batched.size(), queries.size());
+      ASSERT_EQ(batch_stats.size(), queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        search_stats single_stats;
+        EXPECT_EQ(batched[i], search(db, queries[i], options, &single_stats))
+            << "query " << i << " pruning=" << pruning
+            << " threads=" << threads;
+        EXPECT_EQ(batch_stats[i].scanned, single_stats.scanned);
+        EXPECT_EQ(batch_stats[i].scored + batch_stats[i].pruned,
+                  batch_stats[i].scanned);
+      }
+    }
+  }
+}
+
+TEST(SearchBatch, TransformInvariantMatchesPerQuerySearch) {
+  image_database db;
+  rng r(14);
+  scene_params params;
+  params.object_count = 6;
+  params.symbol_pool = 6;
+  const symbolic_image original = random_scene(params, r, db.symbols());
+  db.add("original", original);
+  db.add("rotated", apply(dihedral::rot90, original));
+  for (int i = 0; i < 10; ++i) {
+    db.add("other" + std::to_string(i), random_scene(params, r, db.symbols()));
+  }
+  std::vector<symbolic_image> queries = {original,
+                                         apply(dihedral::flip_x, original)};
+  query_options options;
+  options.transform_invariant = true;
+  options.top_k = 0;
+  const auto batched = search_batch(db, queries, options);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], search(db, queries[i], options)) << "query " << i;
+  }
+  // The rotated copy is a perfect match for both query orientations.
+  ASSERT_FALSE(batched[0].empty());
+  EXPECT_DOUBLE_EQ(batched[0][0].score, 1.0);
+}
+
+TEST(SearchBatch, PreEncodedOverloadValidatesSizes) {
+  const image_database db = sibling_corpus(3);
+  const std::vector<be_string2d> strings(2);
+  const std::vector<std::vector<symbol_id>> symbols(1);
+  EXPECT_THROW((void)search_batch(db, strings, symbols),
+               std::invalid_argument);
+}
+
+TEST(SearchBatch, EmptyBatchIsFine) {
+  const image_database db = sibling_corpus(3);
+  std::vector<search_stats> stats;
+  EXPECT_TRUE(
+      search_batch(db, std::span<const symbolic_image>{}, {}, &stats).empty());
+  EXPECT_TRUE(stats.empty());
+}
+
+}  // namespace
+}  // namespace bes
