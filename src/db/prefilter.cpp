@@ -1,0 +1,45 @@
+#include "db/prefilter.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+
+namespace bes {
+
+std::vector<image_id> window_candidates(const spatial_index& index,
+                                        const symbolic_image& query, int pad) {
+  if (pad < 0) {
+    throw std::invalid_argument("window_candidates: pad must be >= 0");
+  }
+  std::vector<image_id> out;
+  for (const icon& obj : query.icons()) {
+    // Padded windows may extend past the image domain; the R-tree only
+    // requires lo < hi, and out-of-domain area matches nothing.
+    const rect window{interval{obj.mbr.x.lo - pad, obj.mbr.x.hi + pad},
+                      interval{obj.mbr.y.lo - pad, obj.mbr.y.hi + pad}};
+    const auto hits = index.images_overlapping(window, obj.symbol);
+    out.insert(out.end(), hits.begin(), hits.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<image_id> intersect_candidates(std::span<const image_id> a,
+                                           std::span<const image_id> b) {
+  std::vector<image_id> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<image_id> combined_candidates(const image_database& db,
+                                          const spatial_index& index,
+                                          const symbolic_image& query,
+                                          int pad) {
+  return intersect_candidates(db.candidates(query),
+                              window_candidates(index, query, pad));
+}
+
+}  // namespace bes

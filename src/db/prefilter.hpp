@@ -1,0 +1,36 @@
+// Lossy candidate prefilters over the two access paths the paper contrasts
+// (§1): the relation-agnostic spatial index (R-tree windows over icon MBRs)
+// and the inverted symbol index, plus their combination (symbol ∩ window,
+// ROADMAP "Candidate pruning").
+//
+// Unlike the histogram pruner in db/query.cpp these filters are NOT
+// admissible: an image can be relevant yet share no symbol with the query,
+// or have drifted outside every padded window. The eval harness
+// (src/eval) therefore measures each prefilter's recall against the
+// exhaustive scan and gates it against a documented budget. `pad` absorbs
+// expected object displacement: a query icon jittered by up to J pixels
+// still overlaps its padded origin window whenever pad >= J.
+#pragma once
+
+#include "db/query.hpp"
+#include "db/spatial_index.hpp"
+
+namespace bes {
+
+// Images with at least one icon of the same symbol as some query icon
+// overlapping that icon's MBR padded by `pad` pixels on every side (union
+// over query icons; sorted, unique). pad < 0 throws.
+[[nodiscard]] std::vector<image_id> window_candidates(
+    const spatial_index& index, const symbolic_image& query, int pad);
+
+// Sorted intersection of two sorted, unique candidate lists.
+[[nodiscard]] std::vector<image_id> intersect_candidates(
+    std::span<const image_id> a, std::span<const image_id> b);
+
+// The combined prefilter: inverted-index candidates (>= 1 shared symbol)
+// ∩ window candidates. Strictly tighter than either input.
+[[nodiscard]] std::vector<image_id> combined_candidates(
+    const image_database& db, const spatial_index& index,
+    const symbolic_image& query, int pad);
+
+}  // namespace bes

@@ -5,6 +5,7 @@
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 
 #include "util/parallel.hpp"
 
@@ -202,17 +203,17 @@ bool pruning_applies(const query_options& options) {
          (options.top_k > 0 || options.min_score > 0.0);
 }
 
-// Shared scan core. `histograms` and `transforms` are optional precomputed
+// Candidate-set scan core shared by the symbol-index path and the explicit
+// prefilter path. `histograms` and `transforms` are optional precomputed
 // per-query state (search_batch amortizes them); null means compute on
 // demand for the paths that need them.
-std::vector<query_result> search_impl(const image_database& db,
-                                      const be_string2d& query_strings,
-                                      std::span<const symbol_id> query_symbols,
-                                      const be_histogram2d* histograms,
-                                      const query_transforms* transforms,
-                                      const query_options& options,
-                                      search_stats* stats) {
-  const std::vector<image_id> ids = scan_ids(db, query_symbols, options);
+std::vector<query_result> scan_candidates(const image_database& db,
+                                          const be_string2d& query_strings,
+                                          std::span<const image_id> ids,
+                                          const be_histogram2d* histograms,
+                                          const query_transforms* transforms,
+                                          const query_options& options,
+                                          search_stats* stats) {
   if (stats != nullptr) {
     *stats = search_stats{};
     stats->scanned = ids.size();
@@ -228,6 +229,18 @@ std::vector<query_result> search_impl(const image_database& db,
   return exhaustive_search(db, query_strings, transforms, ids, options, stats);
 }
 
+std::vector<query_result> search_impl(const image_database& db,
+                                      const be_string2d& query_strings,
+                                      std::span<const symbol_id> query_symbols,
+                                      const be_histogram2d* histograms,
+                                      const query_transforms* transforms,
+                                      const query_options& options,
+                                      search_stats* stats) {
+  const std::vector<image_id> ids = scan_ids(db, query_symbols, options);
+  return scan_candidates(db, query_strings, ids, histograms, transforms,
+                         options, stats);
+}
+
 }  // namespace
 
 std::vector<query_result> search(const image_database& db,
@@ -237,6 +250,21 @@ std::vector<query_result> search(const image_database& db,
                                  search_stats* stats) {
   return search_impl(db, query_strings, query_symbols, nullptr, nullptr,
                      options, stats);
+}
+
+std::vector<query_result> search_candidates(const image_database& db,
+                                            const be_string2d& query_strings,
+                                            std::span<const image_id> candidates,
+                                            const query_options& options,
+                                            search_stats* stats) {
+  for (image_id id : candidates) {
+    if (id >= db.size()) {
+      throw std::out_of_range("search_candidates: id " + std::to_string(id) +
+                              " out of range");
+    }
+  }
+  return scan_candidates(db, query_strings, candidates, nullptr, nullptr,
+                         options, stats);
 }
 
 std::vector<query_result> search(const image_database& db,

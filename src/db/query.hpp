@@ -63,6 +63,17 @@ struct search_stats {
     std::span<const symbol_id> query_symbols, const query_options& options = {},
     search_stats* stats = nullptr);
 
+// Scores exactly the given candidate set (sorted or not, duplicates scored
+// twice — callers pass the sorted/unique output of a prefilter). This is the
+// entry point for external access paths (R-tree window prefilter, combined
+// symbol ∩ window prefilter, db/prefilter.hpp): candidate generation is the
+// caller's, ranking/pruning/threads behave exactly as in search().
+// options.use_index is ignored. Throws std::out_of_range on an id >= size.
+[[nodiscard]] std::vector<query_result> search_candidates(
+    const image_database& db, const be_string2d& query_strings,
+    std::span<const image_id> candidates, const query_options& options = {},
+    search_stats* stats = nullptr);
+
 // Batch retrieval: results[i] == search(db, queries[i], options), with the
 // per-query precomputation amortized. Encoding, symbol extraction, the
 // histograms backing the pruner, and — under transform_invariant — the 8

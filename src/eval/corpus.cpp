@@ -1,0 +1,166 @@
+#include "eval/corpus.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "util/parallel.hpp"
+
+namespace bes {
+
+namespace {
+
+// Stream tags for derive_seed: one disjoint stream block per base scene
+// (scene, near, mid, far) and one per query. Offsets are part of the
+// determinism contract — changing them changes every committed baseline.
+constexpr std::uint64_t stream_block = 8;  // streams reserved per base
+constexpr std::uint64_t query_block_base = 1u << 20;  // queries start here
+
+scene_params base_scene_params(const eval_corpus_params& p) {
+  scene_params s;
+  s.width = p.domain;
+  s.height = p.domain;
+  s.object_count = p.objects;
+  s.max_extent = std::max(8, p.domain / 4);
+  s.symbol_pool = p.unique_symbols ? p.objects : p.symbol_pool;
+  s.unique_symbols = p.unique_symbols;
+  return s;
+}
+
+// The per-family distortion tiers. Tier strengths scale with the domain so
+// the corpus keeps its shape at other sizes.
+distortion_params near_tier(const eval_corpus_params& p, std::uint64_t seed) {
+  distortion_params d;
+  d.jitter = std::max(1, p.domain / 32);
+  d.seed = seed;
+  return d;
+}
+
+distortion_params mid_tier(const eval_corpus_params& p, std::uint64_t seed) {
+  distortion_params d;
+  d.keep_fraction = 0.75;
+  d.jitter = std::max(1, p.domain / 16);
+  d.seed = seed;
+  return d;
+}
+
+distortion_params far_tier(const eval_corpus_params& p, std::uint64_t seed) {
+  distortion_params d;
+  d.keep_fraction = 0.5;
+  d.jitter = std::max(1, p.domain / 16);
+  d.decoys = 2;
+  d.decoy_shape.max_extent = std::max(8, p.domain / 8);
+  d.decoy_shape.symbol_pool = p.symbol_pool;
+  d.relabel_fraction = p.unique_symbols ? 0.0 : 0.25;
+  d.relabel_pool = p.symbol_pool;
+  d.seed = seed;
+  return d;
+}
+
+distortion_params query_tier(const eval_corpus_params& p, std::uint64_t seed) {
+  distortion_params d;
+  d.keep_fraction = 0.8;
+  d.jitter = std::max(1, p.domain / 32);
+  d.decoys = 1;
+  d.decoy_shape.max_extent = std::max(8, p.domain / 8);
+  d.decoy_shape.symbol_pool = p.symbol_pool;
+  d.seed = seed;
+  return d;
+}
+
+// Pre-interns every pool symbol so the parallel generation phase only looks
+// names up (alphabet::intern mutates on a NEW name; concurrent lookups of
+// existing names are safe because no writer remains).
+void pre_intern_pool(alphabet& names, std::size_t pool) {
+  for (std::size_t i = 0; i < pool; ++i) {
+    std::string name = "S";
+    name += std::to_string(i);
+    names.intern(name);
+  }
+}
+
+}  // namespace
+
+eval_corpus build_eval_corpus(const eval_corpus_params& params,
+                              unsigned threads) {
+  if (params.base_scenes == 0) {
+    throw std::invalid_argument("build_eval_corpus: base_scenes must be > 0");
+  }
+  if (params.queries_per_base > 0 &&
+      query_block_base < params.base_scenes * stream_block) {
+    throw std::invalid_argument("build_eval_corpus: too many base scenes");
+  }
+  eval_corpus corpus;
+  corpus.params = params;
+  alphabet& names = corpus.db.symbols();
+  pre_intern_pool(names,
+                  params.unique_symbols
+                      ? std::max(params.objects, params.symbol_pool)
+                      : params.symbol_pool);
+
+  // Phase 1 (parallel): generate every family into a flat image vector.
+  // Insertion into the database stays serial and index-ordered, so ids are
+  // independent of the thread schedule.
+  const scene_params scene_shape = base_scene_params(params);
+  std::vector<std::array<symbolic_image, eval_family_size>> families(
+      params.base_scenes,
+      {symbolic_image(1, 1), symbolic_image(1, 1), symbolic_image(1, 1),
+       symbolic_image(1, 1), symbolic_image(1, 1)});
+  parallel_for(params.base_scenes, threads, [&](std::size_t b) {
+    const std::uint64_t block = static_cast<std::uint64_t>(b) * stream_block;
+    rng scene_rng(derive_seed(params.seed, block));
+    symbolic_image base = random_scene(scene_shape, scene_rng, names);
+    symbolic_image near =
+        distort(base, near_tier(params, derive_seed(params.seed, block + 1)),
+                names);
+    symbolic_image mid =
+        distort(base, mid_tier(params, derive_seed(params.seed, block + 2)),
+                names);
+    symbolic_image far =
+        distort(base, far_tier(params, derive_seed(params.seed, block + 3)),
+                names);
+    // A deterministic non-identity dihedral element, cycling through all 7.
+    const dihedral element = all_dihedral[1 + b % (all_dihedral.size() - 1)];
+    symbolic_image xform = apply(element, base);
+    families[b] = {std::move(base), std::move(near), std::move(mid),
+                   std::move(far), std::move(xform)};
+  });
+
+  static constexpr const char* member_tag[eval_family_size] = {
+      "", "~near", "~mid", "~far", "~xform"};
+  for (std::size_t b = 0; b < params.base_scenes; ++b) {
+    for (std::size_t m = 0; m < eval_family_size; ++m) {
+      const image_id id =
+          corpus.db.add("scene" + std::to_string(b) + member_tag[m],
+                        std::move(families[b][m]));
+      if (m == 0) corpus.base_ids.push_back(id);
+    }
+  }
+
+  // Phase 2 (parallel): queries. Each distorts its base with its own derived
+  // seed into a private alphabet copy, so query generation cannot perturb
+  // the shared alphabet and is schedule-independent. (Decoys and relabels
+  // draw from the pre-interned pool, so the copies never diverge.)
+  static constexpr int member_grade[eval_family_size] = {3, 2, 1, 1, 1};
+  corpus.queries.assign(params.base_scenes * params.queries_per_base,
+                        eval_query{});
+  parallel_for(corpus.queries.size(), threads, [&](std::size_t i) {
+    const std::size_t b = i / params.queries_per_base;
+    alphabet scratch = names;
+    eval_query& q = corpus.queries[i];
+    q.base = b;
+    q.image = distort(
+        corpus.db.record(corpus.base_ids[b]).image,
+        query_tier(params, derive_seed(params.seed, query_block_base + i)),
+        scratch);
+    for (std::size_t m = 0; m < eval_family_size; ++m) {
+      q.relevance.push_back(graded_doc{
+          static_cast<std::uint32_t>(eval_family_size * b + m),
+          member_grade[m]});
+    }
+  });
+  return corpus;
+}
+
+}  // namespace bes

@@ -1,0 +1,75 @@
+// The seeded ground-truth corpus behind the retrieval-quality regression
+// gate: N base scenes, each expanded into a family of graded distortions
+// with known relevance grades, plus distorted queries whose judgments are
+// constructed, not annotated.
+//
+// Family per base scene (the distortion tiers of ISSUE 3 / ROADMAP
+// "Retrieval quality"):
+//   grade 3  base      the scene itself
+//   grade 2  near      all objects kept, small jitter
+//   grade 1  mid       ~3/4 of objects kept, heavier jitter
+//   grade 1  far       half the objects kept, jitter, clutter, relabels
+//   grade 1  xform     a non-identity dihedral transform of the base
+// Images from every other family carry grade 0 (irrelevant) — they are real
+// confusers, drawn from the same scene distribution and symbol pool.
+//
+// Determinism contract: the corpus is a pure function of eval_corpus_params.
+// Every scene, family member and query derives its own seed from
+// params.seed via derive_seed, so generation is identical across runs,
+// processes and thread counts; build_eval_corpus(params, threads) returns
+// the same corpus for every `threads`. (The underlying samplers use
+// std::uniform_int_distribution, so byte-identical corpora additionally
+// require the same C++ standard library — CI pins libstdc++; regenerate
+// eval/baseline.json if you move stdlibs.)
+#pragma once
+
+#include "db/database.hpp"
+#include "metrics/retrieval.hpp"
+#include "workload/query_gen.hpp"
+
+namespace bes {
+
+struct eval_corpus_params {
+  std::uint64_t seed = 20010401;  // master seed; everything derives from it
+  std::size_t base_scenes = 24;
+  std::size_t objects = 8;        // icons per base scene
+  int domain = 256;               // scenes are domain x domain
+  std::size_t symbol_pool = 10;   // "S0".."S9"
+  // Give every object a distinct pool symbol (pool is forced to `objects`);
+  // needed by the type-i baseline comparisons in bench E6b.
+  bool unique_symbols = false;
+  std::size_t queries_per_base = 2;
+
+  friend bool operator==(const eval_corpus_params&,
+                         const eval_corpus_params&) = default;
+};
+
+// Number of family members stored per base scene (base, near, mid, far,
+// xform).
+inline constexpr std::size_t eval_family_size = 5;
+
+// A query with its constructed judgments: the source family's members with
+// their grades (sorted by id; every other image is grade 0 by omission).
+struct eval_query {
+  symbolic_image image{1, 1};
+  std::size_t base = 0;  // index of the source base scene
+  std::vector<graded_doc> relevance;
+
+  friend bool operator==(const eval_query&, const eval_query&) = default;
+};
+
+struct eval_corpus {
+  eval_corpus_params params;  // the inputs this corpus was built from
+  image_database db;
+  // base_ids[b] is the db id of base scene b; its family occupies ids
+  // [eval_family_size*b, eval_family_size*(b+1)).
+  std::vector<image_id> base_ids;
+  std::vector<eval_query> queries;
+};
+
+// Builds the corpus; `threads` parallelizes scene generation without
+// affecting the result (see the determinism contract above).
+[[nodiscard]] eval_corpus build_eval_corpus(const eval_corpus_params& params,
+                                            unsigned threads = 1);
+
+}  // namespace bes

@@ -1,0 +1,277 @@
+#include "eval/harness.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "db/prefilter.hpp"
+
+namespace bes {
+
+namespace {
+
+std::string_view norm_name(norm_kind norm) {
+  switch (norm) {
+    case norm_kind::query: return "query";
+    case norm_kind::max_len: return "max-len";
+    case norm_kind::dice: return "dice";
+    case norm_kind::min_len: return "min-len";
+  }
+  throw std::invalid_argument("norm_name: unknown norm");
+}
+
+// "signed-query", "exact-query", "signed-dice", "signed-query-tinv", ...
+std::string kernel_name(const eval_cell_config& cell) {
+  std::string out = cell.sim.exact_lcs ? "exact-" : "signed-";
+  out += norm_name(cell.sim.norm);
+  if (cell.transform_invariant) out += "-tinv";
+  return out;
+}
+
+std::vector<std::uint32_t> ids_of(const std::vector<query_result>& results) {
+  std::vector<std::uint32_t> out;
+  out.reserve(results.size());
+  for (const query_result& r : results) out.push_back(r.id);
+  return out;
+}
+
+double overlap_fraction(std::vector<std::uint32_t> got,
+                        std::vector<std::uint32_t> want) {
+  if (want.empty()) return 1.0;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  std::vector<std::uint32_t> common;
+  std::set_intersection(got.begin(), got.end(), want.begin(), want.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) /
+         static_cast<double>(want.size());
+}
+
+query_options options_for(const eval_cell_config& cell) {
+  query_options opts;
+  opts.top_k = cell.top_k;
+  opts.similarity = cell.sim;
+  opts.transform_invariant = cell.transform_invariant;
+  opts.threads = cell.threads;
+  opts.use_index = cell.path == scan_path::index;
+  opts.histogram_pruning = cell.path == scan_path::pruned;
+  return opts;
+}
+
+bool uses_prefilter(scan_path path) {
+  return path == scan_path::rtree || path == scan_path::combined;
+}
+
+}  // namespace
+
+std::string_view to_string(scan_path path) noexcept {
+  switch (path) {
+    case scan_path::exhaustive: return "exhaustive";
+    case scan_path::pruned: return "pruned";
+    case scan_path::index: return "index";
+    case scan_path::rtree: return "rtree";
+    case scan_path::combined: return "combined";
+  }
+  return "?";
+}
+
+scan_path scan_path_from(std::string_view name) {
+  for (scan_path p :
+       {scan_path::exhaustive, scan_path::pruned, scan_path::index,
+        scan_path::rtree, scan_path::combined}) {
+    if (to_string(p) == name) return p;
+  }
+  throw std::invalid_argument("scan_path_from: unknown path '" +
+                              std::string(name) + "'");
+}
+
+std::string eval_cell_config::name() const {
+  std::string out(to_string(path));
+  out += '/';
+  out += kernel_name(*this);
+  out += "/t" + std::to_string(threads);
+  if (batch) out += "/batch";
+  return out;
+}
+
+std::vector<eval_cell_config> default_eval_matrix(unsigned threads) {
+  std::vector<similarity_options> kernels(3);
+  kernels[0] = {};                              // signed-query (paper default)
+  kernels[1].exact_lcs = true;                  // exact-query
+  kernels[2].norm = norm_kind::dice;            // signed-dice
+
+  std::vector<eval_cell_config> matrix;
+  for (scan_path path :
+       {scan_path::exhaustive, scan_path::pruned, scan_path::index,
+        scan_path::rtree, scan_path::combined}) {
+    for (const similarity_options& sim : kernels) {
+      eval_cell_config cell;
+      cell.path = path;
+      cell.sim = sim;
+      matrix.push_back(cell);
+    }
+  }
+  {  // transform-invariant scan (its own kernel; it is its own reference)
+    eval_cell_config cell;
+    cell.transform_invariant = true;
+    matrix.push_back(cell);
+  }
+  if (threads > 1) {  // thread-scaling cells: results must not change
+    eval_cell_config cell;
+    cell.threads = threads;
+    matrix.push_back(cell);
+    cell.path = scan_path::pruned;
+    matrix.push_back(cell);
+  }
+  {  // batch cells: search_batch must agree with per-query search
+    eval_cell_config cell;
+    cell.batch = true;
+    matrix.push_back(cell);
+    cell.path = scan_path::pruned;
+    cell.threads = std::max(1u, threads);
+    matrix.push_back(cell);
+  }
+  return matrix;
+}
+
+int eval_prefilter_pad(const eval_corpus_params& params) {
+  // Worst family jitter (mid/far tier: domain/16) plus the query tier's own
+  // jitter (domain/32): a kept, jittered object of any relevant image still
+  // overlaps the query icon's padded window.
+  return std::max(2, params.domain / 16 + params.domain / 32);
+}
+
+eval_report run_eval(const eval_corpus& corpus,
+                     std::span<const eval_cell_config> matrix) {
+  const image_database& db = corpus.db;
+  const std::size_t nq = corpus.queries.size();
+  if (nq == 0) throw std::invalid_argument("run_eval: corpus has no queries");
+
+  std::vector<be_string2d> strings;
+  std::vector<std::vector<symbol_id>> symbols;
+  strings.reserve(nq);
+  symbols.reserve(nq);
+  for (const eval_query& q : corpus.queries) {
+    strings.push_back(encode(q.image));
+    symbols.push_back(distinct_symbols(q.image));
+  }
+
+  // Prefilter candidate sets, shared by every rtree/combined cell.
+  std::vector<std::vector<image_id>> window_sets;
+  std::vector<std::vector<image_id>> combined_sets;
+  if (std::any_of(matrix.begin(), matrix.end(), [](const eval_cell_config& c) {
+        return uses_prefilter(c.path);
+      })) {
+    const spatial_index sindex(db);
+    const int pad = eval_prefilter_pad(corpus.params);
+    window_sets.reserve(nq);
+    combined_sets.reserve(nq);
+    for (std::size_t i = 0; i < nq; ++i) {
+      window_sets.push_back(
+          window_candidates(sindex, corpus.queries[i].image, pad));
+      combined_sets.push_back(
+          intersect_candidates(db.candidates(symbols[i]), window_sets[i]));
+    }
+  }
+
+  // Per-query ranked ids of one cell; accumulates scan stats.
+  auto run_cell = [&](const eval_cell_config& cell,
+                      eval_cell_metrics& metrics) {
+    const query_options opts = options_for(cell);
+    std::vector<std::vector<std::uint32_t>> ranked(nq);
+    if (cell.batch) {
+      if (uses_prefilter(cell.path)) {
+        throw std::invalid_argument(
+            "run_eval: batch cells cannot use a prefilter path");
+      }
+      std::vector<search_stats> stats;
+      const auto results = search_batch(db, strings, symbols, opts, &stats);
+      for (std::size_t i = 0; i < nq; ++i) {
+        ranked[i] = ids_of(results[i]);
+        metrics.scanned += stats[i].scanned;
+        metrics.scored += stats[i].scored;
+        metrics.pruned += stats[i].pruned;
+      }
+      return ranked;
+    }
+    for (std::size_t i = 0; i < nq; ++i) {
+      search_stats stats;
+      std::vector<query_result> results;
+      if (cell.path == scan_path::rtree) {
+        results = search_candidates(db, strings[i], window_sets[i], opts,
+                                    &stats);
+      } else if (cell.path == scan_path::combined) {
+        results = search_candidates(db, strings[i], combined_sets[i], opts,
+                                    &stats);
+      } else {
+        results = search(db, strings[i], symbols[i], opts, &stats);
+      }
+      ranked[i] = ids_of(results);
+      metrics.scanned += stats.scanned;
+      metrics.scored += stats.scored;
+      metrics.pruned += stats.pruned;
+    }
+    return ranked;
+  };
+
+  // Exhaustive reference rankings per kernel (computed lazily; a cell whose
+  // config IS the reference reuses its own rankings).
+  std::map<std::string, std::vector<std::vector<std::uint32_t>>> references;
+  auto reference_config = [](const eval_cell_config& cell) {
+    eval_cell_config ref = cell;
+    ref.path = scan_path::exhaustive;
+    ref.threads = 1;
+    ref.batch = false;
+    return ref;
+  };
+  auto reference_for =
+      [&](const eval_cell_config& cell)
+      -> const std::vector<std::vector<std::uint32_t>>& {
+    const eval_cell_config ref = reference_config(cell);
+    const std::string key = ref.name() + "/k" + std::to_string(ref.top_k);
+    auto it = references.find(key);
+    if (it == references.end()) {
+      eval_cell_metrics scratch;
+      it = references.emplace(key, run_cell(ref, scratch)).first;
+    }
+    return it->second;
+  };
+
+  eval_report report;
+  report.params = corpus.params;
+  for (const eval_cell_config& cell : matrix) {
+    eval_cell_result result;
+    result.config = cell;
+    std::vector<std::vector<std::uint32_t>> ranked =
+        run_cell(cell, result.metrics);
+    if (cell == reference_config(cell)) {
+      // This cell IS its kernel's reference; remember its rankings so later
+      // cells (and its own recall term) reuse them.
+      references.emplace(cell.name() + "/k" + std::to_string(cell.top_k),
+                         ranked);
+    }
+    const auto& reference = reference_for(cell);
+    double recall = 0.0;
+    for (std::size_t i = 0; i < nq; ++i) {
+      const eval_query& q = corpus.queries[i];
+      const std::vector<std::uint32_t> relevant = relevant_ids(q.relevance);
+      result.metrics.p_at_1 += precision_at_k(ranked[i], relevant, 1);
+      result.metrics.p_at_10 += precision_at_k(ranked[i], relevant, 10);
+      result.metrics.mrr += reciprocal_rank(ranked[i], q.relevance);
+      result.metrics.ndcg_at_10 += ndcg_at_k(ranked[i], q.relevance, 10);
+      recall += overlap_fraction(ranked[i], reference[i]);
+    }
+    const double n = static_cast<double>(nq);
+    result.metrics.p_at_1 /= n;
+    result.metrics.p_at_10 /= n;
+    result.metrics.mrr /= n;
+    result.metrics.ndcg_at_10 /= n;
+    result.metrics.recall_vs_exhaustive = recall / n;
+    report.cells.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace bes

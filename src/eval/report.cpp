@@ -1,0 +1,241 @@
+#include "eval/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace bes {
+
+namespace {
+
+constexpr const char* report_schema = "bes-eval-report-v1";
+constexpr const char* baseline_schema = "bes-eval-baseline-v1";
+
+json_value params_to_json(const eval_corpus_params& p) {
+  json_value out = json_value::object{};
+  // The seed is a string: JSON numbers are doubles and a 64-bit seed above
+  // 2^53 would not survive the round trip.
+  out.set("seed", std::to_string(p.seed));
+  out.set("base_scenes", p.base_scenes);
+  out.set("objects", p.objects);
+  out.set("domain", p.domain);
+  out.set("symbol_pool", p.symbol_pool);
+  out.set("unique_symbols", p.unique_symbols);
+  out.set("queries_per_base", p.queries_per_base);
+  return out;
+}
+
+eval_corpus_params params_from_json(const json_value& json) {
+  eval_corpus_params p;
+  p.seed = std::stoull(json.get("seed").as_string());
+  p.base_scenes =
+      static_cast<std::size_t>(json.get("base_scenes").as_number());
+  p.objects = static_cast<std::size_t>(json.get("objects").as_number());
+  p.domain = static_cast<int>(json.get("domain").as_number());
+  p.symbol_pool =
+      static_cast<std::size_t>(json.get("symbol_pool").as_number());
+  p.unique_symbols = json.get("unique_symbols").as_bool();
+  p.queries_per_base =
+      static_cast<std::size_t>(json.get("queries_per_base").as_number());
+  return p;
+}
+
+json_value cell_to_json(const eval_cell_result& cell) {
+  json_value out = json_value::object{};
+  out.set("name", cell.config.name());
+  out.set("path", std::string(to_string(cell.config.path)));
+  out.set("norm", static_cast<std::size_t>(cell.config.sim.norm));
+  out.set("exact_lcs", cell.config.sim.exact_lcs);
+  out.set("transform_invariant", cell.config.transform_invariant);
+  out.set("threads", static_cast<std::size_t>(cell.config.threads));
+  out.set("batch", cell.config.batch);
+  out.set("top_k", cell.config.top_k);
+  out.set("p_at_1", cell.metrics.p_at_1);
+  out.set("p_at_10", cell.metrics.p_at_10);
+  out.set("mrr", cell.metrics.mrr);
+  out.set("ndcg_at_10", cell.metrics.ndcg_at_10);
+  out.set("recall_vs_exhaustive", cell.metrics.recall_vs_exhaustive);
+  out.set("scanned", cell.metrics.scanned);
+  out.set("scored", cell.metrics.scored);
+  out.set("pruned", cell.metrics.pruned);
+  return out;
+}
+
+eval_cell_result cell_from_json(const json_value& json) {
+  eval_cell_result cell;
+  cell.config.path = scan_path_from(json.get("path").as_string());
+  cell.config.sim.norm =
+      static_cast<norm_kind>(json.get("norm").as_number());
+  cell.config.sim.exact_lcs = json.get("exact_lcs").as_bool();
+  cell.config.transform_invariant =
+      json.get("transform_invariant").as_bool();
+  cell.config.threads =
+      static_cast<unsigned>(json.get("threads").as_number());
+  cell.config.batch = json.get("batch").as_bool();
+  cell.config.top_k = static_cast<std::size_t>(json.get("top_k").as_number());
+  cell.metrics.p_at_1 = json.get("p_at_1").as_number();
+  cell.metrics.p_at_10 = json.get("p_at_10").as_number();
+  cell.metrics.mrr = json.get("mrr").as_number();
+  cell.metrics.ndcg_at_10 = json.get("ndcg_at_10").as_number();
+  cell.metrics.recall_vs_exhaustive =
+      json.get("recall_vs_exhaustive").as_number();
+  cell.metrics.scanned =
+      static_cast<std::size_t>(json.get("scanned").as_number());
+  cell.metrics.scored =
+      static_cast<std::size_t>(json.get("scored").as_number());
+  cell.metrics.pruned =
+      static_cast<std::size_t>(json.get("pruned").as_number());
+  return cell;
+}
+
+// True for paths whose result set provably equals the exhaustive scan's:
+// any recall loss there is a bug, so their budget is pinned to 0.
+bool admissible_path(scan_path path) {
+  return path == scan_path::exhaustive || path == scan_path::pruned;
+}
+
+}  // namespace
+
+json_value report_to_json(const eval_report& report) {
+  json_value out = json_value::object{};
+  out.set("schema", report_schema);
+  out.set("params", params_to_json(report.params));
+  json_value::array cells;
+  cells.reserve(report.cells.size());
+  for (const eval_cell_result& cell : report.cells) {
+    cells.push_back(cell_to_json(cell));
+  }
+  out.set("cells", std::move(cells));
+  return out;
+}
+
+eval_report report_from_json(const json_value& json) {
+  const std::string& schema = json.get("schema").as_string();
+  if (schema != report_schema && schema != baseline_schema) {
+    throw std::runtime_error("report_from_json: unknown schema '" + schema +
+                             "'");
+  }
+  eval_report report;
+  report.params = params_from_json(json.get("params"));
+  for (const json_value& cell : json.get("cells").as_array()) {
+    report.cells.push_back(cell_from_json(cell));
+  }
+  return report;
+}
+
+json_value make_baseline(const eval_report& report,
+                         const baseline_policy& policy) {
+  json_value out = json_value::object{};
+  out.set("schema", baseline_schema);
+  out.set("params", params_to_json(report.params));
+  out.set("tolerance", policy.tolerance);
+  json_value::array cells;
+  cells.reserve(report.cells.size());
+  for (const eval_cell_result& cell : report.cells) {
+    json_value c = cell_to_json(cell);
+    // The documented recall budget: how far below a perfect match with the
+    // exhaustive scan this cell is allowed to drift. Measured loss plus
+    // headroom for lossy prefilters; exactly 0 for admissible paths.
+    const double budget =
+        admissible_path(cell.config.path)
+            ? 0.0
+            : std::min(1.0, 1.0 - cell.metrics.recall_vs_exhaustive +
+                                policy.prefilter_headroom);
+    c.set("recall_budget", budget);
+    cells.push_back(std::move(c));
+  }
+  out.set("cells", std::move(cells));
+  return out;
+}
+
+gate_result check_against_baseline(const eval_report& report,
+                                   const json_value& baseline) {
+  gate_result result;
+  auto fail = [&result](std::string message) {
+    result.pass = false;
+    result.failures.push_back(std::move(message));
+  };
+
+  if (baseline.get("schema").as_string() != baseline_schema) {
+    fail("baseline schema is not " + std::string(baseline_schema));
+    return result;
+  }
+  if (params_from_json(baseline.get("params")) != report.params) {
+    fail("corpus params differ from baseline; metrics are incomparable "
+         "(regenerate the baseline or rerun with its params)");
+    return result;
+  }
+  const double tolerance = baseline.get("tolerance").as_number();
+
+  for (const json_value& want : baseline.get("cells").as_array()) {
+    const std::string& name = want.get("name").as_string();
+    const eval_cell_result* got = nullptr;
+    for (const eval_cell_result& cell : report.cells) {
+      if (cell.config.name() == name) {
+        got = &cell;
+        break;
+      }
+    }
+    if (got == nullptr) {
+      fail("cell '" + name + "' missing from report");
+      continue;
+    }
+    const auto check_metric = [&](const char* metric, double actual) {
+      const double floor = want.get(metric).as_number() - tolerance;
+      if (actual < floor) {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "%s: %s dropped to %.4f (floor %.4f = baseline %.4f - "
+                      "tolerance %.4f)",
+                      name.c_str(), metric, actual, floor,
+                      want.get(metric).as_number(), tolerance);
+        fail(buf);
+      }
+    };
+    check_metric("p_at_1", got->metrics.p_at_1);
+    check_metric("p_at_10", got->metrics.p_at_10);
+    check_metric("mrr", got->metrics.mrr);
+    check_metric("ndcg_at_10", got->metrics.ndcg_at_10);
+    check_metric("recall_vs_exhaustive", got->metrics.recall_vs_exhaustive);
+    const double budget = want.get("recall_budget").as_number();
+    if (got->metrics.recall_vs_exhaustive < 1.0 - budget) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%s: recall_vs_exhaustive %.4f exceeds the documented "
+                    "budget (must stay >= %.4f = 1 - %.4f)",
+                    name.c_str(), got->metrics.recall_vs_exhaustive,
+                    1.0 - budget, budget);
+      fail(buf);
+    }
+  }
+  return result;
+}
+
+void write_json_file(const json_value& json,
+                     const std::filesystem::path& path) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_json_file: cannot open " + path.string());
+  }
+  out << json.dump(2);
+  if (!out.good()) {
+    throw std::runtime_error("write_json_file: write failed for " +
+                             path.string());
+  }
+}
+
+json_value read_json_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_json_file: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return json_value::parse(buffer.str());
+}
+
+}  // namespace bes

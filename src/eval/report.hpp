@@ -1,0 +1,60 @@
+// Machine-readable eval reports and the baseline regression gate.
+//
+// A report is the JSON serialization of an eval_report (corpus params +
+// per-cell metrics). A baseline is a report plus gating knobs: a metric
+// tolerance and a per-cell recall budget. The committed eval/baseline.json
+// turns the harness into a tier-1 regression gate (eval_regression_test):
+// any metric dropping below baseline minus tolerance, or any cell's
+// recall-vs-exhaustive diverging beyond its documented budget, fails the
+// gate with a named, quantified message.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "eval/harness.hpp"
+#include "util/json.hpp"
+
+namespace bes {
+
+// Report <-> JSON. from_report_json accepts exactly what report_to_json
+// emits (schema "bes-eval-report-v1"); throws std::runtime_error on
+// malformed input.
+[[nodiscard]] json_value report_to_json(const eval_report& report);
+[[nodiscard]] eval_report report_from_json(const json_value& json);
+
+// Gating knobs stored alongside the baseline metrics.
+struct baseline_policy {
+  // Metrics may drop this far below the baseline value before the gate
+  // fails (absolute, on [0,1]-scaled metrics).
+  double tolerance = 0.02;
+  // Per-path recall budgets written by make_baseline: the maximum allowed
+  // 1 - recall_vs_exhaustive. Admissible paths (exhaustive/pruned) get 0 —
+  // any divergence from the exhaustive scan is a bug, not a tuning choice.
+  // Lossy prefilters get their measured loss plus this headroom.
+  double prefilter_headroom = 0.05;
+};
+
+// A baseline (schema "bes-eval-baseline-v1") from a report: every cell's
+// metrics plus its recall budget under `policy`.
+[[nodiscard]] json_value make_baseline(const eval_report& report,
+                                       const baseline_policy& policy = {});
+
+// The gate. Compares a fresh report against a baseline document:
+//   - corpus params must match exactly (else the numbers are incomparable),
+//   - every baseline cell must be present in the report,
+//   - p@1 / p@10 / mrr / ndcg@10 within tolerance of baseline,
+//   - recall_vs_exhaustive within tolerance AND within the recall budget.
+// Extra report cells (a grown matrix) pass; missing ones fail.
+struct gate_result {
+  bool pass = true;
+  std::vector<std::string> failures;  // one human-readable line each
+};
+[[nodiscard]] gate_result check_against_baseline(const eval_report& report,
+                                                 const json_value& baseline);
+
+// File I/O helpers (throw std::runtime_error on I/O or parse errors).
+void write_json_file(const json_value& json, const std::filesystem::path& path);
+[[nodiscard]] json_value read_json_file(const std::filesystem::path& path);
+
+}  // namespace bes

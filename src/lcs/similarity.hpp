@@ -31,6 +31,9 @@ struct similarity_options {
   norm_kind norm = norm_kind::query;
   // Use the exact two-layer DP instead of the paper's signed-table variant.
   bool exact_lcs = false;
+
+  friend bool operator==(const similarity_options&,
+                         const similarity_options&) = default;
 };
 
 // Normalized similarity of one axis pair, in [0, 1]. The context-less

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 namespace bes {
 
@@ -71,6 +72,66 @@ double reciprocal_rank(std::span<const std::uint32_t> ranked,
                        std::span<const std::uint32_t> relevant) {
   for (std::size_t i = 0; i < ranked.size(); ++i) {
     if (is_relevant(ranked[i], relevant)) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------- graded
+
+namespace {
+
+double gain_of(int grade) noexcept {
+  return grade <= 0 ? 0.0 : std::exp2(static_cast<double>(grade)) - 1.0;
+}
+
+}  // namespace
+
+int grade_of(std::uint32_t id, std::span<const graded_doc> graded) {
+  const auto it = std::lower_bound(
+      graded.begin(), graded.end(), id,
+      [](const graded_doc& d, std::uint32_t key) { return d.id < key; });
+  if (it == graded.end() || it->id != id) return 0;
+  return std::max(0, it->grade);
+}
+
+std::vector<std::uint32_t> relevant_ids(std::span<const graded_doc> graded) {
+  std::vector<std::uint32_t> out;
+  for (const graded_doc& d : graded) {
+    if (d.grade > 0) out.push_back(d.id);
+  }
+  return out;
+}
+
+double ndcg_at_k(std::span<const std::uint32_t> ranked,
+                 std::span<const graded_doc> graded, std::size_t k) {
+  if (k == 0) return 0.0;
+  // Ideal DCG: the gains sorted descending, cut at k. An all-zero-grade
+  // judgment list leaves ideal == 0; return 0 rather than 0/0.
+  std::vector<double> gains;
+  gains.reserve(graded.size());
+  for (const graded_doc& d : graded) {
+    if (d.grade > 0) gains.push_back(gain_of(d.grade));
+  }
+  std::sort(gains.begin(), gains.end(), std::greater<>());
+  double ideal = 0.0;
+  for (std::size_t i = 0; i < std::min(k, gains.size()); ++i) {
+    ideal += gains[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  if (ideal == 0.0) return 0.0;
+  double dcg = 0.0;
+  for (std::size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    dcg += gain_of(grade_of(ranked[i], graded)) /
+           std::log2(static_cast<double>(i) + 2.0);
+  }
+  return dcg / ideal;
+}
+
+double reciprocal_rank(std::span<const std::uint32_t> ranked,
+                       std::span<const graded_doc> graded) {
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (grade_of(ranked[i], graded) > 0) {
       return 1.0 / static_cast<double>(i + 1);
     }
   }

@@ -1,14 +1,17 @@
-// Rank-quality metrics for the retrieval experiments (binary relevance).
+// Rank-quality metrics for the retrieval experiments (binary and graded
+// relevance).
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace bes {
 
 // `ranked`: result ids in rank order. `relevant`: the relevant ids (sorted
-// ascending). All metrics return 0 for empty inputs rather than dividing by
-// zero.
+// ascending). All metrics return 0 for degenerate inputs — empty rankings,
+// empty relevance sets, and all-zero-grade judgment lists — rather than
+// dividing by zero.
 
 [[nodiscard]] double precision_at_k(std::span<const std::uint32_t> ranked,
                                     std::span<const std::uint32_t> relevant,
@@ -31,5 +34,39 @@ namespace bes {
 // 1/rank of the first relevant hit (0 if none).
 [[nodiscard]] double reciprocal_rank(std::span<const std::uint32_t> ranked,
                                      std::span<const std::uint32_t> relevant);
+
+// ---------------------------------------------------------------------------
+// Graded relevance (the eval harness's ground truth: distortion tiers map to
+// grades, grade 0 / absent = irrelevant).
+
+// One relevance judgment. Lists passed to the graded metrics must be sorted
+// by id ascending with unique ids; grades are clamped below at 0.
+struct graded_doc {
+  std::uint32_t id = 0;
+  int grade = 0;
+
+  friend bool operator==(const graded_doc&, const graded_doc&) = default;
+};
+
+// Grade of `id` in a sorted judgment list (0 when absent).
+[[nodiscard]] int grade_of(std::uint32_t id,
+                           std::span<const graded_doc> graded);
+
+// The ids with grade > 0 (sorted) — adapts a graded judgment list to the
+// binary metrics above.
+[[nodiscard]] std::vector<std::uint32_t> relevant_ids(
+    std::span<const graded_doc> graded);
+
+// Graded nDCG@k with exponential gain (2^grade - 1) and log2(rank+1)
+// discount. An all-zero-grade (or empty) judgment list has ideal DCG 0 and
+// returns 0, never NaN.
+[[nodiscard]] double ndcg_at_k(std::span<const std::uint32_t> ranked,
+                               std::span<const graded_doc> graded,
+                               std::size_t k);
+
+// 1/rank of the first hit with grade > 0; 0 when no ranked document has a
+// positive grade.
+[[nodiscard]] double reciprocal_rank(std::span<const std::uint32_t> ranked,
+                                     std::span<const graded_doc> graded);
 
 }  // namespace bes

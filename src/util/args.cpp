@@ -94,6 +94,7 @@ bool arg_parser::parse(int argc, const char* const* argv) {
                                   kind_name(static_cast<int>(f.type)));
     }
     f.value = *value;
+    f.supplied = true;
   }
   return true;
 }
@@ -124,6 +125,14 @@ double arg_parser::get_double(std::string_view name) const {
 
 bool arg_parser::get_bool(std::string_view name) const {
   return find(name, kind::boolean).value == "true";
+}
+
+bool arg_parser::was_supplied(std::string_view name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("flag not registered: " + std::string(name));
+  }
+  return it->second.supplied;
 }
 
 std::string arg_parser::usage() const {

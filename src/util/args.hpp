@@ -34,6 +34,11 @@ class arg_parser {
   [[nodiscard]] double get_double(std::string_view name) const;
   [[nodiscard]] bool get_bool(std::string_view name) const;
 
+  // True iff the flag appeared on the command line (as opposed to holding
+  // its registered default) — lets a command layer its own defaults under
+  // shared flags. Throws std::invalid_argument for unregistered names.
+  [[nodiscard]] bool was_supplied(std::string_view name) const;
+
   // Positional (non-flag) arguments in order of appearance.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
@@ -47,6 +52,7 @@ class arg_parser {
     kind type;
     std::string value;  // canonical textual form
     std::string help;
+    bool supplied = false;  // set by parse() when seen on the command line
   };
 
   const flag& find(std::string_view name, kind expected) const;

@@ -1,0 +1,344 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bes {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw std::runtime_error(std::string("json: value is not ") + wanted);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan; the eval metrics are all finite by construction,
+    // so treat an escapee as the bug it is rather than emitting null.
+    throw std::runtime_error("json: non-finite number");
+  }
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, result.ptr);
+}
+
+class parser {
+ public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  json_value parse_document() {
+    json_value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("json: " + std::string(what) + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  json_value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return json_value(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      return json_value(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      return json_value(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return json_value(nullptr);
+    }
+    return parse_number();
+  }
+
+  json_value parse_object() {
+    expect('{');
+    json_value::object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return json_value(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return json_value(std::move(members));
+    }
+  }
+
+  json_value parse_array() {
+    expect('[');
+    json_value::array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return json_value(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return json_value(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The report writer only escapes control characters; decode the
+          // BMP code point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  json_value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    double d = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (result.ec != std::errc{} || result.ptr != text_.data() + pos_ ||
+        start == pos_) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return json_value(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_to(const json_value& v, std::string& out, int indent, int depth);
+
+void append_newline(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+void dump_to(const json_value& v, std::string& out, int indent, int depth) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    append_number(out, v.as_number());
+  } else if (v.is_string()) {
+    append_escaped(out, v.as_string());
+  } else if (v.is_array()) {
+    const auto& items = v.as_array();
+    if (items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ',';
+      append_newline(out, indent, depth + 1);
+      dump_to(items[i], out, indent, depth + 1);
+    }
+    append_newline(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& members = v.as_object();
+    if (members.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) out += ',';
+      append_newline(out, indent, depth + 1);
+      append_escaped(out, members[i].first);
+      out += indent < 0 ? ":" : ": ";
+      dump_to(members[i].second, out, indent, depth + 1);
+    }
+    append_newline(out, indent, depth);
+    out += '}';
+  }
+}
+
+}  // namespace
+
+bool json_value::as_bool() const {
+  if (!is_bool()) type_error("a bool");
+  return std::get<bool>(value_);
+}
+
+double json_value::as_number() const {
+  if (!is_number()) type_error("a number");
+  return std::get<double>(value_);
+}
+
+const std::string& json_value::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(value_);
+}
+
+const json_value::array& json_value::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<array>(value_);
+}
+
+const json_value::object& json_value::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<object>(value_);
+}
+
+const json_value* json_value::find(std::string_view key) const {
+  if (!is_object()) type_error("an object");
+  for (const auto& [name, value] : std::get<object>(value_)) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const json_value& json_value::get(std::string_view key) const {
+  const json_value* v = find(key);
+  if (v == nullptr) {
+    throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+void json_value::set(std::string key, json_value value) {
+  if (!is_object()) {
+    if (is_null()) value_ = object{};
+    else type_error("an object");
+  }
+  std::get<object>(value_).emplace_back(std::move(key), std::move(value));
+}
+
+std::string json_value::dump(int indent) const {
+  std::string out;
+  dump_to(*this, out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+json_value json_value::parse(std::string_view text) {
+  return parser(text).parse_document();
+}
+
+}  // namespace bes

@@ -1,0 +1,85 @@
+// Minimal JSON value type for the eval report / baseline files.
+//
+// Self-contained (no third-party dependency): supports objects, arrays,
+// strings, numbers, booleans and null — everything the machine-readable
+// eval report needs, nothing more. Objects preserve insertion order so the
+// emitted report keeps its cells in matrix order and diffs stay readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace bes {
+
+class json_value {
+ public:
+  using array = std::vector<json_value>;
+  using object = std::vector<std::pair<std::string, json_value>>;
+
+  json_value() : value_(nullptr) {}
+  json_value(std::nullptr_t) : value_(nullptr) {}
+  json_value(bool b) : value_(b) {}
+  json_value(double d) : value_(d) {}
+  // Any other arithmetic type narrows to double (the only JSON number).
+  template <typename T>
+    requires(std::is_arithmetic_v<T> && !std::is_same_v<T, bool>)
+  json_value(T n) : value_(static_cast<double>(n)) {}
+  json_value(const char* s) : value_(std::string(s)) {}
+  json_value(std::string s) : value_(std::move(s)) {}
+  json_value(array a) : value_(std::move(a)) {}
+  json_value(object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<array>(value_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<object>(value_);
+  }
+
+  // Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const array& as_array() const;
+  [[nodiscard]] const object& as_object() const;
+
+  // Object member lookup; `get` throws std::runtime_error when the key is
+  // missing, `find` returns nullptr instead.
+  [[nodiscard]] const json_value& get(std::string_view key) const;
+  [[nodiscard]] const json_value* find(std::string_view key) const;
+
+  // Appends a member (no duplicate-key check; callers emit unique keys).
+  void set(std::string key, json_value value);
+
+  // Serialization. indent < 0 emits one line; indent >= 0 pretty-prints with
+  // that many spaces per level. Numbers round-trip exactly (shortest form).
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  // Parses a complete JSON document (trailing junk is an error). Throws
+  // std::runtime_error with a byte offset on malformed input.
+  [[nodiscard]] static json_value parse(std::string_view text);
+
+  friend bool operator==(const json_value&, const json_value&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, array, object> value_;
+};
+
+}  // namespace bes

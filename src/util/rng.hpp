@@ -14,6 +14,20 @@
 
 namespace bes {
 
+// Decorrelated sub-seed for stream `stream` of a master seed (SplitMix64
+// finalizer). Components that need several independent random streams — the
+// per-knob streams of workload::distort, the per-scene streams of the eval
+// corpus generator — derive one seed per stream instead of threading a single
+// rng through, so enabling one consumer never shifts another consumer's
+// sequence and generation order (or thread schedule) cannot change results.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t stream) noexcept {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 // A seeded pseudo-random generator with convenience samplers.
 //
 // Thin wrapper over std::mt19937_64; cheap to construct, movable, and

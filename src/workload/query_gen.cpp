@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace bes {
 
@@ -22,13 +23,24 @@ interval shifted_clamped(interval v, int delta, int domain) {
   return interval{std::max(0, lo), hi};
 }
 
-}  // namespace
+// Knob stream ids for the seeded overload (derive_seed's `stream`).
+enum knob : std::uint64_t { knob_keep, knob_jitter, knob_relabel, knob_decoy };
 
-symbolic_image distort(const symbolic_image& target,
-                       const distortion_params& params, rng& rng,
-                       alphabet& names) {
+// Core distortion with one stream per knob. The legacy single-stream
+// overload passes the same rng for all four, preserving its historical draw
+// order (kept-set, per-icon jitter, relabel, decoys).
+symbolic_image distort_impl(const symbolic_image& target,
+                            const distortion_params& params, rng& keep_rng,
+                            rng& jitter_rng, rng& relabel_rng, rng& decoy_rng,
+                            alphabet& names) {
   if (params.keep_fraction <= 0.0 || params.keep_fraction > 1.0) {
     throw std::invalid_argument("distort: keep_fraction must be in (0, 1]");
+  }
+  if (params.relabel_fraction < 0.0 || params.relabel_fraction > 1.0) {
+    throw std::invalid_argument("distort: relabel_fraction must be in [0, 1]");
+  }
+  if (params.relabel_fraction > 0.0 && params.relabel_pool == 0) {
+    throw std::invalid_argument("distort: relabel needs a non-empty pool");
   }
   const std::size_t keep = std::max<std::size_t>(
       1, static_cast<std::size_t>(
@@ -37,19 +49,27 @@ symbolic_image distort(const symbolic_image& target,
 
   symbolic_image query(target.width(), target.height());
   const auto kept =
-      rng.sample_indices(target.size(), std::min(keep, target.size()));
+      keep_rng.sample_indices(target.size(), std::min(keep, target.size()));
   for (std::size_t index : kept) {
     const icon& obj = target.icons()[index];
     rect mbr = obj.mbr;
     if (params.jitter > 0) {
-      mbr.x = shifted_clamped(mbr.x,
-                              rng.uniform_int(-params.jitter, params.jitter),
-                              target.width());
-      mbr.y = shifted_clamped(mbr.y,
-                              rng.uniform_int(-params.jitter, params.jitter),
-                              target.height());
+      mbr.x = shifted_clamped(
+          mbr.x, jitter_rng.uniform_int(-params.jitter, params.jitter),
+          target.width());
+      mbr.y = shifted_clamped(
+          mbr.y, jitter_rng.uniform_int(-params.jitter, params.jitter),
+          target.height());
     }
-    query.add(obj.symbol, mbr);
+    symbol_id symbol = obj.symbol;
+    if (params.relabel_fraction > 0.0 &&
+        relabel_rng.chance(params.relabel_fraction)) {
+      std::string name = "S";
+      name += std::to_string(relabel_rng.uniform_int(
+          0, static_cast<int>(params.relabel_pool) - 1));
+      symbol = names.intern(name);
+    }
+    query.add(symbol, mbr);
   }
 
   if (params.decoys > 0) {
@@ -59,7 +79,7 @@ symbolic_image distort(const symbolic_image& target,
     decoy.object_count = params.decoys;
     decoy.unique_symbols = false;
     decoy.disjoint = false;
-    const symbolic_image clutter = random_scene(decoy, rng, names);
+    const symbolic_image clutter = random_scene(decoy, decoy_rng, names);
     for (const icon& obj : clutter.icons()) query.add(obj);
   }
 
@@ -67,6 +87,24 @@ symbolic_image distort(const symbolic_image& target,
     return apply(*params.transform, query);
   }
   return query;
+}
+
+}  // namespace
+
+symbolic_image distort(const symbolic_image& target,
+                       const distortion_params& params, alphabet& names) {
+  rng keep_rng(derive_seed(params.seed, knob_keep));
+  rng jitter_rng(derive_seed(params.seed, knob_jitter));
+  rng relabel_rng(derive_seed(params.seed, knob_relabel));
+  rng decoy_rng(derive_seed(params.seed, knob_decoy));
+  return distort_impl(target, params, keep_rng, jitter_rng, relabel_rng,
+                      decoy_rng, names);
+}
+
+symbolic_image distort(const symbolic_image& target,
+                       const distortion_params& params, rng& rng,
+                       alphabet& names) {
+  return distort_impl(target, params, rng, rng, rng, rng, names);
 }
 
 }  // namespace bes

@@ -1,7 +1,20 @@
 // Query distortions with constructed ground truth (experiment E6): take a
 // target scene and degrade it the way real queries degrade — drop objects,
-// jitter positions, add clutter, or apply a linear transformation — while
-// remembering which database image it came from.
+// jitter positions, add clutter, relabel symbols, or apply a linear
+// transformation — while remembering which database image it came from.
+//
+// Determinism contract: the seeded overload distort(target, params, names)
+// derives ONE independent random stream per knob from params.seed
+// (derive_seed in util/rng.hpp), so
+//   - two runs with equal (target, params) produce identical queries, on any
+//     machine with the same standard library, in any process, from any
+//     thread, and
+//   - toggling one knob never shifts another knob's stream: adding decoys
+//     does not change which objects are kept or how they are jittered.
+// The legacy rng& overload threads a single caller-owned stream through all
+// knobs in document order (kept-set, then per-icon jitter, then relabel,
+// then decoys) and is deterministic given (params, rng state), but does not
+// provide knob isolation.
 #pragma once
 
 #include <optional>
@@ -16,14 +29,29 @@ struct distortion_params {
   double keep_fraction = 1.0;
   // Max absolute per-axis translation of each kept MBR (clamped to domain).
   int jitter = 0;
+  // Fraction of kept objects whose symbol is re-drawn from the pool
+  // "S0".."S<relabel_pool-1>" (icon-class noise; the draw may repeat the
+  // original symbol).
+  double relabel_fraction = 0.0;
+  std::size_t relabel_pool = 8;
   // Clutter objects added from the symbol pool.
   std::size_t decoys = 0;
   scene_params decoy_shape;  // extent/pool settings reused for decoys
   // Applied geometrically to the finished query, if set.
   std::optional<dihedral> transform;
+  // Master seed for the self-seeded overload; every knob derives its own
+  // sub-stream from it (see the determinism contract above).
+  std::uint64_t seed = 0;
 };
 
+// A distorted copy of `target`; deterministic given params alone (uses
+// params.seed, one derived stream per knob).
+[[nodiscard]] symbolic_image distort(const symbolic_image& target,
+                                     const distortion_params& params,
+                                     alphabet& names);
+
 // A distorted copy of `target`; deterministic given (params, rng state).
+// params.seed is ignored — the caller's stream drives every knob.
 [[nodiscard]] symbolic_image distort(const symbolic_image& target,
                                      const distortion_params& params, rng& rng,
                                      alphabet& names);

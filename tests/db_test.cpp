@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
+#include "db/prefilter.hpp"
 #include "db/query.hpp"
 #include "db/storage.hpp"
 #include "util/rng.hpp"
+#include "workload/query_gen.hpp"
 #include "workload/scene_gen.hpp"
 
 namespace bes {
@@ -179,6 +183,161 @@ TEST(Search, TiesBrokenByIdAscending) {
   ASSERT_EQ(results.size(), 2u);
   EXPECT_DOUBLE_EQ(results[0].score, results[1].score);
   EXPECT_LT(results[0].id, results[1].id);
+}
+
+// ----------------------------------------------------- candidate prefilter
+
+TEST(SearchCandidates, ScoresExactlyTheGivenSet) {
+  image_database db = sample_db();
+  const be_string2d query = db.record(1).strings;
+  const std::vector<image_id> subset = {0, 2};  // exclude the true match
+  query_options options;
+  options.top_k = 0;
+  search_stats stats;
+  const auto results = search_candidates(db, query, subset, options, &stats);
+  EXPECT_EQ(stats.scanned, 2u);
+  ASSERT_EQ(results.size(), 2u);
+  for (const query_result& r : results) {
+    EXPECT_TRUE(r.id == 0 || r.id == 2);
+  }
+  // The full set reproduces the plain exhaustive scan.
+  const std::vector<image_id> all = {0, 1, 2};
+  query_options no_index = options;
+  no_index.use_index = false;
+  EXPECT_EQ(search_candidates(db, query, all, options),
+            search(db, db.record(1).image, no_index));
+}
+
+TEST(SearchCandidates, RejectsOutOfRangeIds) {
+  image_database db = sample_db();
+  const std::vector<image_id> bad = {0, 17};
+  EXPECT_THROW((void)search_candidates(db, db.record(0).strings, bad),
+               std::out_of_range);
+}
+
+TEST(SearchCandidates, HonorsPruningAndThreads) {
+  image_database db;
+  rng r(21);
+  scene_params params;
+  params.object_count = 6;
+  params.symbol_pool = 5;
+  for (int i = 0; i < 60; ++i) {
+    db.add("img" + std::to_string(i), random_scene(params, r, db.symbols()));
+  }
+  std::vector<image_id> half;
+  for (image_id id = 0; id < 60; id += 2) half.push_back(id);
+  const be_string2d& query = db.record(8).strings;
+  query_options plain;
+  plain.top_k = 5;
+  query_options tuned = plain;
+  tuned.histogram_pruning = true;
+  tuned.threads = 4;
+  EXPECT_EQ(search_candidates(db, query, half, plain),
+            search_candidates(db, query, half, tuned));
+}
+
+TEST(Prefilter, IntersectCandidatesIsSortedIntersection) {
+  const std::vector<image_id> a = {1, 3, 5, 9};
+  const std::vector<image_id> b = {3, 4, 9, 12};
+  EXPECT_EQ(intersect_candidates(a, b), (std::vector<image_id>{3, 9}));
+  EXPECT_TRUE(intersect_candidates(a, {}).empty());
+}
+
+TEST(Prefilter, WindowCandidatesFindsJitteredIconsWithinPad) {
+  image_database db;
+  alphabet& names = db.symbols();
+  symbolic_image scene(100, 100);
+  scene.add(names.intern("A"), rect::checked(10, 20, 10, 20));
+  db.add("a", scene);
+  const spatial_index index(db);
+
+  // Query icon displaced 12px (a 2px gap past its origin): found once the
+  // pad bridges the gap, lost unpadded, and never found under the wrong
+  // symbol.
+  symbolic_image moved(100, 100);
+  moved.add(names.id_of("A"), rect::checked(22, 32, 10, 20));
+  EXPECT_EQ(window_candidates(index, moved, 4),
+            (std::vector<image_id>{0}));
+  EXPECT_TRUE(window_candidates(index, moved, 0).empty());
+  symbolic_image wrong_symbol(100, 100);
+  wrong_symbol.add(names.intern("B"), rect::checked(10, 20, 10, 20));
+  EXPECT_TRUE(window_candidates(index, wrong_symbol, 50).empty());
+  EXPECT_THROW((void)window_candidates(index, moved, -1),
+               std::invalid_argument);
+}
+
+// The ROADMAP "Candidate pruning" item: intersect the inverted-index and
+// R-tree candidate sets on a 200-scene corpus and measure recall against
+// the exhaustive scan. The eval harness records the same quantity per cell
+// in the JSON report and gates it against eval/baseline.json; this test
+// pins the mechanism at the API level.
+TEST(Prefilter, CombinedRecallVsExhaustiveOn200Scenes) {
+  image_database db;
+  rng r(22);
+  scene_params params;
+  params.object_count = 8;
+  params.symbol_pool = 10;
+  params.max_extent = 64;
+  for (int i = 0; i < 200; ++i) {
+    db.add("img" + std::to_string(i), random_scene(params, r, db.symbols()));
+  }
+  const spatial_index index(db);
+  constexpr int pad = 16;
+  constexpr std::size_t top_k = 10;
+  query_options options;
+  options.top_k = top_k;
+
+  double recall_sum = 0.0;
+  std::size_t queries = 0;
+  std::size_t combined_total = 0;
+  for (image_id target = 0; target < 200; target += 10) {
+    distortion_params d;
+    d.keep_fraction = 0.75;
+    d.jitter = 12;  // within pad
+    d.seed = 1000 + target;
+    alphabet scratch = db.symbols();
+    const symbolic_image query = distort(db.record(target).image, d, scratch);
+    const be_string2d strings = encode(query);
+
+    const std::vector<image_id> symbol_set = db.candidates(query);
+    const std::vector<image_id> window_set =
+        window_candidates(index, query, pad);
+    const std::vector<image_id> combined =
+        combined_candidates(db, index, query, pad);
+    // The intersection is exactly symbol ∩ window and no looser than either.
+    EXPECT_EQ(combined, intersect_candidates(symbol_set, window_set));
+    EXPECT_LE(combined.size(), std::min(symbol_set.size(), window_set.size()));
+    combined_total += combined.size();
+
+    query_options exhaustive = options;
+    exhaustive.use_index = false;
+    const auto want = search(db, query, exhaustive);
+    const auto got = search_candidates(db, strings, combined, options);
+    ASSERT_EQ(want.size(), top_k);
+    std::vector<image_id> want_ids, got_ids;
+    for (const auto& qr : want) want_ids.push_back(qr.id);
+    for (const auto& qr : got) got_ids.push_back(qr.id);
+    std::sort(want_ids.begin(), want_ids.end());
+    std::sort(got_ids.begin(), got_ids.end());
+    std::vector<image_id> common;
+    std::set_intersection(want_ids.begin(), want_ids.end(), got_ids.begin(),
+                          got_ids.end(), std::back_inserter(common));
+    recall_sum +=
+        static_cast<double>(common.size()) / static_cast<double>(top_k);
+    // The jittered source image survives the combined filter and stays the
+    // scan's top hit: every kept icon moved at most jitter <= pad.
+    EXPECT_TRUE(std::binary_search(got_ids.begin(), got_ids.end(), target));
+    ASSERT_FALSE(got.empty());
+    EXPECT_EQ(got[0].id, target);
+    ++queries;
+  }
+  const double recall = recall_sum / static_cast<double>(queries);
+  // The filter must actually filter, yet keep recall well above a token
+  // level; the precise loss for the eval corpus distribution lives in
+  // eval/baseline.json ("combined/..." cells), not here.
+  EXPECT_LT(combined_total, queries * 200);
+  EXPECT_GE(recall, 0.5);
+  RecordProperty("combined_recall_vs_exhaustive", std::to_string(recall));
 }
 
 // ---------------------------------------------------------------- storage

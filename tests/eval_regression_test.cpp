@@ -1,0 +1,126 @@
+// The tier-1 retrieval-quality regression gate (ISSUE 3 tentpole): rebuild
+// the seeded eval corpus with the params recorded in the committed
+// eval/baseline.json, run the full configuration matrix through db/query,
+// and fail if any metric drops below baseline minus tolerance or any
+// pruned/prefilter cell diverges from the exhaustive scan beyond its
+// documented recall budget. A speed PR that trades recall for throughput
+// fails here, by name and by number.
+//
+// Regenerate the baseline after an INTENTIONAL quality change (and say so in
+// the PR) — the committed corpus params are reused automatically:
+//   besdb eval --baseline eval/baseline.json --update-baseline
+#include <gtest/gtest.h>
+
+#include "eval/corpus.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+
+#ifndef BES_EVAL_BASELINE_PATH
+#error "build must define BES_EVAL_BASELINE_PATH (see tests/CMakeLists.txt)"
+#endif
+
+namespace bes {
+namespace {
+
+const json_value& committed_baseline() {
+  static const json_value baseline = read_json_file(BES_EVAL_BASELINE_PATH);
+  return baseline;
+}
+
+// One harness run per process, shared by every test below.
+const eval_report& fresh_report() {
+  static const eval_report report = [] {
+    const eval_corpus_params params =
+        report_from_json(committed_baseline()).params;
+    const eval_corpus corpus = build_eval_corpus(params, 4);
+    const auto matrix = default_eval_matrix(4);
+    return run_eval(corpus, matrix);
+  }();
+  return report;
+}
+
+TEST(EvalRegression, MatchesCommittedBaseline) {
+  const gate_result gate =
+      check_against_baseline(fresh_report(), committed_baseline());
+  for (const std::string& failure : gate.failures) {
+    ADD_FAILURE() << failure;
+  }
+  EXPECT_TRUE(gate.pass);
+}
+
+TEST(EvalRegression, BaselineDocumentsEveryCellsRecall) {
+  // Every pruned/prefilter matrix cell must be in the committed baseline
+  // with its recall-vs-exhaustive and budget; the combined prefilter's loss
+  // in particular is part of the repo's documented contract.
+  const json_value& baseline = committed_baseline();
+  bool combined_seen = false;
+  for (const json_value& cell : baseline.get("cells").as_array()) {
+    const std::string& path = cell.get("path").as_string();
+    const double recall = cell.get("recall_vs_exhaustive").as_number();
+    const double budget = cell.get("recall_budget").as_number();
+    EXPECT_GE(recall, 1.0 - budget) << cell.get("name").as_string();
+    if (path == "combined") combined_seen = true;
+  }
+  EXPECT_TRUE(combined_seen)
+      << "baseline must document the combined prefilter's recall loss";
+  for (scan_path path : {scan_path::pruned, scan_path::rtree,
+                         scan_path::combined, scan_path::index}) {
+    bool found = false;
+    for (const json_value& cell : baseline.get("cells").as_array()) {
+      if (cell.get("path").as_string() == to_string(path)) found = true;
+    }
+    EXPECT_TRUE(found) << "no baseline cell for path " << to_string(path);
+  }
+}
+
+// The negative control demanded by the acceptance criteria: the gate must
+// actually fire when quality regresses. Perturb each gated metric in turn
+// and check the failure is caught and names the right cell.
+TEST(EvalRegression, GateFailsWhenAMetricIsDegraded) {
+  const json_value& baseline = committed_baseline();
+  const eval_report& report = fresh_report();
+  const double tolerance = baseline.get("tolerance").as_number();
+  struct perturbation {
+    const char* metric;
+    void (*apply)(eval_cell_metrics&, double);
+  };
+  const perturbation perturbations[] = {
+      {"p_at_1", [](eval_cell_metrics& m, double d) { m.p_at_1 -= d; }},
+      {"p_at_10", [](eval_cell_metrics& m, double d) { m.p_at_10 -= d; }},
+      {"mrr", [](eval_cell_metrics& m, double d) { m.mrr -= d; }},
+      {"ndcg_at_10",
+       [](eval_cell_metrics& m, double d) { m.ndcg_at_10 -= d; }},
+      {"recall_vs_exhaustive",
+       [](eval_cell_metrics& m, double d) { m.recall_vs_exhaustive -= d; }},
+  };
+  for (const perturbation& p : perturbations) {
+    eval_report degraded = report;
+    // Degrade only the first cell, well past the tolerance.
+    p.apply(degraded.cells[0].metrics, tolerance + 0.05);
+    const gate_result gate = check_against_baseline(degraded, baseline);
+    EXPECT_FALSE(gate.pass) << p.metric;
+    ASSERT_FALSE(gate.failures.empty()) << p.metric;
+    EXPECT_NE(gate.failures[0].find(degraded.cells[0].config.name()),
+              std::string::npos)
+        << "failure should name the degraded cell: " << gate.failures[0];
+  }
+}
+
+TEST(EvalRegression, GateFailsWhenPrefilterOvershootsItsBudget) {
+  const json_value& baseline = committed_baseline();
+  eval_report degraded = fresh_report();
+  bool found = false;
+  for (eval_cell_result& cell : degraded.cells) {
+    if (cell.config.path == scan_path::combined ||
+        cell.config.path == scan_path::rtree) {
+      cell.metrics.recall_vs_exhaustive = 0.0;  // catastrophic recall loss
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  const gate_result gate = check_against_baseline(degraded, baseline);
+  EXPECT_FALSE(gate.pass);
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/corpus.hpp"
+#include "eval/harness.hpp"
+#include "eval/report.hpp"
+#include "util/json.hpp"
+
+namespace bes {
+namespace {
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, ScalarRoundTrip) {
+  for (const char* text : {"null", "true", "false", "0", "-3.25", "\"hi\""}) {
+    const json_value v = json_value::parse(text);
+    EXPECT_EQ(json_value::parse(v.dump()), v) << text;
+  }
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const json_value v = json_value::parse(
+      R"({"a": [1, 2.5, {"b": "x\ny"}], "c": true, "d": {}})");
+  EXPECT_DOUBLE_EQ(v.get("a").as_array()[1].as_number(), 2.5);
+  EXPECT_EQ(v.get("a").as_array()[2].get("b").as_string(), "x\ny");
+  EXPECT_TRUE(v.get("c").as_bool());
+  EXPECT_TRUE(v.get("d").as_object().empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.get("missing"), std::runtime_error);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  json_value obj = json_value::object{};
+  obj.set("x", 0.1);
+  obj.set("y", 1.0 / 3.0);
+  obj.set("z", 1234567890.0);
+  const json_value back = json_value::parse(obj.dump(2));
+  EXPECT_EQ(back.get("x").as_number(), 0.1);
+  EXPECT_EQ(back.get("y").as_number(), 1.0 / 3.0);
+  EXPECT_EQ(back.get("z").as_number(), 1234567890.0);
+}
+
+TEST(Json, StringEscapes) {
+  json_value v("quote\" slash\\ newline\n tab\t");
+  EXPECT_EQ(json_value::parse(v.dump()).as_string(), v.as_string());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* text :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "{\"a\":}", "nan"}) {
+    EXPECT_THROW((void)json_value::parse(text), std::runtime_error) << text;
+  }
+}
+
+TEST(Json, RejectsNonFiniteNumbers) {
+  const json_value v(std::nan(""));
+  EXPECT_THROW((void)v.dump(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- corpus
+
+eval_corpus_params tiny_params() {
+  eval_corpus_params p;
+  p.base_scenes = 4;
+  p.objects = 6;
+  p.domain = 128;
+  p.queries_per_base = 1;
+  return p;
+}
+
+TEST(EvalCorpus, FamilyStructure) {
+  const eval_corpus corpus = build_eval_corpus(tiny_params());
+  EXPECT_EQ(corpus.db.size(), 4 * eval_family_size);
+  EXPECT_EQ(corpus.base_ids.size(), 4u);
+  EXPECT_EQ(corpus.queries.size(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(corpus.base_ids[b], eval_family_size * b);
+    const eval_query& q = corpus.queries[b];
+    EXPECT_EQ(q.base, b);
+    ASSERT_EQ(q.relevance.size(), eval_family_size);
+    // Judgments sorted by id, base graded highest, all positive.
+    EXPECT_EQ(q.relevance[0].id, corpus.base_ids[b]);
+    EXPECT_EQ(q.relevance[0].grade, 3);
+    for (std::size_t m = 1; m < eval_family_size; ++m) {
+      EXPECT_GT(q.relevance[m].id, q.relevance[m - 1].id);
+      EXPECT_GT(q.relevance[m].grade, 0);
+      EXPECT_LT(q.relevance[m].grade, 3);
+    }
+  }
+}
+
+TEST(EvalCorpus, DeterministicAcrossRuns) {
+  const eval_corpus a = build_eval_corpus(tiny_params());
+  const eval_corpus b = build_eval_corpus(tiny_params());
+  ASSERT_EQ(a.db.size(), b.db.size());
+  for (std::size_t i = 0; i < a.db.size(); ++i) {
+    const auto id = static_cast<image_id>(i);
+    EXPECT_EQ(a.db.record(id).image, b.db.record(id).image) << "image " << i;
+    EXPECT_EQ(a.db.record(id).name, b.db.record(id).name);
+  }
+  EXPECT_EQ(a.queries, b.queries);
+}
+
+TEST(EvalCorpus, DeterministicAcrossThreadCounts) {
+  const eval_corpus serial = build_eval_corpus(tiny_params(), 1);
+  for (unsigned threads : {2u, 8u}) {
+    const eval_corpus parallel = build_eval_corpus(tiny_params(), threads);
+    ASSERT_EQ(serial.db.size(), parallel.db.size());
+    for (std::size_t i = 0; i < serial.db.size(); ++i) {
+      const auto id = static_cast<image_id>(i);
+      EXPECT_EQ(serial.db.record(id).image, parallel.db.record(id).image)
+          << "threads=" << threads << " image " << i;
+    }
+    EXPECT_EQ(serial.db.symbols().names(), parallel.db.symbols().names());
+    EXPECT_EQ(serial.queries, parallel.queries) << "threads=" << threads;
+  }
+}
+
+TEST(EvalCorpus, SeedChangesCorpus) {
+  eval_corpus_params other = tiny_params();
+  other.seed += 1;
+  const eval_corpus a = build_eval_corpus(tiny_params());
+  const eval_corpus b = build_eval_corpus(other);
+  EXPECT_NE(a.db.record(0).image, b.db.record(0).image);
+}
+
+// ---------------------------------------------------------------- harness
+
+const eval_corpus& shared_corpus() {
+  static const eval_corpus corpus = build_eval_corpus(tiny_params());
+  return corpus;
+}
+
+const eval_report& shared_report() {
+  static const eval_report report = [] {
+    const auto matrix = default_eval_matrix(2);
+    return run_eval(shared_corpus(), matrix);
+  }();
+  return report;
+}
+
+const eval_cell_result* find_cell(const eval_report& report,
+                                  std::string_view name) {
+  for (const eval_cell_result& cell : report.cells) {
+    if (cell.config.name() == name) return &cell;
+  }
+  return nullptr;
+}
+
+TEST(EvalHarness, MatrixCoversEveryPathAndIsUniquelyNamed) {
+  const auto matrix = default_eval_matrix(2);
+  std::vector<std::string> names;
+  bool seen[5] = {};
+  for (const eval_cell_config& cell : matrix) {
+    names.push_back(cell.name());
+    seen[static_cast<std::size_t>(cell.path)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(EvalHarness, MetricsAreNormalizedAndFinite) {
+  const eval_report& report = shared_report();
+  ASSERT_FALSE(report.cells.empty());
+  for (const eval_cell_result& cell : report.cells) {
+    SCOPED_TRACE(cell.config.name());
+    for (double m : {cell.metrics.p_at_1, cell.metrics.p_at_10,
+                     cell.metrics.mrr, cell.metrics.ndcg_at_10,
+                     cell.metrics.recall_vs_exhaustive}) {
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+    EXPECT_EQ(cell.metrics.scanned,
+              cell.metrics.scored + cell.metrics.pruned);
+  }
+}
+
+TEST(EvalHarness, AdmissiblePathsMatchExhaustiveExactly) {
+  // pruned is provably identical to exhaustive; thread and batch variants of
+  // both must not change a single metric.
+  const eval_report& report = shared_report();
+  const eval_cell_result* reference =
+      find_cell(report, "exhaustive/signed-query/t1");
+  ASSERT_NE(reference, nullptr);
+  for (const char* name :
+       {"pruned/signed-query/t1", "exhaustive/signed-query/t2",
+        "pruned/signed-query/t2", "exhaustive/signed-query/t1/batch",
+        "pruned/signed-query/t2/batch"}) {
+    const eval_cell_result* cell = find_cell(report, name);
+    ASSERT_NE(cell, nullptr) << name;
+    EXPECT_DOUBLE_EQ(cell->metrics.recall_vs_exhaustive, 1.0) << name;
+    EXPECT_DOUBLE_EQ(cell->metrics.p_at_1, reference->metrics.p_at_1) << name;
+    EXPECT_DOUBLE_EQ(cell->metrics.mrr, reference->metrics.mrr) << name;
+    EXPECT_DOUBLE_EQ(cell->metrics.ndcg_at_10, reference->metrics.ndcg_at_10)
+        << name;
+  }
+}
+
+TEST(EvalHarness, PrunedCellActuallyPrunes) {
+  // The tiny shared corpus has too few images for the top-10 threshold to
+  // bite; a corpus several times top_k wide must show real pruning.
+  eval_corpus_params params = tiny_params();
+  params.base_scenes = 12;
+  const eval_corpus corpus = build_eval_corpus(params, 2);
+  eval_cell_config cell;
+  cell.path = scan_path::pruned;
+  const eval_report report = run_eval(corpus, std::array{cell});
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_GT(report.cells[0].metrics.pruned, 0u);
+  EXPECT_LT(report.cells[0].metrics.scored,
+            report.cells[0].metrics.scanned);
+  EXPECT_DOUBLE_EQ(report.cells[0].metrics.recall_vs_exhaustive, 1.0);
+}
+
+TEST(EvalHarness, PrefilterCellsReportRecall) {
+  // Prefilter scans consider fewer candidates than the exhaustive scan and
+  // report their (possibly lossy) recall against it.
+  const eval_report& report = shared_report();
+  const eval_cell_result* exhaustive =
+      find_cell(report, "exhaustive/signed-query/t1");
+  ASSERT_NE(exhaustive, nullptr);
+  for (const char* name :
+       {"rtree/signed-query/t1", "combined/signed-query/t1"}) {
+    const eval_cell_result* cell = find_cell(report, name);
+    ASSERT_NE(cell, nullptr) << name;
+    EXPECT_LE(cell->metrics.scanned, exhaustive->metrics.scanned) << name;
+    EXPECT_GT(cell->metrics.recall_vs_exhaustive, 0.0) << name;
+  }
+  // The combined filter is an intersection: never looser than either input.
+  const eval_cell_result* rtree = find_cell(report, "rtree/signed-query/t1");
+  const eval_cell_result* combined =
+      find_cell(report, "combined/signed-query/t1");
+  EXPECT_LE(combined->metrics.scanned, rtree->metrics.scanned);
+}
+
+TEST(EvalHarness, SeedsAbove53BitsRoundTripThroughJson) {
+  // JSON numbers are doubles; the seed is serialized as a string so a full
+  // 64-bit seed survives report -> baseline -> params exactly.
+  eval_report report;
+  report.params.seed = (1ull << 60) + 3;
+  const eval_report back =
+      report_from_json(json_value::parse(report_to_json(report).dump()));
+  EXPECT_EQ(back.params.seed, report.params.seed);
+  const eval_report from_baseline =
+      report_from_json(json_value::parse(make_baseline(report).dump(2)));
+  EXPECT_EQ(from_baseline.params.seed, report.params.seed);
+}
+
+TEST(EvalHarness, ReportJsonRoundTrips) {
+  const eval_report& report = shared_report();
+  const eval_report back =
+      report_from_json(json_value::parse(report_to_json(report).dump(2)));
+  EXPECT_EQ(back.params, report.params);
+  ASSERT_EQ(back.cells.size(), report.cells.size());
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    EXPECT_EQ(back.cells[i], report.cells[i])
+        << report.cells[i].config.name();
+  }
+}
+
+// ---------------------------------------------------------------- gate
+
+TEST(EvalGate, FreshBaselinePasses) {
+  const eval_report& report = shared_report();
+  const gate_result gate =
+      check_against_baseline(report, make_baseline(report));
+  EXPECT_TRUE(gate.pass);
+  EXPECT_TRUE(gate.failures.empty());
+}
+
+TEST(EvalGate, CatchesDegradedMetric) {
+  const eval_report& report = shared_report();
+  const json_value baseline = make_baseline(report);
+  eval_report degraded = report;
+  degraded.cells[0].metrics.mrr -= 0.5;
+  const gate_result gate = check_against_baseline(degraded, baseline);
+  EXPECT_FALSE(gate.pass);
+  ASSERT_FALSE(gate.failures.empty());
+  EXPECT_NE(gate.failures[0].find("mrr"), std::string::npos);
+}
+
+TEST(EvalGate, ToleranceAbsorbsSmallDrift) {
+  const eval_report& report = shared_report();
+  const json_value baseline = make_baseline(report);  // tolerance 0.02
+  eval_report drifted = report;
+  for (eval_cell_result& cell : drifted.cells) {
+    cell.metrics.ndcg_at_10 = std::max(0.0, cell.metrics.ndcg_at_10 - 0.01);
+  }
+  EXPECT_TRUE(check_against_baseline(drifted, baseline).pass);
+}
+
+TEST(EvalGate, CatchesRecallBudgetViolation) {
+  const eval_report& report = shared_report();
+  baseline_policy tight;
+  tight.tolerance = 1.0;  // disable the metric floors; isolate the budget
+  tight.prefilter_headroom = 0.0;
+  const json_value baseline = make_baseline(report, tight);
+  eval_report degraded = report;
+  for (eval_cell_result& cell : degraded.cells) {
+    if (cell.config.path == scan_path::combined) {
+      cell.metrics.recall_vs_exhaustive -= 0.1;
+    }
+  }
+  const gate_result gate = check_against_baseline(degraded, baseline);
+  EXPECT_FALSE(gate.pass);
+}
+
+TEST(EvalGate, ZeroBudgetForAdmissiblePaths) {
+  const json_value baseline = make_baseline(shared_report());
+  for (const json_value& cell : baseline.get("cells").as_array()) {
+    const std::string& path = cell.get("path").as_string();
+    if (path == "exhaustive" || path == "pruned") {
+      EXPECT_DOUBLE_EQ(cell.get("recall_budget").as_number(), 0.0)
+          << cell.get("name").as_string();
+    } else {
+      EXPECT_GT(cell.get("recall_budget").as_number(), 0.0);
+    }
+  }
+}
+
+TEST(EvalGate, CatchesMissingCell) {
+  const eval_report& report = shared_report();
+  const json_value baseline = make_baseline(report);
+  eval_report partial = report;
+  partial.cells.erase(partial.cells.begin());
+  const gate_result gate = check_against_baseline(partial, baseline);
+  EXPECT_FALSE(gate.pass);
+  EXPECT_NE(gate.failures[0].find("missing"), std::string::npos);
+}
+
+TEST(EvalGate, RejectsParamsMismatch) {
+  const eval_report& report = shared_report();
+  const json_value baseline = make_baseline(report);
+  eval_report other = report;
+  other.params.seed += 1;
+  const gate_result gate = check_against_baseline(other, baseline);
+  EXPECT_FALSE(gate.pass);
+  EXPECT_NE(gate.failures[0].find("params"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bes

@@ -72,6 +72,97 @@ TEST(Retrieval, ReciprocalRank) {
   EXPECT_DOUBLE_EQ(reciprocal_rank(ranked, ids{2}), 0.0);
 }
 
+// ------------------------------------------------------- degenerate inputs
+// The eval harness feeds whatever the ranker returns into these; a query
+// with no relevant document or an all-zero judgment list must yield 0, not
+// NaN or a division by zero.
+
+TEST(Retrieval, NoRelevantDocumentIsZeroEverywhere) {
+  const ids ranked = {3, 1, 4};
+  const ids none = {};
+  EXPECT_DOUBLE_EQ(reciprocal_rank(ranked, none), 0.0);
+  EXPECT_DOUBLE_EQ(ndcg_at_k(ranked, none, 10), 0.0);
+  EXPECT_DOUBLE_EQ(average_precision(ranked, none), 0.0);
+  EXPECT_DOUBLE_EQ(recall_at_k(ranked, none, 10), 0.0);
+}
+
+TEST(Retrieval, EmptyRankingIsZeroNotNan) {
+  const ids empty = {};
+  const ids relevant = {1, 2};
+  for (double v : {precision_at_k(empty, relevant, 5),
+                   recall_at_k(empty, relevant, 5),
+                   average_precision(empty, relevant),
+                   ndcg_at_k(empty, relevant, 5),
+                   reciprocal_rank(empty, relevant)}) {
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------- graded
+
+using graded = std::vector<graded_doc>;
+
+TEST(Retrieval, GradeOfLooksUpSortedJudgments) {
+  const graded judged = {{2, 1}, {5, 3}, {9, 2}};
+  EXPECT_EQ(grade_of(5, judged), 3);
+  EXPECT_EQ(grade_of(2, judged), 1);
+  EXPECT_EQ(grade_of(7, judged), 0);
+  EXPECT_EQ(relevant_ids(judged), (ids{2, 5, 9}));
+}
+
+TEST(Retrieval, NegativeGradesClampToZero) {
+  const graded judged = {{1, -2}, {2, 1}};
+  EXPECT_EQ(grade_of(1, judged), 0);
+  EXPECT_EQ(relevant_ids(judged), (ids{2}));
+}
+
+TEST(Retrieval, GradedNdcgPerfectRankingIsOne) {
+  const graded judged = {{1, 3}, {2, 2}, {3, 1}};
+  const ids best = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(ndcg_at_k(best, judged, 3), 1.0);
+  // Swapping the top two drops below 1: graded nDCG is order-sensitive
+  // where binary nDCG would not be.
+  const ids swapped = {2, 1, 3};
+  EXPECT_LT(ndcg_at_k(swapped, judged, 3), 1.0);
+  EXPECT_GT(ndcg_at_k(swapped, judged, 3), 0.0);
+}
+
+TEST(Retrieval, GradedNdcgTextbookValue) {
+  // gains 2^g - 1: rank 1 grade 1 (gain 1), rank 2 grade 3 (gain 7).
+  // DCG = 1/log2(2) + 7/log2(3); ideal = 7/log2(2) + 1/log2(3).
+  const graded judged = {{1, 3}, {2, 1}};
+  const ids ranked = {2, 1};
+  const double dcg = 1.0 + 7.0 / std::log2(3.0);
+  const double ideal = 7.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(ndcg_at_k(ranked, judged, 2), dcg / ideal, 1e-12);
+}
+
+TEST(Retrieval, AllZeroGradeRankingReturnsZeroNotNan) {
+  // A judgment list with only zero (or negative) grades has ideal DCG 0;
+  // the old binary code path could never see this, the graded one must not
+  // divide by it.
+  const graded all_zero = {{1, 0}, {2, 0}, {3, -1}};
+  const ids ranked = {1, 2, 3};
+  const double v = ndcg_at_k(ranked, all_zero, 10);
+  EXPECT_FALSE(std::isnan(v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(reciprocal_rank(ranked, all_zero), 0.0);
+  EXPECT_TRUE(relevant_ids(all_zero).empty());
+}
+
+TEST(Retrieval, GradedMrrFindsFirstPositiveGrade) {
+  const graded judged = {{4, 2}, {9, 1}};
+  const ids ranked = {7, 9, 4};
+  EXPECT_DOUBLE_EQ(reciprocal_rank(ranked, judged), 0.5);
+  EXPECT_DOUBLE_EQ(reciprocal_rank(ids{}, judged), 0.0);
+}
+
+TEST(Retrieval, GradedNdcgCutoffZeroIsZero) {
+  const graded judged = {{1, 2}};
+  EXPECT_DOUBLE_EQ(ndcg_at_k(ids{1}, judged, 0), 0.0);
+}
+
 // ---------------------------------------------------------------- stats
 
 TEST(Stats, BasicAggregates) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/encoder.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "workload/query_gen.hpp"
 #include "workload/scene_gen.hpp"
@@ -228,6 +229,134 @@ TEST(QueryGen, IdentityDistortionIsExactCopy) {
   distortion_params d;  // defaults: keep all, no jitter, no decoys
   const symbolic_image query = distort(scene, d, r, names);
   EXPECT_EQ(query, scene);
+}
+
+// ------------------------------------------------- seeded distort overload
+
+symbolic_image base_scene_for_seeding(alphabet& names) {
+  rng r(17);
+  scene_params params;
+  params.object_count = 10;
+  return random_scene(params, r, names);
+}
+
+distortion_params every_knob(std::uint64_t seed) {
+  distortion_params d;
+  d.keep_fraction = 0.6;
+  d.jitter = 12;
+  d.relabel_fraction = 0.5;
+  d.decoys = 3;
+  d.decoy_shape.max_extent = 16;
+  d.seed = seed;
+  return d;
+}
+
+TEST(QueryGen, SeededOverloadIsDeterministicAcrossRuns) {
+  alphabet names1;
+  alphabet names2;
+  const symbolic_image scene1 = base_scene_for_seeding(names1);
+  const symbolic_image scene2 = base_scene_for_seeding(names2);
+  EXPECT_EQ(distort(scene1, every_knob(99), names1),
+            distort(scene2, every_knob(99), names2));
+  // Different seed, different query (with overwhelming probability).
+  EXPECT_NE(distort(scene1, every_knob(99), names1),
+            distort(scene1, every_knob(100), names1));
+}
+
+TEST(QueryGen, SeededOverloadIgnoresOutsideRandomState) {
+  // The seeded overload draws nothing from any shared stream: generating
+  // unrelated randomness (as another thread's interleaved work would)
+  // between calls cannot change the result — this is what makes corpora
+  // identical across thread counts.
+  alphabet names;
+  const symbolic_image scene = base_scene_for_seeding(names);
+  const symbolic_image first = distort(scene, every_knob(5), names);
+  rng unrelated(123);
+  for (int i = 0; i < 100; ++i) (void)unrelated.next_u64();
+  EXPECT_EQ(distort(scene, every_knob(5), names), first);
+}
+
+TEST(QueryGen, KnobStreamsAreIsolated) {
+  // Toggling decoys must not change which objects are kept, where they are
+  // jittered to, or how they are relabeled: the non-decoy prefix of the
+  // query is identical. (The legacy rng& overload cannot promise this.)
+  alphabet names;
+  const symbolic_image scene = base_scene_for_seeding(names);
+  distortion_params with = every_knob(7);
+  distortion_params without = every_knob(7);
+  without.decoys = 0;
+  const symbolic_image q_with = distort(scene, with, names);
+  const symbolic_image q_without = distort(scene, without, names);
+  ASSERT_EQ(q_with.size(), q_without.size() + 3);
+  for (std::size_t i = 0; i < q_without.size(); ++i) {
+    EXPECT_EQ(q_with.icons()[i], q_without.icons()[i]) << "icon " << i;
+  }
+  // Likewise jitter off/on leaves the kept symbols (keep + relabel streams)
+  // unchanged.
+  distortion_params no_jitter = every_knob(7);
+  no_jitter.jitter = 0;
+  no_jitter.decoys = 0;
+  const symbolic_image q_still = distort(scene, no_jitter, names);
+  ASSERT_EQ(q_still.size(), q_without.size());
+  for (std::size_t i = 0; i < q_still.size(); ++i) {
+    EXPECT_EQ(q_still.icons()[i].symbol, q_without.icons()[i].symbol);
+  }
+}
+
+TEST(QueryGen, RelabelDrawsFromPool) {
+  alphabet names;
+  const symbolic_image scene = base_scene_for_seeding(names);
+  distortion_params d;
+  d.relabel_fraction = 1.0;
+  d.relabel_pool = 4;
+  d.seed = 3;
+  const symbolic_image query = distort(scene, d, names);
+  ASSERT_EQ(query.size(), scene.size());
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    // Geometry untouched, symbol from S0..S3.
+    EXPECT_EQ(query.icons()[i].mbr, scene.icons()[i].mbr);
+    const std::string& name = names.name_of(query.icons()[i].symbol);
+    EXPECT_TRUE(name == "S0" || name == "S1" || name == "S2" || name == "S3")
+        << name;
+  }
+}
+
+TEST(QueryGen, CorpusIdenticalAcrossRunsAndThreadCounts) {
+  // A whole distorted-query corpus built through parallel_for is a pure
+  // function of the seeds: identical across runs and worker counts. (The
+  // eval subsystem builds its gated corpus exactly this way; eval_test pins
+  // the same property end to end.)
+  alphabet names;
+  const symbolic_image scene = base_scene_for_seeding(names);
+  // Pre-intern the relabel pool: lookups of existing names are safe from
+  // worker threads, first-time interning is not.
+  for (int i = 0; i < 8; ++i) names.intern("S" + std::to_string(i));
+  auto build_corpus = [&](unsigned threads) {
+    std::vector<symbolic_image> corpus(32, symbolic_image(1, 1));
+    parallel_for(corpus.size(), threads, [&](std::size_t i) {
+      distortion_params d = every_knob(derive_seed(42, i));
+      d.decoys = 0;  // decoy scenes also draw from the pre-interned pool
+      corpus[i] = distort(scene, d, names);
+    });
+    return corpus;
+  };
+  const std::vector<symbolic_image> serial = build_corpus(1);
+  EXPECT_EQ(build_corpus(1), serial);  // two runs
+  for (unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(build_corpus(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(QueryGen, RejectsBadRelabelParams) {
+  alphabet names;
+  symbolic_image scene(32, 32);
+  scene.add(names.intern("A"), rect::checked(0, 4, 0, 4));
+  distortion_params d;
+  d.relabel_fraction = 1.5;
+  EXPECT_THROW((void)distort(scene, d, names), std::invalid_argument);
+  d.relabel_fraction = 0.5;
+  d.relabel_pool = 0;
+  EXPECT_THROW((void)distort(scene, d, names), std::invalid_argument);
 }
 
 }  // namespace

@@ -7,16 +7,23 @@
 //                                      --transform-invariant]
 //   besdb spatial corpus.besdb --query "S0 left-of S1 & S2 above S0"
 //   besdb window  corpus.besdb --x0 0 --x1 100 --y0 0 --y1 100 [--symbol S0]
+//   besdb eval    [--out report.json] [--baseline eval/baseline.json
+//                  --update-baseline] [--bases N --objects K --seed S ...]
 //
 // Every subcommand prints plain-text tables; exit code 0 on success, 1 on
-// user error (message on stderr).
+// user error (message on stderr). `eval` additionally exits 1 when a
+// baseline check fails.
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <optional>
 #include <string>
 
 #include "core/serializer.hpp"
 #include "db/query.hpp"
 #include "db/spatial_index.hpp"
 #include "db/storage.hpp"
+#include "eval/report.hpp"
 #include "metrics/stats.hpp"
 #include "reasoning/query_lang.hpp"
 #include "symbolic/scene_text.hpp"
@@ -175,12 +182,115 @@ int cmd_window(const image_database& db, arg_parser& args) {
   return 0;
 }
 
+// Runs the retrieval-quality harness over the seeded eval corpus, prints a
+// per-cell summary table, and optionally writes the JSON report, checks it
+// against a baseline, or regenerates the baseline (see README "Measuring
+// retrieval quality").
+int cmd_eval(arg_parser& args) {
+  const std::string baseline_path = args.get_string("baseline");
+  const bool update = args.get_bool("update-baseline");
+  if (update && baseline_path.empty()) {
+    std::fprintf(stderr, "eval: --update-baseline needs --baseline PATH\n");
+    return 1;
+  }
+
+  // Corpus params layer: library defaults, overridden by the baseline's own
+  // recorded params when one exists (checking must compare like with like,
+  // and regenerating should keep the committed corpus unless told
+  // otherwise), overridden by explicitly supplied flags.
+  eval_corpus_params params;
+  std::optional<eval_report> baseline_report;
+  if (!baseline_path.empty() && std::filesystem::exists(baseline_path)) {
+    baseline_report = report_from_json(read_json_file(baseline_path));
+    params = baseline_report->params;
+  } else if (!baseline_path.empty() && !update) {
+    std::fprintf(stderr, "eval: baseline %s does not exist\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  if (args.was_supplied("seed")) {
+    params.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  }
+  if (args.was_supplied("bases")) {
+    params.base_scenes = static_cast<std::size_t>(args.get_int("bases"));
+  }
+  if (args.was_supplied("objects")) {
+    params.objects = static_cast<std::size_t>(args.get_int("objects"));
+  }
+  if (args.was_supplied("domain")) {
+    params.domain = static_cast<int>(args.get_int("domain"));
+  }
+  if (args.was_supplied("pool")) {
+    params.symbol_pool = static_cast<std::size_t>(args.get_int("pool"));
+  }
+  if (args.was_supplied("queries-per-base")) {
+    params.queries_per_base =
+        static_cast<std::size_t>(args.get_int("queries-per-base"));
+  }
+
+  // --threads sets worker parallelism (results are identical by
+  // construction). The matrix's thread-scaling cells mirror the baseline
+  // when checking — cell names embed the thread count, so the check must
+  // run the baseline's matrix, not the flag's.
+  const auto threads = static_cast<unsigned>(args.get_int("threads"));
+  unsigned matrix_threads = threads;
+  if (baseline_report && !update) {
+    matrix_threads = 1;
+    for (const eval_cell_result& cell : baseline_report->cells) {
+      matrix_threads = std::max(matrix_threads, cell.config.threads);
+    }
+  }
+  std::printf("eval: %zu base scenes x %zu family, %zu queries, seed %llu\n",
+              params.base_scenes, eval_family_size,
+              params.base_scenes * params.queries_per_base,
+              static_cast<unsigned long long>(params.seed));
+  const eval_corpus corpus = build_eval_corpus(params, threads);
+  const auto matrix = default_eval_matrix(matrix_threads);
+  const eval_report report = run_eval(corpus, matrix);
+
+  text_table table({"cell", "P@1", "P@10", "MRR", "nDCG@10", "recall-vs-exh",
+                    "scanned", "pruned"});
+  for (const eval_cell_result& cell : report.cells) {
+    table.add_row({cell.config.name(), fmt_double(cell.metrics.p_at_1, 3),
+                   fmt_double(cell.metrics.p_at_10, 3),
+                   fmt_double(cell.metrics.mrr, 3),
+                   fmt_double(cell.metrics.ndcg_at_10, 3),
+                   fmt_double(cell.metrics.recall_vs_exhaustive, 4),
+                   std::to_string(cell.metrics.scanned),
+                   std::to_string(cell.metrics.pruned)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  if (const std::string out = args.get_string("out"); !out.empty()) {
+    write_json_file(report_to_json(report), out);
+    std::printf("\nwrote report to %s\n", out.c_str());
+  }
+  if (update) {
+    write_json_file(make_baseline(report), baseline_path);
+    std::printf("wrote baseline to %s\n", baseline_path.c_str());
+    return 0;
+  }
+  if (!baseline_path.empty()) {
+    const gate_result gate =
+        check_against_baseline(report, read_json_file(baseline_path));
+    if (!gate.pass) {
+      std::fprintf(stderr, "\neval: baseline check FAILED:\n");
+      for (const std::string& failure : gate.failures) {
+        std::fprintf(stderr, "  %s\n", failure.c_str());
+      }
+      return 1;
+    }
+    std::printf("\nbaseline check passed (%s)\n", baseline_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bes;
   arg_parser args(
-      "besdb <create|info|show|query|spatial|window> [db-file] [flags]");
+      "besdb <create|info|show|query|spatial|window|eval> [db-file] [flags]");
   args.add_string("out", "", "create: output path");
   args.add_int("images", 30, "create: number of images");
   args.add_int("objects", 8, "create: icons per image");
@@ -197,6 +307,17 @@ int main(int argc, char** argv) {
   args.add_int("top-k", 10, "query/spatial: results to print");
   args.add_bool("transform-invariant", false, "query: best of 8 reversals");
   args.add_string("query", "", "spatial: query text, e.g. \"A left-of B\"");
+  args.add_int("bases", 24, "eval: base scenes (each expands to a family)");
+  args.add_int("domain", 256, "eval: scene domain (width = height)");
+  args.add_int("queries-per-base", 2, "eval: distorted queries per base");
+  args.add_int("threads", 4,
+               "eval: worker threads (results are identical; a baseline "
+               "check always runs the baseline's own matrix)");
+  args.add_string("baseline", "",
+                  "eval: baseline JSON to check against (its recorded corpus "
+                  "params win unless overridden by explicit flags)");
+  args.add_bool("update-baseline", false,
+                "eval: rewrite --baseline from this run instead of checking");
   args.add_bool("full-only", false, "spatial: exact matches only");
   args.add_int("x0", 0, "window: x low");
   args.add_int("x1", 1, "window: x high");
@@ -211,6 +332,7 @@ int main(int argc, char** argv) {
     }
     const std::string& command = args.positional()[0];
     if (command == "create") return cmd_create(args);
+    if (command == "eval") return cmd_eval(args);
     if (args.positional().size() < 2) {
       std::fprintf(stderr, "%s: missing database file\n", command.c_str());
       return 1;
