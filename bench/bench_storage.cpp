@@ -5,11 +5,14 @@
 // O(n^2) pieces on overlapping scenes.
 #include "bench_common.hpp"
 
+#include <filesystem>
+
 #include "baselines/b_string.hpp"
 #include "baselines/c_string.hpp"
 #include "baselines/g_string.hpp"
 #include "baselines/two_d_string.hpp"
 #include "core/encoder.hpp"
+#include "db/storage.hpp"
 
 namespace bes {
 namespace {
@@ -82,6 +85,51 @@ void print_staircase_table() {
   std::fputs(table.str().c_str(), stdout);
 }
 
+// E2b of ISSUE 4: on-disk persistence cost of the two db formats. The text
+// loader re-runs Convert_2D_Be_String per image; the BSEG1 segment loader
+// copies pre-encoded token streams out of the mapping, so its load time is
+// the acceptance metric (>= 3x faster at full N).
+void print_persistence_table() {
+  print_header(
+      "E2d: text vs BSEG1 segment persistence (save/load wall time, bytes)",
+      "segment load skips the re-encode: >= 3x faster than text load at "
+      "full N");
+  text_table table({"images", "txt-save-ms", "seg-save-ms", "txt-load-ms",
+                    "seg-load-ms", "txt-KB", "seg-KB", "load-speedup"});
+  namespace fs = std::filesystem;
+  const fs::path text_path =
+      fs::temp_directory_path() / "bes_bench_storage.besdb";
+  const fs::path seg_path =
+      fs::temp_directory_path() / "bes_bench_storage.bseg";
+  for (std::size_t n :
+       benchsupport::smoke_sweep({64u, 512u, 2048u}, 64u)) {
+    image_database db;
+    for (std::size_t i = 0; i < n; ++i) {
+      db.add("scene" + std::to_string(i),
+             make_scene(i + 1, 8, db.symbols(), 256));
+    }
+    const double text_save = benchsupport::time_per_call(
+        [&] { save_database(db, text_path, db_format::text); });
+    const double seg_save = benchsupport::time_per_call(
+        [&] { save_database(db, seg_path, db_format::binary); });
+    const double text_load = benchsupport::time_per_call(
+        [&] { benchmark::DoNotOptimize(load_database(text_path)); });
+    const double seg_load = benchsupport::time_per_call(
+        [&] { benchmark::DoNotOptimize(load_database(seg_path)); });
+    const auto text_kb = static_cast<double>(fs::file_size(text_path)) / 1024;
+    const auto seg_kb = static_cast<double>(fs::file_size(seg_path)) / 1024;
+    table.add_row({std::to_string(n), fmt_double(text_save * 1e3, 2),
+                   fmt_double(seg_save * 1e3, 2),
+                   fmt_double(text_load * 1e3, 2),
+                   fmt_double(seg_load * 1e3, 2), fmt_double(text_kb, 1),
+                   fmt_double(seg_kb, 1),
+                   fmt_double(text_load / seg_load, 2)});
+  }
+  fs::remove(text_path);
+  fs::remove(seg_path);
+  std::fputs(table.str().c_str(), stdout);
+}
+
 void BM_EncodeTokens(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   alphabet names;
@@ -125,5 +173,6 @@ int main(int argc, char** argv) {
   bes::print_bounds_table();
   bes::print_model_comparison_table();
   bes::print_staircase_table();
+  bes::print_persistence_table();
   return bes::benchsupport::run_registered(argc, argv);
 }

@@ -14,10 +14,15 @@ std::size_t axis_string::boundary_count() const noexcept {
   return tokens_.size() - dummy_count();
 }
 
-bool axis_string::well_formed() const noexcept {
+namespace {
+
+// Fallback for axes with many distinct symbols; the common case below keeps
+// balances in a small flat array instead (no hashing, no allocation), which
+// matters because loaders run well_formed() on every record.
+bool well_formed_large(const std::vector<token>& tokens) {
   bool previous_dummy = false;
   std::unordered_map<symbol_id, long> balance;
-  for (token t : tokens_) {
+  for (token t : tokens) {
     if (t.is_dummy()) {
       if (previous_dummy) return false;
       previous_dummy = true;
@@ -30,6 +35,44 @@ bool axis_string::well_formed() const noexcept {
   }
   for (const auto& [symbol, open] : balance) {
     if (open != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool axis_string::well_formed() const noexcept {
+  struct slot {
+    symbol_id symbol;
+    long open;
+  };
+  slot slots[32];
+  std::size_t used = 0;
+  bool previous_dummy = false;
+  for (token t : tokens_) {
+    if (t.is_dummy()) {
+      if (previous_dummy) return false;
+      previous_dummy = true;
+      continue;
+    }
+    previous_dummy = false;
+    slot* found = nullptr;
+    for (std::size_t i = 0; i < used; ++i) {
+      if (slots[i].symbol == t.symbol()) {
+        found = &slots[i];
+        break;
+      }
+    }
+    if (found == nullptr) {
+      if (used == std::size(slots)) return well_formed_large(tokens_);
+      slots[used] = slot{t.symbol(), 0};
+      found = &slots[used++];
+    }
+    found->open += (t.kind() == boundary_kind::begin) ? 1 : -1;
+    if (found->open < 0) return false;
+  }
+  for (std::size_t i = 0; i < used; ++i) {
+    if (slots[i].open != 0) return false;
   }
   return true;
 }

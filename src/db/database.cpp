@@ -15,9 +15,21 @@ std::vector<symbol_id> distinct_symbols(const symbolic_image& image) {
 }
 
 image_id image_database::add(std::string name, symbolic_image image) {
-  const auto id = static_cast<image_id>(records_.size());
   be_string2d strings = encode(image);
+  return add_encoded(std::move(name), std::move(image), std::move(strings));
+}
+
+image_id image_database::add_encoded(std::string name, symbolic_image image,
+                                     be_string2d strings) {
   be_histogram2d histograms = make_histograms(strings);
+  return add_encoded(std::move(name), std::move(image), std::move(strings),
+                     std::move(histograms));
+}
+
+image_id image_database::add_encoded(std::string name, symbolic_image image,
+                                     be_string2d strings,
+                                     be_histogram2d histograms) {
+  const auto id = static_cast<image_id>(records_.size());
   index_.add(id, distinct_symbols(image));
   records_.push_back(db_record{id, std::move(name), std::move(image),
                                std::move(strings), std::move(histograms)});

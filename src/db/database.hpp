@@ -42,6 +42,23 @@ class image_database {
   // Encodes and stores a picture; returns its id (dense, insertion order).
   image_id add(std::string name, symbolic_image image);
 
+  // Bulk-load entry point for persistence paths that already carry the
+  // encoded BE-strings (the BSEG1 segment reader): installs the record
+  // without re-running Convert_2D_Be_String, rebuilds its histograms, and
+  // feeds the inverted index — the same invariants as add(), one encode
+  // cheaper. Precondition: `strings == encode(image)`; loaders enforce it
+  // via checksums before calling.
+  image_id add_encoded(std::string name, symbolic_image image,
+                       be_string2d strings);
+
+  // Same, with the pruner histograms also supplied (the segment persists
+  // them); precondition: `histograms == make_histograms(strings)`.
+  image_id add_encoded(std::string name, symbolic_image image,
+                       be_string2d strings, be_histogram2d histograms);
+
+  // Pre-sizes the record vector ahead of a bulk load.
+  void reserve(std::size_t record_count) { records_.reserve(record_count); }
+
   [[nodiscard]] const db_record& record(image_id id) const;
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
   [[nodiscard]] bool empty() const noexcept { return records_.empty(); }

@@ -1,0 +1,701 @@
+#include "db/segment.hpp"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "util/checksum.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BES_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace bes {
+
+namespace {
+
+constexpr char file_magic[6] = {'B', 'S', 'E', 'G', '1', '\n'};
+constexpr char tail_magic[8] = {'B', 'S', 'E', 'G', 'F', 'T', 'R', '\n'};
+constexpr std::uint8_t format_version = 1;
+constexpr std::size_t header_bytes = 8;
+constexpr std::size_t record_header_bytes = 16;
+constexpr std::size_t tail_bytes = 16;
+constexpr std::uint32_t dummy_token = 0xFFFFFFFFu;
+
+enum record_type : std::uint32_t {
+  rec_symbol_delta = 1,
+  rec_image = 2,
+  rec_footer = 3,
+};
+
+constexpr std::uint8_t endian_marker() {
+  return std::endian::native == std::endian::little ? 0x01 : 0x02;
+}
+
+[[noreturn]] void bad_segment(const std::filesystem::path& path,
+                              const std::string& detail) {
+  throw std::runtime_error("besdb: bad segment " + path.string() + ": " +
+                           detail);
+}
+
+// ------------------------------------------------------------- serialization
+
+template <typename T>
+void put(std::string& out, T value) {
+  char raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  out.append(raw, sizeof(T));
+}
+
+void put_bytes(std::string& out, const std::string& bytes) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+std::uint32_t pack_token(token t) {
+  if (t.is_dummy()) return dummy_token;
+  const auto symbol = static_cast<std::uint32_t>(t.symbol());
+  if (symbol >= (dummy_token >> 1)) {
+    throw std::runtime_error("besdb: symbol id too large for segment format");
+  }
+  return (symbol << 1) |
+         static_cast<std::uint32_t>(t.kind() == boundary_kind::end);
+}
+
+void put_axis(std::string& out, const axis_string& axis) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(axis.size()));
+  for (token t : axis.tokens()) put<std::uint32_t>(out, pack_token(t));
+}
+
+void put_histogram(std::string& out, const token_histogram& histogram) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(
+                              histogram.buckets().size()));
+  for (const token_histogram::bucket& b : histogram.buckets()) {
+    put<std::uint32_t>(out, pack_token(b.value));
+    put<std::uint32_t>(out, b.count);
+  }
+}
+
+// A bounds-checked read cursor over one record payload.
+struct cursor {
+  const std::byte* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  const std::filesystem::path* path;
+
+  template <typename T>
+  T get() {
+    if (size - pos < sizeof(T)) {
+      bad_segment(*path, "record payload underruns a field");
+    }
+    T value;
+    std::memcpy(&value, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return value;
+  }
+
+  std::string get_bytes() {
+    const auto n = get<std::uint32_t>();
+    if (size - pos < n) bad_segment(*path, "record payload underruns a string");
+    std::string out(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return out;
+  }
+
+  void expect_end() const {
+    if (pos != size) bad_segment(*path, "trailing bytes in record payload");
+  }
+};
+
+token unpack_token(std::uint32_t value, std::size_t symbol_count,
+                   const std::filesystem::path& path) {
+  if (value == dummy_token) return token::dummy();
+  const symbol_id symbol = value >> 1;
+  if (symbol >= symbol_count) {
+    bad_segment(path, "token references unknown symbol id");
+  }
+  return token::boundary(
+      symbol, (value & 1u) ? boundary_kind::end : boundary_kind::begin);
+}
+
+axis_string get_axis(cursor& in, std::size_t symbol_count) {
+  const auto count = in.get<std::uint32_t>();
+  std::vector<token> tokens;
+  tokens.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    tokens.push_back(unpack_token(in.get<std::uint32_t>(), symbol_count,
+                                  *in.path));
+  }
+  return axis_string(std::move(tokens));
+}
+
+token_histogram get_histogram(cursor& in, std::size_t symbol_count) {
+  const auto count = in.get<std::uint32_t>();
+  std::vector<token_histogram::bucket> buckets;
+  buckets.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const token value =
+        unpack_token(in.get<std::uint32_t>(), symbol_count, *in.path);
+    buckets.push_back(
+        token_histogram::bucket{value, in.get<std::uint32_t>()});
+  }
+  return token_histogram::from_buckets(std::move(buckets));
+}
+
+// -------------------------------------------------------------- file mapping
+
+// Read-only view of a whole file: mmap where available, a heap buffer
+// elsewhere, so the reader stays portable without new dependencies.
+struct file_mapping {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+
+  explicit file_mapping(const std::filesystem::path& path) {
+#if defined(BES_HAVE_MMAP)
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      throw std::runtime_error("besdb: cannot open " + path.string());
+    }
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw std::runtime_error("besdb: cannot stat " + path.string());
+    }
+    size = static_cast<std::size_t>(st.st_size);
+    if (size > 0) {
+      void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (mapped == MAP_FAILED) {
+        ::close(fd);
+        throw std::runtime_error("besdb: cannot mmap " + path.string());
+      }
+      data = static_cast<const std::byte*>(mapped);
+    }
+    ::close(fd);
+#else
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("besdb: cannot open " + path.string());
+    in.seekg(0, std::ios::end);
+    buffer_.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(buffer_.data()),
+            static_cast<std::streamsize>(buffer_.size()));
+    if (!in) throw std::runtime_error("besdb: cannot read " + path.string());
+    data = buffer_.data();
+    size = buffer_.size();
+#endif
+  }
+
+  ~file_mapping() {
+#if defined(BES_HAVE_MMAP)
+    if (data != nullptr) {
+      ::munmap(const_cast<std::byte*>(data), size);
+    }
+#endif
+  }
+
+  file_mapping(const file_mapping&) = delete;
+  file_mapping& operator=(const file_mapping&) = delete;
+
+#if !defined(BES_HAVE_MMAP)
+ private:
+  std::vector<std::byte> buffer_;
+#endif
+};
+
+// ------------------------------------------------------------ record headers
+
+struct record_header {
+  std::uint32_t type = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+std::string encode_record_header(const record_header& h) {
+  std::string out;
+  put<std::uint32_t>(out, h.type);
+  put<std::uint32_t>(out, h.payload_bytes);
+  put<std::uint32_t>(out, h.payload_crc);
+  put<std::uint32_t>(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+// Decodes and CRC-verifies the 16-byte record header at `offset`; returns
+// nothing on a bad header CRC so the recovery scan can stop instead of throw.
+bool decode_record_header(const std::byte* data, std::uint64_t offset,
+                          record_header& out) {
+  std::uint32_t header_crc = 0;
+  std::memcpy(&out.type, data + offset, 4);
+  std::memcpy(&out.payload_bytes, data + offset + 4, 4);
+  std::memcpy(&out.payload_crc, data + offset + 8, 4);
+  std::memcpy(&header_crc, data + offset + 12, 4);
+  return crc32(data + offset, 12) == header_crc;
+}
+
+// ----------------------------------------------------------- segment layout
+
+// The parsed structural view of a mapped segment: where every record lives,
+// which are images, and the full interned symbol list. Shared between the
+// reader and the writer's append mode.
+struct segment_layout {
+  std::vector<std::uint64_t> offsets;        // every non-footer record
+  std::vector<std::uint64_t> image_offsets;  // type-2 records, in order
+  std::vector<std::string> symbols;
+  std::uint64_t data_end = header_bytes;  // where the footer record begins
+  std::uint64_t image_count = 0;
+  bool recovered = false;
+};
+
+void check_file_header(const file_mapping& map,
+                       const std::filesystem::path& path) {
+  if (map.size < header_bytes) bad_segment(path, "truncated file header");
+  if (std::memcmp(map.data, file_magic, sizeof(file_magic)) != 0) {
+    bad_segment(path, "bad magic");
+  }
+  const auto version = static_cast<std::uint8_t>(map.data[6]);
+  const auto endian = static_cast<std::uint8_t>(map.data[7]);
+  if (version != format_version) {
+    bad_segment(path, "unsupported version " + std::to_string(version));
+  }
+  if (endian != endian_marker()) bad_segment(path, "endianness mismatch");
+}
+
+void parse_symbol_delta(const file_mapping& map, std::uint64_t offset,
+                        const record_header& header,
+                        const std::filesystem::path& path,
+                        std::vector<std::string>& symbols) {
+  cursor in{map.data + offset + record_header_bytes, header.payload_bytes, 0,
+            &path};
+  const auto count = in.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) symbols.push_back(in.get_bytes());
+  in.expect_end();
+}
+
+// Strict parse: the footer tail and index are authoritative and every
+// structural invariant (contiguity, counts, CRCs of the header/delta/footer
+// records) must hold. Image payload CRCs are deferred to read_image so a
+// lazy reader never touches payloads it does not need.
+segment_layout parse_strict(const file_mapping& map,
+                            const std::filesystem::path& path) {
+  check_file_header(map, path);
+  const std::uint64_t min_size = header_bytes + record_header_bytes + 24 +
+                                 tail_bytes;
+  if (map.size < min_size) bad_segment(path, "truncated segment");
+  const std::uint64_t tail_at = map.size - tail_bytes;
+  if (std::memcmp(map.data + tail_at + 8, tail_magic, sizeof(tail_magic)) !=
+      0) {
+    bad_segment(path, "missing footer tail (truncated or unfinished write)");
+  }
+  std::uint64_t footer_at = 0;
+  std::memcpy(&footer_at, map.data + tail_at, 8);
+  // Subtraction form: the tail has no CRC of its own, so footer_at is
+  // attacker/corruption-controlled and the additive comparison could wrap.
+  if (footer_at < header_bytes || footer_at > tail_at ||
+      tail_at - footer_at < record_header_bytes + 24) {
+    bad_segment(path, "footer offset out of range");
+  }
+
+  record_header footer;
+  if (!decode_record_header(map.data, footer_at, footer)) {
+    bad_segment(path, "footer record header corrupt");
+  }
+  if (footer.type != rec_footer) bad_segment(path, "footer record wrong type");
+  if (footer_at + record_header_bytes + footer.payload_bytes != tail_at) {
+    bad_segment(path, "footer does not reach the tail");
+  }
+  const std::byte* footer_payload = map.data + footer_at + record_header_bytes;
+  if (crc32(footer_payload, footer.payload_bytes) != footer.payload_crc) {
+    bad_segment(path, "footer payload corrupt");
+  }
+
+  segment_layout layout;
+  layout.data_end = footer_at;
+  cursor in{footer_payload, footer.payload_bytes, 0, &path};
+  layout.image_count = in.get<std::uint64_t>();
+  const auto symbol_count = in.get<std::uint64_t>();
+  const auto record_count = in.get<std::uint64_t>();
+  // Divide instead of multiply: a crafted record_count must not wrap the
+  // size check and reach the reserve() below as a giant allocation.
+  if ((footer.payload_bytes - 24) % 8 != 0 ||
+      record_count != (footer.payload_bytes - 24) / 8) {
+    bad_segment(path, "footer index size mismatch");
+  }
+  layout.offsets.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    layout.offsets.push_back(in.get<std::uint64_t>());
+  }
+  in.expect_end();
+
+  // Walk the index: records must tile [header, footer) exactly.
+  std::uint64_t expected = header_bytes;
+  for (std::uint64_t offset : layout.offsets) {
+    if (offset != expected) bad_segment(path, "footer index is not contiguous");
+    if (offset + record_header_bytes > footer_at) {
+      bad_segment(path, "record overruns the footer");
+    }
+    record_header header;
+    if (!decode_record_header(map.data, offset, header)) {
+      bad_segment(path, "record header corrupt");
+    }
+    if (offset + record_header_bytes + header.payload_bytes > footer_at) {
+      bad_segment(path, "record payload overruns the footer");
+    }
+    if (header.type == rec_image) {
+      layout.image_offsets.push_back(offset);
+    } else if (header.type == rec_symbol_delta) {
+      const std::byte* payload = map.data + offset + record_header_bytes;
+      if (crc32(payload, header.payload_bytes) != header.payload_crc) {
+        bad_segment(path, "symbol delta corrupt");
+      }
+      parse_symbol_delta(map, offset, header, path, layout.symbols);
+    } else {
+      bad_segment(path, "unexpected record type in index");
+    }
+    expected = offset + record_header_bytes + header.payload_bytes;
+  }
+  if (expected != footer_at) bad_segment(path, "records do not reach footer");
+  if (layout.image_offsets.size() != layout.image_count) {
+    bad_segment(path, "footer image count mismatch");
+  }
+  if (layout.symbols.size() != symbol_count) {
+    bad_segment(path, "footer symbol count mismatch");
+  }
+  return layout;
+}
+
+// Recovery scan: ignore the footer, walk records from the top, and keep the
+// longest CRC-valid prefix. Used when a crash or truncation lost the tail;
+// everything recovered is still checksum-verified.
+segment_layout parse_recover(const file_mapping& map,
+                             const std::filesystem::path& path) {
+  check_file_header(map, path);
+  segment_layout layout;
+  layout.recovered = true;
+  std::uint64_t pos = header_bytes;
+  while (pos + record_header_bytes <= map.size) {
+    record_header header;
+    if (!decode_record_header(map.data, pos, header)) break;
+    if (pos + record_header_bytes + header.payload_bytes > map.size) break;
+    const std::byte* payload = map.data + pos + record_header_bytes;
+    if (crc32(payload, header.payload_bytes) != header.payload_crc) break;
+    if (header.type == rec_footer) break;  // a valid footer ends the data
+    if (header.type == rec_symbol_delta) {
+      try {
+        parse_symbol_delta(map, pos, header, path, layout.symbols);
+      } catch (const std::runtime_error&) {
+        break;
+      }
+    } else if (header.type == rec_image) {
+      layout.image_offsets.push_back(pos);
+    } else {
+      break;
+    }
+    layout.offsets.push_back(pos);
+    pos += record_header_bytes + header.payload_bytes;
+  }
+  layout.data_end = pos;
+  layout.image_count = layout.image_offsets.size();
+  return layout;
+}
+
+segment_layout parse_layout(const file_mapping& map,
+                            const std::filesystem::path& path,
+                            const segment_read_options& options) {
+  if (!options.recover_tail) return parse_strict(map, path);
+  try {
+    return parse_strict(map, path);
+  } catch (const std::runtime_error&) {
+    return parse_recover(map, path);
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- strings_checksum
+
+std::uint32_t strings_checksum(const be_string2d& strings) {
+  std::string packed;
+  put_axis(packed, strings.x);
+  put_axis(packed, strings.y);
+  return crc32(packed.data(), packed.size());
+}
+
+// ---------------------------------------------------------------- writer
+
+segment_writer::segment_writer(const std::filesystem::path& path, bool append)
+    : path_(path) {
+  if (append) {
+    segment_layout layout;
+    {
+      const file_mapping map(path_);
+      layout = parse_strict(map, path_);
+    }
+    offsets_ = std::move(layout.offsets);
+    symbols_written_ = layout.symbols.size();
+    images_ = layout.image_count;
+    pos_ = layout.data_end;
+    std::filesystem::resize_file(path_, pos_);  // drop the old footer + tail
+    out_.open(path_, std::ios::binary | std::ios::app);
+    if (!out_) {
+      throw std::runtime_error("besdb: cannot reopen " + path_.string());
+    }
+  } else {
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+      throw std::runtime_error("besdb: cannot write " + path_.string());
+    }
+    out_.write(file_magic, sizeof(file_magic));
+    out_.put(static_cast<char>(format_version));
+    out_.put(static_cast<char>(endian_marker()));
+    pos_ = header_bytes;
+  }
+}
+
+segment_writer::~segment_writer() {
+  if (!finished_) {
+    try {
+      finish();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // Destructors must not throw; call finish() explicitly to observe
+      // write failures.
+    }
+  }
+}
+
+void segment_writer::write_record(std::uint32_t type,
+                                  const std::string& payload) {
+  record_header header;
+  header.type = type;
+  header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  header.payload_crc = crc32(payload.data(), payload.size());
+  const std::string raw = encode_record_header(header);
+  out_.write(raw.data(), static_cast<std::streamsize>(raw.size()));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  pos_ += record_header_bytes + payload.size();
+}
+
+void segment_writer::append(const db_record& rec, const alphabet& symbols) {
+  if (finished_) {
+    throw std::runtime_error("besdb: append after finish on " + path_.string());
+  }
+  if (symbols.size() < symbols_written_) {
+    throw std::runtime_error("besdb: alphabet shrank while writing " +
+                             path_.string());
+  }
+  if (symbols.size() > symbols_written_) {
+    std::string delta;
+    put<std::uint32_t>(delta, static_cast<std::uint32_t>(symbols.size() -
+                                                         symbols_written_));
+    for (std::size_t i = symbols_written_; i < symbols.size(); ++i) {
+      put_bytes(delta, symbols.names()[i]);
+    }
+    offsets_.push_back(pos_);
+    write_record(rec_symbol_delta, delta);
+    symbols_written_ = symbols.size();
+  }
+
+  std::string payload;
+  put_bytes(payload, rec.name);
+  put<std::int32_t>(payload, rec.image.width());
+  put<std::int32_t>(payload, rec.image.height());
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(rec.image.size()));
+  for (const icon& obj : rec.image.icons()) {
+    if (obj.symbol >= symbols_written_) {
+      throw std::runtime_error("besdb: icon references an uninterned symbol");
+    }
+    put<std::uint32_t>(payload, obj.symbol);
+    put<std::int32_t>(payload, obj.mbr.x.lo);
+    put<std::int32_t>(payload, obj.mbr.x.hi);
+    put<std::int32_t>(payload, obj.mbr.y.lo);
+    put<std::int32_t>(payload, obj.mbr.y.hi);
+  }
+  put_axis(payload, rec.strings.x);
+  put_axis(payload, rec.strings.y);
+  put_histogram(payload, rec.histograms.x);
+  put_histogram(payload, rec.histograms.y);
+  offsets_.push_back(pos_);
+  write_record(rec_image, payload);
+  ++images_;
+  if (!out_) {
+    throw std::runtime_error("besdb: write failed for " + path_.string());
+  }
+}
+
+void segment_writer::finish() {
+  if (finished_) return;
+  std::string footer;
+  put<std::uint64_t>(footer, images_);
+  put<std::uint64_t>(footer, static_cast<std::uint64_t>(symbols_written_));
+  put<std::uint64_t>(footer, static_cast<std::uint64_t>(offsets_.size()));
+  for (std::uint64_t offset : offsets_) put<std::uint64_t>(footer, offset);
+  const std::uint64_t footer_at = pos_;
+  write_record(rec_footer, footer);
+  std::string tail;
+  put<std::uint64_t>(tail, footer_at);
+  tail.append(tail_magic, sizeof(tail_magic));
+  out_.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("besdb: write failed for " + path_.string());
+  }
+  finished_ = true;
+}
+
+// ---------------------------------------------------------------- reader
+
+struct segment_reader::impl {
+  std::filesystem::path path;
+  file_mapping map;
+  segment_layout layout;
+
+  impl(const std::filesystem::path& p, const segment_read_options& options)
+      : path(p), map(p), layout(parse_layout(map, path, options)) {}
+};
+
+segment_reader::segment_reader(const std::filesystem::path& path,
+                               segment_read_options options)
+    : impl_(std::make_unique<impl>(path, options)) {}
+
+segment_reader::~segment_reader() = default;
+
+const std::filesystem::path& segment_reader::path() const noexcept {
+  return impl_->path;
+}
+
+std::size_t segment_reader::image_count() const noexcept {
+  return impl_->layout.image_offsets.size();
+}
+
+const std::vector<std::string>& segment_reader::symbol_names() const noexcept {
+  return impl_->layout.symbols;
+}
+
+bool segment_reader::recovered() const noexcept {
+  return impl_->layout.recovered;
+}
+
+segment_image segment_reader::read_image(std::size_t index) const {
+  if (index >= impl_->layout.image_offsets.size()) {
+    throw std::out_of_range("segment_reader: image index out of range");
+  }
+  const std::filesystem::path& path = impl_->path;
+  const std::uint64_t offset = impl_->layout.image_offsets[index];
+  record_header header;
+  if (!decode_record_header(impl_->map.data, offset, header)) {
+    bad_segment(path, "image record header corrupt");
+  }
+  const std::byte* payload = impl_->map.data + offset + record_header_bytes;
+  if (crc32(payload, header.payload_bytes) != header.payload_crc) {
+    bad_segment(path, "image record " + std::to_string(index) + " corrupt");
+  }
+
+  const std::size_t symbol_count = impl_->layout.symbols.size();
+  cursor in{payload, header.payload_bytes, 0, &path};
+  try {
+    std::string name = in.get_bytes();
+    const auto width = in.get<std::int32_t>();
+    const auto height = in.get<std::int32_t>();
+    symbolic_image image(width, height);
+    const auto icon_count = in.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < icon_count; ++i) {
+      const auto symbol = in.get<std::uint32_t>();
+      if (symbol >= symbol_count) {
+        bad_segment(path, "icon references unknown symbol id");
+      }
+      const auto x_lo = in.get<std::int32_t>();
+      const auto x_hi = in.get<std::int32_t>();
+      const auto y_lo = in.get<std::int32_t>();
+      const auto y_hi = in.get<std::int32_t>();
+      image.add(symbol, rect{interval::checked(x_lo, x_hi),
+                             interval::checked(y_lo, y_hi)});
+    }
+    be_string2d strings;
+    strings.x = get_axis(in, symbol_count);
+    strings.y = get_axis(in, symbol_count);
+    be_histogram2d histograms;
+    histograms.x = get_histogram(in, symbol_count);
+    histograms.y = get_histogram(in, symbol_count);
+    histograms.x_len = strings.x.size();
+    histograms.y_len = strings.y.size();
+    in.expect_end();
+    if (!strings.well_formed()) {
+      bad_segment(path,
+                  "image record " + std::to_string(index) + " malformed");
+    }
+    if (histograms.x.total() != strings.x.size() ||
+        histograms.y.total() != strings.y.size()) {
+      bad_segment(path, "image record " + std::to_string(index) +
+                            " histogram totals disagree with its strings");
+    }
+    return segment_image{std::move(name), std::move(image),
+                         std::move(strings), std::move(histograms)};
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception& error) {
+    // interval/rect/symbolic_image validation throws std::invalid_argument;
+    // from a loader's point of view that is still a bad file, not a bug.
+    bad_segment(path, std::string("invalid image record: ") + error.what());
+  }
+}
+
+// ------------------------------------------------------------- bulk loading
+
+namespace {
+
+void materialize(const segment_reader& reader,
+                 const std::filesystem::path& path, image_database& db,
+                 spatial_index* spatial) {
+  for (std::size_t i = 0; i < reader.symbol_names().size(); ++i) {
+    symbol_id id = 0;
+    try {
+      id = db.symbols().intern(reader.symbol_names()[i]);
+    } catch (const std::exception& error) {
+      bad_segment(path, std::string("invalid symbol name: ") + error.what());
+    }
+    if (id != i) bad_segment(path, "duplicate symbol in delta records");
+  }
+  db.reserve(reader.image_count());
+  for (std::size_t i = 0; i < reader.image_count(); ++i) {
+    segment_image record = reader.read_image(i);
+    const image_id id = db.add_encoded(
+        std::move(record.name), std::move(record.image),
+        std::move(record.strings), std::move(record.histograms));
+    if (spatial != nullptr) spatial->add_image(id);
+  }
+}
+
+}  // namespace
+
+image_database load_segment(const std::filesystem::path& path,
+                            segment_read_options options) {
+  return materialize_segment(segment_reader(path, options));
+}
+
+image_database materialize_segment(const segment_reader& reader) {
+  image_database db;
+  materialize(reader, reader.path(), db, nullptr);
+  return db;
+}
+
+loaded_corpus load_segment_corpus(const std::filesystem::path& path,
+                                  segment_read_options options) {
+  const segment_reader reader(path, options);
+  loaded_corpus corpus;
+  corpus.db = std::make_unique<image_database>();
+  corpus.spatial =
+      std::make_unique<spatial_index>(*corpus.db, deferred_build);
+  materialize(reader, path, *corpus.db, corpus.spatial.get());
+  return corpus;
+}
+
+void save_segment(const image_database& db,
+                  const std::filesystem::path& path) {
+  segment_writer writer(path);
+  for (const db_record& rec : db.records()) writer.append(rec, db.symbols());
+  writer.finish();
+}
+
+}  // namespace bes

@@ -1,0 +1,160 @@
+// BSEG1 — a versioned, append-only binary segment format for image
+// databases, with mmap readback (ROADMAP "Persistence at scale").
+//
+// The text format (db/storage.hpp) re-encodes every BE-string on load; a
+// segment instead stores the *pre-encoded* token streams, so loading is a
+// bounds-checked copy out of the mapping — no Convert_2D_Be_String pass. A
+// footer index gives O(1) seeks to any record, which is what the lazy
+// per-record reader and the future sharding layer build on.
+//
+// File layout (all integers native little-endian; the header carries an
+// endianness marker and loading rejects a mismatch):
+//
+//   file header (8 bytes)   "BSEG1\n" + u8 version(=1) + u8 endian(=0x01)
+//   record*                 appended in order; see below
+//   footer record           record type 3, written by segment_writer::finish
+//   footer tail (16 bytes)  u64 footer-record offset + "BSEGFTR\n"
+//
+// Every record is a 16-byte header followed by its payload:
+//
+//   u32 type | u32 payload_bytes | u32 payload_crc32 | u32 header_crc32
+//
+// where header_crc32 covers the first 12 header bytes and payload_crc32 the
+// payload, so corruption anywhere in a record fails closed. Record types:
+//
+//   1  symbol delta   u32 count, then count x (u32 len, bytes) — the symbol
+//                     names interned since the previous delta. Appending to
+//                     a live segment emits deltas as the alphabet grows, so
+//                     a segment never rewrites earlier bytes.
+//   2  image          u32 name_len, name bytes, i32 width, i32 height,
+//                     u32 icon_count, icons (u32 symbol, i32 x.lo, i32 x.hi,
+//                     i32 y.lo, i32 y.hi), then both token streams
+//                     (u32 count, count x u32 packed token) for x and y,
+//                     then both pruner histograms (u32 bucket_count,
+//                     bucket_count x (u32 packed token, u32 count)) for x
+//                     and y — persisted derived data, so a load neither
+//                     re-encodes nor re-sorts anything.
+//   3  footer index   u64 image_count, u64 symbol_count, u64 record_count,
+//                     record_count x u64 absolute record offsets.
+//
+// A token packs into a u32: 0xFFFFFFFF is the dummy E, otherwise
+// (symbol_id << 1) | kind with kind 0 = begin, 1 = end.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/spatial_index.hpp"
+
+namespace bes {
+
+// CRC-32 over both packed token streams of a 2D BE-string. The binary
+// format's per-record CRC covers it implicitly; the text format records it
+// explicitly (`check` line) so a loader can prove the icons it parsed
+// re-encode to exactly the strings the writer saw.
+[[nodiscard]] std::uint32_t strings_checksum(const be_string2d& strings);
+
+// Appends records to a BSEG1 segment. All errors throw std::runtime_error.
+class segment_writer {
+ public:
+  // Creates (truncates) `path` and writes a fresh header; or, with
+  // `append = true`, validates an existing segment, drops its footer, and
+  // continues after the last record.
+  explicit segment_writer(const std::filesystem::path& path,
+                          bool append = false);
+  ~segment_writer();
+
+  segment_writer(const segment_writer&) = delete;
+  segment_writer& operator=(const segment_writer&) = delete;
+
+  // Appends one image record, preceded by a symbol-delta record whenever
+  // `symbols` has grown since the last append.
+  void append(const db_record& rec, const alphabet& symbols);
+
+  // Writes the footer index and tail. Called by the destructor if needed,
+  // but call it explicitly to observe write failures.
+  void finish();
+
+  [[nodiscard]] std::size_t images_written() const noexcept { return images_; }
+
+ private:
+  void write_record(std::uint32_t type, const std::string& payload);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::vector<std::uint64_t> offsets_;  // every record written so far
+  std::uint64_t pos_ = 0;
+  std::uint64_t images_ = 0;
+  std::size_t symbols_written_ = 0;
+  bool finished_ = false;
+};
+
+struct segment_read_options {
+  // Accept a segment whose footer or tail is missing/invalid (e.g. a crash
+  // truncated the file) by scanning records sequentially and recovering the
+  // longest valid prefix. Corruption *inside* that prefix still throws; the
+  // recovered records are CRC-verified, never silently wrong.
+  bool recover_tail = false;
+};
+
+// One materialized image record of a segment.
+struct segment_image {
+  std::string name;
+  symbolic_image image;
+  be_string2d strings;
+  be_histogram2d histograms;
+};
+
+// Maps a segment and serves O(1) per-record reads via the footer index — the
+// lazy alternative to materializing a whole image_database. The mapping
+// lives as long as the reader; reads are bounds- and CRC-checked.
+class segment_reader {
+ public:
+  explicit segment_reader(const std::filesystem::path& path,
+                          segment_read_options options = {});
+  ~segment_reader();
+
+  segment_reader(const segment_reader&) = delete;
+  segment_reader& operator=(const segment_reader&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept;
+  [[nodiscard]] std::size_t image_count() const noexcept;
+  // All symbol names, in interning order (union of the delta records).
+  [[nodiscard]] const std::vector<std::string>& symbol_names() const noexcept;
+  // Decodes image record `index` straight from the mapping (no re-encode).
+  [[nodiscard]] segment_image read_image(std::size_t index) const;
+  // True when recover_tail engaged and dropped trailing bytes.
+  [[nodiscard]] bool recovered() const noexcept;
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+// Materializes the whole segment into a database: symbols interned in
+// recorded order, records installed through the pre-encoded bulk-load path
+// (image_database::add_encoded), inverted index rebuilt as records land.
+[[nodiscard]] image_database load_segment(const std::filesystem::path& path,
+                                          segment_read_options options = {});
+
+// Same, from an already-open reader (reuses its mapping and parsed layout).
+[[nodiscard]] image_database materialize_segment(const segment_reader& reader);
+
+// Same, plus the spatial R-tree built in the same pass over the segment.
+// The index borrows the database, so both live behind stable pointers.
+struct loaded_corpus {
+  std::unique_ptr<image_database> db;
+  std::unique_ptr<spatial_index> spatial;
+};
+[[nodiscard]] loaded_corpus load_segment_corpus(
+    const std::filesystem::path& path, segment_read_options options = {});
+
+// Convenience: stream every record of `db` through a segment_writer.
+void save_segment(const image_database& db, const std::filesystem::path& path);
+
+}  // namespace bes

@@ -22,10 +22,16 @@ constexpr std::size_t icon_of(rtree::payload_t payload) {
 }  // namespace
 
 spatial_index::spatial_index(const image_database& db) : db_(&db) {
-  for (const db_record& rec : db.records()) {
-    for (std::size_t i = 0; i < rec.image.size(); ++i) {
-      tree_.insert(rec.image.icons()[i].mbr, pack(rec.id, i));
-    }
+  for (const db_record& rec : db.records()) add_image(rec.id);
+}
+
+spatial_index::spatial_index(const image_database& db, deferred_build_t)
+    : db_(&db) {}
+
+void spatial_index::add_image(image_id id) {
+  const db_record& rec = db_->record(id);
+  for (std::size_t i = 0; i < rec.image.size(); ++i) {
+    tree_.insert(rec.image.icons()[i].mbr, pack(rec.id, i));
   }
 }
 

@@ -11,11 +11,25 @@
 
 namespace bes {
 
+// Tag selecting the deferred-build constructor below.
+struct deferred_build_t {
+  explicit deferred_build_t() = default;
+};
+inline constexpr deferred_build_t deferred_build{};
+
 class spatial_index {
  public:
   // Indexes all icons of all current records. The index is a snapshot: add
   // images first, then build.
   explicit spatial_index(const image_database& db);
+
+  // Deferred build for bulk-load paths (the segment loader): starts empty so
+  // the caller can index each image in the same pass that materializes it.
+  spatial_index(const image_database& db, deferred_build_t);
+
+  // Indexes the icons of record `id` (which must already be in the
+  // database). The snapshot constructor above is this, called per record.
+  void add_image(image_id id);
 
   // Ids of images with at least one icon overlapping `window`, optionally
   // restricted to a symbol (sorted, unique).

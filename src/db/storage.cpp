@@ -1,7 +1,12 @@
 #include "db/storage.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "db/segment.hpp"
 
 namespace bes {
 
@@ -12,15 +17,14 @@ namespace {
   throw std::runtime_error("besdb: malformed " + path.string() + ": " + detail);
 }
 
-}  // namespace
-
-void save_database(const image_database& db,
-                   const std::filesystem::path& path) {
+void save_text(const image_database& db, const std::filesystem::path& path) {
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("besdb: cannot write " + path.string());
   }
-  out << "BESDB 1\n";
+  // Version 2 = version 1 plus per-image `check` lines; bumped because a
+  // version-1-only reader chokes on the extra keyword.
+  out << "BESDB 2\n";
   out << "alphabet " << db.symbols().size() << '\n';
   for (const std::string& name : db.symbols().names()) out << name << '\n';
   out << "images " << db.size() << '\n';
@@ -31,19 +35,23 @@ void save_database(const image_database& db,
       out << "icon " << obj.symbol << ' ' << obj.mbr.x.lo << ' ' << obj.mbr.x.hi
           << ' ' << obj.mbr.y.lo << ' ' << obj.mbr.y.hi << '\n';
     }
+    char check[16];
+    std::snprintf(check, sizeof(check), "%08x", strings_checksum(rec.strings));
+    out << "check " << check << '\n';
   }
   if (!out) {
     throw std::runtime_error("besdb: write failed for " + path.string());
   }
 }
 
-image_database load_database(const std::filesystem::path& path) {
+image_database load_text(const std::filesystem::path& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("besdb: cannot open " + path.string());
 
   std::string magic;
   int version = 0;
-  if (!(in >> magic >> version) || magic != "BESDB" || version != 1) {
+  if (!(in >> magic >> version) || magic != "BESDB" ||
+      (version != 1 && version != 2)) {
     malformed(path, "bad header");
   }
 
@@ -101,8 +109,72 @@ image_database load_database(const std::filesystem::path& path) {
     if (!db.record(id).strings.well_formed()) {
       malformed(path, "image " + std::to_string(k) + " encodes malformed");
     }
+    // Older files have no check line; current saves record the CRC of the
+    // encoded strings, so icon tampering that still encodes to a valid but
+    // different BE-string fails closed instead of loading silently wrong.
+    const std::streampos mark = in.tellg();
+    std::string peek;
+    if (in >> peek && peek == "check") {
+      std::string recorded_hex;
+      if (!(in >> recorded_hex)) {
+        malformed(path, "bad check line in image " + std::to_string(k));
+      }
+      char* end = nullptr;
+      const unsigned long recorded = std::strtoul(recorded_hex.c_str(), &end, 16);
+      if (end == nullptr || *end != '\0') {
+        malformed(path, "bad check line in image " + std::to_string(k));
+      }
+      if (static_cast<std::uint32_t>(recorded) !=
+          strings_checksum(db.record(id).strings)) {
+        malformed(path, "image " + std::to_string(k) +
+                            " fails its checksum: icons do not encode to the "
+                            "recorded BE-strings");
+      }
+    } else {
+      in.clear();
+      in.seekg(mark);
+    }
   }
   return db;
+}
+
+}  // namespace
+
+void save_database(const image_database& db, const std::filesystem::path& path,
+                   db_format format) {
+  switch (format) {
+    case db_format::text:
+      save_text(db, path);
+      return;
+    case db_format::binary:
+      save_segment(db, path);
+      return;
+  }
+  throw std::runtime_error("besdb: unknown format");
+}
+
+db_format detect_format(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("besdb: cannot open " + path.string());
+  char magic[6] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() >= 5 && std::memcmp(magic, "BSEG1", 5) == 0) {
+    return db_format::binary;
+  }
+  if (in.gcount() >= 6 && std::memcmp(magic, "BESDB ", 6) == 0) {
+    return db_format::text;
+  }
+  malformed(path, "neither a BESDB text file nor a BSEG1 segment");
+}
+
+image_database load_database(const std::filesystem::path& path) {
+  switch (detect_format(path)) {
+    case db_format::binary:
+      return load_segment(path);
+    case db_format::text:
+      return load_text(path);
+  }
+  throw std::runtime_error("besdb: unknown format");
 }
 
 }  // namespace bes

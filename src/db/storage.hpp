@@ -1,14 +1,28 @@
-// Database persistence: a versioned, line-oriented text format.
+// Database persistence facade over two on-disk formats (see README
+// "Persistence"):
 //
-//   BESDB 1
+// Text, `BESDB 1|2` — line-oriented and diff-friendly:
+//
+//   BESDB 2
 //   alphabet <count>
 //   <one symbol name per line>
 //   images <count>
 //   image <width> <height> <icon-count> <name (rest of line)>
 //   icon <symbol-id> <x.lo> <x.hi> <y.lo> <y.hi>      (icon-count times)
+//   check <crc32 hex of the encoded BE-strings>       (version 2; optional
+//                                                      on load)
 //
-// Icons are authoritative; BE-strings are re-encoded on load and verified
-// well-formed, which doubles as an integrity check.
+// Icons are authoritative; BE-strings are re-encoded on load, verified
+// well-formed, and — when a `check` line is present — verified to re-encode
+// to exactly the strings the writer saw (a hand-edited icon rect that
+// produces a *different* valid BE-string fails closed). Saves write
+// version 2; the loader accepts 1 (no check lines) and 2.
+//
+// Binary, `BSEG1` — the append-only mmap segment format of db/segment.hpp:
+// pre-encoded token streams with per-record CRCs, no re-encode on load.
+//
+// load_database autodetects the format from the file magic, so `BESDB 1`
+// files stay loadable forever; save_database picks the format explicitly.
 #pragma once
 
 #include <filesystem>
@@ -17,8 +31,18 @@
 
 namespace bes {
 
+enum class db_format {
+  text,    // BESDB 1
+  binary,  // BSEG1 (db/segment.hpp)
+};
+
 // Throws std::runtime_error on I/O failure or malformed content.
-void save_database(const image_database& db, const std::filesystem::path& path);
+void save_database(const image_database& db, const std::filesystem::path& path,
+                   db_format format = db_format::text);
 [[nodiscard]] image_database load_database(const std::filesystem::path& path);
+
+// The format of an existing file, judged by its magic. Throws
+// std::runtime_error when the file cannot be read or matches neither magic.
+[[nodiscard]] db_format detect_format(const std::filesystem::path& path);
 
 }  // namespace bes

@@ -1,6 +1,7 @@
 #include "lcs/token_histogram.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace bes {
 
@@ -26,6 +27,23 @@ token_histogram::token_histogram(std::span<const token> tokens) {
     }
   }
   total_ = tokens.size();
+}
+
+token_histogram token_histogram::from_buckets(std::vector<bucket> buckets) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].count == 0) {
+      throw std::invalid_argument("token_histogram: zero-count bucket");
+    }
+    if (i > 0 && !token_less(buckets[i - 1].value, buckets[i].value)) {
+      throw std::invalid_argument("token_histogram: buckets out of order");
+    }
+    total += buckets[i].count;
+  }
+  token_histogram out;
+  out.counts_ = std::move(buckets);
+  out.total_ = total;
+  return out;
 }
 
 std::size_t token_histogram::intersection_size(

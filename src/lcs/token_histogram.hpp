@@ -20,8 +20,26 @@ namespace bes {
 // Sorted (token, count) pairs.
 class token_histogram {
  public:
+  struct bucket {
+    token value;
+    std::uint32_t count = 0;
+    friend bool operator==(const bucket&, const bucket&) = default;
+  };
+
   token_histogram() = default;
   explicit token_histogram(std::span<const token> tokens);
+
+  // Rebuilds a histogram from persisted buckets (the BSEG1 segment stores
+  // them so a load never re-sorts token streams). Validates the invariant —
+  // strictly increasing in histogram token order, all counts nonzero — and
+  // throws std::invalid_argument when it does not hold.
+  [[nodiscard]] static token_histogram from_buckets(
+      std::vector<bucket> buckets);
+
+  // The sorted (token, count) buckets, for persistence.
+  [[nodiscard]] const std::vector<bucket>& buckets() const noexcept {
+    return counts_;
+  }
 
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
   [[nodiscard]] std::size_t distinct() const noexcept {
@@ -37,11 +55,6 @@ class token_histogram {
                          const token_histogram&) = default;
 
  private:
-  struct bucket {
-    token value;
-    std::uint32_t count = 0;
-    friend bool operator==(const bucket&, const bucket&) = default;
-  };
   std::vector<bucket> counts_;  // sorted by token ordering
   std::size_t total_ = 0;
 };

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven and incremental.
+//
+// The persistence layer stamps every on-disk record with a CRC so byte
+// corruption fails closed at load time instead of materializing a silently
+// wrong database. A single flipped byte always changes the CRC, which is the
+// property the storage fuzz battery leans on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bes {
+
+// CRC of `size` bytes starting at `data`. Chain blocks by feeding the
+// previous result back in as `seed` (the default seed starts a fresh CRC).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace bes

@@ -8,6 +8,7 @@
 
 #include "db/prefilter.hpp"
 #include "db/query.hpp"
+#include "db/segment.hpp"
 #include "db/storage.hpp"
 #include "util/rng.hpp"
 #include "workload/query_gen.hpp"
@@ -416,6 +417,89 @@ TEST(Storage, RejectsTruncatedIconList) {
         << "icon 0 0 1 0 1\n";  // promised 2 icons, provided 1
   }
   EXPECT_THROW((void)load_database(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// The load-path integrity gap: icon rects that encode to a *different valid*
+// BE-string than the recorded metadata implies must fail closed. The `check`
+// line carries the CRC of the strings the writer actually encoded; a loader
+// that re-encodes something else rejects the file.
+TEST(Storage, RejectsIconsThatEncodeToADifferentValidString) {
+  // The checksum the writer would have recorded for an icon at [0,1)x[0,1)...
+  symbolic_image original(10, 10);
+  original.add(0, rect::checked(0, 1, 0, 1));
+  char recorded[16];
+  std::snprintf(recorded, sizeof(recorded), "%08x",
+                strings_checksum(encode(original)));
+  // ...stapled to an icon moved to [2,3)x[2,3): still a well-formed encode,
+  // just not the one the metadata promises.
+  const auto path = temp_file("tampered_icon");
+  {
+    std::ofstream out(path);
+    out << "BESDB 1\nalphabet 1\nA\nimages 1\nimage 10 10 1 x\n"
+        << "icon 0 2 3 2 3\ncheck " << recorded << '\n';
+  }
+  EXPECT_THROW((void)load_database(path), std::runtime_error);
+  // Control: the matching checksum loads cleanly.
+  symbolic_image moved(10, 10);
+  moved.add(0, rect::checked(2, 3, 2, 3));
+  std::snprintf(recorded, sizeof(recorded), "%08x",
+                strings_checksum(encode(moved)));
+  {
+    std::ofstream out(path);
+    out << "BESDB 1\nalphabet 1\nA\nimages 1\nimage 10 10 1 x\n"
+        << "icon 0 2 3 2 3\ncheck " << recorded << '\n';
+  }
+  EXPECT_EQ(load_database(path).size(), 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(Storage, RejectsMalformedCheckLine) {
+  const auto path = temp_file("badcheck");
+  {
+    std::ofstream out(path);
+    out << "BESDB 1\nalphabet 1\nA\nimages 1\nimage 10 10 1 x\n"
+        << "icon 0 2 3 2 3\ncheck nothex!\n";
+  }
+  EXPECT_THROW((void)load_database(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Storage, LegacyFilesWithoutCheckLinesStillLoad) {
+  const auto path = temp_file("legacy");
+  {
+    std::ofstream out(path);
+    out << "BESDB 1\nalphabet 2\nA\nB\nimages 2\nimage 10 10 1 first\n"
+        << "icon 0 2 3 2 3\nimage 8 8 1 second\nicon 1 1 4 1 4\n";
+  }
+  const image_database db = load_database(path);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.record(0).name, "first");
+  EXPECT_EQ(db.record(1).name, "second");
+  std::filesystem::remove(path);
+}
+
+TEST(Storage, TextSaveRecordsVerifiableChecksums) {
+  image_database db;
+  rng r(9);
+  scene_params params;
+  params.object_count = 4;
+  for (int i = 0; i < 5; ++i) {
+    db.add("img", random_scene(params, r, db.symbols()));
+  }
+  const auto path = temp_file("checked");
+  save_database(db, path);
+  // The file carries one check line per image and they all verify on load.
+  std::ifstream in(path);
+  const std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  std::size_t checks = 0;
+  for (std::size_t at = contents.find("check "); at != std::string::npos;
+       at = contents.find("check ", at + 1)) {
+    ++checks;
+  }
+  EXPECT_EQ(checks, db.size());
+  EXPECT_EQ(load_database(path).size(), db.size());
   std::filesystem::remove(path);
 }
 

@@ -1,0 +1,349 @@
+// The BSEG1 binary segment format (db/segment.hpp): round-trip equality,
+// edge cases, convert idempotence, append mode, the lazy reader, and the
+// committed golden fixture that locks the format against version drift.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/encoder.hpp"
+#include "db/query.hpp"
+#include "db/segment.hpp"
+#include "db/storage.hpp"
+#include "support/test_support.hpp"
+#include "util/checksum.hpp"
+
+namespace bes {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_file(const char* stem) {
+  return fs::temp_directory_path() /
+         (std::string("bestring_seg_") + stem + "_" + std::to_string(::getpid()));
+}
+
+std::string read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+// A mixed seeded database: repeated symbols, names with spaces, and one
+// 0-icon image.
+image_database seeded_db(std::size_t images = 10) {
+  image_database db;
+  for (std::size_t i = 0; i < images; ++i) {
+    testsupport::scene_opts opts;
+    opts.object_count = 3 + i % 5;
+    db.add("scene " + std::to_string(i),
+           testsupport::make_scene(i + 1, db.symbols(), opts));
+  }
+  db.add("blank", symbolic_image(40, 30));  // 0-icon edge case
+  return db;
+}
+
+void expect_equal_dbs(const image_database& actual,
+                      const image_database& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  EXPECT_EQ(actual.symbols().names(), expected.symbols().names());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto id = static_cast<image_id>(i);
+    EXPECT_EQ(actual.record(id).name, expected.record(id).name);
+    EXPECT_EQ(actual.record(id).image, expected.record(id).image);
+    EXPECT_EQ(actual.record(id).strings, expected.record(id).strings);
+    EXPECT_EQ(actual.record(id).histograms, expected.record(id).histograms);
+  }
+}
+
+// ------------------------------------------------------------- round trips
+
+TEST(Segment, SaveLoadRoundTrip) {
+  const image_database db = seeded_db();
+  const auto path = temp_file("roundtrip");
+  save_database(db, path, db_format::binary);
+  const image_database loaded = load_database(path);  // autodetects BSEG1
+  expect_equal_dbs(loaded, db);
+  // The decisive property: the loaded strings are byte-identical to a fresh
+  // re-encode of the loaded icons — yet the loader never ran the encoder.
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const auto id = static_cast<image_id>(i);
+    EXPECT_EQ(loaded.record(id).strings, encode(loaded.record(id).image));
+  }
+  fs::remove(path);
+}
+
+TEST(Segment, EmptyDatabaseRoundTrips) {
+  const image_database db;
+  const auto path = temp_file("empty");
+  save_database(db, path, db_format::binary);
+  const image_database loaded = load_database(path);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_EQ(loaded.symbols().size(), 0u);
+  fs::remove(path);
+}
+
+TEST(Segment, ZeroIconImageRoundTrips) {
+  image_database db;
+  db.add("void", symbolic_image(7, 5));
+  const auto path = temp_file("zeroicon");
+  save_database(db, path, db_format::binary);
+  const image_database loaded = load_database(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded.record(0).image.empty());
+  EXPECT_EQ(loaded.record(0).image.width(), 7);
+  EXPECT_EQ(loaded.record(0).image.height(), 5);
+  // A 0-icon axis is the single-dummy string.
+  EXPECT_EQ(loaded.record(0).strings.x.size(), 1u);
+  EXPECT_EQ(loaded.record(0).strings, db.record(0).strings);
+  fs::remove(path);
+}
+
+TEST(Segment, LoadedDatabaseAnswersQueriesIdentically) {
+  const image_database db = seeded_db();
+  const auto path = temp_file("queries");
+  save_database(db, path, db_format::binary);
+  const image_database loaded = load_database(path);
+  const symbolic_image& query = db.record(4).image;
+  EXPECT_EQ(search(db, query), search(loaded, query));
+  fs::remove(path);
+}
+
+TEST(Segment, ConvertIsIdempotentBothWays) {
+  const image_database db = seeded_db(6);
+  const auto text1 = temp_file("conv_t1");
+  const auto bin1 = temp_file("conv_b1");
+  const auto text2 = temp_file("conv_t2");
+  const auto bin2 = temp_file("conv_b2");
+  save_database(db, text1, db_format::text);
+  // text -> binary -> text reproduces the text file byte for byte...
+  save_database(load_database(text1), bin1, db_format::binary);
+  save_database(load_database(bin1), text2, db_format::text);
+  EXPECT_EQ(read_bytes(text1), read_bytes(text2));
+  // ...and binary -> text -> binary reproduces the segment byte for byte.
+  save_database(load_database(text2), bin2, db_format::binary);
+  EXPECT_EQ(read_bytes(bin1), read_bytes(bin2));
+  for (const auto& p : {text1, bin1, text2, bin2}) fs::remove(p);
+}
+
+// ------------------------------------------------------------- append mode
+
+TEST(Segment, AppendContinuesAnExistingSegment) {
+  image_database db = seeded_db(3);
+  const auto path = temp_file("append");
+  {
+    segment_writer writer(path);
+    for (const db_record& rec : db.records()) writer.append(rec, db.symbols());
+    writer.finish();
+  }
+  // Grow the database (new symbols force a fresh delta record), then append
+  // only the new records.
+  const std::size_t already = db.size();
+  testsupport::scene_opts opts;
+  opts.symbol_pool = 12;  // wider pool => new names to intern
+  db.add("late 0", testsupport::make_scene(77, db.symbols(), opts));
+  db.add("late 1", testsupport::make_scene(78, db.symbols(), opts));
+  {
+    segment_writer writer(path, /*append=*/true);
+    EXPECT_EQ(writer.images_written(), already);
+    for (std::size_t i = already; i < db.size(); ++i) {
+      writer.append(db.record(static_cast<image_id>(i)), db.symbols());
+    }
+    writer.finish();
+  }
+  expect_equal_dbs(load_database(path), db);
+  fs::remove(path);
+}
+
+TEST(Segment, AppendToCorruptSegmentRefuses) {
+  const auto path = temp_file("append_bad");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "BSEG1\nnot really a segment";
+  }
+  EXPECT_THROW(segment_writer(path, /*append=*/true), std::runtime_error);
+  fs::remove(path);
+}
+
+// -------------------------------------------------------------- lazy reader
+
+TEST(Segment, ReaderServesRandomAccessWithoutMaterializing) {
+  const image_database db = seeded_db();
+  const auto path = temp_file("lazy");
+  save_database(db, path, db_format::binary);
+  const segment_reader reader(path);
+  EXPECT_FALSE(reader.recovered());
+  ASSERT_EQ(reader.image_count(), db.size());
+  EXPECT_EQ(reader.symbol_names(), db.symbols().names());
+  // Read out of order: each record is an independent O(1) seek.
+  for (const std::size_t i : {std::size_t{7}, std::size_t{0}, std::size_t{3}}) {
+    const segment_image record = reader.read_image(i);
+    const auto id = static_cast<image_id>(i);
+    EXPECT_EQ(record.name, db.record(id).name);
+    EXPECT_EQ(record.image, db.record(id).image);
+    EXPECT_EQ(record.strings, db.record(id).strings);
+    EXPECT_EQ(record.histograms, db.record(id).histograms);
+  }
+  EXPECT_THROW((void)reader.read_image(db.size()), std::out_of_range);
+  fs::remove(path);
+}
+
+TEST(Segment, CorpusLoadBuildsSpatialIndexInSamePass) {
+  const image_database db = seeded_db();
+  const auto path = temp_file("corpus");
+  save_database(db, path, db_format::binary);
+  const loaded_corpus corpus = load_segment_corpus(path);
+  expect_equal_dbs(*corpus.db, db);
+  const spatial_index reference(db);
+  EXPECT_EQ(corpus.spatial->indexed_icons(), reference.indexed_icons());
+  const rect window = rect::checked(0, 64, 0, 64);
+  EXPECT_EQ(corpus.spatial->images_overlapping(window),
+            reference.images_overlapping(window));
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------- integrity
+
+TEST(Segment, MismatchedChecksumRejected) {
+  const image_database db = seeded_db(4);
+  const auto path = temp_file("tamper");
+  save_database(db, path, db_format::binary);
+  // Flip one byte in the middle of the file (inside some record payload)
+  // without touching sizes: the per-record CRC must fail closed.
+  std::string bytes = read_bytes(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)load_database(path), std::runtime_error);
+  fs::remove(path);
+}
+
+// Crafted (CRC-consistent) structural fields must fail closed too — these
+// two lock the unsigned-overflow guards in the footer validation.
+
+TEST(Segment, CraftedFooterOffsetFailsClosed) {
+  const image_database db = seeded_db(3);
+  const auto path = temp_file("evil_tail");
+  save_database(db, path, db_format::binary);
+  std::string bytes = read_bytes(path);
+  // The tail's footer offset has no CRC; point it near 2^64 so an additive
+  // range check would wrap. The loader must throw, not dereference it.
+  const std::uint64_t evil = 0xFFFFFFFFFFFFFFD8ull;
+  std::memcpy(bytes.data() + bytes.size() - 16, &evil, 8);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)load_database(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(Segment, CraftedFooterRecordCountFailsClosed) {
+  const image_database db = seeded_db(3);
+  const auto path = temp_file("evil_count");
+  save_database(db, path, db_format::binary);
+  std::string bytes = read_bytes(path);
+  // Locate the footer record via the tail, bump record_count by 2^61 (which
+  // keeps record_count * 8 + 24 equal mod 2^64), and refresh both CRCs so
+  // only the overflow guard stands between the file and a giant reserve().
+  std::uint64_t footer_at = 0;
+  std::memcpy(&footer_at, bytes.data() + bytes.size() - 16, 8);
+  std::uint32_t payload_bytes = 0;
+  std::memcpy(&payload_bytes, bytes.data() + footer_at + 4, 4);
+  char* payload = bytes.data() + footer_at + 16;
+  std::uint64_t record_count = 0;
+  std::memcpy(&record_count, payload + 16, 8);
+  record_count += 1ull << 61;
+  std::memcpy(payload + 16, &record_count, 8);
+  const std::uint32_t payload_crc = crc32(payload, payload_bytes);
+  std::memcpy(bytes.data() + footer_at + 8, &payload_crc, 4);
+  const std::uint32_t header_crc = crc32(bytes.data() + footer_at, 12);
+  std::memcpy(bytes.data() + footer_at + 12, &header_crc, 4);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW((void)load_database(path), std::runtime_error);
+  // Recovery mode walks the records instead of trusting the footer, so it
+  // either salvages the intact prefix or throws — never crashes.
+  try {
+    const image_database recovered =
+        load_segment(path, segment_read_options{.recover_tail = true});
+    EXPECT_LE(recovered.size(), db.size());
+  } catch (const std::runtime_error&) {
+  }
+  fs::remove(path);
+}
+
+TEST(Segment, DetectFormatSeesBothMagics) {
+  const image_database db = seeded_db(2);
+  const auto text_path = temp_file("fmt_text");
+  const auto bin_path = temp_file("fmt_bin");
+  save_database(db, text_path, db_format::text);
+  save_database(db, bin_path, db_format::binary);
+  EXPECT_EQ(detect_format(text_path), db_format::text);
+  EXPECT_EQ(detect_format(bin_path), db_format::binary);
+  const auto junk = temp_file("fmt_junk");
+  {
+    std::ofstream out(junk);
+    out << "neither format\n";
+  }
+  EXPECT_THROW((void)detect_format(junk), std::runtime_error);
+  fs::remove(text_path);
+  fs::remove(bin_path);
+  fs::remove(junk);
+}
+
+// ------------------------------------------------------------ golden fixture
+
+// The committed fixture database: hand-built (no RNG) so it never shifts
+// under workload-generator changes. Covers repeated symbols, a name with a
+// space, shared boundary coordinates, and a 0-icon image.
+image_database golden_db() {
+  image_database db;
+  {
+    symbolic_image meadow(32, 24);
+    meadow.add(db.symbols().intern("tree"), rect::checked(2, 6, 3, 9));
+    meadow.add(db.symbols().intern("house"), rect::checked(10, 20, 2, 12));
+    meadow.add(db.symbols().intern("sky"), rect::checked(0, 32, 12, 24));
+    db.add("meadow", std::move(meadow));
+  }
+  db.add("empty sky", symbolic_image(16, 16));
+  {
+    symbolic_image twins(24, 24);
+    twins.add(db.symbols().id_of("tree"), rect::checked(2, 8, 2, 8));
+    twins.add(db.symbols().id_of("tree"), rect::checked(2, 8, 10, 16));
+    db.add("twins", std::move(twins));
+  }
+  return db;
+}
+
+TEST(GoldenSegment, ReaderParsesCommittedFixtureBitExactly) {
+  const fs::path golden_path = BES_GOLDEN_SEGMENT_PATH;
+  const image_database expected = golden_db();
+  if (std::getenv("BES_REGEN_GOLDEN") != nullptr) {
+    save_database(expected, golden_path, db_format::binary);
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  ASSERT_TRUE(fs::exists(golden_path))
+      << golden_path << " missing; run with BES_REGEN_GOLDEN=1 to create it";
+  // Bit-exact both ways: today's reader materializes the committed bytes to
+  // exactly the expected database, and today's writer reproduces the
+  // committed bytes exactly. Either failing means the format drifted.
+  expect_equal_dbs(load_database(golden_path), expected);
+  const auto rewritten = temp_file("golden_rewrite");
+  save_database(expected, rewritten, db_format::binary);
+  EXPECT_EQ(read_bytes(rewritten), read_bytes(golden_path))
+      << "segment writer no longer reproduces the committed BSEG1 fixture";
+  fs::remove(rewritten);
+}
+
+}  // namespace
+}  // namespace bes

@@ -1,6 +1,9 @@
 // besdb — command-line front end to the BE-string image database.
 //
-//   besdb create  --out corpus.besdb [--images N --objects K --seed S]
+//   besdb create  --out corpus.besdb [--images N --objects K --seed S
+//                                     --format text|binary]
+//   besdb convert corpus.besdb --out corpus.bseg [--format text|binary]
+//   besdb compact corpus.bseg  [--out other.bseg --recover]
 //   besdb info    corpus.besdb
 //   besdb show    corpus.besdb --id 3
 //   besdb query   corpus.besdb --id 3 [--keep 0.6 --jitter 4 --top-k 5
@@ -21,6 +24,7 @@
 
 #include "core/serializer.hpp"
 #include "db/query.hpp"
+#include "db/segment.hpp"
 #include "db/spatial_index.hpp"
 #include "db/storage.hpp"
 #include "eval/report.hpp"
@@ -35,12 +39,23 @@ namespace {
 
 using namespace bes;
 
+// --format flag -> db_format; empty/unknown reported via stderr + nullopt.
+std::optional<db_format> parse_format(const std::string& name) {
+  if (name == "text") return db_format::text;
+  if (name == "binary") return db_format::binary;
+  std::fprintf(stderr, "unknown --format '%s' (want text|binary)\n",
+               name.c_str());
+  return std::nullopt;
+}
+
 int cmd_create(arg_parser& args) {
   const std::string out = args.get_string("out");
   if (out.empty()) {
     std::fprintf(stderr, "create: --out is required\n");
     return 1;
   }
+  const auto format = parse_format(args.get_string("format"));
+  if (!format) return 1;
   rng r(static_cast<std::uint64_t>(args.get_int("seed")));
   scene_params params;
   params.width = static_cast<int>(args.get_int("width"));
@@ -53,9 +68,55 @@ int cmd_create(arg_parser& args) {
   for (std::size_t i = 0; i < images; ++i) {
     db.add("scene" + std::to_string(i), random_scene(params, r, db.symbols()));
   }
-  save_database(db, out);
-  std::printf("wrote %zu images (%zu symbols) to %s\n", db.size(),
-              db.symbols().size(), out.c_str());
+  save_database(db, out, *format);
+  std::printf("wrote %zu images (%zu symbols) to %s [%s]\n", db.size(),
+              db.symbols().size(), out.c_str(),
+              *format == db_format::binary ? "binary" : "text");
+  return 0;
+}
+
+// Re-serializes a database in either format (text <-> BSEG1 segment). The
+// input format is autodetected; the output format comes from --format.
+int cmd_convert(arg_parser& args) {
+  const std::string in = args.positional()[1];
+  const std::string out = args.get_string("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "convert: --out is required\n");
+    return 1;
+  }
+  const auto format = parse_format(args.get_string("format"));
+  if (!format) return 1;
+  const image_database db = load_database(in);
+  save_database(db, out, *format);
+  std::printf("converted %s (%zu images) to %s [%s]\n", in.c_str(), db.size(),
+              out.c_str(), *format == db_format::binary ? "binary" : "text");
+  return 0;
+}
+
+// Rewrites a BSEG1 segment with a fresh footer (and, with --recover, salvages
+// the longest valid prefix of a truncated segment). Writes via a temp file so
+// an interrupted compact never destroys the input.
+int cmd_compact(arg_parser& args) {
+  const std::string in = args.positional()[1];
+  if (detect_format(in) != db_format::binary) {
+    std::fprintf(stderr,
+                 "compact: %s is not a BSEG1 segment (use convert first)\n",
+                 in.c_str());
+    return 1;
+  }
+  segment_read_options options;
+  options.recover_tail = args.get_bool("recover");
+  const segment_reader reader(in, options);
+  const bool recovered = reader.recovered();
+  const image_database db = materialize_segment(reader);
+  const std::string out = args.get_string("out").empty()
+                              ? in
+                              : args.get_string("out");
+  const std::string tmp = out + ".compact-tmp";
+  save_database(db, tmp, db_format::binary);
+  std::filesystem::rename(tmp, out);
+  std::printf("compacted %s -> %s: %zu images%s\n", in.c_str(), out.c_str(),
+              db.size(), recovered ? " (recovered truncated tail)" : "");
   return 0;
 }
 
@@ -290,8 +351,13 @@ int cmd_eval(arg_parser& args) {
 int main(int argc, char** argv) {
   using namespace bes;
   arg_parser args(
-      "besdb <create|info|show|query|spatial|window|eval> [db-file] [flags]");
-  args.add_string("out", "", "create: output path");
+      "besdb <create|convert|compact|info|show|query|spatial|window|eval> "
+      "[db-file] [flags]");
+  args.add_string("out", "", "create/convert/compact: output path");
+  args.add_string("format", "text",
+                  "create/convert: output format, text|binary (BSEG1)");
+  args.add_bool("recover", false,
+                "compact: salvage the valid prefix of a truncated segment");
   args.add_int("images", 30, "create: number of images");
   args.add_int("objects", 8, "create: icons per image");
   args.add_int("pool", 8, "create: symbol pool size");
@@ -337,6 +403,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: missing database file\n", command.c_str());
       return 1;
     }
+    if (command == "convert") return cmd_convert(args);
+    if (command == "compact") return cmd_compact(args);
     const image_database db = load_database(args.positional()[1]);
     if (command == "info") return cmd_info(db);
     if (command == "show") return cmd_show(db, args);
