@@ -8,6 +8,8 @@
 #include "bench_common.hpp"
 
 #include "db/query.hpp"
+#include "db/scan.hpp"
+#include "db/shard.hpp"
 #include "imaging/extract.hpp"
 #include "util/parallel.hpp"
 #include "workload/query_gen.hpp"
@@ -154,6 +156,87 @@ void print_batch_table() {
   std::fputs(table.str().c_str(), stdout);
 }
 
+// E9d of ISSUE 5: shard-per-core fan-out. Every shard scan inserts into
+// ONE shared top-k whose threshold reads are a single atomic load, so the
+// sharded scan prunes against the running GLOBAL k-th score and returns
+// results identical to the flat scan.
+//
+// Two measurements per row:
+//   - wall t8: the fan-out as-is on THIS machine's cores (on a box with
+//     fewer cores than threads the OS serializes the workers, so this
+//     column understates the fan-out exactly as it overstates the flat
+//     scan's 8 threads);
+//   - critical path: the slowest single shard scan, measured by running
+//     the same fan-out one shard at a time — the wall time a machine with
+//     one core per shard would see. This is the shard-per-core scaling
+//     claim: >= 2x at 8 shards vs the single-shard scan.
+void print_shard_table() {
+  print_header("E9d: sharded fan-out scan vs single-shard, same thread budget",
+               "shards share one running top-k through an atomic threshold; "
+               "critical path = slowest shard = fan-out wall clock at one "
+               "core per shard (>= 2x at 8 shards)");
+  text_table table({"images", "shards", "wall exh t8 (ms)", "wall pruned t8 (ms)",
+                    "LCS runs", "critical path (ms)", "crit speedup vs s1"});
+  for (std::size_t images :
+       benchsupport::smoke_sweep({400u, 1600u}, 100u)) {
+    image_database db = build_db(images, 8, 40);
+    rng r(5);
+    alphabet scratch = db.symbols();
+    distortion_params d;
+    d.keep_fraction = 0.6;
+    const symbolic_image query = distort(db.record(0).image, d, r, scratch);
+    const be_string2d strings = encode(query);
+    const be_histogram2d histograms = make_histograms(strings);
+
+    query_options exhaustive;
+    exhaustive.use_index = false;
+    exhaustive.threads = 8;
+    query_options pruned = exhaustive;
+    pruned.histogram_pruning = true;
+
+    double critical_s1 = 0.0;
+    for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+      const sharded_database sharded = make_sharded(db, shards);
+      const double t_exhaustive = 1e3 * time_per_call([&] {
+        benchmark::DoNotOptimize(search(sharded, query, exhaustive));
+      });
+      search_stats stats;
+      const double t_pruned = 1e3 * time_per_call([&] {
+        benchmark::DoNotOptimize(search(sharded, query, pruned, &stats));
+      });
+
+      // Critical path: each shard's pruned scan timed alone with a FRESH
+      // top-k (no help from the other shards' thresholds), so the max is a
+      // conservative upper bound on the wall clock of a one-core-per-shard
+      // run — a live fan-out's shared threshold is only ever tighter.
+      query_options serial = pruned;
+      serial.threads = 1;
+      double critical = 0.0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        std::vector<image_id> ids(sharded.shard_db(s).size());
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          ids[i] = static_cast<image_id>(i);
+        }
+        const double t = 1e3 * time_per_call([&] {
+          detail::shared_topk top(serial.top_k, serial.min_score);
+          benchmark::DoNotOptimize(detail::scan_shard(
+              sharded.shard_db(s), strings, ids, sharded.shard_global_ids(s),
+              &histograms, nullptr, serial, &top, nullptr));
+        });
+        critical = std::max(critical, t);
+      }
+      if (shards == 1) critical_s1 = critical;
+      table.add_row({std::to_string(images), std::to_string(shards),
+                     fmt_double(t_exhaustive, 2), fmt_double(t_pruned, 2),
+                     std::to_string(stats.scored) + "/" +
+                         std::to_string(stats.scanned),
+                     fmt_double(critical, 2),
+                     fmt_double(critical_s1 / critical, 2) + "x"});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
 void print_index_selectivity_table() {
   print_header("E9b: inverted-index candidate selectivity",
                "images sharing no query symbol are skipped outright");
@@ -221,6 +304,7 @@ BENCHMARK(BM_RasterPipelineIngest)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   bes::print_scan_table();
   bes::print_batch_table();
+  bes::print_shard_table();
   bes::print_index_selectivity_table();
   return bes::benchsupport::run_registered(argc, argv);
 }

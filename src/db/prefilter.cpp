@@ -4,6 +4,8 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace bes {
 
 std::vector<image_id> window_candidates(const spatial_index& index,
@@ -40,6 +42,19 @@ std::vector<image_id> combined_candidates(const image_database& db,
                                           int pad) {
   return intersect_candidates(db.candidates(query),
                               window_candidates(index, query, pad));
+}
+
+std::vector<std::vector<query_result>> search_batch_combined(
+    const image_database& db, const spatial_index& index,
+    std::span<const symbolic_image> queries, int pad,
+    const query_options& options, std::vector<search_stats>* stats) {
+  std::vector<be_string2d> strings(queries.size());
+  std::vector<std::vector<image_id>> candidates(queries.size());
+  parallel_for(queries.size(), options.threads, [&](std::size_t i) {
+    strings[i] = encode(queries[i]);
+    candidates[i] = combined_candidates(db, index, queries[i], pad);
+  });
+  return search_batch_candidates(db, strings, candidates, options, stats);
 }
 
 }  // namespace bes

@@ -33,4 +33,17 @@ namespace bes {
     const image_database& db, const spatial_index& index,
     const symbolic_image& query, int pad);
 
+// Batch retrieval over the combined prefilter (ROADMAP "feeding the
+// combined set through search_batch"): computes combined_candidates per
+// query — in parallel across the batch — then drives the per-query sets
+// through search_batch_candidates, so ranking/pruning/stats behave exactly
+// as search_candidates per query. results[i] == search_candidates(db,
+// encode(queries[i]), combined_candidates(db, index, queries[i], pad),
+// options).
+[[nodiscard]] std::vector<std::vector<query_result>> search_batch_combined(
+    const image_database& db, const spatial_index& index,
+    std::span<const symbolic_image> queries, int pad,
+    const query_options& options = {},
+    std::vector<search_stats>* stats = nullptr);
+
 }  // namespace bes

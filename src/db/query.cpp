@@ -4,31 +4,58 @@
 #include <atomic>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "db/scan.hpp"
 #include "util/parallel.hpp"
 
 namespace bes {
 
-namespace {
+namespace detail {
 
-bool better(const query_result& a, const query_result& b) noexcept {
+bool result_better(const query_result& a, const query_result& b) noexcept {
   if (a.score != b.score) return a.score > b.score;
   return a.id < b.id;
 }
 
-std::vector<query_result> rank(std::vector<query_result> hits,
-                               const query_options& options) {
+std::vector<query_result> rank_results(std::vector<query_result> hits,
+                                       const query_options& options) {
   std::erase_if(hits, [&](const query_result& r) {
     return r.score < options.min_score;
   });
-  std::sort(hits.begin(), hits.end(), better);
+  std::sort(hits.begin(), hits.end(), result_better);
   if (options.top_k != 0 && hits.size() > options.top_k) {
     hits.resize(options.top_k);
   }
   return hits;
 }
+
+bool pruning_applies(const query_options& options) {
+  return options.histogram_pruning && !options.transform_invariant &&
+         (options.top_k > 0 || options.min_score > 0.0);
+}
+
+shared_topk::shared_topk(std::size_t capacity, double min_score)
+    : capacity_(capacity == 0 ? std::numeric_limits<std::size_t>::max()
+                              : capacity),
+      min_score_(min_score),
+      kth_(min_score) {}
+
+void shared_topk::insert(const query_result& r) {
+  std::lock_guard lock(mutex_);
+  const auto pos = std::lower_bound(top_.begin(), top_.end(), r, result_better);
+  top_.insert(pos, r);
+  if (top_.size() > capacity_) top_.pop_back();
+  if (top_.size() == capacity_) {
+    // The k-th score is monotone non-decreasing once the heap is full, so
+    // a stale read elsewhere is merely a weaker (still admissible) bound.
+    kth_.store(top_.back().score, std::memory_order_relaxed);
+  }
+}
+
+std::vector<query_result> shared_topk::take() { return std::move(top_); }
 
 std::vector<image_id> scan_ids(const image_database& db,
                                std::span<const symbol_id> query_symbols,
@@ -44,40 +71,17 @@ std::vector<image_id> scan_ids(const image_database& db,
   return all;
 }
 
-// A running top-k under a mutex, shared by the pruned scan's workers. The
-// k-th score only grows as candidates are inserted, so reading it at any
-// moment yields an admissible pruning threshold: a candidate provably below
-// it can never enter the FINAL top-k either.
-class top_k_heap {
- public:
-  top_k_heap(std::size_t capacity, double min_score)
-      : capacity_(capacity == 0 ? std::numeric_limits<std::size_t>::max()
-                                : capacity),
-        min_score_(min_score) {}
+}  // namespace detail
 
-  // max(min_score, current k-th score): scores strictly below can neither
-  // pass the result filter nor displace a held result.
-  [[nodiscard]] double threshold() const {
-    std::lock_guard lock(mutex_);
-    return top_.size() == capacity_ ? std::max(min_score_, top_.back().score)
-                                    : min_score_;
-  }
+namespace {
 
-  void insert(const query_result& r) {
-    std::lock_guard lock(mutex_);
-    const auto pos = std::lower_bound(top_.begin(), top_.end(), r, better);
-    top_.insert(pos, r);
-    if (top_.size() > capacity_) top_.pop_back();
-  }
+using detail::result_better;
+using detail::shared_topk;
 
-  [[nodiscard]] std::vector<query_result> take() { return std::move(top_); }
-
- private:
-  mutable std::mutex mutex_;
-  std::vector<query_result> top_;  // kept sorted by better()
-  std::size_t capacity_;
-  double min_score_;
-};
+// Maps a scan-local record id to the id reported in results.
+image_id map_id(std::span<const image_id> global_ids, image_id local) {
+  return global_ids.empty() ? local : global_ids[local];
+}
 
 // Top-k scan with the two-stage admissible pruner. Stage 1: candidates are
 // visited in decreasing histogram-bound order and skipped (or, serially,
@@ -85,12 +89,19 @@ class top_k_heap {
 // threshold. Stage 2: survivors are scored through similarity_bounded, so
 // the threshold also cuts the DP short from the inside. Both stages discard
 // only candidates provably outside the final result, so the output is
-// IDENTICAL to the exhaustive scan for any thread count.
+// IDENTICAL to the exhaustive scan for any thread count — and, when several
+// shard scans feed one `shared` heap, the union of shards is identical to
+// one big scan (the heap defends the GLOBAL k-th score either way).
+//
+// With a `shared` heap the survivors live there and the return value is
+// empty; standalone, the heap is local and the ranked result is returned.
 std::vector<query_result> pruned_search(const image_database& db,
                                         const be_string2d& query_strings,
                                         const be_histogram2d& query_histograms,
                                         std::span<const image_id> ids,
+                                        std::span<const image_id> global_ids,
                                         const query_options& options,
+                                        shared_topk* shared,
                                         search_stats* stats) {
   struct bounded {
     double bound;
@@ -113,7 +124,11 @@ std::vector<query_result> pruned_search(const image_database& db,
     return a.id < b.id;
   });
 
-  top_k_heap top(options.top_k, options.min_score);
+  std::optional<shared_topk> local;
+  if (shared == nullptr) {
+    local.emplace(options.top_k, options.min_score);
+  }
+  shared_topk& top = shared != nullptr ? *shared : *local;
   std::atomic<std::size_t> scored{0};
   std::atomic<std::size_t> pruned{0};
   std::atomic<std::size_t> band_rejected{0};
@@ -136,12 +151,14 @@ std::vector<query_result> pruned_search(const image_database& db,
       band_rejected.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    top.insert(query_result{rec.id, score, dihedral::identity});
+    top.insert(
+        query_result{map_id(global_ids, rec.id), score, dihedral::identity});
   };
 
   if (options.threads <= 1) {
     // Serial fast path: bounds are sorted descending, so the first candidate
-    // below the threshold ends the scan outright.
+    // below the threshold ends the scan outright. Valid per shard too: the
+    // shared threshold is monotone, so the drop only ever grows stricter.
     for (std::size_t i = 0; i < order.size(); ++i) {
       if (order[i].bound < top.threshold()) {
         pruned.fetch_add(order.size() - i, std::memory_order_relaxed);
@@ -159,13 +176,14 @@ std::vector<query_result> pruned_search(const image_database& db,
     stats->pruned = pruned.load();
     stats->band_rejected = band_rejected.load();
   }
-  return top.take();
+  return shared != nullptr ? std::vector<query_result>{} : local->take();
 }
 
 std::vector<query_result> exhaustive_search(const image_database& db,
                                             const be_string2d& query_strings,
                                             const query_transforms* transforms,
                                             std::span<const image_id> ids,
+                                            std::span<const image_id> global_ids,
                                             const query_options& options,
                                             search_stats* stats) {
   // Transform-invariant scans need the 8 query variants; build them once for
@@ -180,7 +198,7 @@ std::vector<query_result> exhaustive_search(const image_database& db,
     const db_record& rec = db.record(ids[k]);
     lcs_context& ctx = lcs_context::thread_local_instance();
     query_result r;
-    r.id = rec.id;
+    r.id = map_id(global_ids, rec.id);
     if (options.transform_invariant) {
       const transform_match best = best_transform_similarity(
           *transforms, rec.strings, options.similarity, ctx);
@@ -192,42 +210,37 @@ std::vector<query_result> exhaustive_search(const image_database& db,
     hits[k] = r;
   });
   if (stats != nullptr) stats->scored = hits.size();
-  return rank(std::move(hits), options);
+  return detail::rank_results(std::move(hits), options);
 }
 
-// The pruner needs a threshold to engage: either a top-k to defend or a
-// score floor. Transform-invariant scans bypass it (the histogram bound does
-// not cover the 7 non-identity variants).
-bool pruning_applies(const query_options& options) {
-  return options.histogram_pruning && !options.transform_invariant &&
-         (options.top_k > 0 || options.min_score > 0.0);
-}
+}  // namespace
 
-// Candidate-set scan core shared by the symbol-index path and the explicit
-// prefilter path. `histograms` and `transforms` are optional precomputed
-// per-query state (search_batch amortizes them); null means compute on
-// demand for the paths that need them.
-std::vector<query_result> scan_candidates(const image_database& db,
-                                          const be_string2d& query_strings,
-                                          std::span<const image_id> ids,
-                                          const be_histogram2d* histograms,
-                                          const query_transforms* transforms,
-                                          const query_options& options,
-                                          search_stats* stats) {
+namespace detail {
+
+std::vector<query_result> scan_shard(
+    const image_database& db, const be_string2d& query_strings,
+    std::span<const image_id> ids, std::span<const image_id> global_ids,
+    const be_histogram2d* histograms, const query_transforms* transforms,
+    const query_options& options, shared_topk* shared, search_stats* stats) {
   if (stats != nullptr) {
     *stats = search_stats{};
     stats->scanned = ids.size();
   }
   if (pruning_applies(options)) {
     if (histograms != nullptr) {
-      return pruned_search(db, query_strings, *histograms, ids, options,
-                           stats);
+      return pruned_search(db, query_strings, *histograms, ids, global_ids,
+                           options, shared, stats);
     }
     return pruned_search(db, query_strings, make_histograms(query_strings),
-                         ids, options, stats);
+                         ids, global_ids, options, shared, stats);
   }
-  return exhaustive_search(db, query_strings, transforms, ids, options, stats);
+  return exhaustive_search(db, query_strings, transforms, ids, global_ids,
+                           options, stats);
 }
+
+}  // namespace detail
+
+namespace {
 
 std::vector<query_result> search_impl(const image_database& db,
                                       const be_string2d& query_strings,
@@ -236,9 +249,20 @@ std::vector<query_result> search_impl(const image_database& db,
                                       const query_transforms* transforms,
                                       const query_options& options,
                                       search_stats* stats) {
-  const std::vector<image_id> ids = scan_ids(db, query_symbols, options);
-  return scan_candidates(db, query_strings, ids, histograms, transforms,
-                         options, stats);
+  const std::vector<image_id> ids =
+      detail::scan_ids(db, query_symbols, options);
+  return detail::scan_shard(db, query_strings, ids, {}, histograms, transforms,
+                            options, nullptr, stats);
+}
+
+void check_candidates_in_range(const image_database& db,
+                               std::span<const image_id> candidates) {
+  for (image_id id : candidates) {
+    if (id >= db.size()) {
+      throw std::out_of_range("search_candidates: id " + std::to_string(id) +
+                              " out of range");
+    }
+  }
 }
 
 }  // namespace
@@ -257,14 +281,9 @@ std::vector<query_result> search_candidates(const image_database& db,
                                             std::span<const image_id> candidates,
                                             const query_options& options,
                                             search_stats* stats) {
-  for (image_id id : candidates) {
-    if (id >= db.size()) {
-      throw std::out_of_range("search_candidates: id " + std::to_string(id) +
-                              " out of range");
-    }
-  }
-  return scan_candidates(db, query_strings, candidates, nullptr, nullptr,
-                         options, stats);
+  check_candidates_in_range(db, candidates);
+  return detail::scan_shard(db, query_strings, candidates, {}, nullptr,
+                            nullptr, options, nullptr, stats);
 }
 
 std::vector<query_result> search(const image_database& db,
@@ -276,13 +295,63 @@ std::vector<query_result> search(const image_database& db,
   return search(db, strings, symbols, options, stats);
 }
 
+namespace detail {
+
+std::vector<query_plan> make_plans(std::span<const be_string2d> queries,
+                                   const query_options& options) {
+  const bool want_histograms = pruning_applies(options);
+  const bool want_transforms = options.transform_invariant;
+  std::vector<query_plan> plans(queries.size());
+  parallel_for(queries.size(), options.threads, [&](std::size_t i) {
+    if (want_histograms) plans[i].histograms = make_histograms(queries[i]);
+    if (want_transforms) plans[i].transforms = precompute_transforms(queries[i]);
+  });
+  return plans;
+}
+
+encoded_queries encode_queries(std::span<const symbolic_image> queries,
+                               unsigned threads) {
+  encoded_queries out;
+  out.strings.resize(queries.size());
+  out.symbols.resize(queries.size());
+  parallel_for(queries.size(), threads, [&](std::size_t i) {
+    out.strings[i] = encode(queries[i]);
+    out.symbols[i] = distinct_symbols(queries[i]);
+  });
+  return out;
+}
+
+}  // namespace detail
+
 namespace {
 
-// Precomputed per-query scan state for a batch.
-struct query_plan {
-  be_histogram2d histograms;
-  query_transforms transforms;
-};
+using detail::make_plans;
+using detail::query_plan;
+
+// Drives `run_one(i, per_query_options)` over every query of a batch. The
+// batch used to walk queries one after another, each scan fanning its
+// candidates over all threads — so the batch tail was serialized behind
+// whichever query happened to be slow. Now the queries themselves are work
+// items on parallel_for's dynamic queue (chunk = 1: a worker claims ONE
+// query at a time), with the thread budget split between query-level and
+// candidate-level parallelism. A slow query occupies one worker while the
+// others drain the rest of the batch; results are identical either way
+// because every scan is thread-count-invariant by construction.
+void for_each_query(
+    std::size_t count, const query_options& options,
+    const std::function<void(std::size_t, const query_options&)>& run_one) {
+  if (count <= 1 || options.threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) run_one(i, options);
+    return;
+  }
+  const unsigned outer = static_cast<unsigned>(
+      std::min<std::size_t>(options.threads, count));
+  query_options per_query = options;
+  per_query.threads = std::max(1u, options.threads / outer);
+  parallel_for(
+      count, outer, [&](std::size_t i) { run_one(i, per_query); },
+      /*chunk=*/1);
+}
 
 std::vector<std::vector<query_result>> batch_impl(
     const image_database& db, std::span<const be_string2d> queries,
@@ -292,25 +361,23 @@ std::vector<std::vector<query_result>> batch_impl(
     throw std::invalid_argument(
         "search_batch: queries and query_symbols sizes differ");
   }
-  const bool want_histograms = pruning_applies(options);
+  const bool want_histograms = detail::pruning_applies(options);
   const bool want_transforms = options.transform_invariant;
-  std::vector<query_plan> plans(queries.size());
-  parallel_for(queries.size(), options.threads, [&](std::size_t i) {
-    if (want_histograms) plans[i].histograms = make_histograms(queries[i]);
-    if (want_transforms) plans[i].transforms = precompute_transforms(queries[i]);
-  });
+  const std::vector<query_plan> plans = make_plans(queries, options);
 
   if (stats != nullptr) {
     stats->assign(queries.size(), search_stats{});
   }
   std::vector<std::vector<query_result>> results(queries.size());
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    results[i] = search_impl(
-        db, queries[i], query_symbols[i],
-        want_histograms ? &plans[i].histograms : nullptr,
-        want_transforms ? &plans[i].transforms : nullptr, options,
-        stats != nullptr ? &(*stats)[i] : nullptr);
-  }
+  for_each_query(
+      queries.size(), options,
+      [&](std::size_t i, const query_options& per_query) {
+        results[i] = search_impl(
+            db, queries[i], query_symbols[i],
+            want_histograms ? &plans[i].histograms : nullptr,
+            want_transforms ? &plans[i].transforms : nullptr, per_query,
+            stats != nullptr ? &(*stats)[i] : nullptr);
+      });
   return results;
 }
 
@@ -326,13 +393,40 @@ std::vector<std::vector<query_result>> search_batch(
 std::vector<std::vector<query_result>> search_batch(
     const image_database& db, std::span<const symbolic_image> queries,
     const query_options& options, std::vector<search_stats>* stats) {
-  std::vector<be_string2d> strings(queries.size());
-  std::vector<std::vector<symbol_id>> symbols(queries.size());
-  parallel_for(queries.size(), options.threads, [&](std::size_t i) {
-    strings[i] = encode(queries[i]);
-    symbols[i] = distinct_symbols(queries[i]);
-  });
-  return batch_impl(db, strings, symbols, options, stats);
+  const detail::encoded_queries encoded =
+      detail::encode_queries(queries, options.threads);
+  return batch_impl(db, encoded.strings, encoded.symbols, options, stats);
+}
+
+std::vector<std::vector<query_result>> search_batch_candidates(
+    const image_database& db, std::span<const be_string2d> queries,
+    std::span<const std::vector<image_id>> candidates,
+    const query_options& options, std::vector<search_stats>* stats) {
+  if (queries.size() != candidates.size()) {
+    throw std::invalid_argument(
+        "search_batch_candidates: queries and candidates sizes differ");
+  }
+  for (const std::vector<image_id>& set : candidates) {
+    check_candidates_in_range(db, set);
+  }
+  const bool want_histograms = detail::pruning_applies(options);
+  const bool want_transforms = options.transform_invariant;
+  const std::vector<query_plan> plans = make_plans(queries, options);
+
+  if (stats != nullptr) {
+    stats->assign(queries.size(), search_stats{});
+  }
+  std::vector<std::vector<query_result>> results(queries.size());
+  for_each_query(
+      queries.size(), options,
+      [&](std::size_t i, const query_options& per_query) {
+        results[i] = detail::scan_shard(
+            db, queries[i], candidates[i], {},
+            want_histograms ? &plans[i].histograms : nullptr,
+            want_transforms ? &plans[i].transforms : nullptr, per_query,
+            nullptr, stats != nullptr ? &(*stats)[i] : nullptr);
+      });
+  return results;
 }
 
 }  // namespace bes

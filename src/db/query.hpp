@@ -96,4 +96,17 @@ struct search_stats {
     const query_options& options = {},
     std::vector<search_stats>* stats = nullptr);
 
+// Batch counterpart of search_candidates: results[i] ==
+// search_candidates(db, queries[i], candidates[i], options), with per-query
+// precomputation amortized and the queries scheduled on one dynamic work
+// queue. This is how a prefiltered candidate set (e.g. combined_candidates,
+// see db/prefilter.hpp) rides the batch path. The two spans must have equal
+// length; options.use_index is ignored; throws std::out_of_range on any id
+// >= db.size().
+[[nodiscard]] std::vector<std::vector<query_result>> search_batch_candidates(
+    const image_database& db, std::span<const be_string2d> queries,
+    std::span<const std::vector<image_id>> candidates,
+    const query_options& options = {},
+    std::vector<search_stats>* stats = nullptr);
+
 }  // namespace bes

@@ -1,0 +1,420 @@
+#include "db/shard.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "db/scan.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace bes {
+
+// ------------------------------------------------------------- shard_ring
+
+namespace {
+
+// A shard's virtual-node points depend on the shard index ALONE (two
+// SplitMix64 mixes), never on the shard count — the consistent-hashing
+// invariant that makes resizes move only the new/removed shard's arcs.
+std::uint64_t vnode_point(std::size_t shard, std::size_t replica) {
+  return derive_seed(derive_seed(0xBE55A1DBull, shard), replica);
+}
+
+std::uint64_t id_point(image_id id) {
+  return derive_seed(0x1D5EEDull, id);
+}
+
+}  // namespace
+
+shard_ring::shard_ring(std::size_t shard_count, std::size_t replicas)
+    : shards_(shard_count), replicas_(replicas) {
+  if (shard_count == 0) {
+    throw std::invalid_argument("shard_ring: shard_count must be >= 1");
+  }
+  if (replicas == 0) {
+    throw std::invalid_argument("shard_ring: replicas must be >= 1");
+  }
+  ring_.reserve(shard_count * replicas);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    for (std::size_t r = 0; r < replicas; ++r) {
+      ring_.push_back(vnode{vnode_point(s, r), static_cast<std::uint32_t>(s)});
+    }
+  }
+  // The shard tiebreak keeps the ring deterministic even on (astronomically
+  // unlikely) point collisions.
+  std::sort(ring_.begin(), ring_.end(), [](const vnode& a, const vnode& b) {
+    if (a.point != b.point) return a.point < b.point;
+    return a.shard < b.shard;
+  });
+}
+
+std::size_t shard_ring::shard_of(image_id id) const noexcept {
+  const std::uint64_t h = id_point(id);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const vnode& v, std::uint64_t point) { return v.point < point; });
+  return it == ring_.end() ? ring_.front().shard : it->shard;
+}
+
+// -------------------------------------------------------- sharded_database
+
+sharded_database::sharded_database(std::size_t shard_count,
+                                   std::size_t ring_replicas)
+    : ring_(shard_count, ring_replicas) {
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<shard_part>());
+  }
+}
+
+sharded_database::shard_part& sharded_database::route(std::size_t shard) {
+  shard_part& part = *shards_[shard];
+  // Mirror the master alphabet into the shard before the record lands, so
+  // shard-local symbol ids are ALWAYS the master ids (every shard alphabet
+  // is a prefix of the master at all times).
+  for (std::size_t i = part.db.symbols().size(); i < symbols_.size(); ++i) {
+    part.db.symbols().intern(symbols_.names()[i]);
+  }
+  return part;
+}
+
+image_id sharded_database::add(std::string name, symbolic_image image) {
+  const auto global = static_cast<image_id>(locs_.size());
+  const std::size_t shard = ring_.shard_of(global);
+  shard_part& part = route(shard);
+  const image_id local = part.db.add(std::move(name), std::move(image));
+  part.spatial.add_image(local);
+  part.global_ids.push_back(global);
+  locs_.emplace_back(static_cast<std::uint32_t>(shard), local);
+  return global;
+}
+
+image_id sharded_database::add_encoded(std::string name, symbolic_image image,
+                                       be_string2d strings,
+                                       be_histogram2d histograms) {
+  const auto global = static_cast<image_id>(locs_.size());
+  const std::size_t shard = ring_.shard_of(global);
+  shard_part& part = route(shard);
+  const image_id local =
+      part.db.add_encoded(std::move(name), std::move(image),
+                          std::move(strings), std::move(histograms));
+  part.spatial.add_image(local);
+  part.global_ids.push_back(global);
+  locs_.emplace_back(static_cast<std::uint32_t>(shard), local);
+  return global;
+}
+
+const db_record& sharded_database::record(image_id id) const {
+  if (id >= locs_.size()) {
+    throw std::out_of_range("sharded_database: unknown id " +
+                            std::to_string(id));
+  }
+  const auto& [shard, local] = locs_[id];
+  return shards_[shard]->db.record(local);
+}
+
+std::size_t sharded_database::shard_of(image_id id) const {
+  if (id >= locs_.size()) {
+    throw std::out_of_range("sharded_database: unknown id " +
+                            std::to_string(id));
+  }
+  return locs_[id].first;
+}
+
+const image_database& sharded_database::shard_db(std::size_t s) const {
+  return shards_.at(s)->db;
+}
+
+const spatial_index& sharded_database::shard_spatial(std::size_t s) const {
+  return shards_.at(s)->spatial;
+}
+
+std::span<const image_id> sharded_database::shard_global_ids(
+    std::size_t s) const {
+  return shards_.at(s)->global_ids;
+}
+
+std::vector<image_id> sharded_database::candidates(
+    std::span<const symbol_id> query_symbols) const {
+  std::vector<image_id> out;
+  for (const auto& part : shards_) {
+    for (image_id local : part->db.candidates(query_symbols)) {
+      out.push_back(part->global_ids[local]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<image_id> sharded_database::candidates(
+    const symbolic_image& query) const {
+  const auto symbols = distinct_symbols(query);
+  return candidates(symbols);
+}
+
+sharded_database make_sharded(const image_database& db,
+                              std::size_t shard_count,
+                              std::size_t ring_replicas) {
+  sharded_database out(shard_count, ring_replicas);
+  for (const std::string& name : db.symbols().names()) {
+    out.symbols().intern(name);
+  }
+  for (const db_record& rec : db.records()) {
+    out.add_encoded(rec.name, rec.image, rec.strings, rec.histograms);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- query fan-out
+
+namespace {
+
+void accumulate(search_stats& into, const search_stats& part) {
+  into.scanned += part.scanned;
+  into.scored += part.scored;
+  into.pruned += part.pruned;
+  into.band_rejected += part.band_rejected;
+}
+
+// Concatenate per-shard top-k lists and re-rank. Each part is already
+// min_score-filtered and locally truncated; the merge only has to pick the
+// global top_k by the same total order every scan used.
+std::vector<query_result> merge_parts(
+    std::vector<std::vector<query_result>>& parts,
+    const query_options& options) {
+  std::vector<query_result> all;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  all.reserve(total);
+  for (auto& part : parts) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end(), detail::result_better);
+  if (options.top_k != 0 && all.size() > options.top_k) {
+    all.resize(options.top_k);
+  }
+  return all;
+}
+
+// One query fanned over all shards. `local_candidates`, when non-null,
+// replaces the index/full scan with explicit per-shard (local-id) candidate
+// lists. Precomputed `histograms`/`transforms` may be null (computed on
+// demand inside each shard scan — single-query callers precompute them so
+// that happens once, not per shard).
+//
+// When the pruner engages, every shard scan inserts into ONE shared top-k
+// (detail::shared_topk), so the pruning threshold is the running GLOBAL
+// k-th score — the same admissibility and the same pruning power as the
+// unsharded scan, with the per-candidate threshold read served from an
+// atomic. Exhaustive scans have no threshold to share: each shard returns
+// its ranked slice and the merge re-ranks the concatenation.
+std::vector<query_result> fanout_search(
+    const sharded_database& db, const be_string2d& query_strings,
+    std::span<const symbol_id> query_symbols,
+    const std::vector<std::vector<image_id>>* local_candidates,
+    const be_histogram2d* histograms, const query_transforms* transforms,
+    const query_options& options, search_stats* stats) {
+  const std::size_t shards = db.shard_count();
+  const bool pruned = detail::pruning_applies(options);
+  std::optional<detail::shared_topk> shared;
+  if (pruned) shared.emplace(options.top_k, options.min_score);
+  // Thread budget: shard-per-worker first (dynamic, chunk 1), leftover
+  // threads go to candidate-level parallelism inside each scan. With one
+  // shard this degrades to exactly the unsharded scan.
+  const unsigned outer = static_cast<unsigned>(
+      std::max<std::size_t>(1, std::min<std::size_t>(options.threads, shards)));
+  query_options inner = options;
+  inner.threads = std::max(1u, options.threads / outer);
+
+  std::vector<std::vector<query_result>> parts(shards);
+  std::vector<search_stats> part_stats(shards);
+  parallel_for(
+      shards, outer,
+      [&](std::size_t s) {
+        const image_database& shard = db.shard_db(s);
+        const std::vector<image_id> ids =
+            local_candidates != nullptr
+                ? (*local_candidates)[s]
+                : detail::scan_ids(shard, query_symbols, options);
+        parts[s] = detail::scan_shard(
+            shard, query_strings, ids, db.shard_global_ids(s), histograms,
+            transforms, inner, pruned ? &*shared : nullptr, &part_stats[s]);
+      },
+      /*chunk=*/1);
+
+  if (stats != nullptr) {
+    *stats = search_stats{};
+    for (const search_stats& part : part_stats) accumulate(*stats, part);
+  }
+  // Pruned survivors already merged inside the shared heap (sorted,
+  // min_score-filtered, capacity-trimmed); exhaustive parts need the merge.
+  return pruned ? shared->take() : merge_parts(parts, options);
+}
+
+// Per-query state a single fan-out needs at most once: the batch plan
+// machinery over a one-element span, so the engagement rules live in one
+// place (detail::make_plans).
+struct fanout_plan {
+  std::vector<detail::query_plan> plans;
+  const be_histogram2d* histograms_ptr = nullptr;
+  const query_transforms* transforms_ptr = nullptr;
+
+  fanout_plan(const be_string2d& query_strings, const query_options& options)
+      : plans(detail::make_plans({&query_strings, 1}, options)) {
+    if (detail::pruning_applies(options)) {
+      histograms_ptr = &plans[0].histograms;
+    }
+    if (options.transform_invariant) transforms_ptr = &plans[0].transforms;
+  }
+};
+
+}  // namespace
+
+std::vector<query_result> search(const sharded_database& db,
+                                 const be_string2d& query_strings,
+                                 std::span<const symbol_id> query_symbols,
+                                 const query_options& options,
+                                 search_stats* stats) {
+  const fanout_plan plan(query_strings, options);
+  return fanout_search(db, query_strings, query_symbols, nullptr,
+                       plan.histograms_ptr, plan.transforms_ptr, options,
+                       stats);
+}
+
+std::vector<query_result> search(const sharded_database& db,
+                                 const symbolic_image& query,
+                                 const query_options& options,
+                                 search_stats* stats) {
+  const be_string2d strings = encode(query);
+  const std::vector<symbol_id> symbols = distinct_symbols(query);
+  return search(db, strings, symbols, options, stats);
+}
+
+std::vector<query_result> search_candidates(const sharded_database& db,
+                                            const be_string2d& query_strings,
+                                            std::span<const image_id> candidates,
+                                            const query_options& options,
+                                            search_stats* stats) {
+  std::vector<std::vector<image_id>> local(db.shard_count());
+  for (image_id id : candidates) {
+    if (id >= db.size()) {
+      throw std::out_of_range("search_candidates: id " + std::to_string(id) +
+                              " out of range");
+    }
+    const std::size_t s = db.shard_of(id);
+    // record() is the (shard, local) lookup; its id field IS the local id.
+    local[s].push_back(db.record(id).id);
+  }
+  const fanout_plan plan(query_strings, options);
+  return fanout_search(db, query_strings, {}, &local, plan.histograms_ptr,
+                       plan.transforms_ptr, options, stats);
+}
+
+std::vector<std::vector<query_result>> search_batch(
+    const sharded_database& db, std::span<const be_string2d> queries,
+    std::span<const std::vector<symbol_id>> query_symbols,
+    const query_options& options, std::vector<search_stats>* stats) {
+  if (queries.size() != query_symbols.size()) {
+    throw std::invalid_argument(
+        "search_batch: queries and query_symbols sizes differ");
+  }
+  const std::size_t nq = queries.size();
+  const std::size_t shards = db.shard_count();
+  const bool pruned = detail::pruning_applies(options);
+  const bool want_transforms = options.transform_invariant;
+  const std::vector<detail::query_plan> plans =
+      detail::make_plans(queries, options);
+
+  // Every (query, shard) pair is one item on a single dynamic work queue
+  // (chunk 1): workers drain whole shard-scans one at a time, so neither a
+  // slow query nor a hot shard strands the batch tail behind it. Scans of
+  // the same query share that query's running top-k exactly as in the
+  // single-query fan-out (heaps exist only when the pruner engages; the
+  // exhaustive path merges per-shard parts instead).
+  std::deque<detail::shared_topk> shared;
+  for (std::size_t i = 0; pruned && i < nq; ++i) {
+    shared.emplace_back(options.top_k, options.min_score);
+  }
+  std::vector<std::vector<std::vector<query_result>>> parts(
+      nq, std::vector<std::vector<query_result>>(shards));
+  std::vector<std::vector<search_stats>> part_stats(
+      nq, std::vector<search_stats>(shards));
+  // Small batches on few shards can have fewer work items than threads;
+  // the leftover budget goes inside each scan instead of idling.
+  const unsigned outer = static_cast<unsigned>(std::max<std::size_t>(
+      1, std::min<std::size_t>(options.threads, nq * shards)));
+  query_options inner = options;
+  inner.threads = std::max(1u, options.threads / outer);
+  parallel_for(
+      nq * shards, options.threads,
+      [&](std::size_t item) {
+        const std::size_t q = item / shards;
+        const std::size_t s = item % shards;
+        const image_database& shard = db.shard_db(s);
+        const std::vector<image_id> ids =
+            detail::scan_ids(shard, query_symbols[q], options);
+        parts[q][s] = detail::scan_shard(
+            shard, queries[q], ids, db.shard_global_ids(s),
+            pruned ? &plans[q].histograms : nullptr,
+            want_transforms ? &plans[q].transforms : nullptr, inner,
+            pruned ? &shared[q] : nullptr, &part_stats[q][s]);
+      },
+      /*chunk=*/1);
+
+  if (stats != nullptr) stats->assign(nq, search_stats{});
+  std::vector<std::vector<query_result>> results(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    results[q] = pruned ? shared[q].take() : merge_parts(parts[q], options);
+    if (stats != nullptr) {
+      for (const search_stats& part : part_stats[q]) {
+        accumulate((*stats)[q], part);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<std::vector<query_result>> search_batch(
+    const sharded_database& db, std::span<const symbolic_image> queries,
+    const query_options& options, std::vector<search_stats>* stats) {
+  const detail::encoded_queries encoded =
+      detail::encode_queries(queries, options.threads);
+  return search_batch(db, encoded.strings, encoded.symbols, options, stats);
+}
+
+// ------------------------------------------------------- prefilter fan-out
+
+std::vector<image_id> window_candidates(const sharded_database& db,
+                                        const symbolic_image& query, int pad) {
+  std::vector<image_id> out;
+  for (std::size_t s = 0; s < db.shard_count(); ++s) {
+    const std::span<const image_id> globals = db.shard_global_ids(s);
+    for (image_id local : window_candidates(db.shard_spatial(s), query, pad)) {
+      out.push_back(globals[local]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<image_id> combined_candidates(const sharded_database& db,
+                                          const symbolic_image& query,
+                                          int pad) {
+  // Shards partition the record set, so the union of per-shard
+  // intersections IS the global index ∩ window intersection.
+  std::vector<image_id> out;
+  for (std::size_t s = 0; s < db.shard_count(); ++s) {
+    const std::span<const image_id> globals = db.shard_global_ids(s);
+    for (image_id local :
+         combined_candidates(db.shard_db(s), db.shard_spatial(s), query, pad)) {
+      out.push_back(globals[local]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bes

@@ -1,0 +1,412 @@
+#include "db/shard_storage.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/checksum.hpp"
+
+namespace bes {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[noreturn]] void bad_manifest(const fs::path& path,
+                               const std::string& detail) {
+  throw std::runtime_error("besdb: bad sharded corpus " + path.string() +
+                           ": " + detail);
+}
+
+std::string shard_file_name(std::size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "shard-%04zu.bseg", shard);
+  return buf;
+}
+
+// Resolves `path` (manifest file or corpus directory) to the manifest file.
+fs::path manifest_path_of(const fs::path& path) {
+  if (fs::is_directory(path)) return path / shard_manifest_name;
+  return path;
+}
+
+}  // namespace
+
+shard_manifest read_shard_manifest(const fs::path& path) {
+  const fs::path manifest_path = manifest_path_of(path);
+  std::ifstream in(manifest_path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("besdb: cannot open " + manifest_path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  // The check line covers every byte before it; find it from the back so a
+  // (hypothetical) file name containing "check" cannot confuse the parse.
+  const std::string marker = "\ncheck ";
+  const std::size_t at = content.rfind(marker);
+  if (at == std::string::npos) {
+    bad_manifest(manifest_path, "missing check line");
+  }
+  const std::size_t covered = at + 1;  // includes the newline before "check"
+  char* end = nullptr;
+  const std::string hex = content.substr(covered + 6);
+  const unsigned long recorded = std::strtoul(hex.c_str(), &end, 16);
+  if (end == hex.c_str()) bad_manifest(manifest_path, "malformed check line");
+  // The CRC only covers bytes BEFORE the check line, so anything after the
+  // hex digits other than one newline is unverifiable junk — reject it
+  // (e.g. a partially doubled manifest from an interrupted copy).
+  const std::string_view after_hex(end);
+  if (!after_hex.empty() && after_hex != "\n" && after_hex != "\r\n") {
+    bad_manifest(manifest_path, "trailing bytes after the check line");
+  }
+  if (static_cast<std::uint32_t>(recorded) !=
+      crc32(content.data(), covered)) {
+    bad_manifest(manifest_path, "manifest checksum mismatch");
+  }
+
+  std::istringstream text(content.substr(0, covered));
+  std::string magic;
+  if (!std::getline(text, magic) || magic != "SCRP1") {
+    bad_manifest(manifest_path, "bad magic");
+  }
+  shard_manifest manifest;
+  std::string keyword;
+  // Sanity caps: a CRC-valid but bogus manifest must still fail closed
+  // with a runtime_error, not a ~terabyte resize or an unbounded
+  // ring-construction loop. Both limits are far beyond any real corpus.
+  constexpr std::size_t max_shards = 1u << 16;
+  constexpr std::size_t max_replicas = 1u << 12;
+  if (!(text >> keyword >> manifest.shard_count) || keyword != "shards" ||
+      manifest.shard_count == 0 || manifest.shard_count > max_shards) {
+    bad_manifest(manifest_path, "missing or implausible shards line");
+  }
+  if (!(text >> keyword >> manifest.ring_replicas) || keyword != "replicas" ||
+      manifest.ring_replicas == 0 || manifest.ring_replicas > max_replicas) {
+    bad_manifest(manifest_path, "missing or implausible replicas line");
+  }
+  if (!(text >> keyword >> manifest.images) || keyword != "images") {
+    bad_manifest(manifest_path, "missing images line");
+  }
+  manifest.shards.resize(manifest.shard_count);
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < manifest.shard_count; ++s) {
+    std::size_t index = 0;
+    shard_manifest_entry entry;
+    if (!(text >> keyword >> index >> entry.file >> entry.images) ||
+        keyword != "shard" || index != s) {
+      bad_manifest(manifest_path,
+                   "bad shard line " + std::to_string(s));
+    }
+    // Segment names must stay inside the corpus directory.
+    if (entry.file.empty() || entry.file.find('/') != std::string::npos ||
+        entry.file.find('\\') != std::string::npos || entry.file[0] == '.') {
+      bad_manifest(manifest_path, "segment name '" + entry.file +
+                                      "' escapes the corpus directory");
+    }
+    total += entry.images;
+    manifest.shards[s] = std::move(entry);
+  }
+  std::string rest;
+  if (text >> rest) bad_manifest(manifest_path, "trailing content");
+  if (total != manifest.images) {
+    bad_manifest(manifest_path, "shard image counts do not sum to the total");
+  }
+  return manifest;
+}
+
+bool is_sharded_corpus(const fs::path& path) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    return fs::exists(path / shard_manifest_name, ec);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[6] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() >= 6 && std::string_view(magic, 6) == "SCRP1\n";
+}
+
+// ----------------------------------------------------------- shard_writer
+
+namespace {
+
+// True for names of the form shard-<digits>.bseg — the only segment names
+// this writer ever emits (4+ digits: %04zu is a MINIMUM width), and
+// therefore the only files it may clean up.
+bool is_shard_segment_name(const std::string& name) {
+  constexpr std::string_view prefix = "shard-";
+  constexpr std::string_view suffix = ".bseg";
+  if (name.size() < prefix.size() + 4 + suffix.size() ||
+      name.rfind(prefix, 0) != 0 ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+shard_writer::shard_writer(const fs::path& dir, std::size_t shard_count,
+                           std::size_t ring_replicas)
+    : dir_(dir),
+      ring_(shard_count, ring_replicas),
+      uncaught_at_ctor_(std::uncaught_exceptions()) {
+  fs::create_directories(dir_);
+  // Writing into an existing corpus directory with FEWER shards must not
+  // leave the old higher-numbered segments behind (a stale shard-0007.bseg
+  // next to a 2-shard manifest is dead weight and confuses any tool that
+  // sums the directory). Only this writer's own naming pattern is touched.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.is_regular_file() &&
+        is_shard_segment_name(entry.path().filename().string())) {
+      fs::remove(entry.path());
+    }
+  }
+  writers_.reserve(shard_count);
+  per_shard_.assign(shard_count, 0);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    writers_.push_back(
+        std::make_unique<segment_writer>(dir_ / shard_file_name(s)));
+  }
+}
+
+shard_writer::~shard_writer() {
+  // After a failed append, or while unwinding from any other exception, do
+  // NOT write footers + a CRC-valid manifest: that would legitimize a
+  // partial corpus that loads cleanly at a smaller size. Left unfinished,
+  // any stale manifest disagrees with the footerless segments and every
+  // load fails closed instead.
+  if (!finished_ && !failed_ &&
+      std::uncaught_exceptions() == uncaught_at_ctor_) {
+    try {
+      finish();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // Destructors must not throw; call finish() explicitly to observe
+      // write failures.
+    }
+  }
+}
+
+image_id shard_writer::append(const db_record& rec, const alphabet& symbols) {
+  if (finished_ || failed_) {
+    throw std::runtime_error("besdb: append after " +
+                             std::string(failed_ ? "a failed append" : "finish") +
+                             " on " + dir_.string());
+  }
+  const auto global = static_cast<image_id>(next_global_);
+  const std::size_t s = ring_.shard_of(global);
+  try {
+    writers_[s]->append(rec, symbols);
+  } catch (...) {
+    // A record failed to land: latch the failure so nothing (not even the
+    // destructor) finalizes this partial corpus into a loadable one.
+    failed_ = true;
+    throw;
+  }
+  ++per_shard_[s];
+  ++next_global_;
+  return global;
+}
+
+image_id shard_writer::append(std::string name, symbolic_image image,
+                              const alphabet& symbols) {
+  be_string2d strings = encode(image);
+  be_histogram2d histograms = make_histograms(strings);
+  const db_record rec{0, std::move(name), std::move(image),
+                      std::move(strings), std::move(histograms)};
+  return append(rec, symbols);
+}
+
+void shard_writer::finish() {
+  if (finished_) return;
+  if (failed_) {
+    throw std::runtime_error("besdb: cannot finalize " + dir_.string() +
+                             " after a failed append");
+  }
+  for (const auto& writer : writers_) writer->finish();
+
+  std::ostringstream body;
+  body << "SCRP1\n";
+  body << "shards " << ring_.shard_count() << '\n';
+  body << "replicas " << ring_.replicas() << '\n';
+  body << "images " << next_global_ << '\n';
+  for (std::size_t s = 0; s < ring_.shard_count(); ++s) {
+    body << "shard " << s << ' ' << shard_file_name(s) << ' ' << per_shard_[s]
+         << '\n';
+  }
+  const std::string text = body.str();
+  char check[16];
+  std::snprintf(check, sizeof check, "%08x", crc32(text.data(), text.size()));
+
+  const fs::path manifest_path = dir_ / shard_manifest_name;
+  std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+  out << text << "check " << check << '\n';
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("besdb: write failed for " +
+                             manifest_path.string());
+  }
+  finished_ = true;
+}
+
+// ----------------------------------------------------------------- loaders
+
+namespace {
+
+// An opened corpus: verified manifest, one reader per shard segment, and
+// the merged master symbol list.
+struct open_corpus {
+  fs::path manifest_path;
+  shard_manifest manifest;
+  shard_ring ring;
+  std::vector<std::unique_ptr<segment_reader>> readers;
+  std::vector<std::string> symbols;  // union, prefix-verified
+  // recover_tail mode: a shard segment that lost its tail may hold fewer
+  // records than the manifest promises; the missing globals are skipped
+  // (and ids re-densified by the caller's add order). The manifest itself
+  // has no recovery path — it is tiny and regenerated by any reshard.
+  bool allow_loss = false;
+};
+
+open_corpus open_sharded(const fs::path& path,
+                         const segment_read_options& options) {
+  open_corpus corpus{manifest_path_of(path),
+                     read_shard_manifest(path),
+                     shard_ring(1),
+                     {},
+                     {},
+                     options.recover_tail};
+  const shard_manifest& manifest = corpus.manifest;
+  corpus.ring = shard_ring(manifest.shard_count, manifest.ring_replicas);
+  const fs::path dir = corpus.manifest_path.parent_path();
+
+  corpus.readers.reserve(manifest.shard_count);
+  for (std::size_t s = 0; s < manifest.shard_count; ++s) {
+    // A missing or corrupt segment throws here, naming the file.
+    corpus.readers.push_back(std::make_unique<segment_reader>(
+        dir / manifest.shards[s].file, options));
+    const std::uint64_t held = corpus.readers[s]->image_count();
+    const std::uint64_t expected = manifest.shards[s].images;
+    const bool salvaged_short = corpus.allow_loss &&
+                                corpus.readers[s]->recovered() &&
+                                held < expected;
+    if (held != expected && !salvaged_short) {
+      bad_manifest(corpus.manifest_path,
+                   "segment " + manifest.shards[s].file + " holds " +
+                       std::to_string(held) + " images, manifest says " +
+                       std::to_string(expected));
+    }
+  }
+
+  // Shards intern from one shared alphabet at different moments, so every
+  // per-segment symbol list must be a prefix of the longest one; the
+  // longest IS the master list.
+  for (const auto& reader : corpus.readers) {
+    if (reader->symbol_names().size() > corpus.symbols.size()) {
+      corpus.symbols = reader->symbol_names();
+    }
+  }
+  for (std::size_t s = 0; s < corpus.readers.size(); ++s) {
+    const std::vector<std::string>& names = corpus.readers[s]->symbol_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] != corpus.symbols[i]) {
+        bad_manifest(corpus.manifest_path,
+                     "segment " + manifest.shards[s].file +
+                         " disagrees with the corpus alphabet at symbol " +
+                         std::to_string(i));
+      }
+    }
+  }
+  return corpus;
+}
+
+// Walks records in GLOBAL id order: global id g lives at the next unread
+// position of shard ring.shard_of(g). `install` receives each materialized
+// record; a cursor overrun means the manifest's ring parameters do not
+// reproduce the writer's assignment.
+template <typename Install>
+void for_each_global(const open_corpus& corpus, const Install& install) {
+  std::vector<std::size_t> cursor(corpus.manifest.shard_count, 0);
+  for (std::uint64_t g = 0; g < corpus.manifest.images; ++g) {
+    const std::size_t s = corpus.ring.shard_of(static_cast<image_id>(g));
+    if (cursor[s] >= corpus.readers[s]->image_count()) {
+      // A salvaged shard lost its tail: these globals are gone, skip them.
+      if (corpus.allow_loss && corpus.readers[s]->recovered()) continue;
+      bad_manifest(corpus.manifest_path,
+                   "ring assignment does not match segment " +
+                       corpus.manifest.shards[s].file);
+    }
+    install(corpus.readers[s]->read_image(cursor[s]++));
+  }
+  for (std::size_t s = 0; s < cursor.size(); ++s) {
+    if (cursor[s] != corpus.readers[s]->image_count()) {
+      bad_manifest(corpus.manifest_path,
+                   "segment " + corpus.manifest.shards[s].file +
+                       " holds records the ring never assigned to it");
+    }
+  }
+}
+
+}  // namespace
+
+sharded_database load_sharded_corpus(const fs::path& path,
+                                     segment_read_options options) {
+  const open_corpus corpus = open_sharded(path, options);
+  sharded_database db(corpus.manifest.shard_count,
+                      corpus.manifest.ring_replicas);
+  for (const std::string& name : corpus.symbols) db.symbols().intern(name);
+  for_each_global(corpus, [&](segment_image record) {
+    db.add_encoded(std::move(record.name), std::move(record.image),
+                   std::move(record.strings), std::move(record.histograms));
+  });
+  return db;
+}
+
+image_database load_sharded_flat(const fs::path& path,
+                                 segment_read_options options) {
+  const open_corpus corpus = open_sharded(path, options);
+  image_database db;
+  for (const std::string& name : corpus.symbols) db.symbols().intern(name);
+  db.reserve(static_cast<std::size_t>(corpus.manifest.images));
+  for_each_global(corpus, [&](segment_image record) {
+    db.add_encoded(std::move(record.name), std::move(record.image),
+                   std::move(record.strings), std::move(record.histograms));
+  });
+  return db;
+}
+
+void save_sharded(const image_database& db, const fs::path& dir,
+                  std::size_t shard_count, std::size_t ring_replicas) {
+  shard_writer writer(dir, shard_count, ring_replicas);
+  for (const db_record& rec : db.records()) writer.append(rec, db.symbols());
+  writer.finish();
+}
+
+void reshard(const fs::path& src, const fs::path& dst,
+             std::size_t new_shard_count, segment_read_options options) {
+  if (fs::weakly_canonical(src) == fs::weakly_canonical(dst)) {
+    throw std::runtime_error(
+        "besdb: reshard needs a destination different from the source");
+  }
+  const open_corpus corpus = open_sharded(src, options);
+  alphabet symbols;
+  for (const std::string& name : corpus.symbols) symbols.intern(name);
+  shard_writer writer(dst, new_shard_count, corpus.manifest.ring_replicas);
+  for_each_global(corpus, [&](segment_image record) {
+    const db_record rec{0, std::move(record.name), std::move(record.image),
+                        std::move(record.strings),
+                        std::move(record.histograms)};
+    writer.append(rec, symbols);
+  });
+  writer.finish();
+}
+
+}  // namespace bes

@@ -1,0 +1,147 @@
+// SCRP1 — the sharded corpus directory format (ROADMAP "shard a corpus
+// across many segments"). A corpus is a directory of per-shard BSEG1
+// segments plus a CRC-checked manifest mapping shard -> segment:
+//
+//   corpus.scrp/
+//     manifest.scrp       SCRP1 manifest (below)
+//     shard-0000.bseg     BSEG1 segment of shard 0 (db/segment.hpp)
+//     shard-0001.bseg     ...
+//
+// The manifest is line-oriented:
+//
+//   SCRP1
+//   shards <N>
+//   replicas <R>          (consistent-hash ring virtual nodes per shard)
+//   images <total>
+//   shard <i> <file> <image-count>     (N lines, i = 0..N-1)
+//   check <crc32 hex of every preceding byte>
+//
+// Global ids are NOT stored: records stream to shards in global-id order,
+// so shard s holds exactly the ids g with ring.shard_of(g) == s, in
+// ascending order — the (shards, replicas, images) triple reconstructs the
+// whole assignment, and loaders verify it against the per-segment record
+// counts. Each shard's segment carries its own footer index and per-record
+// CRCs; opening a corpus merges the per-shard footers into one sharded (or
+// one flat) database.
+//
+// The streaming shard_writer appends records as they arrive — one open
+// segment_writer per shard, symbol deltas emitted as the shared alphabet
+// grows — so a corpus that never fits in memory can still be written in one
+// pass.
+#pragma once
+
+#include <filesystem>
+
+#include "db/segment.hpp"
+#include "db/shard.hpp"
+
+namespace bes {
+
+// Shard count used when a caller asks for "a sharded corpus" without
+// choosing (save_database with db_format::sharded).
+inline constexpr std::size_t default_shard_count = 8;
+inline constexpr std::size_t default_ring_replicas = 64;
+// The manifest's file name inside a corpus directory.
+inline constexpr const char* shard_manifest_name = "manifest.scrp";
+
+struct shard_manifest_entry {
+  std::string file;           // segment file name, relative to the directory
+  std::uint64_t images = 0;   // image records in that segment
+};
+
+struct shard_manifest {
+  std::size_t shard_count = 0;
+  std::size_t ring_replicas = 0;
+  std::uint64_t images = 0;
+  std::vector<shard_manifest_entry> shards;  // indexed by shard
+};
+
+// Reads and CRC-verifies the manifest; `path` may be the manifest file or
+// the corpus directory. Throws std::runtime_error on I/O failure, malformed
+// content, a checksum mismatch, or entries that disagree (counts that do
+// not sum, segment names escaping the directory, ...).
+[[nodiscard]] shard_manifest read_shard_manifest(
+    const std::filesystem::path& path);
+
+// True when `path` looks like an SCRP1 corpus: a directory containing a
+// manifest, or a file starting with the SCRP1 magic. Never throws.
+[[nodiscard]] bool is_sharded_corpus(const std::filesystem::path& path);
+
+// Streams records into a sharded corpus. Creates the directory and one
+// segment_writer per shard up front; every append routes one record to its
+// shard by consistent hash of the NEXT global id (the arrival index) and
+// writes it straight through — nothing but per-segment footer offsets is
+// held in memory, so the corpus size is unbounded. All errors throw
+// std::runtime_error.
+class shard_writer {
+ public:
+  shard_writer(const std::filesystem::path& dir, std::size_t shard_count,
+               std::size_t ring_replicas = default_ring_replicas);
+  ~shard_writer();
+
+  shard_writer(const shard_writer&) = delete;
+  shard_writer& operator=(const shard_writer&) = delete;
+
+  // Appends one record (its global id is returned). `symbols` is the shared
+  // alphabet, which may still be growing: each shard's segment records
+  // symbol deltas on its own schedule.
+  image_id append(const db_record& rec, const alphabet& symbols);
+  // Convenience: encodes the image and builds its pruner histograms, then
+  // routes as above.
+  image_id append(std::string name, symbolic_image image,
+                  const alphabet& symbols);
+
+  // Finishes every segment (footers) and writes the manifest. Called by the
+  // destructor if needed, but call it explicitly to observe write failures.
+  void finish();
+
+  [[nodiscard]] std::size_t images_written() const noexcept {
+    return static_cast<std::size_t>(next_global_);
+  }
+
+ private:
+  std::filesystem::path dir_;
+  shard_ring ring_;
+  std::vector<std::unique_ptr<segment_writer>> writers_;
+  std::vector<std::uint64_t> per_shard_;
+  std::uint64_t next_global_ = 0;
+  // Exceptions in flight at construction: the destructor must NOT finalize
+  // (and so legitimize, via a CRC-valid manifest) a corpus whose write was
+  // cut short by an exception — see ~shard_writer.
+  int uncaught_at_ctor_ = 0;
+  // Latched by a throwing append: once any record failed to land, neither
+  // the destructor nor an explicit finish() may write the manifest.
+  bool failed_ = false;
+  bool finished_ = false;
+};
+
+// Opens an SCRP1 corpus (manifest file or directory) into a
+// sharded_database: per-shard segments materialize through the pre-encoded
+// bulk-load path, per-shard R-trees build in the same pass, and the global
+// id assignment is reconstructed from the manifest's ring parameters and
+// verified against every segment's record count. `options.recover_tail`
+// applies per shard segment.
+[[nodiscard]] sharded_database load_sharded_corpus(
+    const std::filesystem::path& path, segment_read_options options = {});
+
+// Same corpus, materialized FLAT into one image_database in global-id
+// order — so a corpus written from a database round-trips to an equal
+// database (the load_database autodetect path for SCRP1).
+[[nodiscard]] image_database load_sharded_flat(
+    const std::filesystem::path& path, segment_read_options options = {});
+
+// Streams every record of `db` through a shard_writer into `dir`.
+void save_sharded(const image_database& db, const std::filesystem::path& dir,
+                  std::size_t shard_count,
+                  std::size_t ring_replicas = default_ring_replicas);
+
+// Streams corpus `src` into a fresh corpus at `dst` with `new_shard_count`
+// shards (besdb shard split/merge): records flow one at a time from the
+// source segments into the new shard_writer, so a reshard never
+// materializes the corpus either. Global ids (and so the flat view) are
+// preserved; consistent hashing keeps all but ~|moved arcs|/ring of the
+// records in a same-index shard. `dst` must differ from `src`.
+void reshard(const std::filesystem::path& src, const std::filesystem::path& dst,
+             std::size_t new_shard_count, segment_read_options options = {});
+
+}  // namespace bes

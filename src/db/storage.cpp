@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "db/segment.hpp"
+#include "db/shard_storage.hpp"
 
 namespace bes {
 
@@ -141,7 +142,7 @@ image_database load_text(const std::filesystem::path& path) {
 }  // namespace
 
 void save_database(const image_database& db, const std::filesystem::path& path,
-                   db_format format) {
+                   db_format format, std::size_t shard_count) {
   switch (format) {
     case db_format::text:
       save_text(db, path);
@@ -149,11 +150,20 @@ void save_database(const image_database& db, const std::filesystem::path& path,
     case db_format::binary:
       save_segment(db, path);
       return;
+    case db_format::sharded:
+      save_sharded(db, path,
+                   shard_count == 0 ? default_shard_count : shard_count);
+      return;
   }
   throw std::runtime_error("besdb: unknown format");
 }
 
 db_format detect_format(const std::filesystem::path& path) {
+  // A corpus directory (or its manifest) is the SCRP1 sharded layout.
+  if (std::filesystem::is_directory(path)) {
+    if (is_sharded_corpus(path)) return db_format::sharded;
+    malformed(path, "directory without an SCRP1 manifest");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("besdb: cannot open " + path.string());
   char magic[6] = {};
@@ -164,7 +174,11 @@ db_format detect_format(const std::filesystem::path& path) {
   if (in.gcount() >= 6 && std::memcmp(magic, "BESDB ", 6) == 0) {
     return db_format::text;
   }
-  malformed(path, "neither a BESDB text file nor a BSEG1 segment");
+  if (in.gcount() >= 6 && std::memcmp(magic, "SCRP1\n", 6) == 0) {
+    return db_format::sharded;
+  }
+  malformed(path,
+            "neither a BESDB text file, a BSEG1 segment, nor an SCRP1 corpus");
 }
 
 image_database load_database(const std::filesystem::path& path) {
@@ -173,6 +187,8 @@ image_database load_database(const std::filesystem::path& path) {
       return load_segment(path);
     case db_format::text:
       return load_text(path);
+    case db_format::sharded:
+      return load_sharded_flat(path);
   }
   throw std::runtime_error("besdb: unknown format");
 }

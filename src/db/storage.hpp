@@ -21,8 +21,14 @@
 // Binary, `BSEG1` — the append-only mmap segment format of db/segment.hpp:
 // pre-encoded token streams with per-record CRCs, no re-encode on load.
 //
-// load_database autodetects the format from the file magic, so `BESDB 1`
-// files stay loadable forever; save_database picks the format explicitly.
+// Sharded, `SCRP1` — a corpus DIRECTORY of per-shard BSEG1 segments plus a
+// CRC-checked manifest (db/shard_storage.hpp). load_database materializes
+// it flat, in global-id order; use load_sharded_corpus to keep the
+// partitions.
+//
+// load_database autodetects the format from the file magic (or, for a
+// directory, the manifest inside it), so `BESDB 1` files stay loadable
+// forever; save_database picks the format explicitly.
 #pragma once
 
 #include <filesystem>
@@ -32,17 +38,22 @@
 namespace bes {
 
 enum class db_format {
-  text,    // BESDB 1
-  binary,  // BSEG1 (db/segment.hpp)
+  text,     // BESDB 1
+  binary,   // BSEG1 (db/segment.hpp)
+  sharded,  // SCRP1 corpus directory (db/shard_storage.hpp)
 };
 
 // Throws std::runtime_error on I/O failure or malformed content.
+// `shard_count` applies only to db_format::sharded (0 = the default count,
+// see db/shard_storage.hpp); the single-file formats ignore it.
 void save_database(const image_database& db, const std::filesystem::path& path,
-                   db_format format = db_format::text);
+                   db_format format = db_format::text,
+                   std::size_t shard_count = 0);
 [[nodiscard]] image_database load_database(const std::filesystem::path& path);
 
-// The format of an existing file, judged by its magic. Throws
-// std::runtime_error when the file cannot be read or matches neither magic.
+// The format of an existing file (or corpus directory), judged by its
+// magic. Throws std::runtime_error when the path cannot be read or matches
+// no known magic.
 [[nodiscard]] db_format detect_format(const std::filesystem::path& path);
 
 }  // namespace bes

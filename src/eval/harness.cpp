@@ -7,6 +7,7 @@
 #include <string>
 
 #include "db/prefilter.hpp"
+#include "db/shard.hpp"
 
 namespace bes {
 
@@ -92,6 +93,7 @@ std::string eval_cell_config::name() const {
   out += '/';
   out += kernel_name(*this);
   out += "/t" + std::to_string(threads);
+  if (shards > 0) out += "/s" + std::to_string(shards);
   if (batch) out += "/batch";
   return out;
 }
@@ -132,6 +134,28 @@ std::vector<eval_cell_config> default_eval_matrix(unsigned threads) {
     cell.path = scan_path::pruned;
     cell.threads = std::max(1u, threads);
     matrix.push_back(cell);
+  }
+  {  // the combined prefilter through the batch path
+     // (search_batch_candidates): same recall contract as its single-query
+     // cell, batch scheduling covered by the gate
+    eval_cell_config cell;
+    cell.path = scan_path::combined;
+    cell.batch = true;
+    cell.threads = std::max(1u, threads);
+    matrix.push_back(cell);
+  }
+  {  // sharded fan-out cells: serial (deterministic pruned-fraction
+     // anchor), threaded, and batch — all provably identical results
+    eval_cell_config cell;
+    cell.shards = 3;
+    cell.path = scan_path::pruned;
+    matrix.push_back(cell);  // pruned/t1/s3
+    cell.threads = std::max(1u, threads);
+    cell.path = scan_path::exhaustive;
+    matrix.push_back(cell);  // exhaustive/tN/s3
+    cell.path = scan_path::pruned;
+    cell.batch = true;
+    matrix.push_back(cell);  // pruned/tN/s3/batch
   }
   return matrix;
 }
@@ -176,42 +200,75 @@ eval_report run_eval(const eval_corpus& corpus,
     }
   }
 
+  // Sharded views of the corpus, one per distinct shard count in the
+  // matrix (built lazily; record i keeps global id i so rankings compare
+  // 1:1 against the flat database).
+  std::map<std::size_t, sharded_database> sharded_views;
+  auto sharded_view = [&](std::size_t shards) -> const sharded_database& {
+    auto it = sharded_views.find(shards);
+    if (it == sharded_views.end()) {
+      it = sharded_views.emplace(shards, make_sharded(db, shards)).first;
+    }
+    return it->second;
+  };
+
   // Per-query ranked ids of one cell; accumulates scan stats.
   auto run_cell = [&](const eval_cell_config& cell,
                       eval_cell_metrics& metrics) {
     const query_options opts = options_for(cell);
     std::vector<std::vector<std::uint32_t>> ranked(nq);
+    auto absorb = [&metrics](const search_stats& stats) {
+      metrics.scanned += stats.scanned;
+      metrics.scored += stats.scored;
+      metrics.pruned += stats.pruned;
+    };
     if (cell.batch) {
-      if (uses_prefilter(cell.path)) {
+      if (cell.shards > 0 && uses_prefilter(cell.path)) {
         throw std::invalid_argument(
-            "run_eval: batch cells cannot use a prefilter path");
+            "run_eval: sharded batch cells cannot use a prefilter path");
       }
       std::vector<search_stats> stats;
-      const auto results = search_batch(db, strings, symbols, opts, &stats);
+      std::vector<std::vector<query_result>> results;
+      if (uses_prefilter(cell.path)) {
+        // The prefiltered candidate sets ride the batch scheduler.
+        results = search_batch_candidates(
+            db, strings,
+            cell.path == scan_path::rtree ? window_sets : combined_sets, opts,
+            &stats);
+      } else if (cell.shards > 0) {
+        results =
+            search_batch(sharded_view(cell.shards), strings, symbols, opts,
+                         &stats);
+      } else {
+        results = search_batch(db, strings, symbols, opts, &stats);
+      }
       for (std::size_t i = 0; i < nq; ++i) {
         ranked[i] = ids_of(results[i]);
-        metrics.scanned += stats[i].scanned;
-        metrics.scored += stats[i].scored;
-        metrics.pruned += stats[i].pruned;
+        absorb(stats[i]);
       }
       return ranked;
     }
     for (std::size_t i = 0; i < nq; ++i) {
       search_stats stats;
       std::vector<query_result> results;
-      if (cell.path == scan_path::rtree) {
-        results = search_candidates(db, strings[i], window_sets[i], opts,
-                                    &stats);
-      } else if (cell.path == scan_path::combined) {
-        results = search_candidates(db, strings[i], combined_sets[i], opts,
+      const std::span<const image_id> candidate_set =
+          cell.path == scan_path::rtree      ? window_sets[i]
+          : cell.path == scan_path::combined ? combined_sets[i]
+                                             : std::span<const image_id>{};
+      if (cell.shards > 0) {
+        const sharded_database& sharded = sharded_view(cell.shards);
+        results = uses_prefilter(cell.path)
+                      ? search_candidates(sharded, strings[i], candidate_set,
+                                          opts, &stats)
+                      : search(sharded, strings[i], symbols[i], opts, &stats);
+      } else if (uses_prefilter(cell.path)) {
+        results = search_candidates(db, strings[i], candidate_set, opts,
                                     &stats);
       } else {
         results = search(db, strings[i], symbols[i], opts, &stats);
       }
       ranked[i] = ids_of(results);
-      metrics.scanned += stats.scanned;
-      metrics.scored += stats.scored;
-      metrics.pruned += stats.pruned;
+      absorb(stats);
     }
     return ranked;
   };
@@ -224,6 +281,7 @@ eval_report run_eval(const eval_corpus& corpus,
     ref.path = scan_path::exhaustive;
     ref.threads = 1;
     ref.batch = false;
+    ref.shards = 0;
     return ref;
   };
   auto reference_for =

@@ -35,11 +35,17 @@ struct eval_cell_config {
   similarity_options sim;
   bool transform_invariant = false;
   unsigned threads = 1;
-  bool batch = false;  // run through search_batch (exhaustive/pruned/index only)
+  bool batch = false;  // run through search_batch; prefilter paths go
+                       // through search_batch_candidates (no shards)
+  // 0 = the plain image_database; > 0 = fan-out/merge over a
+  // sharded_database with this many consistent-hash partitions (results
+  // are identical by construction — these cells gate that claim).
+  std::size_t shards = 0;
   std::size_t top_k = 10;
 
-  // "path/kernel/tN[/batch]", e.g. "pruned/signed-query/t4". Unique within
-  // default_eval_matrix; the report and baseline key cells by it.
+  // "path/kernel/tN[/sS][/batch]", e.g. "pruned/signed-query/t4/s3".
+  // Unique within default_eval_matrix; the report and baseline key cells
+  // by it.
   [[nodiscard]] std::string name() const;
 
   friend bool operator==(const eval_cell_config&,
@@ -60,6 +66,16 @@ struct eval_cell_metrics {
   std::size_t scored = 0;
   std::size_t pruned = 0;
 
+  // pruned / scanned (0 when nothing was scanned) — the speedup half of
+  // the pruner's contract. The baseline gates it for serial cells (their
+  // scan order is deterministic): a regression that keeps results but
+  // stops pruning fails by name, not just by wall clock.
+  [[nodiscard]] double pruned_fraction() const noexcept {
+    return scanned == 0 ? 0.0
+                        : static_cast<double>(pruned) /
+                              static_cast<double>(scanned);
+  }
+
   friend bool operator==(const eval_cell_metrics&,
                          const eval_cell_metrics&) = default;
 };
@@ -78,8 +94,10 @@ struct eval_report {
 };
 
 // The default configuration matrix: all 5 access paths × 3 similarity
-// kernels at t1, a transform-invariant exhaustive cell, thread-scaling cells
-// (t`threads`) and batch cells for the paths search_batch supports.
+// kernels at t1, a transform-invariant exhaustive cell, thread-scaling
+// cells (t`threads`), batch cells (including the combined prefilter through
+// search_batch_candidates), and sharded fan-out cells (s3) covering the
+// serial, threaded, and batch sharded scans.
 [[nodiscard]] std::vector<eval_cell_config> default_eval_matrix(
     unsigned threads = 4);
 

@@ -50,6 +50,7 @@ json_value cell_to_json(const eval_cell_result& cell) {
   out.set("transform_invariant", cell.config.transform_invariant);
   out.set("threads", static_cast<std::size_t>(cell.config.threads));
   out.set("batch", cell.config.batch);
+  out.set("shards", cell.config.shards);
   out.set("top_k", cell.config.top_k);
   out.set("p_at_1", cell.metrics.p_at_1);
   out.set("p_at_10", cell.metrics.p_at_10);
@@ -59,6 +60,7 @@ json_value cell_to_json(const eval_cell_result& cell) {
   out.set("scanned", cell.metrics.scanned);
   out.set("scored", cell.metrics.scored);
   out.set("pruned", cell.metrics.pruned);
+  out.set("pruned_fraction", cell.metrics.pruned_fraction());
   return out;
 }
 
@@ -73,6 +75,10 @@ eval_cell_result cell_from_json(const json_value& json) {
   cell.config.threads =
       static_cast<unsigned>(json.get("threads").as_number());
   cell.config.batch = json.get("batch").as_bool();
+  // Absent in pre-sharding reports; 0 = the flat database.
+  if (const json_value* shards = json.find("shards")) {
+    cell.config.shards = static_cast<std::size_t>(shards->as_number());
+  }
   cell.config.top_k = static_cast<std::size_t>(json.get("top_k").as_number());
   cell.metrics.p_at_1 = json.get("p_at_1").as_number();
   cell.metrics.p_at_10 = json.get("p_at_10").as_number();
@@ -130,6 +136,7 @@ json_value make_baseline(const eval_report& report,
   out.set("schema", baseline_schema);
   out.set("params", params_to_json(report.params));
   out.set("tolerance", policy.tolerance);
+  out.set("pruning_tolerance", policy.pruning_tolerance);
   json_value::array cells;
   cells.reserve(report.cells.size());
   for (const eval_cell_result& cell : report.cells) {
@@ -143,6 +150,12 @@ json_value make_baseline(const eval_report& report,
             : std::min(1.0, 1.0 - cell.metrics.recall_vs_exhaustive +
                                 policy.prefilter_headroom);
     c.set("recall_budget", budget);
+    // Serial pruning cells also gate their pruned fraction: deterministic
+    // scan order makes the measured fraction reproducible, so losing it
+    // means the pruner stopped working, not that a race went differently.
+    if (cell.config.threads == 1 && cell.metrics.pruned_fraction() > 0.0) {
+      c.set("pruned_floor", cell.metrics.pruned_fraction());
+    }
     cells.push_back(std::move(c));
   }
   out.set("cells", std::move(cells));
@@ -207,6 +220,26 @@ gate_result check_against_baseline(const eval_report& report,
                     name.c_str(), got->metrics.recall_vs_exhaustive,
                     1.0 - budget, budget);
       fail(buf);
+    }
+    // The pruning gate: a serial pruning cell whose pruned fraction fell
+    // below its baseline floor lost its speedup even if results held.
+    // (Absent on pre-sharding baselines and on cells that never pruned.)
+    if (const json_value* floor_value = want.find("pruned_floor")) {
+      const json_value* tolerance_value = baseline.find("pruning_tolerance");
+      const double pruning_tolerance =
+          tolerance_value != nullptr ? tolerance_value->as_number() : 0.5;
+      const double floor = floor_value->as_number() * (1.0 - pruning_tolerance);
+      const double fraction = got->metrics.pruned_fraction();
+      if (fraction < floor) {
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "%s: pruned_fraction dropped to %.4f (floor %.4f = "
+                      "baseline %.4f x (1 - pruning_tolerance %.2f)): "
+                      "results may match but the pruning speedup is gone",
+                      name.c_str(), fraction, floor,
+                      floor_value->as_number(), pruning_tolerance);
+        fail(buf);
+      }
     }
   }
   return result;

@@ -33,6 +33,14 @@ struct baseline_policy {
   // any divergence from the exhaustive scan is a bug, not a tuning choice.
   // Lossy prefilters get their measured loss plus this headroom.
   double prefilter_headroom = 0.05;
+  // Allowed RELATIVE loss of a serial pruning cell's pruned fraction
+  // (pruned / scanned): 0.5 means the fraction may halve before the gate
+  // fails, whatever its magnitude — so a pruner that stops firing entirely
+  // always trips it. Gated only for threads == 1 cells — their scan order
+  // is deterministic, so the fraction is a stable number, not a race
+  // artifact. This catches the OTHER half of a pruning regression:
+  // results intact, speedup gone.
+  double pruning_tolerance = 0.5;
 };
 
 // A baseline (schema "bes-eval-baseline-v1") from a report: every cell's

@@ -14,8 +14,10 @@ unsigned hardware_threads() noexcept {
 }
 
 void parallel_for(std::size_t count, unsigned threads,
-                  const std::function<void(std::size_t)>& fn) {
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk) {
   if (count == 0) return;
+  if (chunk == 0) chunk = 1;
   if (threads <= 1 || count == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
@@ -28,9 +30,6 @@ void parallel_for(std::size_t count, unsigned threads,
   std::mutex error_mutex;
 
   auto worker = [&] {
-    // Chunk size balances atomic traffic against load balance; scans are
-    // typically thousands of cheap items.
-    constexpr std::size_t chunk = 16;
     for (;;) {
       const std::size_t begin = cursor.fetch_add(chunk);
       if (begin >= count) return;

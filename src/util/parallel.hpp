@@ -10,11 +10,19 @@ namespace bes {
 // `threads` worker threads (dynamic chunking over an atomic cursor, so skewed
 // per-item costs still balance). threads <= 1 runs inline on the caller.
 //
+// `chunk` is how many consecutive indices a worker claims per fetch of the
+// atomic cursor. The default 16 suits scans of thousands of cheap items;
+// pass 1 when each item is itself expensive and skewed (a whole query of a
+// batch, a whole shard of a fan-out) so one slow item can never strand a
+// tail of work behind it. The result of fn is chunk-invariant by contract;
+// only scheduling changes.
+//
 // fn must be safe to invoke concurrently from multiple threads for distinct
 // indices. Exceptions thrown by fn are captured and the first one is
 // rethrown on the caller thread after all workers join.
 void parallel_for(std::size_t count, unsigned threads,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk = 16);
 
 // Number of hardware threads, never less than 1.
 unsigned hardware_threads() noexcept;

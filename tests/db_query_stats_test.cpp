@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "db/prefilter.hpp"
 #include "db/query.hpp"
 #include "util/rng.hpp"
 #include "workload/query_gen.hpp"
@@ -247,6 +248,112 @@ TEST(SearchBatch, TransformInvariantMatchesPerQuerySearch) {
   // The rotated copy is a perfect match for both query orientations.
   ASSERT_FALSE(batched[0].empty());
   EXPECT_DOUBLE_EQ(batched[0][0].score, 1.0);
+}
+
+TEST(SearchBatch, DynamicSchedulingIsThreadAndChunkInvariant) {
+  // The cross-query work queue (ISSUE 5 satellite): however the batch is
+  // carved up — more threads than queries, fewer threads than queries, or
+  // serial — the results must be identical. A scheduling dependence would
+  // show up as a flaky mismatch across these chunkings.
+  const image_database db = sibling_corpus(20);
+  std::vector<symbolic_image> queries;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    queries.push_back(distorted_query(db, s));
+  }
+  for (bool pruning : {false, true}) {
+    query_options options;
+    options.top_k = 5;
+    options.histogram_pruning = pruning;
+    options.threads = 1;
+    const auto reference = search_batch(db, queries, options);
+    for (unsigned threads : {2u, 3u, 8u, 16u}) {  // spans nq and beyond
+      query_options chunked = options;
+      chunked.threads = threads;
+      EXPECT_EQ(search_batch(db, queries, chunked), reference)
+          << "threads=" << threads << " pruning=" << pruning;
+    }
+  }
+}
+
+// ------------------------------------------- prefiltered candidate batches
+
+TEST(SearchBatchCandidates, MatchesPerQuerySearchCandidates) {
+  // The ROADMAP item: combined_candidates fed through the batch path. Per
+  // query, the batch scan over an explicit candidate set must agree with
+  // search_candidates — results AND stats.
+  const image_database db = sibling_corpus(20);
+  const spatial_index spatial(db);
+  std::vector<symbolic_image> queries;
+  std::vector<be_string2d> strings;
+  std::vector<std::vector<image_id>> sets;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    queries.push_back(distorted_query(db, s, 0.8));
+    strings.push_back(encode(queries.back()));
+    sets.push_back(combined_candidates(db, spatial, queries.back(), 16));
+  }
+  for (bool pruning : {false, true}) {
+    for (unsigned threads : {1u, 4u}) {
+      query_options options;
+      options.top_k = 5;
+      options.histogram_pruning = pruning;
+      options.threads = threads;
+      std::vector<search_stats> batch_stats;
+      const auto batched =
+          search_batch_candidates(db, strings, sets, options, &batch_stats);
+      ASSERT_EQ(batched.size(), queries.size());
+      ASSERT_EQ(batch_stats.size(), queries.size());
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        search_stats single_stats;
+        EXPECT_EQ(batched[i], search_candidates(db, strings[i], sets[i],
+                                                options, &single_stats))
+            << "query " << i << " pruning=" << pruning
+            << " threads=" << threads;
+        EXPECT_EQ(batch_stats[i].scanned, sets[i].size());
+        EXPECT_EQ(batch_stats[i].scanned, single_stats.scanned);
+        EXPECT_EQ(batch_stats[i].scored + batch_stats[i].pruned,
+                  batch_stats[i].scanned);
+      }
+    }
+  }
+}
+
+TEST(SearchBatchCandidates, CombinedConvenienceMatchesManualPrefilter) {
+  const image_database db = sibling_corpus(15);
+  const spatial_index spatial(db);
+  std::vector<symbolic_image> queries;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    queries.push_back(distorted_query(db, s, 0.8));
+  }
+  query_options options;
+  options.top_k = 5;
+  options.threads = 2;
+  std::vector<search_stats> stats;
+  const auto batched =
+      search_batch_combined(db, spatial, queries, 16, options, &stats);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto set = combined_candidates(db, spatial, queries[i], 16);
+    EXPECT_EQ(batched[i],
+              search_candidates(db, encode(queries[i]), set, options))
+        << "query " << i;
+    EXPECT_EQ(stats[i].scanned, set.size()) << "query " << i;
+  }
+}
+
+TEST(SearchBatchCandidates, ValidatesSizesAndIdRange) {
+  const image_database db = sibling_corpus(3);
+  const std::vector<be_string2d> strings(2);
+  {
+    const std::vector<std::vector<image_id>> sets(1);
+    EXPECT_THROW((void)search_batch_candidates(db, strings, sets),
+                 std::invalid_argument);
+  }
+  {
+    const std::vector<std::vector<image_id>> sets = {
+        {0}, {static_cast<image_id>(db.size())}};
+    EXPECT_THROW((void)search_batch_candidates(db, strings, sets),
+                 std::out_of_range);
+  }
 }
 
 TEST(SearchBatch, PreEncodedOverloadValidatesSizes) {

@@ -106,6 +106,63 @@ TEST(EvalRegression, GateFailsWhenAMetricIsDegraded) {
   }
 }
 
+TEST(EvalRegression, GateFailsWhenPruningStopsFiring) {
+  // The pruning gate (ISSUE 5 satellite): zero out the pruned counts of a
+  // serial pruning cell — results intact, speedup gone — and the gate must
+  // fail naming that cell, even though every rank metric still matches.
+  const json_value& baseline = committed_baseline();
+  bool floor_seen = false;
+  for (const json_value& cell : baseline.get("cells").as_array()) {
+    if (cell.find("pruned_floor") != nullptr) floor_seen = true;
+  }
+  ASSERT_TRUE(floor_seen)
+      << "baseline must gate at least one serial pruning cell";
+  ASSERT_NE(baseline.find("pruning_tolerance"), nullptr);
+
+  eval_report degraded = fresh_report();
+  std::string victim;
+  for (eval_cell_result& cell : degraded.cells) {
+    if (cell.config.path == scan_path::pruned && cell.config.threads == 1 &&
+        cell.config.shards == 0 && cell.metrics.pruned > 0) {
+      cell.metrics.pruned = 0;  // the pruner silently stopped engaging
+      victim = cell.config.name();
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  const gate_result gate = check_against_baseline(degraded, baseline);
+  EXPECT_FALSE(gate.pass);
+  bool named = false;
+  for (const std::string& failure : gate.failures) {
+    if (failure.find(victim) != std::string::npos &&
+        failure.find("pruned_fraction") != std::string::npos) {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named) << "no failure named the dead pruner cell " << victim;
+}
+
+TEST(EvalRegression, BaselineCoversShardedAndBatchPrefilterCells) {
+  // The sharded fan-out and the batch combined-prefilter path are part of
+  // the gated matrix: a regression in either fails the committed gate.
+  const json_value& baseline = committed_baseline();
+  bool sharded_seen = false;
+  bool combined_batch_seen = false;
+  for (const json_value& cell : baseline.get("cells").as_array()) {
+    if (const json_value* shards = cell.find("shards");
+        shards != nullptr && shards->as_number() > 0) {
+      sharded_seen = true;
+    }
+    if (cell.get("path").as_string() == "combined" &&
+        cell.get("batch").as_bool()) {
+      combined_batch_seen = true;
+    }
+  }
+  EXPECT_TRUE(sharded_seen) << "no sharded cell in the committed baseline";
+  EXPECT_TRUE(combined_batch_seen)
+      << "no batch combined-prefilter cell in the committed baseline";
+}
+
 TEST(EvalRegression, GateFailsWhenPrefilterOvershootsItsBudget) {
   const json_value& baseline = committed_baseline();
   eval_report degraded = fresh_report();

@@ -114,6 +114,22 @@ TEST(Parallel, PropagatesFirstException) {
       std::runtime_error);
 }
 
+TEST(Parallel, EveryChunkSizeVisitsEveryIndexExactlyOnce) {
+  // The chunk parameter only changes scheduling, never coverage: chunk 1
+  // (the batch/fan-out work queues), the default 16, a chunk bigger than
+  // the whole range, and a degenerate 0 (coerced to 1) all visit each
+  // index once.
+  constexpr std::size_t n = 503;  // prime: never divides evenly
+  for (std::size_t chunk : {0u, 1u, 3u, 16u, 1000u}) {
+    std::vector<std::atomic<int>> visits(n);
+    parallel_for(
+        n, 4, [&](std::size_t i) { visits[i].fetch_add(1); }, chunk);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "chunk=" << chunk << " i=" << i;
+    }
+  }
+}
+
 TEST(Parallel, HardwareThreadsPositive) {
   EXPECT_GE(hardware_threads(), 1u);
 }

@@ -1,9 +1,13 @@
 // besdb — command-line front end to the BE-string image database.
 //
 //   besdb create  --out corpus.besdb [--images N --objects K --seed S
-//                                     --format text|binary]
-//   besdb convert corpus.besdb --out corpus.bseg [--format text|binary]
+//                                     --format text|binary|sharded
+//                                     --shards N]
+//   besdb convert corpus.besdb --out corpus.bseg [--format text|binary|sharded]
 //   besdb compact corpus.bseg  [--out other.bseg --recover]
+//   besdb shard   info  corpus.scrp
+//   besdb shard   split corpus.scrp [--shards N]   (default: one more)
+//   besdb shard   merge corpus.scrp [--shards N]   (default: one fewer)
 //   besdb info    corpus.besdb
 //   besdb show    corpus.besdb --id 3
 //   besdb query   corpus.besdb --id 3 [--keep 0.6 --jitter 4 --top-k 5
@@ -25,6 +29,7 @@
 #include "core/serializer.hpp"
 #include "db/query.hpp"
 #include "db/segment.hpp"
+#include "db/shard_storage.hpp"
 #include "db/spatial_index.hpp"
 #include "db/storage.hpp"
 #include "eval/report.hpp"
@@ -40,12 +45,42 @@ namespace {
 using namespace bes;
 
 // --format flag -> db_format; empty/unknown reported via stderr + nullopt.
-std::optional<db_format> parse_format(const std::string& name) {
+// A supplied --shards N (N > 0) implies the sharded corpus format;
+// combining it with an explicit non-sharded --format is contradictory and
+// errors instead of silently dropping one of the flags.
+std::optional<db_format> parse_format(const arg_parser& args) {
+  const std::string name = args.get_string("format");
+  if (args.was_supplied("shards") && args.get_int("shards") > 0) {
+    if (args.was_supplied("format") && name != "sharded") {
+      std::fprintf(stderr,
+                   "--shards %lld contradicts --format %s (sharded corpora "
+                   "only)\n",
+                   static_cast<long long>(args.get_int("shards")),
+                   name.c_str());
+      return std::nullopt;
+    }
+    return db_format::sharded;
+  }
   if (name == "text") return db_format::text;
   if (name == "binary") return db_format::binary;
-  std::fprintf(stderr, "unknown --format '%s' (want text|binary)\n",
+  if (name == "sharded") return db_format::sharded;
+  std::fprintf(stderr, "unknown --format '%s' (want text|binary|sharded)\n",
                name.c_str());
   return std::nullopt;
+}
+
+const char* format_name(db_format format) {
+  switch (format) {
+    case db_format::text: return "text";
+    case db_format::binary: return "binary";
+    case db_format::sharded: return "sharded";
+  }
+  return "?";
+}
+
+std::size_t shard_count_flag(const arg_parser& args) {
+  const long long n = args.get_int("shards");
+  return n > 0 ? static_cast<std::size_t>(n) : default_shard_count;
 }
 
 int cmd_create(arg_parser& args) {
@@ -54,7 +89,7 @@ int cmd_create(arg_parser& args) {
     std::fprintf(stderr, "create: --out is required\n");
     return 1;
   }
-  const auto format = parse_format(args.get_string("format"));
+  const auto format = parse_format(args);
   if (!format) return 1;
   rng r(static_cast<std::uint64_t>(args.get_int("seed")));
   scene_params params;
@@ -63,20 +98,34 @@ int cmd_create(arg_parser& args) {
   params.object_count = static_cast<std::size_t>(args.get_int("objects"));
   params.symbol_pool = static_cast<std::size_t>(args.get_int("pool"));
   params.max_extent = std::max(4, params.width / 6);
-  image_database db;
   const auto images = static_cast<std::size_t>(args.get_int("images"));
+  if (*format == db_format::sharded) {
+    // The streaming path: scenes go straight through the shard_writer, so
+    // `--images 10000000` never holds a corpus in memory.
+    alphabet symbols;
+    shard_writer writer(out, shard_count_flag(args));
+    for (std::size_t i = 0; i < images; ++i) {
+      writer.append("scene" + std::to_string(i),
+                    random_scene(params, r, symbols), symbols);
+    }
+    writer.finish();
+    std::printf("streamed %zu images (%zu symbols) to %s [sharded x%zu]\n",
+                images, symbols.size(), out.c_str(), shard_count_flag(args));
+    return 0;
+  }
+  image_database db;
   for (std::size_t i = 0; i < images; ++i) {
     db.add("scene" + std::to_string(i), random_scene(params, r, db.symbols()));
   }
   save_database(db, out, *format);
   std::printf("wrote %zu images (%zu symbols) to %s [%s]\n", db.size(),
-              db.symbols().size(), out.c_str(),
-              *format == db_format::binary ? "binary" : "text");
+              db.symbols().size(), out.c_str(), format_name(*format));
   return 0;
 }
 
-// Re-serializes a database in either format (text <-> BSEG1 segment). The
-// input format is autodetected; the output format comes from --format.
+// Re-serializes a database in any format (text <-> BSEG1 segment <-> SCRP1
+// sharded corpus). The input format is autodetected; the output format
+// comes from --format (or --shards, which implies sharded).
 int cmd_convert(arg_parser& args) {
   const std::string in = args.positional()[1];
   const std::string out = args.get_string("out");
@@ -84,12 +133,115 @@ int cmd_convert(arg_parser& args) {
     std::fprintf(stderr, "convert: --out is required\n");
     return 1;
   }
-  const auto format = parse_format(args.get_string("format"));
+  const auto format = parse_format(args);
   if (!format) return 1;
   const image_database db = load_database(in);
-  save_database(db, out, *format);
+  save_database(db, out, *format, shard_count_flag(args));
   std::printf("converted %s (%zu images) to %s [%s]\n", in.c_str(), db.size(),
-              out.c_str(), *format == db_format::binary ? "binary" : "text");
+              out.c_str(), format_name(*format));
+  return 0;
+}
+
+// The SCRP1 shard workflow: info prints the manifest + per-shard balance;
+// split/merge stream the corpus into one-more/one-fewer shards (or an
+// explicit --shards target) through a temp directory, then swap it in.
+int cmd_shard(arg_parser& args) {
+  if (args.positional().size() < 3) {
+    std::fprintf(stderr, "shard: usage: besdb shard <info|split|merge> DIR\n");
+    return 1;
+  }
+  const std::string& action = args.positional()[1];
+  const std::string& dir = args.positional()[2];
+  // split/merge swap the whole corpus DIRECTORY; a manifest-file path (fine
+  // for info and every load) would make the swap replace just that file.
+  if (action != "info" && !std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "shard %s: %s is not a corpus directory\n",
+                 action.c_str(), dir.c_str());
+    return 1;
+  }
+  const shard_manifest manifest = read_shard_manifest(dir);
+
+  if (action == "info") {
+    std::printf("sharded corpus: %s\n", dir.c_str());
+    std::printf("shards  : %zu (x%zu ring replicas)\n", manifest.shard_count,
+                manifest.ring_replicas);
+    std::printf("images  : %llu\n",
+                static_cast<unsigned long long>(manifest.images));
+    text_table table({"shard", "segment", "images", "share"});
+    for (std::size_t s = 0; s < manifest.shards.size(); ++s) {
+      const double share =
+          manifest.images == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(manifest.shards[s].images) /
+                    static_cast<double>(manifest.images);
+      table.add_row({std::to_string(s), manifest.shards[s].file,
+                     std::to_string(manifest.shards[s].images),
+                     fmt_double(share, 1) + "%"});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    return 0;
+  }
+
+  if (action != "split" && action != "merge") {
+    std::fprintf(stderr, "shard: unknown action '%s' (want info|split|merge)\n",
+                 action.c_str());
+    return 1;
+  }
+  std::size_t target = action == "split" ? manifest.shard_count + 1
+                                         : manifest.shard_count - 1;
+  if (args.was_supplied("shards")) {
+    const long long flag = args.get_int("shards");
+    target = flag > 0 ? static_cast<std::size_t>(flag) : 0;
+    const bool valid = action == "split" ? target > manifest.shard_count
+                                         : target < manifest.shard_count;
+    if (target == 0 || !valid) {
+      std::fprintf(stderr,
+                   "shard %s: --shards %lld does not %s %zu shards\n",
+                   action.c_str(), flag,
+                   action == "split" ? "grow" : "shrink",
+                   manifest.shard_count);
+      return 1;
+    }
+  }
+  if (target == 0) {
+    std::fprintf(stderr, "shard merge: already at 1 shard\n");
+    return 1;
+  }
+
+  // Consistent hashing: count the records that actually change shards —
+  // pure ring math, no I/O.
+  const shard_ring before(manifest.shard_count, manifest.ring_replicas);
+  const shard_ring after(target, manifest.ring_replicas);
+  std::uint64_t moved = 0;
+  for (std::uint64_t g = 0; g < manifest.images; ++g) {
+    const auto id = static_cast<image_id>(g);
+    if (before.shard_of(id) != after.shard_of(id)) ++moved;
+  }
+
+  // Swap via two renames so no moment exists where the only copy of the
+  // corpus is deleted: old is parked at .old until the new one is in place.
+  // Siblings are derived through fs::path (a trailing slash on `dir` must
+  // not nest the temp corpus inside the source).
+  std::filesystem::path corpus(dir);
+  if (corpus.filename().empty()) corpus = corpus.parent_path();
+  const std::filesystem::path tmp =
+      corpus.parent_path() / (corpus.filename().string() + ".reshard-tmp");
+  const std::filesystem::path old =
+      corpus.parent_path() / (corpus.filename().string() + ".reshard-old");
+  std::filesystem::remove_all(tmp);
+  std::filesystem::remove_all(old);
+  reshard(corpus, tmp, target);
+  std::filesystem::rename(corpus, old);
+  std::filesystem::rename(tmp, corpus);
+  std::filesystem::remove_all(old);
+  std::printf(
+      "resharded %s: %zu -> %zu shards, %llu of %llu records moved (%.1f%%)\n",
+      dir.c_str(), manifest.shard_count, target,
+      static_cast<unsigned long long>(moved),
+      static_cast<unsigned long long>(manifest.images),
+      manifest.images == 0 ? 0.0
+                           : 100.0 * static_cast<double>(moved) /
+                                 static_cast<double>(manifest.images));
   return 0;
 }
 
@@ -351,11 +503,15 @@ int cmd_eval(arg_parser& args) {
 int main(int argc, char** argv) {
   using namespace bes;
   arg_parser args(
-      "besdb <create|convert|compact|info|show|query|spatial|window|eval> "
-      "[db-file] [flags]");
+      "besdb <create|convert|compact|shard|info|show|query|spatial|window|"
+      "eval> [db-file] [flags]");
   args.add_string("out", "", "create/convert/compact: output path");
   args.add_string("format", "text",
-                  "create/convert: output format, text|binary (BSEG1)");
+                  "create/convert: output format, text|binary (BSEG1)|sharded "
+                  "(SCRP1 corpus directory)");
+  args.add_int("shards", 0,
+               "create/convert: shard count for the sharded format (> 0 "
+               "implies --format sharded); shard split/merge: target count");
   args.add_bool("recover", false,
                 "compact: salvage the valid prefix of a truncated segment");
   args.add_int("images", 30, "create: number of images");
@@ -405,6 +561,7 @@ int main(int argc, char** argv) {
     }
     if (command == "convert") return cmd_convert(args);
     if (command == "compact") return cmd_compact(args);
+    if (command == "shard") return cmd_shard(args);
     const image_database db = load_database(args.positional()[1]);
     if (command == "info") return cmd_info(db);
     if (command == "show") return cmd_show(db, args);
