@@ -52,6 +52,50 @@ void print_scaling_table() {
   std::fputs(table.str().c_str(), stdout);
 }
 
+void print_kernel_table() {
+  // The dispatch registry in ascending preference order; the last row of
+  // each group is what active_lcs_kernel() picks on this machine (absent a
+  // BES_LCS_KERNEL override). Acceptance bar for the bit-parallel variant:
+  // >= 4x over the scalar rolling kernel at n >= 64.
+  const std::string claim =
+      std::string("per-kernel cost of the same exact/weighted queries; "
+                  "active kernel on this machine: ") +
+      std::string(active_lcs_kernel().name);
+  print_header("E4k: LCS kernel variants (CPU dispatch registry)",
+               claim.c_str());
+  text_table table(
+      {"kernel", "n", "exact us", "vs scalar", "weighted us", "vs scalar w"});
+  for (std::size_t n :
+       benchsupport::smoke_sweep({64u, 128u, 256u, 512u}, 64u)) {
+    alphabet names;
+    const be_string2d q = encode(make_scene(7, n, names, 8192));
+    const be_string2d d = encode(make_scene(8, n, names, 8192));
+    double scalar_exact = 0.0;
+    double scalar_weighted = 0.0;
+    for (const lcs_kernel& k : registered_lcs_kernels()) {
+      lcs_context ctx(k);
+      const double exact_seconds = time_per_call([&] {
+        benchmark::DoNotOptimize(
+            be_lcs_length_exact(q.x.span(), d.x.span(), ctx));
+      });
+      const double weighted_seconds = time_per_call([&] {
+        benchmark::DoNotOptimize(
+            be_lcs_weighted(q.x.span(), d.x.span(), 0.5, ctx));
+      });
+      if (k.name == "scalar") {
+        scalar_exact = exact_seconds;
+        scalar_weighted = weighted_seconds;
+      }
+      table.add_row({std::string(k.name), std::to_string(n),
+                     fmt_double(exact_seconds * 1e6, 1),
+                     fmt_double(scalar_exact / exact_seconds, 2),
+                     fmt_double(weighted_seconds * 1e6, 1),
+                     fmt_double(scalar_weighted / weighted_seconds, 2)});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
 void print_band_table() {
   print_header("E4c: early-exit band on low-similarity pairs",
                "the admissible band (row max + remaining rows) cuts the DP "
@@ -184,6 +228,7 @@ BENCHMARK(BM_BeLcsTraceback)->RangeMultiplier(4)->Range(8, 512);
 
 int main(int argc, char** argv) {
   bes::print_scaling_table();
+  bes::print_kernel_table();
   bes::print_band_table();
   bes::print_fidelity_table();
   return bes::benchsupport::run_registered(argc, argv);

@@ -4,6 +4,7 @@
 //
 //   ./quickstart
 #include <cstdio>
+#include <string>
 
 #include "core/encoder.hpp"
 #include "core/serializer.hpp"
@@ -25,6 +26,11 @@ int main() {
   scene.add(a, rect::checked(2, 6, 3, 9));
   scene.add(b, rect::checked(4, 10, 1, 5));
   scene.add(c, rect::checked(6, 8, 5, 7));
+
+  // All similarity calls below dispatch through the CPU-selected LCS kernel
+  // (override with BES_LCS_KERNEL=scalar|bitparallel|avx2).
+  std::printf("active LCS kernel: %s\n\n",
+              std::string(active_lcs_kernel().name).c_str());
 
   // 2. Convert_2D_Be_String (paper Algorithm 1).
   const be_string2d strings = encode(scene);

@@ -133,7 +133,13 @@ std::vector<query_result> pruned_search(const image_database& db,
   std::atomic<std::size_t> pruned{0};
   std::atomic<std::size_t> band_rejected{0};
 
-  auto visit = [&](const bounded& c) {
+  // One scoring context per scan worker, bound once to the CPU-dispatched
+  // kernel: the per-candidate hot loop pays neither a thread_local lookup
+  // nor any kernel re-resolution.
+  std::vector<lcs_context> contexts(
+      parallel_workers(order.size(), options.threads));
+
+  auto visit = [&](lcs_context& ctx, const bounded& c) {
     const double threshold = top.threshold();
     if (c.bound < threshold) {
       pruned.fetch_add(1, std::memory_order_relaxed);
@@ -143,8 +149,7 @@ std::vector<query_result> pruned_search(const image_database& db,
     scored.fetch_add(1, std::memory_order_relaxed);
     const double score =
         similarity_bounded(query_strings, rec.strings, options.similarity,
-                           threshold, lcs_context::thread_local_instance(),
-                           c.y_cap);
+                           threshold, ctx, c.y_cap);
     // Below the threshold the value may be an unfinished upper bound; either
     // way the candidate cannot reach the final result.
     if (score < threshold || score < options.min_score) {
@@ -164,11 +169,13 @@ std::vector<query_result> pruned_search(const image_database& db,
         pruned.fetch_add(order.size() - i, std::memory_order_relaxed);
         break;
       }
-      visit(order[i]);
+      visit(contexts[0], order[i]);
     }
   } else {
     parallel_for(order.size(), options.threads,
-                 [&](std::size_t i) { visit(order[i]); });
+                 [&](unsigned worker, std::size_t i) {
+                   visit(contexts[worker], order[i]);
+                 });
   }
 
   if (stats != nullptr) {
@@ -194,9 +201,13 @@ std::vector<query_result> exhaustive_search(const image_database& db,
     transforms = &local;
   }
   std::vector<query_result> hits(ids.size());
-  parallel_for(ids.size(), options.threads, [&](std::size_t k) {
+  // Per-worker contexts, same rationale as the pruned scan above.
+  std::vector<lcs_context> contexts(
+      parallel_workers(ids.size(), options.threads));
+  parallel_for(ids.size(), options.threads, [&](unsigned worker,
+                                                std::size_t k) {
     const db_record& rec = db.record(ids[k]);
-    lcs_context& ctx = lcs_context::thread_local_instance();
+    lcs_context& ctx = contexts[worker];
     query_result r;
     r.id = map_id(global_ids, rec.id);
     if (options.transform_invariant) {

@@ -67,8 +67,10 @@ json_value cell_to_json(const eval_cell_result& cell) {
 eval_cell_result cell_from_json(const json_value& json) {
   eval_cell_result cell;
   cell.config.path = scan_path_from(json.get("path").as_string());
-  cell.config.sim.norm =
-      static_cast<norm_kind>(json.get("norm").as_number());
+  // checked: a corrupted or hand-edited report must fail the parse here,
+  // not divide by a silent denominator downstream.
+  cell.config.sim.norm = checked_norm_kind(
+      static_cast<long long>(json.get("norm").as_number()));
   cell.config.sim.exact_lcs = json.get("exact_lcs").as_bool();
   cell.config.transform_invariant =
       json.get("transform_invariant").as_bool();

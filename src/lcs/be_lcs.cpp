@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "lcs/kernel.hpp"
+
 namespace bes {
 
 std::span<std::int32_t> lcs_context::int_cells(std::size_t cells) {
@@ -15,6 +17,15 @@ std::span<double> lcs_context::real_cells(std::size_t cells) {
   if (reals_.size() < cells) reals_.resize(cells);
   return std::span<double>(reals_.data(), cells);
 }
+
+std::span<std::uint64_t> lcs_context::word_cells(std::size_t cells) {
+  if (words_.size() < cells) words_.resize(cells);
+  return std::span<std::uint64_t>(words_.data(), cells);
+}
+
+lcs_context::lcs_context() : kernel_(&active_lcs_kernel()) {}
+
+lcs_context::lcs_context(const lcs_kernel& kernel) : kernel_(&kernel) {}
 
 lcs_context& lcs_context::thread_local_instance() {
   thread_local lcs_context ctx;
@@ -54,121 +65,16 @@ be_lcs_table be_lcs_fill(std::span<const token> q, std::span<const token> d) {
 
 namespace {
 
-// The rolling form of Algorithm 2: cell (i, j) reads only row i-1 and the
-// cells of row i already written, so two rows replace the full table. Rows
-// run along `rows` and columns along `cols`; callers orient `cols` as the
-// shorter string, making the scratch O(min(m, n)). In the banded
-// instantiation the loop bails once the best still-achievable final value —
-// the row maximum plus one per remaining row (each row extends any
-// subsequence by at most one token) — falls below min_needed, returning
-// that admissible bound; the unbanded instantiation compiles the per-cell
-// max tracking out of the hot loop entirely.
-template <bool banded>
-std::size_t signed_rolling(std::span<const token> rows,
-                           std::span<const token> cols,
-                           std::size_t min_needed, lcs_context& ctx) {
-  const std::size_t r_count = rows.size();
-  const std::size_t c_count = cols.size();
-  if (r_count == 0 || c_count == 0) return 0;
-  if (banded && min_needed > c_count) return c_count;  // lcs <= min(m, n)
-  const std::size_t width = c_count + 1;
-  std::span<std::int32_t> scratch = ctx.int_cells(2 * width);
-  std::int32_t* prev = scratch.data();
-  std::int32_t* cur = scratch.data() + width;
-  std::fill(prev, prev + width, 0);
-  cur[0] = 0;
-  for (std::size_t i = 1; i <= r_count; ++i) {
-    const token qi = rows[i - 1];
-    [[maybe_unused]] std::int32_t row_max = 0;
-    for (std::size_t j = 1; j <= c_count; ++j) {
-      const std::int32_t up = prev[j];
-      const std::int32_t left = cur[j - 1];
-      std::int32_t value = std::abs(up) >= std::abs(left) ? up : left;
-      if (qi == cols[j - 1]) {
-        const std::int32_t diag = prev[j - 1];
-        if (!qi.is_dummy() || diag >= 0) {
-          const std::int32_t extended = std::abs(diag) + 1;
-          if (extended > std::abs(value)) {
-            value = qi.is_dummy() ? -extended : extended;
-          }
-        }
-      }
-      cur[j] = value;
-      if constexpr (banded) {
-        row_max = std::max(row_max, std::abs(value));
-      }
-    }
-    if constexpr (banded) {
-      const std::size_t achievable =
-          static_cast<std::size_t>(row_max) + (r_count - i);
-      if (achievable < min_needed) return achievable;
-    }
-    std::swap(prev, cur);
-  }
-  return static_cast<std::size_t>(std::abs(prev[c_count]));
-}
-
-// Rolling form of the exact two-layer DP: four rows (previous/current for
-// the solid and gap layers) in one scratch block.
-template <bool banded>
-std::size_t exact_rolling(std::span<const token> rows,
-                          std::span<const token> cols, std::size_t min_needed,
-                          lcs_context& ctx) {
-  const std::size_t r_count = rows.size();
-  const std::size_t c_count = cols.size();
-  if (r_count == 0 || c_count == 0) return 0;
-  if (banded && min_needed > c_count) return c_count;
-  const std::size_t width = c_count + 1;
-  std::span<std::int32_t> scratch = ctx.int_cells(4 * width);
-  std::int32_t* prev_solid = scratch.data();
-  std::int32_t* prev_gap = scratch.data() + width;
-  std::int32_t* cur_solid = scratch.data() + 2 * width;
-  std::int32_t* cur_gap = scratch.data() + 3 * width;
-  std::fill(prev_solid, prev_solid + 2 * width, 0);  // both prev layers
-  cur_solid[0] = 0;
-  cur_gap[0] = 0;
-  for (std::size_t i = 1; i <= r_count; ++i) {
-    const token qi = rows[i - 1];
-    [[maybe_unused]] std::int32_t row_max = 0;
-    for (std::size_t j = 1; j <= c_count; ++j) {
-      std::int32_t best_solid = std::max(prev_solid[j], cur_solid[j - 1]);
-      std::int32_t best_gap = std::max(prev_gap[j], cur_gap[j - 1]);
-      if (qi == cols[j - 1]) {
-        if (qi.is_dummy()) {
-          best_gap = std::max(best_gap, prev_solid[j - 1] + 1);
-        } else {
-          best_solid = std::max(
-              best_solid, std::max(prev_solid[j - 1], prev_gap[j - 1]) + 1);
-        }
-      }
-      cur_solid[j] = best_solid;
-      cur_gap[j] = best_gap;
-      if constexpr (banded) {
-        row_max = std::max(row_max, std::max(best_solid, best_gap));
-      }
-    }
-    if constexpr (banded) {
-      const std::size_t achievable =
-          static_cast<std::size_t>(row_max) + (r_count - i);
-      if (achievable < min_needed) return achievable;
-    }
-    std::swap(prev_solid, cur_solid);
-    std::swap(prev_gap, cur_gap);
-  }
-  return static_cast<std::size_t>(
-      std::max(prev_solid[c_count], prev_gap[c_count]));
-}
-
-// Orients the rolling kernels so the columns run along the shorter string.
-// Both DPs are argument-symmetric: the exact DP provably (the constrained
-// LCS is a symmetric function) and the signed DP empirically, fuzzed against
-// both orientations and the exact DP in tests/lcs_fuzz_test.cpp.
-template <typename Kernel>
-std::size_t shorter_cols(std::span<const token> q, std::span<const token> d,
-                         std::size_t min_needed, lcs_context& ctx,
-                         Kernel kernel) {
-  return q.size() >= d.size() ? kernel(q, d, min_needed, ctx)
-                              : kernel(d, q, min_needed, ctx);
+// Orients the kernels so the columns run along the shorter string. Both DPs
+// are argument-symmetric: the exact DP provably (the constrained LCS is a
+// symmetric function) and the signed DP empirically, fuzzed against both
+// orientations and the exact DP in tests/lcs_fuzz_test.cpp. Kernels are
+// dispatched through the context's bound kernel pointer (resolved once at
+// context construction), so a scan pays no per-pair dispatch work.
+template <typename Entry>
+auto shorter_cols(std::span<const token> q, std::span<const token> d,
+                  Entry entry) {
+  return q.size() >= d.size() ? entry(q, d) : entry(d, q);
 }
 
 }  // namespace
@@ -179,14 +85,18 @@ std::size_t be_lcs_length(std::span<const token> q, std::span<const token> d) {
 
 std::size_t be_lcs_length(std::span<const token> q, std::span<const token> d,
                           lcs_context& ctx) {
-  return shorter_cols(q, d, 0, ctx, signed_rolling<false>);
+  return shorter_cols(q, d, [&](auto rows, auto cols) {
+    return ctx.kernel().signed_length(rows, cols, 0, ctx);
+  });
 }
 
 std::size_t be_lcs_length_bounded(std::span<const token> q,
                                   std::span<const token> d,
                                   std::size_t min_needed, lcs_context& ctx) {
   if (min_needed == 0) return be_lcs_length(q, d, ctx);
-  return shorter_cols(q, d, min_needed, ctx, signed_rolling<true>);
+  return shorter_cols(q, d, [&](auto rows, auto cols) {
+    return ctx.kernel().signed_length(rows, cols, min_needed, ctx);
+  });
 }
 
 std::size_t be_lcs_length_exact(std::span<const token> q,
@@ -196,7 +106,9 @@ std::size_t be_lcs_length_exact(std::span<const token> q,
 
 std::size_t be_lcs_length_exact(std::span<const token> q,
                                 std::span<const token> d, lcs_context& ctx) {
-  return shorter_cols(q, d, 0, ctx, exact_rolling<false>);
+  return shorter_cols(q, d, [&](auto rows, auto cols) {
+    return ctx.kernel().exact_length(rows, cols, 0, ctx);
+  });
 }
 
 std::size_t be_lcs_length_exact_bounded(std::span<const token> q,
@@ -204,7 +116,9 @@ std::size_t be_lcs_length_exact_bounded(std::span<const token> q,
                                         std::size_t min_needed,
                                         lcs_context& ctx) {
   if (min_needed == 0) return be_lcs_length_exact(q, d, ctx);
-  return shorter_cols(q, d, min_needed, ctx, exact_rolling<true>);
+  return shorter_cols(q, d, [&](auto rows, auto cols) {
+    return ctx.kernel().exact_length(rows, cols, min_needed, ctx);
+  });
 }
 
 std::vector<token> be_lcs_string(std::span<const token> q,
@@ -239,49 +153,6 @@ std::vector<token> be_lcs_string(std::span<const token> q,
   return be_lcs_string(q, be_lcs_fill(q, d));
 }
 
-namespace {
-
-// Rolling form of the weighted two-layer DP. No early-exit band: nothing on
-// the query path thresholds weighted scores.
-double weighted_rolling(std::span<const token> rows,
-                        std::span<const token> cols, double dummy_weight,
-                        lcs_context& ctx) {
-  const std::size_t r_count = rows.size();
-  const std::size_t c_count = cols.size();
-  if (r_count == 0 || c_count == 0) return 0.0;
-  const std::size_t width = c_count + 1;
-  std::span<double> scratch = ctx.real_cells(4 * width);
-  double* prev_solid = scratch.data();
-  double* prev_gap = scratch.data() + width;
-  double* cur_solid = scratch.data() + 2 * width;
-  double* cur_gap = scratch.data() + 3 * width;
-  std::fill(prev_solid, prev_solid + 2 * width, 0.0);
-  cur_solid[0] = 0.0;
-  cur_gap[0] = 0.0;
-  for (std::size_t i = 1; i <= r_count; ++i) {
-    const token qi = rows[i - 1];
-    for (std::size_t j = 1; j <= c_count; ++j) {
-      double best_solid = std::max(prev_solid[j], cur_solid[j - 1]);
-      double best_gap = std::max(prev_gap[j], cur_gap[j - 1]);
-      if (qi == cols[j - 1]) {
-        if (qi.is_dummy()) {
-          best_gap = std::max(best_gap, prev_solid[j - 1] + dummy_weight);
-        } else {
-          best_solid = std::max(
-              best_solid, std::max(prev_solid[j - 1], prev_gap[j - 1]) + 1.0);
-        }
-      }
-      cur_solid[j] = best_solid;
-      cur_gap[j] = best_gap;
-    }
-    std::swap(prev_solid, cur_solid);
-    std::swap(prev_gap, cur_gap);
-  }
-  return std::max(prev_solid[c_count], prev_gap[c_count]);
-}
-
-}  // namespace
-
 double be_lcs_weighted(std::span<const token> q, std::span<const token> d,
                        double dummy_weight) {
   return be_lcs_weighted(q, d, dummy_weight,
@@ -290,11 +161,15 @@ double be_lcs_weighted(std::span<const token> q, std::span<const token> d,
 
 double be_lcs_weighted(std::span<const token> q, std::span<const token> d,
                        double dummy_weight, lcs_context& ctx) {
-  if (dummy_weight < 0.0 || dummy_weight > 1.0) {
-    throw std::invalid_argument("be_lcs_weighted: weight must be in [0, 1]");
+  // The negated form rejects NaN too: a NaN weight would otherwise poison
+  // every max() chain downstream while passing `< 0.0 || > 1.0`.
+  if (!(dummy_weight >= 0.0 && dummy_weight <= 1.0)) {
+    throw std::invalid_argument(
+        "be_lcs_weighted: weight must be finite and in [0, 1]");
   }
-  return q.size() >= d.size() ? weighted_rolling(q, d, dummy_weight, ctx)
-                              : weighted_rolling(d, q, dummy_weight, ctx);
+  return shorter_cols(q, d, [&](auto rows, auto cols) {
+    return ctx.kernel().weighted(rows, cols, dummy_weight, ctx);
+  });
 }
 
 }  // namespace bes

@@ -19,12 +19,20 @@
 // (EXPERIMENTS.md fidelity note F1).
 //
 // Length-only queries do not materialize the table: every *_length kernel is
-// a rolling two-row DP over a flat scratch buffer (an lcs_context) that is
-// reused across calls, so a scan over a database performs no per-pair
-// allocation and touches O(min(m, n)) memory instead of O(mn). The DP is
+// a rolling DP over flat scratch buffers (an lcs_context) that are reused
+// across calls, so a scan over a database performs no per-pair allocation
+// and touches O(min(m, n)) rolling state instead of O(mn). The DP is
 // argument-symmetric (fuzzed in tests/lcs_fuzz_test.cpp), so the rows are
 // laid along the longer string. be_lcs_fill keeps the full table solely for
 // be_lcs_string's traceback.
+//
+// The kernel IMPLEMENTATION behind each entry point is CPU-dispatched: the
+// lcs/kernel.hpp registry selects (once, at startup) between the scalar
+// rolling reference, a bit-parallel variant packing 64 DP cells per word,
+// and an AVX2 SoA-row weighted variant. Each lcs_context is bound to one
+// kernel at construction — the active one by default — so the dispatch
+// costs a cached pointer read, never a per-pair resolution. Construct a
+// context from a specific lcs_kernel to pin a variant (tests, benches).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,7 @@
 #include <vector>
 
 #include "core/be_string.hpp"
+#include "lcs/kernel.hpp"
 
 namespace bes {
 
@@ -41,27 +50,37 @@ namespace bes {
 // thousands of candidates allocates O(1) times.
 class lcs_context {
  public:
-  lcs_context() = default;
+  // Binds to active_lcs_kernel() — the startup-selected variant.
+  lcs_context();
+  // Pins a specific registered kernel (differential tests, benches).
+  explicit lcs_context(const lcs_kernel& kernel);
   lcs_context(const lcs_context&) = delete;
   lcs_context& operator=(const lcs_context&) = delete;
+
+  // The kernel every entry point taking this context dispatches through.
+  [[nodiscard]] const lcs_kernel& kernel() const noexcept { return *kernel_; }
 
   // Scratch of at least `cells` entries; contents are unspecified (kernels
   // initialize what they read).
   [[nodiscard]] std::span<std::int32_t> int_cells(std::size_t cells);
   [[nodiscard]] std::span<double> real_cells(std::size_t cells);
+  [[nodiscard]] std::span<std::uint64_t> word_cells(std::size_t cells);
 
   // High-water scratch footprint, for benchmarks and memory assertions.
   [[nodiscard]] std::size_t scratch_bytes() const noexcept {
     return ints_.capacity() * sizeof(std::int32_t) +
-           reals_.capacity() * sizeof(double);
+           reals_.capacity() * sizeof(double) +
+           words_.capacity() * sizeof(std::uint64_t);
   }
 
   // The calling thread's context — what the context-less entry points use.
   [[nodiscard]] static lcs_context& thread_local_instance();
 
  private:
+  const lcs_kernel* kernel_;
   std::vector<std::int32_t> ints_;
   std::vector<double> reals_;
+  std::vector<std::uint64_t> words_;
 };
 
 // The LCS length inferring table W; (m+1) x (n+1) signed cells.

@@ -1,0 +1,166 @@
+// AVX2 SoA-row weighted kernel: the weighted two-layer DP with the row
+// vectorized 4 doubles at a time.
+//
+// The scalar recurrence has a loop-carried dependence through
+// cur_solid[j-1] / cur_gap[j-1], but both layers are RUNNING MAXES of a
+// per-cell candidate that reads only the previous row:
+//   x_s[j] = max(prev_solid[j], boundary match ? max(prev_solid[j-1],
+//                prev_gap[j-1]) + 1 : 0)
+//   cur_solid[j] = max(cur_solid[j-1], x_s[j])        (and likewise gap
+//   with x_g[j] = max(prev_gap[j], dummy match ? prev_solid[j-1] +
+//   dummy_weight : 0))
+// since every cell value is >= 0, the masked-out 0.0 candidate is inert.
+// So each block of 4 columns is: candidate compute (pure SIMD over the
+// previous row + a packed-key equality mask), an in-register prefix max
+// (two shift-and-max steps), and a broadcast carry from the preceding
+// block. max() is an exact selection and the additions use exactly the
+// scalar kernel's operands, so results are bit-identical to
+// scalar_weighted (fuzzed in tests/lcs_fuzz_test.cpp).
+//
+// Compiled with a per-function target("avx2") attribute so the TU builds
+// under portable baselines (-march=x86-64); the registry consults
+// avx2_available() — compile-time support AND a runtime CPUID check —
+// before registering the kernel.
+#include <algorithm>
+
+#include "lcs/be_lcs.hpp"
+#include "lcs/kernel_detail.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define BES_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#else
+#define BES_HAVE_AVX2_KERNEL 0
+#endif
+
+namespace bes::lcs_detail {
+
+#if BES_HAVE_AVX2_KERNEL
+
+namespace {
+
+// Lanes shifted up by one/two, vacated lanes filled with +0.0 (inert for
+// this DP: every value is >= +0.0).
+__attribute__((target("avx2"))) inline __m256d shift_up1(__m256d x) {
+  const __m256d r = _mm256_permute4x64_pd(x, _MM_SHUFFLE(2, 1, 0, 0));
+  return _mm256_blend_pd(r, _mm256_setzero_pd(), 0x1);
+}
+
+__attribute__((target("avx2"))) inline __m256d shift_up2(__m256d x) {
+  const __m256d r = _mm256_permute4x64_pd(x, _MM_SHUFFLE(1, 0, 0, 0));
+  return _mm256_blend_pd(r, _mm256_setzero_pd(), 0x3);
+}
+
+// Running max of x's lanes seeded by `carry` (broadcast of the previous
+// block's last column); returns the per-lane prefix maxes.
+__attribute__((target("avx2"))) inline __m256d prefix_max(__m256d x,
+                                                          __m256d carry) {
+  x = _mm256_max_pd(x, shift_up1(x));
+  x = _mm256_max_pd(x, shift_up2(x));
+  return _mm256_max_pd(x, carry);
+}
+
+__attribute__((target("avx2"))) inline __m256d broadcast_last(__m256d x) {
+  return _mm256_permute4x64_pd(x, 0xFF);
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) double avx2_weighted(
+    std::span<const token> rows, std::span<const token> cols,
+    double dummy_weight, lcs_context& ctx) {
+  const std::size_t r_count = rows.size();
+  const std::size_t c_count = cols.size();
+  if (r_count == 0 || c_count == 0) return 0.0;
+  const std::size_t width = c_count + 1;
+  std::span<double> scratch = ctx.real_cells(4 * width);
+  double* prev_solid = scratch.data();
+  double* prev_gap = scratch.data() + width;
+  double* cur_solid = scratch.data() + 2 * width;
+  double* cur_gap = scratch.data() + 3 * width;
+  std::fill(prev_solid, prev_solid + 2 * width, 0.0);
+  cur_solid[0] = 0.0;
+  cur_gap[0] = 0.0;
+
+  // Column tokens packed once per pair for the SIMD equality mask.
+  std::span<std::uint64_t> keys = ctx.word_cells(c_count);
+  for (std::size_t j = 0; j < c_count; ++j) keys[j] = token_key(cols[j]);
+
+  const __m256d ones = _mm256_set1_pd(1.0);
+  const __m256d weight = _mm256_set1_pd(dummy_weight);
+  const std::size_t blocks = c_count / 4;
+
+  for (std::size_t i = 1; i <= r_count; ++i) {
+    const token qi = rows[i - 1];
+    const bool dummy_row = qi.is_dummy();
+    const __m256i row_key =
+        _mm256_set1_epi64x(static_cast<long long>(token_key(qi)));
+    __m256d carry_s = _mm256_setzero_pd();
+    __m256d carry_g = _mm256_setzero_pd();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t j0 = b * 4;  // covers columns j0+1 .. j0+4
+      const __m256i k4 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(keys.data() + j0));
+      const __m256d eq =
+          _mm256_castsi256_pd(_mm256_cmpeq_epi64(k4, row_key));
+      const __m256d ps = _mm256_loadu_pd(prev_solid + j0 + 1);
+      const __m256d pg = _mm256_loadu_pd(prev_gap + j0 + 1);
+      const __m256d psd = _mm256_loadu_pd(prev_solid + j0);
+      __m256d x_s;
+      __m256d x_g;
+      if (dummy_row) {
+        const __m256d cand =
+            _mm256_and_pd(_mm256_add_pd(psd, weight), eq);
+        x_s = ps;
+        x_g = _mm256_max_pd(pg, cand);
+      } else {
+        const __m256d pgd = _mm256_loadu_pd(prev_gap + j0);
+        const __m256d cand = _mm256_and_pd(
+            _mm256_add_pd(_mm256_max_pd(psd, pgd), ones), eq);
+        x_s = _mm256_max_pd(ps, cand);
+        x_g = pg;
+      }
+      const __m256d cs = prefix_max(x_s, carry_s);
+      const __m256d cg = prefix_max(x_g, carry_g);
+      _mm256_storeu_pd(cur_solid + j0 + 1, cs);
+      _mm256_storeu_pd(cur_gap + j0 + 1, cg);
+      carry_s = broadcast_last(cs);
+      carry_g = broadcast_last(cg);
+    }
+    // Scalar tail (and the whole row when c_count < 4), continuing from the
+    // last vector column — byte-for-byte the scalar kernel's inner loop.
+    for (std::size_t j = blocks * 4 + 1; j <= c_count; ++j) {
+      double best_solid = std::max(prev_solid[j], cur_solid[j - 1]);
+      double best_gap = std::max(prev_gap[j], cur_gap[j - 1]);
+      if (qi == cols[j - 1]) {
+        if (dummy_row) {
+          best_gap = std::max(best_gap, prev_solid[j - 1] + dummy_weight);
+        } else {
+          best_solid = std::max(
+              best_solid, std::max(prev_solid[j - 1], prev_gap[j - 1]) + 1.0);
+        }
+      }
+      cur_solid[j] = best_solid;
+      cur_gap[j] = best_gap;
+    }
+    std::swap(prev_solid, cur_solid);
+    std::swap(prev_gap, cur_gap);
+  }
+  return std::max(prev_solid[c_count], prev_gap[c_count]);
+}
+
+bool avx2_available() noexcept { return __builtin_cpu_supports("avx2"); }
+
+#else  // !BES_HAVE_AVX2_KERNEL
+
+double avx2_weighted(std::span<const token> rows, std::span<const token> cols,
+                     double dummy_weight, lcs_context& ctx) {
+  return scalar_weighted(rows, cols, dummy_weight, ctx);
+}
+
+bool avx2_available() noexcept { return false; }
+
+#endif
+
+}  // namespace bes::lcs_detail

@@ -1,0 +1,229 @@
+// Bit-parallel constrained-LCS length kernel: 64 DP cells per word.
+//
+// Let F[i][j] = max(solid[i][j], gap[i][j]) be the combined value of the
+// exact two-layer DP (kernel_scalar.cpp). Three provable facts turn F into
+// a classic Crochemore/Iliopoulos/Pinzon bit-vector LCS:
+//
+//  (1) Diagonal step lemma: F[i][j] <= F[i-1][j-1] + 1 for ALL cells. (Any
+//      constrained common subsequence of the (i, j) prefixes either omits
+//      q_i, omits d_j, or matches them to each other as its final pair;
+//      each case is bounded by a neighbour + 1, and steps along a row or
+//      column are at most 1 by the same argument.)
+//  (2) A boundary match always achieves it: solid gets the candidate
+//      F[i-1][j-1] + 1, so F[i][j] = F[i-1][j-1] + 1 exactly — and the
+//      cell's best ends in a boundary (g = 0 below).
+//  (3) A dummy match contributes solid[i-1][j-1] + 1, which equals
+//      F[i-1][j-1] + 1 exactly when the diagonal cell's best is achievable
+//      ending in a boundary, and is dominated by the up-neighbour
+//      otherwise (gap - solid <= 1 everywhere).
+//
+// So F obeys the UNCONSTRAINED LCS recurrence over an *effective* match
+// mask: boundary matches always count; a dummy match counts iff the
+// diagonal cell has g = 0, where g[i][j] = F[i][j] - solid[i][j] in {0, 1}
+// flags cells whose best is only achievable ending in a dummy. That is the
+// paper's no-two-adjacent-dummies constraint folded into a second carry
+// mask over the match vector — the bit-row mirror of the solid/gap layers
+// of the scalar rolling DP.
+//
+// Row state, one bit per column (word-packed, bit j-1 <-> column j):
+//   V   the CIPR row profile: bit 0 marks an increment position
+//       (F[i][j] = F[i][j-1] + 1); F[i][n] = number of zero bits.
+//       Update per row: U = V & Meff; V' = (V + U) | (V & ~Meff).
+//   g   the ends-in-dummy-only flags of the current row.
+//   R'  the previous row's increment positions (~V before the update).
+//
+// After the V update, with R = ~V' (current increments), the column steps
+// C (c_j = F[i][j] - F[i-1][j]) follow c_j = !r'_j & (r_j | c_{j-1}).
+// The new g row is the complement of the "solid reaches F" set
+// s_j = a_j | (!r_j & s_{j-1}): seeds a are boundary-match cells (fact 2)
+// and cells with c_j = 0 whose up-neighbour had g = 0, and zero-ness
+// flows right while F stays flat. Both are instances of the first-order
+// chain x_j = P_j & (inj_j | x_{j-1}) — the carry recurrence of binary
+// addition with generate = P & inj and propagate = P, so one addition
+// P + (inj & P) computes a whole word of it (prop_chain below; the
+// carry-out feeds the next word). Note the naive "smear seeds with
+// T = P + (A << 1)" trick is WRONG here: a seed injected onto a P = 0
+// barrier position that simultaneously receives a carry produces
+// 0 + 1 + 1 and re-launches the carry past the barrier.
+//
+// The kernel computes the EXACT two-layer optimum and serves both the
+// signed and exact lcs_kernel entries: the paper's signed heuristic equals
+// the exact optimum on every input ever tested (fidelity note F1, enforced
+// continuously by tests/lcs_fuzz_test.cpp); if a divergence is ever found,
+// the bit-parallel answer is the correct constrained optimum and the
+// fixture-pinning protocol in that test applies.
+//
+// The early-exit band is bit-identical to the scalar exact kernel's: F is
+// row-monotone, so the row maximum is F[i][n] = popcount of zeros in V,
+// and the bail row and returned admissible bound match exactly.
+#include <algorithm>
+#include <bit>
+
+#include "lcs/be_lcs.hpp"
+#include "lcs/kernel_detail.hpp"
+
+namespace bes::lcs_detail {
+
+namespace {
+
+using u64 = std::uint64_t;
+
+// a + b + cin -> sum, with cin/carry-out in {0, 1}.
+inline u64 add_carry(u64 a, u64 b, u64& carry) noexcept {
+  const u64 s1 = a + b;
+  const u64 c1 = static_cast<u64>(s1 < a);
+  const u64 s2 = s1 + carry;
+  carry = c1 | static_cast<u64>(s2 < s1);
+  return s2;
+}
+
+// One word of the first-order chain x_j = P_j & (inj_j | x_{j-1}). This is
+// the carry recurrence of binary addition with generate = p & inj and
+// propagate = p, so the whole word is one addition p + (inj & p); the
+// full-adder identity sum ^ p ^ (inj & p) recovers the carry INTO each bit,
+// i.e. x_{j-1}, hence the >> 1. `carry` threads x_63 across words.
+inline u64 prop_chain(u64 p, u64 inj, u64& carry) noexcept {
+  const u64 y = inj & p;
+  const u64 s1 = p + y;
+  const u64 c1 = static_cast<u64>(s1 < p);
+  const u64 sum = s1 + carry;
+  const u64 out = c1 | static_cast<u64>(sum < s1);
+  const u64 cin = sum ^ p ^ y;
+  carry = out;
+  return (cin >> 1) | (out << 63);
+}
+
+// Match-mask table: open-addressing map from packed token keys to
+// word-packed column masks, rebuilt per (rows, cols) pair in flat context
+// scratch — no per-pair allocation once the context has warmed up.
+struct mask_table {
+  u64* keys;          // cap entries, 0 = empty
+  u64* masks;         // cap * words bits
+  const u64* zero;    // words of zeros, for absent tokens
+  std::size_t cap;    // power of two
+  std::size_t words;
+
+  [[nodiscard]] std::size_t slot_of(u64 key) const noexcept {
+    std::size_t s =
+        static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >>
+                                 (64 - std::countr_zero(cap)));
+    while (keys[s] != 0 && keys[s] != key) s = (s + 1) & (cap - 1);
+    return s;
+  }
+
+  [[nodiscard]] const u64* find(u64 key) const noexcept {
+    const std::size_t s = slot_of(key);
+    return keys[s] == key ? masks + s * words : zero;
+  }
+};
+
+template <bool banded>
+std::size_t bitparallel_run(std::span<const token> rows,
+                            std::span<const token> cols,
+                            std::size_t min_needed, lcs_context& ctx) {
+  const std::size_t r_count = rows.size();
+  const std::size_t c_count = cols.size();
+  if (r_count == 0 || c_count == 0) return 0;
+  if (banded && min_needed > c_count) return c_count;  // lcs <= min(m, n)
+
+  const std::size_t words = (c_count + 63) / 64;
+  const std::size_t cap = std::bit_ceil(std::max<std::size_t>(2 * c_count, 4));
+  // Scratch layout: V | g | R' | zero-mask | keys | masks.
+  std::span<u64> scratch =
+      ctx.word_cells((4 + cap) * words + cap);
+  u64* v = scratch.data();
+  u64* g = v + words;
+  u64* rp = g + words;
+  u64* zero = rp + words;
+  mask_table table{zero + words, zero + words + cap, zero, cap, words};
+
+  // Row 0: no increments (V all ones, tail included so the tail never
+  // produces phantom zeros), no steps, nothing ends in a dummy.
+  std::fill(v, v + words, ~u64{0});
+  std::fill(g, g + 3 * words, u64{0});  // g, R', zero-mask
+  std::fill(table.keys, table.keys + cap, u64{0});
+
+  for (std::size_t j = 0; j < c_count; ++j) {
+    const u64 key = token_key(cols[j]);
+    const std::size_t s = table.slot_of(key);
+    if (table.keys[s] == 0) {
+      table.keys[s] = key;
+      std::fill(table.masks + s * words, table.masks + (s + 1) * words,
+                u64{0});
+    }
+    table.masks[s * words + j / 64] |= u64{1} << (j % 64);
+  }
+  const u64* dummy_mask = table.find(token_key(token::dummy()));
+  const u64 tail_mask = c_count % 64 == 0
+                            ? ~u64{0}
+                            : (u64{1} << (c_count % 64)) - 1;
+
+  for (std::size_t i = 1; i <= r_count; ++i) {
+    const token qi = rows[i - 1];
+    const bool dummy_row = qi.is_dummy();
+    const u64* m_row = dummy_row ? dummy_mask : table.find(token_key(qi));
+    // Word-loop carries: g << 1, the V+U add, the two propagation chains,
+    // and the seed << 1 shift feeding the second chain.
+    u64 sh_g = 0, add_v = 0, add_c = 0, sh_z = 0, add_z = 0;
+    [[maybe_unused]] std::size_t row_zeros = 0;
+    for (std::size_t k = 0; k < words; ++k) {
+      const u64 m = m_row[k];
+      const u64 g_prev = g[k];
+      const u64 v_prev = v[k];
+      const u64 r_prev = rp[k];
+
+      // Effective match mask: dummy matches are vetoed where the diagonal
+      // cell (bit shifted up by one) only reaches F ending in a dummy.
+      const u64 g_diag = (g_prev << 1) | sh_g;
+      sh_g = g_prev >> 63;
+      const u64 meff = dummy_row ? m & ~g_diag : m;
+
+      // CIPR profile update.
+      const u64 u = v_prev & meff;
+      const u64 v_new = add_carry(v_prev, u, add_v) | (v_prev & ~meff);
+      v[k] = v_new;
+      const u64 r = ~v_new;  // tail bits of v_new stay 1, so r's tail is 0
+      if constexpr (banded) {
+        row_zeros += static_cast<std::size_t>(std::popcount(r));
+      }
+
+      // Column steps: c_j = !r'_j & (r_j | c_{j-1}).
+      const u64 c_col = prop_chain(~r_prev, r, add_c);
+
+      // New g row: cells where solid CANNOT reach F are the complement of
+      // the seed-and-propagate set s_j = a_j | (!r_j & s_{j-1}) — seeds are
+      // boundary matches plus cells with a flat column step over a g = 0
+      // up-neighbour; zero-ness flows right through flat row steps.
+      const u64 bm = dummy_row ? u64{0} : m;
+      const u64 a_z = bm | (~c_col & ~g_prev);
+      const u64 zsh = (a_z << 1) | sh_z;
+      sh_z = a_z >> 63;
+      const u64 solid_ok = a_z | prop_chain(v_new, zsh, add_z);
+      const u64 mask = k + 1 == words ? tail_mask : ~u64{0};
+      g[k] = ~solid_ok & mask;
+      rp[k] = r;
+    }
+    if constexpr (banded) {
+      const std::size_t achievable = row_zeros + (r_count - i);
+      if (achievable < min_needed) return achievable;
+    }
+  }
+
+  std::size_t length = 0;
+  for (std::size_t k = 0; k < words; ++k) {
+    length += static_cast<std::size_t>(std::popcount(~v[k]));
+  }
+  return length;
+}
+
+}  // namespace
+
+std::size_t bitparallel_exact(std::span<const token> rows,
+                              std::span<const token> cols,
+                              std::size_t min_needed, lcs_context& ctx) {
+  return min_needed == 0
+             ? bitparallel_run<false>(rows, cols, 0, ctx)
+             : bitparallel_run<true>(rows, cols, min_needed, ctx);
+}
+
+}  // namespace bes::lcs_detail

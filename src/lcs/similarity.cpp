@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace bes {
 
@@ -9,6 +11,9 @@ namespace {
 
 // The one switch over norm_kind: both the score (normalize) and the band
 // threshold (min_tokens_for) divide by this, so they can never disagree.
+// An out-of-enum value (a static_cast from untrusted input that skipped
+// checked_norm_kind) throws instead of silently normalizing by 1.0 —
+// scores > 1 from that path used to survive all the way into reports.
 double norm_denominator(std::size_t m, std::size_t n, norm_kind norm) {
   switch (norm) {
     case norm_kind::query:
@@ -20,8 +25,26 @@ double norm_denominator(std::size_t m, std::size_t n, norm_kind norm) {
     case norm_kind::min_len:
       return static_cast<double>(std::min(m, n));
   }
-  return 1.0;
+  throw std::invalid_argument("norm_denominator: invalid norm_kind " +
+                              std::to_string(static_cast<int>(norm)));
 }
+
+}  // namespace
+
+norm_kind checked_norm_kind(long long raw) {
+  switch (raw) {
+    case static_cast<long long>(norm_kind::query):
+    case static_cast<long long>(norm_kind::max_len):
+    case static_cast<long long>(norm_kind::dice):
+    case static_cast<long long>(norm_kind::min_len):
+      return static_cast<norm_kind>(raw);
+    default:
+      throw std::invalid_argument("checked_norm_kind: invalid norm_kind " +
+                                  std::to_string(raw));
+  }
+}
+
+namespace {
 
 double normalize(std::size_t lcs, std::size_t m, std::size_t n,
                  norm_kind norm) {

@@ -27,6 +27,12 @@ enum class norm_kind : std::uint8_t {
   min_len,  // lcs / min(|q|, |d|)  (containment)
 };
 
+// Validating conversion for norm_kind values arriving from outside the type
+// system (report JSON, CLI flags): throws std::invalid_argument on anything
+// without an enumerator instead of letting a raw static_cast smuggle an
+// out-of-enum value into the scoring switch.
+[[nodiscard]] norm_kind checked_norm_kind(long long raw);
+
 struct similarity_options {
   norm_kind norm = norm_kind::query;
   // Use the exact two-layer DP instead of the paper's signed-table variant.

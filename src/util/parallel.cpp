@@ -14,30 +14,35 @@ unsigned hardware_threads() noexcept {
 }
 
 void parallel_for(std::size_t count, unsigned threads,
-                  const std::function<void(std::size_t)>& fn,
+                  const std::function<void(unsigned, std::size_t)>& fn,
                   std::size_t chunk) {
   if (count == 0) return;
   if (chunk == 0) chunk = 1;
   if (threads <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(threads, count));
+  const unsigned workers = parallel_workers(count, threads);
 
   std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> abort{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  auto worker = [&] {
-    for (;;) {
+  auto worker = [&](unsigned me) {
+    // The abort flag stops HEALTHY workers once any worker has thrown:
+    // without it they would keep draining the cursor and run fn on every
+    // remaining index while the exception waits for the join below.
+    while (!abort.load(std::memory_order_relaxed)) {
       const std::size_t begin = cursor.fetch_add(chunk);
       if (begin >= count) return;
       const std::size_t end = std::min(begin + chunk, count);
       for (std::size_t i = begin; i < end; ++i) {
+        if (abort.load(std::memory_order_relaxed)) return;
         try {
-          fn(i);
+          fn(me, i);
         } catch (...) {
+          abort.store(true, std::memory_order_relaxed);
           std::lock_guard lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
           return;
@@ -48,10 +53,17 @@ void parallel_for(std::size_t count, unsigned threads,
 
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker, t);
   for (auto& t : pool) t.join();
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk) {
+  parallel_for(
+      count, threads, [&fn](unsigned, std::size_t i) { fn(i); }, chunk);
 }
 
 }  // namespace bes

@@ -1,6 +1,7 @@
 // Thread-parallel index loop used by the database scan path.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 
@@ -19,10 +20,34 @@ namespace bes {
 //
 // fn must be safe to invoke concurrently from multiple threads for distinct
 // indices. Exceptions thrown by fn are captured and the first one is
-// rethrown on the caller thread after all workers join.
+// rethrown on the caller thread after all workers join. A throw also trips
+// an abort flag checked before every invocation, so remaining work is
+// cancelled best-effort: in-flight fn calls finish, at most a bounded
+// handful of further calls start, and indices are NOT guaranteed to have
+// been visited once any fn has thrown.
 void parallel_for(std::size_t count, unsigned threads,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t chunk = 16);
+
+// Worker-indexed variant: fn(worker, i) with a worker id that is stable for
+// the whole call and dense in [0, parallel_workers(count, threads)). Lets a
+// caller hand each worker its own reusable scratch (an lcs_context, a local
+// accumulator) looked up once per item by index — no thread_local access,
+// no sharing between concurrent workers. The inline (threads <= 1) path
+// always reports worker 0.
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(unsigned, std::size_t)>& fn,
+                  std::size_t chunk = 16);
+
+// Number of distinct worker ids the indexed overload can observe: 0 when
+// there is no work, else min(max(threads, 1), count). Size per-worker state
+// with this.
+[[nodiscard]] constexpr unsigned parallel_workers(std::size_t count,
+                                                  unsigned threads) noexcept {
+  if (count == 0) return 0;
+  const std::size_t cap = threads == 0 ? 1 : threads;
+  return static_cast<unsigned>(std::min<std::size_t>(cap, count));
+}
 
 // Number of hardware threads, never less than 1.
 unsigned hardware_threads() noexcept;

@@ -260,6 +260,20 @@ TEST(EvalHarness, ReportJsonRoundTrips) {
   }
 }
 
+TEST(EvalHarness, ReportParseRejectsOutOfEnumNorm) {
+  // Regression: `"norm"` used to be static_cast straight into norm_kind,
+  // so a corrupted or hand-edited baseline flowed an out-of-enum value
+  // into the scoring switch (which then normalized by a silent 1.0).
+  std::string text = report_to_json(shared_report()).dump(2);
+  const std::size_t pos = text.find("\"norm\":");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t value_at = text.find_first_of("0123456789", pos);
+  ASSERT_NE(value_at, std::string::npos);
+  text.insert(value_at, "20");  // norm_kind has 4 enumerators; 20x is not one
+  EXPECT_THROW((void)report_from_json(json_value::parse(text)),
+               std::invalid_argument);
+}
+
 // ---------------------------------------------------------------- gate
 
 TEST(EvalGate, FreshBaselinePasses) {

@@ -2,6 +2,8 @@
 // and the scene-sketch text format.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/encoder.hpp"
 #include "db/type_retrieval.hpp"
 #include "lcs/be_lcs.hpp"
@@ -85,6 +87,21 @@ TEST(WeightedLcs, RejectsOutOfRangeWeight) {
   const std::vector<token> q = {Bb(0)};
   EXPECT_THROW((void)be_lcs_weighted(q, q, -0.1), std::invalid_argument);
   EXPECT_THROW((void)be_lcs_weighted(q, q, 1.5), std::invalid_argument);
+}
+
+TEST(WeightedLcs, RejectsNonFiniteWeight) {
+  // Regression: `weight < 0.0 || weight > 1.0` is false for NaN, which then
+  // poisons every max() chain in the DP and silently scores everything 0.
+  const std::vector<token> q = {Bb(0)};
+  EXPECT_THROW((void)be_lcs_weighted(q, q,
+                                     std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW((void)be_lcs_weighted(q, q,
+                                     std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)be_lcs_weighted(
+                   q, q, -std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
 }
 
 class WeightedLcsOracle : public ::testing::TestWithParam<std::uint64_t> {};

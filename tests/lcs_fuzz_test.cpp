@@ -125,6 +125,115 @@ TEST_P(BoundedKernelFuzz, BandIsAdmissible) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BoundedKernelFuzz,
                          ::testing::Range<std::uint64_t>(0, 40));
 
+// -------------------------------------- registered kernels vs the scalar
+
+// Directed shapes that historically break bit-packed DPs: lengths that
+// straddle 64-bit word boundaries, unbroken dummy runs (the constraint's
+// worst case), and single-symbol alphabets (maximal match-mask density).
+std::vector<token> shaped_tokens(rng& r, std::size_t len, int shape) {
+  std::vector<token> out(len);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    switch (shape) {
+      case 0:  // all dummies
+        out[i] = token::dummy();
+        break;
+      case 1:  // one symbol, begin/end/dummy mix
+        out[i] = r.uniform_int(0, 3) == 0 ? token::dummy()
+                 : r.uniform_int(0, 1) == 0 ? Bb(0)
+                                            : Be(0);
+        break;
+      default:  // small alphabet, dummy-heavy
+        out[i] = r.uniform_int(0, 2) == 0
+                     ? token::dummy()
+                     : Bb(static_cast<symbol_id>(r.uniform_int(0, 2)));
+        break;
+    }
+  }
+  return out;
+}
+
+class KernelDispatchFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelDispatchFuzz, EveryRegisteredKernelMatchesScalar) {
+  // Differential fuzz of the CPU-dispatch registry: every registered kernel
+  // (scalar, bit-parallel, AVX2 where compiled+supported) must be
+  // bit-identical to the scalar reference on the signed, exact, and
+  // weighted entry points, with lengths crossing the 64-cell word packing
+  // of the bit-parallel variant.
+  const lcs_kernel* scalar = find_lcs_kernel("scalar");
+  ASSERT_NE(scalar, nullptr);
+  lcs_context ref(*scalar);
+  rng r(GetParam() * 31 + 17);
+  constexpr std::size_t kLens[] = {1, 7, 63, 64, 65, 127, 128};
+  for (const std::size_t len : kLens) {
+    for (int shape = 0; shape < 3; ++shape) {
+      const std::vector<token> q = shaped_tokens(r, len, shape);
+      const std::vector<token> d =
+          shaped_tokens(r, 1 + len / (1 + static_cast<std::size_t>(
+                                              r.uniform_int(0, 2))),
+                        shape);
+      const std::size_t paper = be_lcs_length(q, d, ref);
+      const std::size_t exact = be_lcs_length_exact(q, d, ref);
+      const double weighted = be_lcs_weighted(q, d, 0.5, ref);
+      for (const lcs_kernel& k : registered_lcs_kernels()) {
+        lcs_context ctx(k);
+        EXPECT_EQ(be_lcs_length(q, d, ctx), paper)
+            << "kernel " << k.name << " len " << len << " shape " << shape;
+        EXPECT_EQ(be_lcs_length_exact(q, d, ctx), exact)
+            << "kernel " << k.name << " len " << len << " shape " << shape;
+        EXPECT_DOUBLE_EQ(be_lcs_weighted(q, d, 0.5, ctx), weighted)
+            << "kernel " << k.name << " len " << len << " shape " << shape;
+      }
+    }
+  }
+}
+
+TEST_P(KernelDispatchFuzz, BandContractHoldsAroundTrueLength) {
+  // The early-exit band's contract, probed exactly where it bites: at
+  // min_needed of the true length and one either side, for every kernel.
+  // (The bit-parallel banded path bails with a DIFFERENT admissible bound
+  // than the scalar signed one may, so assert the contract, not equality.)
+  rng r(GetParam() * 131 + 7);
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<token> q = random_tokens(r, 70, 2);
+    const std::vector<token> d = random_tokens(r, 70, 2);
+    for (const lcs_kernel& k : registered_lcs_kernels()) {
+      lcs_context ctx(k);
+      const std::size_t exact = be_lcs_length_exact(q, d, ctx);
+      for (int delta = -1; delta <= 1; ++delta) {
+        if (static_cast<long>(exact) + delta < 1) continue;
+        const std::size_t needed = exact + static_cast<std::size_t>(delta);
+        const std::size_t bounded =
+            be_lcs_length_exact_bounded(q, d, needed, ctx);
+        EXPECT_GE(bounded, exact) << "kernel " << k.name;
+        EXPECT_EQ(bounded >= needed, exact >= needed) << "kernel " << k.name;
+        if (exact >= needed) {
+          EXPECT_EQ(bounded, exact) << "kernel " << k.name;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelDispatchFuzz,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(KernelDispatch, RegistryAlwaysHasScalarFirst) {
+  // The registry is ordered by ascending preference with the portable
+  // scalar reference always present; BES_LCS_KERNEL=scalar must therefore
+  // resolve on every machine.
+  const auto kernels = registered_lcs_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.front().name, "scalar");
+  EXPECT_NE(find_lcs_kernel("bitparallel"), nullptr);
+  EXPECT_EQ(find_lcs_kernel("no-such-kernel"), nullptr);
+  // The active kernel is one of the registered ones.
+  const lcs_kernel& active = active_lcs_kernel();
+  bool found = false;
+  for (const lcs_kernel& k : kernels) found |= &k == &active;
+  EXPECT_TRUE(found);
+}
+
 // ----------------------------------------------- scoring context hygiene
 
 TEST(LcsContext, ReuseAcrossMixedSizesStaysCorrect) {
@@ -155,7 +264,9 @@ TEST(LcsContext, ScratchStaysLinearInShorterString) {
   params.object_count = 8;
   const be_string2d small = encode(random_scene(params, r, names));
 
-  lcs_context ctx;
+  // The strict linear bound is a property of the scalar rolling kernel;
+  // pin it so the assertion holds regardless of the CPU-dispatched default.
+  lcs_context ctx(*find_lcs_kernel("scalar"));
   (void)be_lcs_length(big.x.span(), small.x.span(), ctx);
   (void)be_lcs_length(small.x.span(), big.x.span(), ctx);
   (void)be_lcs_length_exact(big.x.span(), small.x.span(), ctx);
@@ -170,6 +281,18 @@ TEST(LcsContext, ScratchStaysLinearInShorterString) {
   const be_lcs_table w = be_lcs_fill(big.x.span(), small.x.span());
   EXPECT_EQ(w.storage_cells(), (big.x.size() + 1) * (small.x.size() + 1));
   EXPECT_LT(ctx.scratch_bytes(), w.storage_cells() * sizeof(std::int32_t));
+
+  // Every registered kernel, including the bit-parallel one with its
+  // per-pair match-mask table, must still stay far below the full table:
+  // O(shorter / 64 * distinct-tokens) words, not O(mn) cells.
+  for (const lcs_kernel& k : registered_lcs_kernels()) {
+    lcs_context kctx(k);
+    (void)be_lcs_length(big.x.span(), small.x.span(), kctx);
+    (void)be_lcs_length_exact(big.x.span(), small.x.span(), kctx);
+    (void)be_lcs_weighted(big.x.span(), small.x.span(), 0.5, kctx);
+    EXPECT_LT(kctx.scratch_bytes(), w.storage_cells() * sizeof(std::int32_t))
+        << "kernel " << k.name;
+  }
 }
 
 // ----------------------------------------------------- encoded real scenes

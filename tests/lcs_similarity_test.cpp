@@ -30,6 +30,25 @@ TEST(Similarity, SelfSimilarityIsOneUnderEveryNorm) {
   }
 }
 
+TEST(Similarity, OutOfEnumNormThrowsInsteadOfNormalizingByOne) {
+  // Regression: the norm_kind switch used to fall through to a silent 1.0
+  // denominator, so an out-of-enum value (e.g. smuggled through a raw
+  // static_cast from parsed input) produced scores > 1 instead of an error.
+  alphabet names;
+  const be_string2d s = encode(scene_from_seed(1, names));
+  similarity_options options;
+  options.norm = static_cast<norm_kind>(200);
+  EXPECT_THROW((void)similarity(s, s, options), std::invalid_argument);
+}
+
+TEST(Similarity, CheckedNormKindValidates) {
+  EXPECT_EQ(checked_norm_kind(0), norm_kind::query);
+  EXPECT_EQ(checked_norm_kind(3), norm_kind::min_len);
+  EXPECT_THROW((void)checked_norm_kind(4), std::invalid_argument);
+  EXPECT_THROW((void)checked_norm_kind(-1), std::invalid_argument);
+  EXPECT_THROW((void)checked_norm_kind(200), std::invalid_argument);
+}
+
 TEST(Similarity, RangeStaysWithinZeroOne) {
   alphabet names;
   for (std::uint64_t i = 0; i < 10; ++i) {

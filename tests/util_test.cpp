@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -112,6 +113,38 @@ TEST(Parallel, PropagatesFirstException) {
                      if (i == 37) throw std::runtime_error("boom");
                    }),
       std::runtime_error);
+}
+
+TEST(Parallel, ExceptionAbortsRemainingWork) {
+  // Regression: only the THROWING worker used to stop; its siblings kept
+  // draining the cursor and ran fn on every remaining index, so a scan that
+  // failed on item 1 still paid for the other 99999. After the first throw,
+  // at most a bounded handful of calls may still start (in-flight chunks
+  // finish their current item; each worker checks the flag per index).
+  constexpr std::size_t n = 100000;
+  constexpr unsigned threads = 4;
+  std::atomic<std::size_t> after_throw{0};
+  std::atomic<bool> thrown{false};
+  EXPECT_THROW(
+      parallel_for(
+          n, threads,
+          [&](std::size_t i) {
+            if (thrown.load()) after_throw.fetch_add(1);
+            if (i == 0) {
+              thrown.store(true);
+              throw std::runtime_error("boom");
+            }
+            // Let the siblings hit the cursor a few times while the throw
+            // happens, without slowing the suite down.
+            std::this_thread::yield();
+          },
+          /*chunk=*/1),
+      std::runtime_error);
+  EXPECT_TRUE(thrown.load());
+  // Bounded by one in-flight item per worker plus the per-index flag check
+  // racing the store; far below the ~n calls the bug allowed. Generous
+  // factor to keep the test deterministic on slow machines.
+  EXPECT_LT(after_throw.load(), static_cast<std::size_t>(threads) * 64);
 }
 
 TEST(Parallel, EveryChunkSizeVisitsEveryIndexExactlyOnce) {
