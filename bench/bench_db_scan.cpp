@@ -7,9 +7,13 @@
 // serve queries at interactive latency for thousands of images.
 #include "bench_common.hpp"
 
+#include "db/access_path.hpp"
+#include "db/hybrid_index.hpp"
+#include "db/planner.hpp"
 #include "db/query.hpp"
 #include "db/scan.hpp"
 #include "db/shard.hpp"
+#include "db/spatial_index.hpp"
 #include "imaging/extract.hpp"
 #include "util/parallel.hpp"
 #include "workload/query_gen.hpp"
@@ -237,6 +241,70 @@ void print_shard_table() {
   std::fputs(table.str().c_str(), stdout);
 }
 
+// E9e of ISSUE 7: candidate generation through the access paths. The
+// combined prefilter materializes the index union and the window hits and
+// intersects them after the fact; the fused hybrid traversal produces the
+// SAME candidate set from one R-tree walk whose nodes carry symbol
+// signatures. The planner picks whichever path its cost model says is
+// cheapest end to end; its wall clock is compared against the exhaustive
+// scan it replaces.
+void print_planner_table() {
+  print_header("E9e: combined vs fused-hybrid vs cost-based planner",
+               "same candidate set, one traversal instead of two "
+               "materializations; the planner's end-to-end pick vs the "
+               "exhaustive scan");
+  text_table table({"images", "pad", "cands comb", "cands hyb",
+                    "gen comb (ms)", "gen hyb (ms)", "plan",
+                    "e2e planned (ms)", "e2e exhaustive (ms)"});
+  for (std::size_t images : benchsupport::smoke_sweep({400u, 1600u}, 100u)) {
+    image_database db = build_db(images, 8, 40);
+    const spatial_index spatial(db);
+    const hybrid_index hybrid(db);
+    rng r(5);
+    alphabet scratch = db.symbols();
+    distortion_params d;
+    d.keep_fraction = 0.6;
+    const symbolic_image query = distort(db.record(0).image, d, r, scratch);
+    const std::vector<symbol_id> symbols = distinct_symbols(query);
+    const int pad = adaptive_pad(query);
+
+    const access_path_context actx{&db, &spatial, &hybrid};
+    const auto combined = make_access_path(access_path_kind::combined, actx);
+    const auto fused = make_access_path(access_path_kind::hybrid, actx);
+    const path_probe probe{&query, symbols, pad};
+    const std::size_t cands_comb = combined->generate(probe).size();
+    const std::size_t cands_hyb = fused->generate(probe).size();
+    const double t_comb = 1e3 * time_per_call([&] {
+      benchmark::DoNotOptimize(combined->generate(probe));
+    });
+    const double t_hyb = 1e3 * time_per_call([&] {
+      benchmark::DoNotOptimize(fused->generate(probe));
+    });
+
+    const planner_context ctx{&db, &spatial, &hybrid};
+    query_options planned;
+    planned.top_k = 10;
+    planned.histogram_pruning = true;
+    const access_plan plan = plan_query(ctx, query, symbols, planned);
+    const double t_planned = 1e3 * time_per_call([&] {
+      benchmark::DoNotOptimize(search_planned(ctx, query, planned));
+    });
+    query_options exhaustive;
+    exhaustive.use_index = false;
+    exhaustive.top_k = 10;
+    const double t_exhaustive = 1e3 * time_per_call([&] {
+      benchmark::DoNotOptimize(search(db, query, exhaustive));
+    });
+
+    table.add_row({std::to_string(images), std::to_string(pad),
+                   std::to_string(cands_comb), std::to_string(cands_hyb),
+                   fmt_double(t_comb, 3), fmt_double(t_hyb, 3),
+                   std::string(to_string(plan.path)),
+                   fmt_double(t_planned, 2), fmt_double(t_exhaustive, 2)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
 void print_index_selectivity_table() {
   print_header("E9b: inverted-index candidate selectivity",
                "images sharing no query symbol are skipped outright");
@@ -305,6 +373,7 @@ int main(int argc, char** argv) {
   bes::print_scan_table();
   bes::print_batch_table();
   bes::print_shard_table();
+  bes::print_planner_table();
   bes::print_index_selectivity_table();
   return bes::benchsupport::run_registered(argc, argv);
 }

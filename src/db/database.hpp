@@ -22,6 +22,14 @@ namespace bes {
 
 using image_id = std::uint32_t;
 
+// Tag selecting the deferred-build constructors of the db-side indexes
+// (spatial_index, hybrid_index): the index starts empty so a bulk-load path
+// can index each image in the same pass that materializes it.
+struct deferred_build_t {
+  explicit deferred_build_t() = default;
+};
+inline constexpr deferred_build_t deferred_build{};
+
 struct db_record {
   image_id id = 0;
   std::string name;
@@ -72,6 +80,14 @@ class image_database {
       std::span<const symbol_id> query_symbols) const;
   [[nodiscard]] std::vector<image_id> candidates(
       const symbolic_image& query) const;
+
+  // Posting-list length for `symbol` (0 when absent): the cheapest
+  // selectivity statistic there is, read per query symbol by the cost-based
+  // planner (db/planner.hpp) to estimate candidate counts before generating
+  // anything.
+  [[nodiscard]] std::size_t postings(symbol_id symbol) const noexcept {
+    return index_.postings(symbol);
+  }
 
  private:
   alphabet alphabet_;

@@ -9,7 +9,8 @@
 namespace bes {
 
 std::vector<image_id> window_candidates(const spatial_index& index,
-                                        const symbolic_image& query, int pad) {
+                                        const symbolic_image& query, int pad,
+                                        std::size_t* generated) {
   if (pad < 0) {
     throw std::invalid_argument("window_candidates: pad must be >= 0");
   }
@@ -22,6 +23,7 @@ std::vector<image_id> window_candidates(const spatial_index& index,
     const auto hits = index.images_overlapping(window, obj.symbol);
     out.insert(out.end(), hits.begin(), hits.end());
   }
+  if (generated != nullptr) *generated = out.size();
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -38,10 +40,14 @@ std::vector<image_id> intersect_candidates(std::span<const image_id> a,
 
 std::vector<image_id> combined_candidates(const image_database& db,
                                           const spatial_index& index,
-                                          const symbolic_image& query,
-                                          int pad) {
-  return intersect_candidates(db.candidates(query),
-                              window_candidates(index, query, pad));
+                                          const symbolic_image& query, int pad,
+                                          std::size_t* generated) {
+  std::size_t window_generated = 0;
+  const std::vector<image_id> from_index = db.candidates(query);
+  const std::vector<image_id> from_window =
+      window_candidates(index, query, pad, &window_generated);
+  if (generated != nullptr) *generated = from_index.size() + window_generated;
+  return intersect_candidates(from_index, from_window);
 }
 
 std::vector<std::vector<query_result>> search_batch_combined(

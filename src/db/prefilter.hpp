@@ -19,19 +19,24 @@ namespace bes {
 
 // Images with at least one icon of the same symbol as some query icon
 // overlapping that icon's MBR padded by `pad` pixels on every side (union
-// over query icons; sorted, unique). pad < 0 throws.
+// over query icons; sorted, unique). pad < 0 throws. `generated` (if
+// non-null) receives the raw per-window hit count before dedup — the
+// candidates_generated accounting of search_stats (db/query.hpp).
 [[nodiscard]] std::vector<image_id> window_candidates(
-    const spatial_index& index, const symbolic_image& query, int pad);
+    const spatial_index& index, const symbolic_image& query, int pad,
+    std::size_t* generated = nullptr);
 
 // Sorted intersection of two sorted, unique candidate lists.
 [[nodiscard]] std::vector<image_id> intersect_candidates(
     std::span<const image_id> a, std::span<const image_id> b);
 
 // The combined prefilter: inverted-index candidates (>= 1 shared symbol)
-// ∩ window candidates. Strictly tighter than either input.
+// ∩ window candidates. Strictly tighter than either input. `generated` (if
+// non-null) receives the summed pre-dedup sizes of both inputs — everything
+// materialized to produce the intersection.
 [[nodiscard]] std::vector<image_id> combined_candidates(
     const image_database& db, const spatial_index& index,
-    const symbolic_image& query, int pad);
+    const symbolic_image& query, int pad, std::size_t* generated = nullptr);
 
 // Batch retrieval over the combined prefilter (ROADMAP "feeding the
 // combined set through search_batch"): computes combined_candidates per

@@ -57,20 +57,6 @@ void shared_topk::insert(const query_result& r) {
 
 std::vector<query_result> shared_topk::take() { return std::move(top_); }
 
-std::vector<image_id> scan_ids(const image_database& db,
-                               std::span<const symbol_id> query_symbols,
-                               const query_options& options) {
-  if (options.use_index && !query_symbols.empty()) {
-    return db.candidates(query_symbols);
-  }
-  std::vector<image_id> all;
-  all.reserve(db.size());
-  for (std::size_t i = 0; i < db.size(); ++i) {
-    all.push_back(static_cast<image_id>(i));
-  }
-  return all;
-}
-
 }  // namespace detail
 
 namespace {
@@ -260,10 +246,15 @@ std::vector<query_result> search_impl(const image_database& db,
                                       const query_transforms* transforms,
                                       const query_options& options,
                                       search_stats* stats) {
+  std::size_t generated = 0;
   const std::vector<image_id> ids =
-      detail::scan_ids(db, query_symbols, options);
-  return detail::scan_shard(db, query_strings, ids, {}, histograms, transforms,
-                            options, nullptr, stats);
+      detail::scan_ids(db, query_symbols, options,
+                       stats != nullptr ? &generated : nullptr);
+  auto out = detail::scan_shard(db, query_strings, ids, {}, histograms,
+                                transforms, options, nullptr, stats);
+  // scan_shard resets *stats; generation accounting goes on top.
+  if (stats != nullptr) stats->candidates_generated = generated;
+  return out;
 }
 
 void check_candidates_in_range(const image_database& db,
@@ -293,8 +284,11 @@ std::vector<query_result> search_candidates(const image_database& db,
                                             const query_options& options,
                                             search_stats* stats) {
   check_candidates_in_range(db, candidates);
-  return detail::scan_shard(db, query_strings, candidates, {}, nullptr,
-                            nullptr, options, nullptr, stats);
+  auto out = detail::scan_shard(db, query_strings, candidates, {}, nullptr,
+                                nullptr, options, nullptr, stats);
+  // Generation happened outside; the handed-in list is what was generated.
+  if (stats != nullptr) stats->candidates_generated = candidates.size();
+  return out;
 }
 
 std::vector<query_result> search(const image_database& db,
@@ -332,15 +326,7 @@ encoded_queries encode_queries(std::span<const symbolic_image> queries,
   return out;
 }
 
-}  // namespace detail
-
-namespace {
-
-using detail::make_plans;
-using detail::query_plan;
-
-// Drives `run_one(i, per_query_options)` over every query of a batch. The
-// batch used to walk queries one after another, each scan fanning its
+// The batch used to walk queries one after another, each scan fanning its
 // candidates over all threads — so the batch tail was serialized behind
 // whichever query happened to be slow. Now the queries themselves are work
 // items on parallel_for's dynamic queue (chunk = 1: a worker claims ONE
@@ -363,6 +349,14 @@ void for_each_query(
       count, outer, [&](std::size_t i) { run_one(i, per_query); },
       /*chunk=*/1);
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::for_each_query;
+using detail::make_plans;
+using detail::query_plan;
 
 std::vector<std::vector<query_result>> batch_impl(
     const image_database& db, std::span<const be_string2d> queries,
@@ -436,6 +430,9 @@ std::vector<std::vector<query_result>> search_batch_candidates(
             want_histograms ? &plans[i].histograms : nullptr,
             want_transforms ? &plans[i].transforms : nullptr, per_query,
             nullptr, stats != nullptr ? &(*stats)[i] : nullptr);
+        if (stats != nullptr) {
+          (*stats)[i].candidates_generated = candidates[i].size();
+        }
       });
   return results;
 }

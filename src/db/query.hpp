@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "db/access_path.hpp"
 #include "db/database.hpp"
 #include "lcs/similarity.hpp"
 
@@ -37,17 +38,42 @@ struct query_result {
   friend bool operator==(const query_result&, const query_result&) = default;
 };
 
+// One planned scan's record in search_stats: what the planner chose and how
+// its estimate compared to reality. Sharded searches append one entry per
+// shard (each shard is planned against its own statistics); flat planned
+// searches append exactly one.
+struct planned_scan {
+  access_path_kind path = access_path_kind::full_scan;
+  int pad = 0;                           // adaptive window pad (spatial paths)
+  std::size_t estimated_candidates = 0;  // the planner's pre-generation bound
+  std::size_t actual_candidates = 0;     // what generate() returned
+
+  friend bool operator==(const planned_scan&, const planned_scan&) = default;
+};
+
 // Scan accounting (filled when a non-null pointer is passed to search).
 // Every scanned candidate is either scored or pruned, on every scan path:
 // scanned == scored + pruned always holds, and an exhaustive scan reports
 // scored == scanned, pruned == 0.
+//
+// `scanned` counts the candidates handed to the scoring scan — AFTER the
+// access path deduplicated, window-rejected, and intersected its raw hits.
+// `candidates_generated` counts those raw hits (access_path_stats), so the
+// prefiltered paths' generated-but-rejected work is visible too:
+// candidates_generated >= scanned always, with equality exactly when
+// generation was already exact (full scan, explicit candidate lists).
 struct search_stats {
-  std::size_t scanned = 0;  // candidates considered
+  std::size_t scanned = 0;  // candidates considered (== scored + pruned)
   std::size_t scored = 0;   // LCS evaluations started
   std::size_t pruned = 0;   // skipped outright via the histogram upper bound
   // Of the scored, how many the early-exit band rejected: their banded DP
   // either bailed before finishing or completed below the pruning threshold.
   std::size_t band_rejected = 0;
+  // Raw candidate ids generated before dedup/rejection (>= scanned).
+  std::size_t candidates_generated = 0;
+  // Filled by the planned searches (db/planner.hpp): the chosen plan(s),
+  // one per scan. Empty on the legacy fixed-path entry points.
+  std::vector<planned_scan> plans;
 };
 
 // Ranks by score descending, ties by id ascending; truncates to top_k.

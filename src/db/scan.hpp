@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <mutex>
 
 #include "db/database.hpp"
@@ -42,12 +43,25 @@ namespace bes::detail {
 [[nodiscard]] bool pruning_applies(const query_options& options);
 
 // Candidate ids for an index/full scan over one database (flat or one
-// shard): the inverted-index hits when the index engages, else every
-// record id. Shared so the flat and sharded paths can never diverge on
-// index-engagement rules.
+// shard): the inverted-index hits when the index engages, else every record
+// id — answered through the access-path interface (db/access_path.hpp), and
+// shared so the flat and sharded paths can never diverge on
+// index-engagement rules. `generated` (if non-null) receives the raw
+// pre-dedup hit count (search_stats::candidates_generated). Defined in
+// access_path.cpp.
 [[nodiscard]] std::vector<image_id> scan_ids(
     const image_database& db, std::span<const symbol_id> query_symbols,
-    const query_options& options);
+    const query_options& options, std::size_t* generated = nullptr);
+
+// Drives `run_one(i, per_query_options)` over every query of a batch on
+// parallel_for's dynamic queue (chunk 1: a worker claims ONE query at a
+// time), splitting the thread budget between query-level and
+// candidate-level parallelism. Shared by the flat batch entry points and
+// the planned batches (db/planner.cpp); results are identical to a serial
+// loop because every scan is thread-count-invariant by construction.
+void for_each_query(
+    std::size_t count, const query_options& options,
+    const std::function<void(std::size_t, const query_options&)>& run_one);
 
 // Precomputed per-query scan state for a batch: the pruner histograms when
 // pruning engages, the 8 dihedral query variants when transform-invariant

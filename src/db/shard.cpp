@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "db/access_path.hpp"
 #include "db/scan.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -87,6 +88,7 @@ image_id sharded_database::add(std::string name, symbolic_image image) {
   shard_part& part = route(shard);
   const image_id local = part.db.add(std::move(name), std::move(image));
   part.spatial.add_image(local);
+  part.hybrid.add_image(local);
   part.global_ids.push_back(global);
   locs_.emplace_back(static_cast<std::uint32_t>(shard), local);
   return global;
@@ -102,6 +104,7 @@ image_id sharded_database::add_encoded(std::string name, symbolic_image image,
       part.db.add_encoded(std::move(name), std::move(image),
                           std::move(strings), std::move(histograms));
   part.spatial.add_image(local);
+  part.hybrid.add_image(local);
   part.global_ids.push_back(global);
   locs_.emplace_back(static_cast<std::uint32_t>(shard), local);
   return global;
@@ -132,6 +135,10 @@ const spatial_index& sharded_database::shard_spatial(std::size_t s) const {
   return shards_.at(s)->spatial;
 }
 
+const hybrid_index& sharded_database::shard_hybrid(std::size_t s) const {
+  return shards_.at(s)->hybrid;
+}
+
 std::span<const image_id> sharded_database::shard_global_ids(
     std::size_t s) const {
   return shards_.at(s)->global_ids;
@@ -141,7 +148,12 @@ std::vector<image_id> sharded_database::candidates(
     std::span<const symbol_id> query_symbols) const {
   std::vector<image_id> out;
   for (const auto& part : shards_) {
-    for (image_id local : part->db.candidates(query_symbols)) {
+    // Through the access-path interface, like every other candidate
+    // generation in the scan engine.
+    const access_path_context ctx{&part->db, nullptr, nullptr};
+    const auto path = make_access_path(access_path_kind::inverted_index, ctx);
+    for (image_id local :
+         path->generate(path_probe{nullptr, query_symbols, 0})) {
       out.push_back(part->global_ids[local]);
     }
   }
@@ -177,6 +189,8 @@ void accumulate(search_stats& into, const search_stats& part) {
   into.scored += part.scored;
   into.pruned += part.pruned;
   into.band_rejected += part.band_rejected;
+  into.candidates_generated += part.candidates_generated;
+  into.plans.insert(into.plans.end(), part.plans.begin(), part.plans.end());
 }
 
 // Concatenate per-shard top-k lists and re-rank. Each part is already
@@ -235,13 +249,17 @@ std::vector<query_result> fanout_search(
       shards, outer,
       [&](std::size_t s) {
         const image_database& shard = db.shard_db(s);
+        std::size_t generated = 0;
         const std::vector<image_id> ids =
             local_candidates != nullptr
                 ? (*local_candidates)[s]
-                : detail::scan_ids(shard, query_symbols, options);
+                : detail::scan_ids(shard, query_symbols, options, &generated);
+        if (local_candidates != nullptr) generated = ids.size();
         parts[s] = detail::scan_shard(
             shard, query_strings, ids, db.shard_global_ids(s), histograms,
             transforms, inner, pruned ? &*shared : nullptr, &part_stats[s]);
+        // scan_shard resets its stats; the generation accounting goes on top.
+        part_stats[s].candidates_generated = generated;
       },
       /*chunk=*/1);
 
@@ -313,6 +331,28 @@ std::vector<query_result> search_candidates(const sharded_database& db,
                        plan.transforms_ptr, options, stats);
 }
 
+std::vector<query_result> search_local_candidates(
+    const sharded_database& db, const be_string2d& query_strings,
+    const std::vector<std::vector<image_id>>& local_candidates,
+    const query_options& options, search_stats* stats) {
+  if (local_candidates.size() != db.shard_count()) {
+    throw std::invalid_argument(
+        "search_local_candidates: need one candidate list per shard");
+  }
+  for (std::size_t s = 0; s < local_candidates.size(); ++s) {
+    for (image_id local : local_candidates[s]) {
+      if (local >= db.shard_db(s).size()) {
+        throw std::out_of_range("search_local_candidates: local id " +
+                                std::to_string(local) + " out of range");
+      }
+    }
+  }
+  const fanout_plan plan(query_strings, options);
+  return fanout_search(db, query_strings, {}, &local_candidates,
+                       plan.histograms_ptr, plan.transforms_ptr, options,
+                       stats);
+}
+
 std::vector<std::vector<query_result>> search_batch(
     const sharded_database& db, std::span<const be_string2d> queries,
     std::span<const std::vector<symbol_id>> query_symbols,
@@ -354,13 +394,15 @@ std::vector<std::vector<query_result>> search_batch(
         const std::size_t q = item / shards;
         const std::size_t s = item % shards;
         const image_database& shard = db.shard_db(s);
+        std::size_t generated = 0;
         const std::vector<image_id> ids =
-            detail::scan_ids(shard, query_symbols[q], options);
+            detail::scan_ids(shard, query_symbols[q], options, &generated);
         parts[q][s] = detail::scan_shard(
             shard, queries[q], ids, db.shard_global_ids(s),
             pruned ? &plans[q].histograms : nullptr,
             want_transforms ? &plans[q].transforms : nullptr, inner,
             pruned ? &shared[q] : nullptr, &part_stats[q][s]);
+        part_stats[q][s].candidates_generated = generated;
       },
       /*chunk=*/1);
 
@@ -387,12 +429,22 @@ std::vector<std::vector<query_result>> search_batch(
 
 // ------------------------------------------------------- prefilter fan-out
 
-std::vector<image_id> window_candidates(const sharded_database& db,
-                                        const symbolic_image& query, int pad) {
+namespace {
+
+// Per-shard candidate generation through one access path, mapped to global
+// ids. Shards partition the record set, so the union of per-shard sets IS
+// the unsharded set for every path.
+std::vector<image_id> fanout_path(const sharded_database& db,
+                                  access_path_kind kind,
+                                  const symbolic_image& query, int pad) {
+  const std::vector<symbol_id> symbols = distinct_symbols(query);
   std::vector<image_id> out;
   for (std::size_t s = 0; s < db.shard_count(); ++s) {
+    const access_path_context ctx{&db.shard_db(s), &db.shard_spatial(s),
+                                  &db.shard_hybrid(s)};
     const std::span<const image_id> globals = db.shard_global_ids(s);
-    for (image_id local : window_candidates(db.shard_spatial(s), query, pad)) {
+    for (image_id local : make_access_path(kind, ctx)->generate(
+             path_probe{&query, symbols, pad})) {
       out.push_back(globals[local]);
     }
   }
@@ -400,21 +452,17 @@ std::vector<image_id> window_candidates(const sharded_database& db,
   return out;
 }
 
+}  // namespace
+
+std::vector<image_id> window_candidates(const sharded_database& db,
+                                        const symbolic_image& query, int pad) {
+  return fanout_path(db, access_path_kind::rtree_window, query, pad);
+}
+
 std::vector<image_id> combined_candidates(const sharded_database& db,
                                           const symbolic_image& query,
                                           int pad) {
-  // Shards partition the record set, so the union of per-shard
-  // intersections IS the global index ∩ window intersection.
-  std::vector<image_id> out;
-  for (std::size_t s = 0; s < db.shard_count(); ++s) {
-    const std::span<const image_id> globals = db.shard_global_ids(s);
-    for (image_id local :
-         combined_candidates(db.shard_db(s), db.shard_spatial(s), query, pad)) {
-      out.push_back(globals[local]);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return fanout_path(db, access_path_kind::combined, query, pad);
 }
 
 }  // namespace bes

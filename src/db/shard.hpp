@@ -23,7 +23,7 @@
 #include <memory>
 
 #include "db/database.hpp"
-#include "db/prefilter.hpp"
+#include "db/hybrid_index.hpp"
 #include "db/query.hpp"
 #include "db/spatial_index.hpp"
 
@@ -98,6 +98,7 @@ class sharded_database {
   // Per-shard views (s < shard_count()).
   [[nodiscard]] const image_database& shard_db(std::size_t s) const;
   [[nodiscard]] const spatial_index& shard_spatial(std::size_t s) const;
+  [[nodiscard]] const hybrid_index& shard_hybrid(std::size_t s) const;
   // Shard-local id -> global id, in local insertion order (ascending).
   [[nodiscard]] std::span<const image_id> shard_global_ids(
       std::size_t s) const;
@@ -113,6 +114,7 @@ class sharded_database {
   struct shard_part {
     image_database db;
     spatial_index spatial{db, deferred_build};
+    hybrid_index hybrid{db, deferred_build};
     std::vector<image_id> global_ids;  // local -> global
   };
 
@@ -160,6 +162,17 @@ class sharded_database {
     const sharded_database& db, const be_string2d& query_strings,
     std::span<const image_id> candidates, const query_options& options = {},
     search_stats* stats = nullptr);
+
+// Scores exactly the given per-shard LOCAL-id candidate lists (one list per
+// shard; shard-local record ids). The planned sharded search
+// (db/planner.cpp) generates each shard's candidates through that shard's
+// own access paths and feeds the lists here; ranking/pruning/stats/merge
+// behave exactly as search_candidates. local_candidates.size() must equal
+// shard_count(); throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<query_result> search_local_candidates(
+    const sharded_database& db, const be_string2d& query_strings,
+    const std::vector<std::vector<image_id>>& local_candidates,
+    const query_options& options = {}, search_stats* stats = nullptr);
 
 // Batch retrieval: results[i] == search(db, queries[i], options). The
 // (query, shard) pairs become work items on ONE dynamic queue, so neither a

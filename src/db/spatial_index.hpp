@@ -11,12 +11,6 @@
 
 namespace bes {
 
-// Tag selecting the deferred-build constructor below.
-struct deferred_build_t {
-  explicit deferred_build_t() = default;
-};
-inline constexpr deferred_build_t deferred_build{};
-
 class spatial_index {
  public:
   // Indexes all icons of all current records. The index is a snapshot: add

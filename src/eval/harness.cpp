@@ -6,6 +6,10 @@
 #include <stdexcept>
 #include <string>
 
+#include <optional>
+
+#include "db/hybrid_index.hpp"
+#include "db/planner.hpp"
 #include "db/prefilter.hpp"
 #include "db/shard.hpp"
 
@@ -56,13 +60,20 @@ query_options options_for(const eval_cell_config& cell) {
   opts.similarity = cell.sim;
   opts.transform_invariant = cell.transform_invariant;
   opts.threads = cell.threads;
-  opts.use_index = cell.path == scan_path::index;
-  opts.histogram_pruning = cell.path == scan_path::pruned;
+  // The planner reads use_index as "index paths allowed at all" and runs
+  // its candidates through the admissible pruner, so its serial cells get
+  // a deterministic pruned-fraction floor like the pruned cells do.
+  opts.use_index =
+      cell.path == scan_path::index || cell.path == scan_path::planner;
+  opts.histogram_pruning =
+      cell.path == scan_path::pruned || cell.path == scan_path::planner;
   return opts;
 }
 
+// Paths that score a precomputed candidate set through search_candidates.
 bool uses_prefilter(scan_path path) {
-  return path == scan_path::rtree || path == scan_path::combined;
+  return path == scan_path::rtree || path == scan_path::combined ||
+         path == scan_path::hybrid;
 }
 
 }  // namespace
@@ -74,6 +85,8 @@ std::string_view to_string(scan_path path) noexcept {
     case scan_path::index: return "index";
     case scan_path::rtree: return "rtree";
     case scan_path::combined: return "combined";
+    case scan_path::hybrid: return "hybrid";
+    case scan_path::planner: return "planner";
   }
   return "?";
 }
@@ -81,7 +94,8 @@ std::string_view to_string(scan_path path) noexcept {
 scan_path scan_path_from(std::string_view name) {
   for (scan_path p :
        {scan_path::exhaustive, scan_path::pruned, scan_path::index,
-        scan_path::rtree, scan_path::combined}) {
+        scan_path::rtree, scan_path::combined, scan_path::hybrid,
+        scan_path::planner}) {
     if (to_string(p) == name) return p;
   }
   throw std::invalid_argument("scan_path_from: unknown path '" +
@@ -107,7 +121,8 @@ std::vector<eval_cell_config> default_eval_matrix(unsigned threads) {
   std::vector<eval_cell_config> matrix;
   for (scan_path path :
        {scan_path::exhaustive, scan_path::pruned, scan_path::index,
-        scan_path::rtree, scan_path::combined}) {
+        scan_path::rtree, scan_path::combined, scan_path::hybrid,
+        scan_path::planner}) {
     for (const similarity_options& sim : kernels) {
       eval_cell_config cell;
       cell.path = path;
@@ -144,6 +159,15 @@ std::vector<eval_cell_config> default_eval_matrix(unsigned threads) {
     cell.threads = std::max(1u, threads);
     matrix.push_back(cell);
   }
+  {  // the planner across schedulers: threaded single-query and batch
+     // (search_batch_planned) must match the serial planner cells
+    eval_cell_config cell;
+    cell.path = scan_path::planner;
+    cell.threads = std::max(1u, threads);
+    matrix.push_back(cell);  // planner/tN
+    cell.batch = true;
+    matrix.push_back(cell);  // planner/tN/batch
+  }
   {  // sharded fan-out cells: serial (deterministic pruned-fraction
      // anchor), threaded, and batch — all provably identical results
     eval_cell_config cell;
@@ -156,6 +180,13 @@ std::vector<eval_cell_config> default_eval_matrix(unsigned threads) {
     cell.path = scan_path::pruned;
     cell.batch = true;
     matrix.push_back(cell);  // pruned/tN/s3/batch
+  }
+  {  // the sharded planner: one plan per (query, shard), serial so its
+     // pruned fraction stays a deterministic gate anchor
+    eval_cell_config cell;
+    cell.path = scan_path::planner;
+    cell.shards = 3;
+    matrix.push_back(cell);  // planner/t1/s3
   }
   return matrix;
 }
@@ -182,22 +213,47 @@ eval_report run_eval(const eval_corpus& corpus,
     symbols.push_back(distinct_symbols(q.image));
   }
 
-  // Prefilter candidate sets, shared by every rtree/combined cell.
+  // Prefilter candidate sets, shared by every rtree/combined/hybrid cell.
+  // The hybrid sets come from the fused traversal at the SAME fixed eval
+  // pad, so the gate holds them to the combined cells' recall contract.
   std::vector<std::vector<image_id>> window_sets;
   std::vector<std::vector<image_id>> combined_sets;
-  if (std::any_of(matrix.begin(), matrix.end(), [](const eval_cell_config& c) {
+  std::vector<std::vector<image_id>> hybrid_sets;
+  const bool any_prefilter =
+      std::any_of(matrix.begin(), matrix.end(), [](const eval_cell_config& c) {
         return uses_prefilter(c.path);
-      })) {
-    const spatial_index sindex(db);
+      });
+  const bool any_planner =
+      std::any_of(matrix.begin(), matrix.end(), [](const eval_cell_config& c) {
+        return c.path == scan_path::planner;
+      });
+  // The planner cells plan against the spatial + hybrid structures; build
+  // them whenever any cell needs either.
+  std::optional<spatial_index> sindex;
+  std::optional<hybrid_index> hindex;
+  if (any_prefilter || any_planner) {
+    sindex.emplace(db);
+    hindex.emplace(db);
+  }
+  if (any_prefilter) {
     const int pad = eval_prefilter_pad(corpus.params);
     window_sets.reserve(nq);
     combined_sets.reserve(nq);
+    hybrid_sets.reserve(nq);
     for (std::size_t i = 0; i < nq; ++i) {
       window_sets.push_back(
-          window_candidates(sindex, corpus.queries[i].image, pad));
+          window_candidates(*sindex, corpus.queries[i].image, pad));
       combined_sets.push_back(
           intersect_candidates(db.candidates(symbols[i]), window_sets[i]));
+      hybrid_sets.push_back(
+          hindex->candidates(corpus.queries[i].image, pad));
     }
+  }
+  // The planner's batch entry point takes the symbolic queries themselves.
+  std::vector<symbolic_image> query_images;
+  if (any_planner) {
+    query_images.reserve(nq);
+    for (const eval_query& q : corpus.queries) query_images.push_back(q.image);
   }
 
   // Sharded views of the corpus, one per distinct shard count in the
@@ -222,6 +278,8 @@ eval_report run_eval(const eval_corpus& corpus,
       metrics.scored += stats.scored;
       metrics.pruned += stats.pruned;
     };
+    const planner_context pctx{&db, sindex ? &*sindex : nullptr,
+                               hindex ? &*hindex : nullptr};
     if (cell.batch) {
       if (cell.shards > 0 && uses_prefilter(cell.path)) {
         throw std::invalid_argument(
@@ -233,8 +291,15 @@ eval_report run_eval(const eval_corpus& corpus,
         // The prefiltered candidate sets ride the batch scheduler.
         results = search_batch_candidates(
             db, strings,
-            cell.path == scan_path::rtree ? window_sets : combined_sets, opts,
-            &stats);
+            cell.path == scan_path::rtree    ? window_sets
+            : cell.path == scan_path::hybrid ? hybrid_sets
+                                             : combined_sets,
+            opts, &stats);
+      } else if (cell.path == scan_path::planner) {
+        results = cell.shards > 0
+                      ? search_batch_planned(sharded_view(cell.shards),
+                                             query_images, opts, &stats)
+                      : search_batch_planned(pctx, query_images, opts, &stats);
       } else if (cell.shards > 0) {
         results =
             search_batch(sharded_view(cell.shards), strings, symbols, opts,
@@ -254,8 +319,15 @@ eval_report run_eval(const eval_corpus& corpus,
       const std::span<const image_id> candidate_set =
           cell.path == scan_path::rtree      ? window_sets[i]
           : cell.path == scan_path::combined ? combined_sets[i]
+          : cell.path == scan_path::hybrid   ? hybrid_sets[i]
                                              : std::span<const image_id>{};
-      if (cell.shards > 0) {
+      if (cell.path == scan_path::planner) {
+        results = cell.shards > 0
+                      ? search_planned(sharded_view(cell.shards),
+                                       corpus.queries[i].image, opts, &stats)
+                      : search_planned(pctx, corpus.queries[i].image,
+                                       strings[i], symbols[i], opts, &stats);
+      } else if (cell.shards > 0) {
         const sharded_database& sharded = sharded_view(cell.shards);
         results = uses_prefilter(cell.path)
                       ? search_candidates(sharded, strings[i], candidate_set,

@@ -24,6 +24,10 @@ enum class scan_path : std::uint8_t {
   index,       // inverted symbol index (>= 1 shared symbol)
   rtree,       // R-tree padded-window prefilter (db/prefilter.hpp)
   combined,    // symbol index ∩ window prefilter
+  hybrid,      // the fused symbol/R-tree traversal (db/hybrid_index.hpp) at
+               // the fixed eval pad — same set as combined, one traversal
+  planner,     // the cost-based planner picks the path and pad per query
+               // (db/planner.hpp), with the histogram pruner engaged
 };
 
 [[nodiscard]] std::string_view to_string(scan_path path) noexcept;
@@ -93,11 +97,12 @@ struct eval_report {
   std::vector<eval_cell_result> cells;
 };
 
-// The default configuration matrix: all 5 access paths × 3 similarity
+// The default configuration matrix: all 7 access paths × 3 similarity
 // kernels at t1, a transform-invariant exhaustive cell, thread-scaling
 // cells (t`threads`), batch cells (including the combined prefilter through
-// search_batch_candidates), and sharded fan-out cells (s3) covering the
-// serial, threaded, and batch sharded scans.
+// search_batch_candidates and the planner through search_batch_planned),
+// and sharded fan-out cells (s3) covering the serial, threaded, batch, and
+// planned sharded scans.
 [[nodiscard]] std::vector<eval_cell_config> default_eval_matrix(
     unsigned threads = 4);
 

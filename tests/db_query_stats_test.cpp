@@ -6,6 +6,14 @@
 // running k-th-score threshold, and the in-DP early-exit band, serial or
 // parallel — returns results identical to the exhaustive scan for the same
 // inputs. Plus search_batch == per-query search, for every mode.
+//
+// ISSUE 7 extends the accounting upstream of the scan: every entry point
+// also reports candidates_generated — the RAW ids its access path produced
+// before dedup — so scanned == scored + pruned keeps partitioning what was
+// visited while generated >= scanned exposes the generation overhead of
+// prefiltered paths (duplicate posting/window hits that dedup removed).
+// Legacy entry points leave stats.plans empty; only the planner records
+// plans (db_planner_test covers those).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -190,6 +198,73 @@ TEST(PrunedEquivalence, BandActuallyCutsDpsShort) {
   search_stats stats;
   (void)search(db, query, options, &stats);
   EXPECT_GT(stats.band_rejected, 0u) << "early-exit band never engaged";
+}
+
+// ------------------------------------- candidate-generation accounting
+
+TEST(StatsGeneration, FullScanGeneratesExactlyTheCorpus) {
+  const image_database db = sibling_corpus(12);
+  const symbolic_image query = distorted_query(db, 2);
+  query_options options;
+  options.use_index = false;
+  search_stats stats;
+  (void)search(db, query, options, &stats);
+  EXPECT_EQ(stats.candidates_generated, db.size());
+  EXPECT_EQ(stats.scanned, db.size());
+  EXPECT_TRUE(stats.plans.empty()) << "legacy entry points never plan";
+}
+
+TEST(StatsGeneration, IndexedScanCountsRawPostingHits) {
+  const image_database db = sibling_corpus(20);
+  const symbolic_image query = distorted_query(db, 4);
+  query_options options;
+  options.use_index = true;
+  options.histogram_pruning = true;
+  search_stats stats;
+  (void)search(db, query, options, &stats);
+  // Raw posting hits can only exceed or equal the deduped scan set, and
+  // scored/pruned still partitions exactly what was visited.
+  EXPECT_GE(stats.candidates_generated, stats.scanned);
+  EXPECT_GT(stats.scanned, 0u);
+  EXPECT_EQ(stats.scored + stats.pruned, stats.scanned);
+  EXPECT_TRUE(stats.plans.empty());
+}
+
+TEST(StatsGeneration, ExplicitCandidateListGeneratesItsOwnSize) {
+  // search_candidates scores exactly the given list — generation is the
+  // caller's doing, so generated == scanned == the list's size.
+  const image_database db = sibling_corpus(15);
+  const spatial_index spatial(db);
+  const symbolic_image query = distorted_query(db, 3, 0.8);
+  const auto set = combined_candidates(db, spatial, query, 16);
+  ASSERT_FALSE(set.empty());
+  search_stats stats;
+  (void)search_candidates(db, encode(query), set, {}, &stats);
+  EXPECT_EQ(stats.candidates_generated, set.size());
+  EXPECT_EQ(stats.scanned, set.size());
+  EXPECT_EQ(stats.scored + stats.pruned, stats.scanned);
+  EXPECT_TRUE(stats.plans.empty());
+}
+
+TEST(StatsGeneration, BatchStatsCarryGenerationPerQuery) {
+  const image_database db = sibling_corpus(15);
+  std::vector<symbolic_image> queries;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    queries.push_back(distorted_query(db, s));
+  }
+  query_options options;
+  options.top_k = 5;
+  options.threads = 3;
+  std::vector<search_stats> stats;
+  (void)search_batch(db, queries, options, &stats);
+  ASSERT_EQ(stats.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    search_stats single;
+    (void)search(db, queries[i], options, &single);
+    EXPECT_EQ(stats[i].candidates_generated, single.candidates_generated)
+        << "query " << i;
+    EXPECT_GE(stats[i].candidates_generated, stats[i].scanned);
+  }
 }
 
 // --------------------------------------------------------------- batching

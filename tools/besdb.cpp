@@ -11,7 +11,8 @@
 //   besdb info    corpus.besdb
 //   besdb show    corpus.besdb --id 3
 //   besdb query   corpus.besdb --id 3 [--keep 0.6 --jitter 4 --top-k 5
-//                                      --transform-invariant]
+//                                      --transform-invariant --explain]
+//   besdb explain corpus.besdb --id 3 [--sketch "..." --top-k 5]
 //   besdb spatial corpus.besdb --query "S0 left-of S1 & S2 above S0"
 //   besdb window  corpus.besdb --x0 0 --x1 100 --y0 0 --y1 100 [--symbol S0]
 //   besdb eval    [--out report.json] [--baseline eval/baseline.json
@@ -27,6 +28,8 @@
 #include <string>
 
 #include "core/serializer.hpp"
+#include "db/hybrid_index.hpp"
+#include "db/planner.hpp"
 #include "db/query.hpp"
 #include "db/segment.hpp"
 #include "db/shard_storage.hpp"
@@ -311,34 +314,76 @@ int cmd_show(const image_database& db, arg_parser& args) {
   return 0;
 }
 
-int cmd_query(const image_database& db, arg_parser& args) {
+// Builds the query image for `query` / `explain` from --sketch or
+// --id+distortion; false (with a message) when --id is out of range.
+bool build_query(const image_database& db, arg_parser& args,
+                 const char* command, symbolic_image& query,
+                 std::string& provenance) {
   alphabet scratch = db.symbols();
-  symbolic_image query(1, 1);
-  std::string provenance;
   if (const std::string sketch = args.get_string("sketch"); !sketch.empty()) {
     // Query by sketch: "12x11: A 2 6 3 9; B 4 10 1 5".
     query = parse_scene(sketch, scratch);
     provenance = "sketch";
-  } else {
-    const auto id = static_cast<image_id>(args.get_int("id"));
-    if (id >= db.size()) {
-      std::fprintf(stderr, "query: id %u out of range\n", id);
-      return 1;
-    }
-    rng r(static_cast<std::uint64_t>(args.get_int("seed")));
-    distortion_params d;
-    d.keep_fraction = args.get_double("keep");
-    d.jitter = static_cast<int>(args.get_int("jitter"));
-    query = distort(db.record(id).image, d, r, scratch);
-    provenance = "distorted from image " + std::to_string(id);
+    return true;
   }
+  const auto id = static_cast<image_id>(args.get_int("id"));
+  if (id >= db.size()) {
+    std::fprintf(stderr, "%s: id %u out of range\n", command, id);
+    return false;
+  }
+  rng r(static_cast<std::uint64_t>(args.get_int("seed")));
+  distortion_params d;
+  d.keep_fraction = args.get_double("keep");
+  d.jitter = static_cast<int>(args.get_int("jitter"));
+  query = distort(db.record(id).image, d, r, scratch);
+  provenance = "distorted from image " + std::to_string(id);
+  return true;
+}
+
+// Prints the plan entries a planned search recorded: chosen access path,
+// adaptive pad, and the planner's candidate estimate against what the path
+// actually generated.
+void print_plans(const search_stats& stats) {
+  text_table table({"path", "pad", "est. candidates", "actual"});
+  for (const planned_scan& plan : stats.plans) {
+    table.add_row({std::string(to_string(plan.path)),
+                   std::to_string(plan.pad),
+                   std::to_string(plan.estimated_candidates),
+                   std::to_string(plan.actual_candidates)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("scanned %zu = scored %zu + pruned %zu (of %zu generated)\n",
+              stats.scanned, stats.scored, stats.pruned,
+              stats.candidates_generated);
+}
+
+int cmd_query(const image_database& db, arg_parser& args) {
+  symbolic_image query(1, 1);
+  std::string provenance;
+  if (!build_query(db, args, "query", query, provenance)) return 1;
 
   query_options options;
   options.top_k = static_cast<std::size_t>(args.get_int("top-k"));
   options.transform_invariant = args.get_bool("transform-invariant");
-  const auto results = search(db, query, options);
+
+  const bool explain = args.get_bool("explain");
+  std::vector<query_result> results;
+  search_stats stats;
+  if (explain) {
+    // Route through the planner so the printed plan is the one that ran.
+    const spatial_index spatial(db);
+    const hybrid_index hybrid(db);
+    const planner_context ctx{&db, &spatial, &hybrid};
+    results = search_planned(ctx, query, options, &stats);
+  } else {
+    results = search(db, query, options);
+  }
 
   std::printf("query: %zu icons (%s)\n\n", query.size(), provenance.c_str());
+  if (explain) {
+    print_plans(stats);
+    std::printf("\n");
+  }
   text_table table({"rank", "image", "score", "transform"});
   int rank = 1;
   for (const query_result& result : results) {
@@ -347,6 +392,35 @@ int cmd_query(const image_database& db, arg_parser& args) {
                    std::string(to_string(result.transform))});
   }
   std::fputs(table.str().c_str(), stdout);
+  return 0;
+}
+
+// `besdb explain` — plan a query without caring about its results: show
+// the access path the cost model picks, the adaptive pad, and how the
+// candidate estimate compares with what the chosen path really generates.
+int cmd_explain(const image_database& db, arg_parser& args) {
+  symbolic_image query(1, 1);
+  std::string provenance;
+  if (!build_query(db, args, "explain", query, provenance)) return 1;
+
+  query_options options;
+  options.top_k = static_cast<std::size_t>(args.get_int("top-k"));
+  options.transform_invariant = args.get_bool("transform-invariant");
+
+  const spatial_index spatial(db);
+  const hybrid_index hybrid(db);
+  const planner_context ctx{&db, &spatial, &hybrid};
+
+  search_stats stats;
+  const auto results = search_planned(ctx, query, options, &stats);
+
+  std::printf("query: %zu icons (%s), db: %zu images\n", query.size(),
+              provenance.c_str(), db.size());
+  std::printf("adaptive pad: %d\n\n", adaptive_pad(query));
+  print_plans(stats);
+  std::printf("top score: %s over %zu result%s\n",
+              results.empty() ? "-" : fmt_double(results.front().score, 3).c_str(),
+              results.size(), results.size() == 1 ? "" : "s");
   return 0;
 }
 
@@ -503,8 +577,8 @@ int cmd_eval(arg_parser& args) {
 int main(int argc, char** argv) {
   using namespace bes;
   arg_parser args(
-      "besdb <create|convert|compact|shard|info|show|query|spatial|window|"
-      "eval> [db-file] [flags]");
+      "besdb <create|convert|compact|shard|info|show|query|explain|spatial|"
+      "window|eval> [db-file] [flags]");
   args.add_string("out", "", "create/convert/compact: output path");
   args.add_string("format", "text",
                   "create/convert: output format, text|binary (BSEG1)|sharded "
@@ -528,6 +602,9 @@ int main(int argc, char** argv) {
                   " (overrides --id)");
   args.add_int("top-k", 10, "query/spatial: results to print");
   args.add_bool("transform-invariant", false, "query: best of 8 reversals");
+  args.add_bool("explain", false,
+                "query: run through the cost-based planner and print the "
+                "chosen access path, pad, and candidate counts");
   args.add_string("query", "", "spatial: query text, e.g. \"A left-of B\"");
   args.add_int("bases", 24, "eval: base scenes (each expands to a family)");
   args.add_int("domain", 256, "eval: scene domain (width = height)");
@@ -566,6 +643,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(db);
     if (command == "show") return cmd_show(db, args);
     if (command == "query") return cmd_query(db, args);
+    if (command == "explain") return cmd_explain(db, args);
     if (command == "spatial") return cmd_spatial(db, args);
     if (command == "window") return cmd_window(db, args);
     std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
