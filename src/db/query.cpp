@@ -41,7 +41,17 @@ shared_topk::shared_topk(std::size_t capacity, double min_score)
     : capacity_(capacity == 0 ? std::numeric_limits<std::size_t>::max()
                               : capacity),
       min_score_(min_score),
-      kth_(min_score) {}
+      kth_(min_score),
+      floor_(min_score) {}
+
+void shared_topk::raise_floor(double f) noexcept {
+  // CAS max: concurrent raises keep the largest floor ever offered, and a
+  // racing lower offer can never overwrite a higher one.
+  double current = floor_.load(std::memory_order_relaxed);
+  while (f > current && !floor_.compare_exchange_weak(
+                            current, f, std::memory_order_relaxed)) {
+  }
+}
 
 void shared_topk::insert(const query_result& r) {
   std::lock_guard lock(mutex_);
@@ -58,6 +68,17 @@ void shared_topk::insert(const query_result& r) {
 std::vector<query_result> shared_topk::take() { return std::move(top_); }
 
 }  // namespace detail
+
+std::string_view to_string(shard_scan_state state) noexcept {
+  switch (state) {
+    case shard_scan_state::ok: return "ok";
+    case shard_scan_state::timed_out: return "timed_out";
+    case shard_scan_state::failed: return "failed";
+    case shard_scan_state::expired: return "expired";
+    case shard_scan_state::rejected: return "rejected";
+  }
+  return "?";
+}
 
 namespace {
 

@@ -51,6 +51,28 @@ struct planned_scan {
   friend bool operator==(const planned_scan&, const planned_scan&) = default;
 };
 
+// How one shard's contribution to a scattered query ended. In-process scans
+// always complete (their statuses stay empty); the network coordinator
+// (src/net) records one entry per remote shard so a partial answer names
+// exactly which partitions degraded it and why.
+enum class shard_scan_state : std::uint8_t {
+  ok,         // full contribution merged
+  timed_out,  // no response before the query deadline
+  failed,     // connection refused/lost or a malformed response
+  expired,    // the shard gave up mid-scan (deadline/cancel); partial results
+  rejected,   // the shard's admission queue was full
+};
+
+[[nodiscard]] std::string_view to_string(shard_scan_state state) noexcept;
+
+struct shard_scan_status {
+  std::uint32_t shard = 0;
+  shard_scan_state state = shard_scan_state::ok;
+
+  friend bool operator==(const shard_scan_status&,
+                         const shard_scan_status&) = default;
+};
+
 // Scan accounting (filled when a non-null pointer is passed to search).
 // Every scanned candidate is either scored or pruned, on every scan path:
 // scanned == scored + pruned always holds, and an exhaustive scan reports
@@ -74,6 +96,12 @@ struct search_stats {
   // Filled by the planned searches (db/planner.hpp): the chosen plan(s),
   // one per scan. Empty on the legacy fixed-path entry points.
   std::vector<planned_scan> plans;
+  // Filled by the network coordinator (src/net): true when at least one
+  // shard's contribution is missing or partial, with one status entry per
+  // remote shard saying how it ended. In-process scans never degrade:
+  // degraded stays false and shard_statuses stays empty.
+  bool degraded = false;
+  std::vector<shard_scan_status> shard_statuses;
 };
 
 // Ranks by score descending, ties by id ascending; truncates to top_k.

@@ -97,10 +97,20 @@ class shared_topk {
   // capacity == 0 means unlimited (min_score is then the only threshold).
   shared_topk(std::size_t capacity, double min_score);
 
-  // max(min_score, current cached k-th score); lock-free.
+  // max(min_score, current cached k-th score, remote floor); lock-free.
   [[nodiscard]] double threshold() const noexcept {
-    return std::max(min_score_, kth_.load(std::memory_order_relaxed));
+    return std::max({min_score_, kth_.load(std::memory_order_relaxed),
+                     floor_.load(std::memory_order_relaxed)});
   }
+
+  // Raises the external pruning floor (never lowers it) — the remote
+  // threshold-gossip entry point (src/net): a coordinator that already
+  // holds k results scoring >= f may broadcast f to in-flight shard scans,
+  // because any candidate below f provably has >= k better rivals
+  // somewhere in the union of shards. Lock-free; safe to call concurrently
+  // with scans reading threshold(). Callers own admissibility: an
+  // inadmissible floor silently changes results.
+  void raise_floor(double f) noexcept;
 
   void insert(const query_result& r);
 
@@ -116,6 +126,8 @@ class shared_topk {
   // Cached k-th score; only meaningful once the heap is full. Starts at
   // min_score so threshold() is min_score until then.
   std::atomic<double> kth_;
+  // Externally gossiped pruning floor (raise_floor); starts at min_score.
+  std::atomic<double> floor_;
 };
 
 // One shard-local scan: scores `ids` (record ids local to `db`) under

@@ -191,6 +191,10 @@ void accumulate(search_stats& into, const search_stats& part) {
   into.band_rejected += part.band_rejected;
   into.candidates_generated += part.candidates_generated;
   into.plans.insert(into.plans.end(), part.plans.begin(), part.plans.end());
+  into.degraded = into.degraded || part.degraded;
+  into.shard_statuses.insert(into.shard_statuses.end(),
+                             part.shard_statuses.begin(),
+                             part.shard_statuses.end());
 }
 
 // Concatenate per-shard top-k lists and re-rank. Each part is already

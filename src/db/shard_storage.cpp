@@ -5,6 +5,7 @@
 #include <exception>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "util/checksum.hpp"
@@ -368,6 +369,66 @@ sharded_database load_sharded_corpus(const fs::path& path,
                    std::move(record.strings), std::move(record.histograms));
   });
   return db;
+}
+
+loaded_shard load_shard(const fs::path& path, std::size_t shard_index,
+                        segment_read_options options) {
+  const fs::path manifest_path = manifest_path_of(path);
+  const shard_manifest manifest = read_shard_manifest(path);
+  if (shard_index >= manifest.shard_count) {
+    throw std::invalid_argument(
+        "besdb: shard " + std::to_string(shard_index) + " out of range (" +
+        std::to_string(manifest.shard_count) + " shards)");
+  }
+  const fs::path dir = manifest_path.parent_path();
+
+  segment_reader reader(dir / manifest.shards[shard_index].file, options);
+  const std::uint64_t held = reader.image_count();
+  const std::uint64_t expected = manifest.shards[shard_index].images;
+  const bool salvaged_short =
+      options.recover_tail && reader.recovered() && held < expected;
+  if (held != expected && !salvaged_short) {
+    bad_manifest(manifest_path,
+                 "segment " + manifest.shards[shard_index].file + " holds " +
+                     std::to_string(held) + " images, manifest says " +
+                     std::to_string(expected));
+  }
+
+  loaded_shard out;
+  out.shard_index = shard_index;
+  out.shard_count = manifest.shard_count;
+  out.corpus_images = manifest.images;
+  // The ring reproduces the writer's assignment: this shard holds exactly
+  // the globals it hashes, in ascending order. A salvaged segment lost a
+  // TAIL, so its records are the first `held` of that sequence.
+  const shard_ring ring(manifest.shard_count, manifest.ring_replicas);
+  out.global_ids.reserve(static_cast<std::size_t>(expected));
+  for (std::uint64_t g = 0;
+       g < manifest.images && out.global_ids.size() < held; ++g) {
+    if (ring.shard_of(static_cast<image_id>(g)) == shard_index) {
+      out.global_ids.push_back(static_cast<image_id>(g));
+    }
+  }
+  if (out.global_ids.size() != held) {
+    bad_manifest(manifest_path,
+                 "ring assignment does not match segment " +
+                     manifest.shards[shard_index].file);
+  }
+
+  // This shard's alphabet is a prefix of the corpus master (the shared-
+  // alphabet streaming invariant); ids in it agree with every sibling, and
+  // query symbols beyond it simply never match here.
+  for (const std::string& name : reader.symbol_names()) {
+    out.db.symbols().intern(name);
+  }
+  out.db.reserve(static_cast<std::size_t>(held));
+  for (std::size_t i = 0; i < held; ++i) {
+    segment_image record = reader.read_image(i);
+    out.db.add_encoded(std::move(record.name), std::move(record.image),
+                       std::move(record.strings),
+                       std::move(record.histograms));
+  }
+  return out;
 }
 
 image_database load_sharded_flat(const fs::path& path,

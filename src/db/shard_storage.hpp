@@ -124,6 +124,26 @@ class shard_writer {
 [[nodiscard]] sharded_database load_sharded_corpus(
     const std::filesystem::path& path, segment_read_options options = {});
 
+// One shard of a corpus, opened ALONE — the unit a shard server (src/net)
+// loads: that shard's records as a standalone database plus the corpus-
+// global id of each local record (local id i holds global_ids[i], ascending
+// — reconstructed from the manifest's ring parameters, not stored). Only
+// the named shard's segment is read; a serve fleet across machines never
+// touches its siblings' files.
+struct loaded_shard {
+  image_database db;                 // local ids = positions in global_ids
+  std::vector<image_id> global_ids;  // local -> global, strictly ascending
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 0;       // of the whole corpus
+  std::uint64_t corpus_images = 0;   // records in the whole corpus
+};
+
+// Throws std::runtime_error on a bad manifest/segment and
+// std::invalid_argument when shard_index >= the manifest's shard count.
+[[nodiscard]] loaded_shard load_shard(const std::filesystem::path& path,
+                                      std::size_t shard_index,
+                                      segment_read_options options = {});
+
 // Same corpus, materialized FLAT into one image_database in global-id
 // order — so a corpus written from a database round-trips to an equal
 // database (the load_database autodetect path for SCRP1).

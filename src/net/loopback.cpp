@@ -1,0 +1,24 @@
+#include "net/loopback.hpp"
+
+namespace bes::net {
+
+loopback_cluster::loopback_cluster(const sharded_database& sharded,
+                                   const server_options& server_opts,
+                                   const coordinator_options& coord_opts) {
+  std::vector<endpoint> endpoints;
+  servers_.reserve(sharded.shard_count());
+  endpoints.reserve(sharded.shard_count());
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    const auto ids = sharded.shard_global_ids(s);
+    auto server = std::make_unique<shard_server>(
+        sharded.shard_db(s),
+        std::vector<image_id>(ids.begin(), ids.end()),
+        static_cast<std::uint32_t>(s), server_opts);
+    endpoints.push_back({"127.0.0.1", server->port()});
+    servers_.push_back(std::move(server));
+  }
+  coordinator_ = std::make_unique<coordinator>(std::move(endpoints),
+                                               coord_opts);
+}
+
+}  // namespace bes::net

@@ -1,0 +1,42 @@
+// Loopback cluster: one shard_server per partition of an in-memory
+// sharded_database plus a coordinator wired to their ephemeral ports — the
+// whole scatter/gather stack exercised over real sockets inside one
+// process. This is the equivalence-test harness (remote answers must be
+// bit-identical to sharded_database::search) and doubles as the
+// multi-process stress rig: tests stop individual servers mid-flight to
+// rehearse partition loss.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "db/shard.hpp"
+#include "net/coordinator.hpp"
+#include "net/server.hpp"
+
+namespace bes::net {
+
+class loopback_cluster {
+ public:
+  // Borrows `sharded` (must outlive the cluster): each server scans
+  // sharded.shard_db(s) and reports sharded.shard_global_ids(s) ids.
+  explicit loopback_cluster(const sharded_database& sharded,
+                            const server_options& server_opts = {},
+                            const coordinator_options& coord_opts = {});
+
+  [[nodiscard]] coordinator& front() noexcept { return *coordinator_; }
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return servers_.size();
+  }
+  [[nodiscard]] shard_server& server(std::size_t s) { return *servers_.at(s); }
+
+  // Kills one shard server (partition loss). The coordinator is told
+  // nothing — it finds out the way it would in production.
+  void stop_server(std::size_t s) { servers_.at(s)->stop(); }
+
+ private:
+  std::vector<std::unique_ptr<shard_server>> servers_;
+  std::unique_ptr<coordinator> coordinator_;
+};
+
+}  // namespace bes::net

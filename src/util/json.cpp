@@ -47,6 +47,12 @@ void append_number(std::string& out, double d) {
   out.append(buf, result.ptr);
 }
 
+// Deepest object/array nesting parse() accepts. The parser recurses per
+// level, so without a cap a hostile/corrupt report of a few kilobytes
+// ("[[[[[…") can overflow the stack; 256 is far beyond any real report
+// (the eval files nest 4 deep) while keeping worst-case stack use trivial.
+constexpr int max_parse_depth = 256;
+
 class parser {
  public:
   explicit parser(std::string_view text) : text_(text) {}
@@ -109,7 +115,16 @@ class parser {
     return parse_number();
   }
 
+  // Balances the ++depth_ of parse_object/parse_array on every exit path
+  // (including the throwing ones, where the parse is abandoned anyway).
+  struct depth_guard {
+    int& depth;
+    ~depth_guard() { --depth; }
+  };
+
   json_value parse_object() {
+    if (++depth_ > max_parse_depth) fail("nesting too deep");
+    depth_guard guard{depth_};
     expect('{');
     json_value::object members;
     skip_ws();
@@ -134,6 +149,8 @@ class parser {
   }
 
   json_value parse_array() {
+    if (++depth_ > max_parse_depth) fail("nesting too deep");
+    depth_guard guard{depth_};
     expect('[');
     json_value::array items;
     skip_ws();
@@ -161,6 +178,13 @@ class parser {
       char c = text_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
+        // RFC 8259: control characters MUST be escaped inside strings. A
+        // raw one here means truncation/corruption (or an embedded NUL
+        // aimed at whatever consumes the string later) — fail closed.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          --pos_;
+          fail("unescaped control character in string");
+        }
         out += c;
         continue;
       }
@@ -227,6 +251,7 @@ class parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void dump_to(const json_value& v, std::string& out, int indent, int depth);

@@ -72,8 +72,12 @@ class json_value {
   // that many spaces per level. Numbers round-trip exactly (shortest form).
   [[nodiscard]] std::string dump(int indent = -1) const;
 
-  // Parses a complete JSON document (trailing junk is an error). Throws
-  // std::runtime_error with a byte offset on malformed input.
+  // Parses a complete JSON document. Throws std::runtime_error with a byte
+  // offset on malformed input: trailing junk after the top-level value,
+  // unescaped control characters inside strings, and object/array nesting
+  // deeper than 256 levels are all rejected — this parser sits on the
+  // wire/eval data path, so hostile or corrupt input must fail closed
+  // rather than parse loosely (or overflow the stack).
   [[nodiscard]] static json_value parse(std::string_view text);
 
   friend bool operator==(const json_value&, const json_value&) = default;

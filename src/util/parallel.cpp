@@ -27,6 +27,7 @@ void parallel_for(std::size_t count, unsigned threads,
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> abort{false};
   std::exception_ptr first_error;
+  std::size_t first_error_index = 0;
   std::mutex error_mutex;
 
   auto worker = [&](unsigned me) {
@@ -42,9 +43,19 @@ void parallel_for(std::size_t count, unsigned threads,
         try {
           fn(me, i);
         } catch (...) {
-          abort.store(true, std::memory_order_relaxed);
+          // Workers that throw AFTER the abort flag is up (their fn was
+          // already in flight when a sibling failed) must neither swallow
+          // their exception nor race it: every thrown exception is
+          // recorded, and the one from the LOWEST index wins — the same
+          // exception a serial loop over [0, count) would have surfaced —
+          // so which worker reached the error lock first never changes
+          // what the caller sees.
           std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          if (!first_error || i < first_error_index) {
+            first_error = std::current_exception();
+            first_error_index = i;
+          }
+          abort.store(true, std::memory_order_relaxed);
           return;
         }
       }

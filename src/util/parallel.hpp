@@ -19,12 +19,16 @@ namespace bes {
 // only scheduling changes.
 //
 // fn must be safe to invoke concurrently from multiple threads for distinct
-// indices. Exceptions thrown by fn are captured and the first one is
-// rethrown on the caller thread after all workers join. A throw also trips
-// an abort flag checked before every invocation, so remaining work is
-// cancelled best-effort: in-flight fn calls finish, at most a bounded
-// handful of further calls start, and indices are NOT guaranteed to have
-// been visited once any fn has thrown.
+// indices. Exceptions thrown by fn are captured and exactly one is rethrown
+// on the caller thread after all workers join: when several in-flight
+// invocations throw concurrently (including ones that throw after the abort
+// flag is already up), the exception from the LOWEST index wins,
+// deterministically — none is ever swallowed or allowed to escape a worker
+// thread into std::terminate. A throw also trips an abort flag checked
+// before every invocation, so remaining work is cancelled best-effort:
+// in-flight fn calls finish, at most a bounded handful of further calls
+// start, and indices are NOT guaranteed to have been visited once any fn
+// has thrown.
 void parallel_for(std::size_t count, unsigned threads,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t chunk = 16);

@@ -58,6 +58,55 @@ TEST(Json, RejectsNonFiniteNumbers) {
   EXPECT_THROW((void)v.dump(), std::runtime_error);
 }
 
+TEST(Json, RejectsTrailingGarbage) {
+  // A valid document followed by ANYTHING is a parse error — a truncated
+  // write that happens to end on a balanced brace must not pass as the
+  // shorter document.
+  for (const char* text : {"{\"a\":1} x", "[] []", "{\"a\":1}}", "1,", "{}{"}) {
+    EXPECT_THROW((void)json_value::parse(text), std::runtime_error) << text;
+  }
+}
+
+TEST(Json, RejectsUnescapedControlCharacters) {
+  // Regression: raw control bytes inside string literals used to be
+  // accepted and then re-emitted escaped, so parse(dump(x)) != x for
+  // attacker-shaped input. RFC 8259 requires \u escapes below 0x20.
+  for (const std::string& text :
+       {std::string("\"a\nb\""), std::string("\"a\tb\""),
+        std::string("\"a\rb\""), std::string("\"\x01\"")}) {
+    EXPECT_THROW((void)json_value::parse(text), std::runtime_error) << text;
+  }
+  // The escaped spellings of the same strings stay accepted.
+  EXPECT_EQ(json_value::parse("\"a\\nb\"").as_string(), "a\nb");
+  EXPECT_EQ(json_value::parse("\"a\\tb\"").as_string(), "a\tb");
+}
+
+TEST(Json, RecursionDepthIsBoundedNotStackFatal) {
+  // Regression: nesting depth was unbounded, so a few KB of '[' overflowed
+  // the parser's stack. The limit must reject deep documents with a clean
+  // exception and keep accepting anything reasonable.
+  const auto nested = [](std::size_t depth, char open, char close) {
+    std::string text(depth, open);
+    if (open == '{') {
+      // {"a":{"a":…{"a":1}…}} — objects recurse through their values.
+      text.clear();
+      for (std::size_t i = 0; i < depth; ++i) text += "{\"a\":";
+      text += "1";
+      text.append(depth, close);
+      return text;
+    }
+    text += "1";
+    text.append(depth, close);
+    return text;
+  };
+  EXPECT_NO_THROW((void)json_value::parse(nested(256, '[', ']')));
+  EXPECT_THROW((void)json_value::parse(nested(257, '[', ']')),
+               std::runtime_error);
+  EXPECT_NO_THROW((void)json_value::parse(nested(256, '{', '}')));
+  EXPECT_THROW((void)json_value::parse(nested(2000, '{', '}')),
+               std::runtime_error);
+}
+
 // ---------------------------------------------------------------- corpus
 
 eval_corpus_params tiny_params() {

@@ -1,0 +1,239 @@
+// End-to-end tests of the besdb binary's exit-code / stderr contract and of
+// the serve/connect subcommands as real processes:
+//
+//   0  success (including --help)
+//   1  runtime failure (I/O, corrupt corpora, unreachable fleets)
+//   2  usage error, with diagnostics on stderr and NOTHING on stdout
+//
+// The serve fleet half doubles as the process-level kill test: a shard
+// server SIGKILLed mid-fleet must degrade the connect answer (stderr says
+// so), not sink it.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#ifndef BES_BESDB_PATH
+#error "BES_BESDB_PATH must point at the besdb binary"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct run_result {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class BesdbCli : public ::testing::Test {
+ protected:
+  BesdbCli() {
+    dir_ = fs::temp_directory_path() /
+           ("besdb_cli_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~BesdbCli() override {
+    // Reap any background server still running before deleting its cwd.
+    if (fs::exists(dir_ / "serve.pid")) {
+      (void)std::system(("kill -9 $(cat '" + (dir_ / "serve.pid").string() +
+                         "') 2>/dev/null; true")
+                            .c_str());
+    }
+    fs::remove_all(dir_);
+  }
+
+  // Runs `besdb <args>` capturing exit code, stdout, and stderr.
+  run_result run(const std::string& args) {
+    const fs::path out = dir_ / "stdout.txt";
+    const fs::path err = dir_ / "stderr.txt";
+    const std::string cmd = std::string(BES_BESDB_PATH) + " " + args + " > '" +
+                            out.string() + "' 2> '" + err.string() + "'";
+    const int status = std::system(cmd.c_str());
+    run_result r;
+    r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    r.out = slurp(out);
+    r.err = slurp(err);
+    return r;
+  }
+
+  // Launches `besdb serve` in the background; returns the port it printed.
+  // The pid lands in serve.pid (one background server per test is plenty).
+  int serve_in_background(const std::string& corpus, int shard) {
+    const fs::path log = dir_ / ("serve" + std::to_string(shard) + ".log");
+    const std::string cmd = std::string(BES_BESDB_PATH) + " serve --corpus '" +
+                            corpus + "' --shard " + std::to_string(shard) +
+                            " > '" + log.string() + "' 2>&1 & echo $! >> '" +
+                            (dir_ / "serve.pid").string() + "'";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    // The server prints "... on 127.0.0.1:PORT" once it is accepting.
+    for (int spin = 0; spin < 200; ++spin) {
+      const std::string text = slurp(log);
+      const auto at = text.rfind("127.0.0.1:");
+      if (at != std::string::npos) {
+        return std::atoi(text.c_str() + at + 10);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ADD_FAILURE() << "serve never reported a port; log:\n" << slurp(log);
+    return 0;
+  }
+
+  fs::path dir_;
+};
+
+// ------------------------------------------------------------- exit codes
+
+TEST_F(BesdbCli, HelpExitsZeroWithUsageOnStdout) {
+  const run_result r = run("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("besdb <"), std::string::npos);
+  EXPECT_TRUE(r.err.empty()) << r.err;
+}
+
+TEST_F(BesdbCli, NoArgumentsIsAUsageErrorOnStderr) {
+  const run_result r = run("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+  EXPECT_NE(r.err.find("besdb <"), std::string::npos);
+}
+
+TEST_F(BesdbCli, UnknownCommandIsAUsageError) {
+  const run_result r = run("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST_F(BesdbCli, UnknownFlagIsAUsageError) {
+  const run_result r = run("create --no-such-flag");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_FALSE(r.err.empty());
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST_F(BesdbCli, MissingDatabaseFileIsAUsageError) {
+  const run_result r = run("info");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("missing database file"), std::string::npos);
+}
+
+TEST_F(BesdbCli, MissingRequiredFlagIsAUsageError) {
+  EXPECT_EQ(run("create").exit_code, 2);              // no --out
+  EXPECT_EQ(run("serve").exit_code, 2);               // no --corpus
+  EXPECT_EQ(run("connect --sketch x").exit_code, 2);  // no --servers
+}
+
+TEST_F(BesdbCli, MalformedServerListIsAUsageError) {
+  const run_result r = run("connect --servers nocolon --sketch x");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("malformed server"), std::string::npos);
+  const run_result r2 = run("connect --servers 127.0.0.1:0 --sketch x");
+  EXPECT_EQ(r2.exit_code, 2);
+}
+
+TEST_F(BesdbCli, RuntimeFailuresExitOne) {
+  // A missing database is an environment problem, not a usage problem.
+  EXPECT_EQ(run("info " + (dir_ / "nope.besdb").string()).exit_code, 1);
+  // So is a fleet with nobody home (nothing listens on port 1).
+  const run_result r = run("connect --servers 127.0.0.1:1 --sketch "
+                           "\"8x8: S0 1 2 1 2\"");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("besdb:"), std::string::npos);
+}
+
+TEST_F(BesdbCli, HappyPathsExitZero) {
+  const std::string db = (dir_ / "tiny.besdb").string();
+  EXPECT_EQ(run("create --out " + db + " --images 4 --objects 3").exit_code,
+            0);
+  EXPECT_EQ(run("info " + db).exit_code, 0);
+  EXPECT_EQ(run("query " + db + " --id 1 --top-k 2").exit_code, 0);
+}
+
+// ------------------------------------------------------------- serve fleet
+
+TEST_F(BesdbCli, ServeConnectAnswersAndSigkilledShardDegrades) {
+  const std::string corpus = (dir_ / "c.scrp").string();
+  ASSERT_EQ(run("create --out " + corpus +
+                " --format sharded --shards 2 --images 24 --seed 11")
+                .exit_code,
+            0);
+  const int port0 = serve_in_background(corpus, 0);
+  const int port1 = serve_in_background(corpus, 1);
+  ASSERT_GT(port0, 0);
+  ASSERT_GT(port1, 0);
+  const std::string servers = "127.0.0.1:" + std::to_string(port0) + "," +
+                              "127.0.0.1:" + std::to_string(port1);
+  const std::string sketch = " --sketch \"64x64: S0 2 20 3 21; S1 30 50 8 28\"";
+
+  const run_result healthy =
+      run("connect --servers " + servers + sketch + " --top-k 3");
+  EXPECT_EQ(healthy.exit_code, 0);
+  EXPECT_NE(healthy.out.find("shard 0: ok"), std::string::npos)
+      << healthy.out << healthy.err;
+  EXPECT_NE(healthy.out.find("shard 1: ok"), std::string::npos);
+  EXPECT_EQ(healthy.err.find("DEGRADED"), std::string::npos) << healthy.err;
+
+  // SIGKILL shard 1's process (the first pid appended was shard 0's).
+  ASSERT_EQ(std::system(("kill -9 $(sed -n 2p '" +
+                         (dir_ / "serve.pid").string() + "')")
+                            .c_str()),
+            0);
+  const run_result degraded =
+      run("connect --servers " + servers + sketch + " --top-k 3");
+  EXPECT_EQ(degraded.exit_code, 0) << degraded.err;
+  EXPECT_NE(degraded.out.find("shard 0: ok"), std::string::npos)
+      << degraded.out;
+  EXPECT_NE(degraded.out.find("shard 1: failed"), std::string::npos)
+      << degraded.out;
+  EXPECT_NE(degraded.err.find("DEGRADED"), std::string::npos) << degraded.err;
+
+  // --shutdown stops the survivor; its process must actually exit.
+  EXPECT_EQ(run("connect --servers 127.0.0.1:" + std::to_string(port0) +
+                " --shutdown")
+                .exit_code,
+            0);
+  bool exited = false;
+  for (int spin = 0; spin < 200 && !exited; ++spin) {
+    const int alive = std::system(("kill -0 $(sed -n 1p '" +
+                                   (dir_ / "serve.pid").string() +
+                                   "') 2>/dev/null")
+                                      .c_str());
+    exited = alive != 0;
+    if (!exited) std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_TRUE(exited) << "server ignored the shutdown frame";
+}
+
+TEST_F(BesdbCli, ServeRejectsBadShardIndexAsUsage) {
+  const std::string corpus = (dir_ / "c.scrp").string();
+  ASSERT_EQ(run("create --out " + corpus +
+                " --format sharded --shards 2 --images 8")
+                .exit_code,
+            0);
+  // Out-of-range shard: load_shard throws invalid_argument — a runtime
+  // error from the CLI's point of view (the flag is well-formed; the corpus
+  // just does not have that many shards).
+  EXPECT_EQ(run("serve --corpus " + corpus + " --shard 9").exit_code, 1);
+}
+
+}  // namespace

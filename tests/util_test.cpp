@@ -4,6 +4,7 @@
 #include <thread>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/args.hpp"
@@ -113,6 +114,39 @@ TEST(Parallel, PropagatesFirstException) {
                      if (i == 37) throw std::runtime_error("boom");
                    }),
       std::runtime_error);
+}
+
+TEST(Parallel, ConcurrentThrowsResolveToLowestIndexDeterministically) {
+  // Regression: with several workers throwing at the same time, "first
+  // exception wins" used to mean first-to-grab-the-mutex — a scheduling
+  // coin flip, so the same failing scan reported different errors run to
+  // run. The contract is now deterministic: the exception from the LOWEST
+  // index wins. Both workers rendezvous on a spin barrier so both are
+  // genuinely in flight, then throw together; index 0's message must come
+  // out every single time.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> arrived{0};
+    std::string caught;
+    try {
+      parallel_for(
+          2, 2,
+          [&](std::size_t i) {
+            arrived.fetch_add(1);
+            // Worker 0 is parked here until worker 1 claims index 1 (and
+            // vice versa), so neither throw can win by starting early. The
+            // barrier always completes: the only thread able to claim the
+            // other index is the other worker, which is not blocked.
+            while (arrived.load() < 2) std::this_thread::yield();
+            throw std::runtime_error(std::to_string(i));
+          },
+          /*chunk=*/1);
+      FAIL() << "round " << round << ": nothing propagated";
+    } catch (const std::runtime_error& error) {
+      caught = error.what();
+    }
+    ASSERT_EQ(caught, "0") << "round " << round
+                           << ": a higher index's exception won the race";
+  }
 }
 
 TEST(Parallel, ExceptionAbortsRemainingWork) {

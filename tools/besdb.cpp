@@ -17,17 +17,30 @@
 //   besdb window  corpus.besdb --x0 0 --x1 100 --y0 0 --y1 100 [--symbol S0]
 //   besdb eval    [--out report.json] [--baseline eval/baseline.json
 //                  --update-baseline] [--bases N --objects K --seed S ...]
+//   besdb serve   --corpus corpus.scrp --shard I [--port P --threads N]
+//   besdb connect --servers host:port,host:port --sketch "..."
+//                 [--top-k K --deadline-ms MS --no-gossip --shutdown]
 //
-// Every subcommand prints plain-text tables; exit code 0 on success, 1 on
-// user error (message on stderr). `eval` additionally exits 1 when a
-// baseline check fails.
+// Every subcommand prints plain-text tables to stdout. Exit codes:
+//   0  success (including --help)
+//   1  runtime failure: I/O errors, corrupt corpora, out-of-range data,
+//      a failed eval baseline check
+//   2  usage error: unknown subcommand, unknown or malformed flags, missing
+//      or contradictory flag combinations — usage/diagnostics on stderr
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <thread>
 
+#include "core/encoder.hpp"
 #include "core/serializer.hpp"
+#include "net/coordinator.hpp"
+#include "net/server.hpp"
 #include "db/hybrid_index.hpp"
 #include "db/planner.hpp"
 #include "db/query.hpp"
@@ -46,6 +59,13 @@
 namespace {
 
 using namespace bes;
+
+// The exit-code contract from the header comment. Usage errors are the
+// ones a caller can fix by reading --help; runtime errors need the
+// environment fixed instead.
+constexpr int exit_ok = 0;
+constexpr int exit_runtime = 1;
+constexpr int exit_usage = 2;
 
 // --format flag -> db_format; empty/unknown reported via stderr + nullopt.
 // A supplied --shards N (N > 0) implies the sharded corpus format;
@@ -90,10 +110,10 @@ int cmd_create(arg_parser& args) {
   const std::string out = args.get_string("out");
   if (out.empty()) {
     std::fprintf(stderr, "create: --out is required\n");
-    return 1;
+    return exit_usage;
   }
   const auto format = parse_format(args);
-  if (!format) return 1;
+  if (!format) return exit_usage;
   rng r(static_cast<std::uint64_t>(args.get_int("seed")));
   scene_params params;
   params.width = static_cast<int>(args.get_int("width"));
@@ -134,10 +154,10 @@ int cmd_convert(arg_parser& args) {
   const std::string out = args.get_string("out");
   if (out.empty()) {
     std::fprintf(stderr, "convert: --out is required\n");
-    return 1;
+    return exit_usage;
   }
   const auto format = parse_format(args);
-  if (!format) return 1;
+  if (!format) return exit_usage;
   const image_database db = load_database(in);
   save_database(db, out, *format, shard_count_flag(args));
   std::printf("converted %s (%zu images) to %s [%s]\n", in.c_str(), db.size(),
@@ -151,7 +171,7 @@ int cmd_convert(arg_parser& args) {
 int cmd_shard(arg_parser& args) {
   if (args.positional().size() < 3) {
     std::fprintf(stderr, "shard: usage: besdb shard <info|split|merge> DIR\n");
-    return 1;
+    return exit_usage;
   }
   const std::string& action = args.positional()[1];
   const std::string& dir = args.positional()[2];
@@ -188,7 +208,7 @@ int cmd_shard(arg_parser& args) {
   if (action != "split" && action != "merge") {
     std::fprintf(stderr, "shard: unknown action '%s' (want info|split|merge)\n",
                  action.c_str());
-    return 1;
+    return exit_usage;
   }
   std::size_t target = action == "split" ? manifest.shard_count + 1
                                          : manifest.shard_count - 1;
@@ -428,7 +448,7 @@ int cmd_spatial(const image_database& db, arg_parser& args) {
   const std::string text = args.get_string("query");
   if (text.empty()) {
     std::fprintf(stderr, "spatial: --query is required\n");
-    return 1;
+    return exit_usage;
   }
   const spatial_query query = parse_query(text);
   const auto ranked =
@@ -478,7 +498,7 @@ int cmd_eval(arg_parser& args) {
   const bool update = args.get_bool("update-baseline");
   if (update && baseline_path.empty()) {
     std::fprintf(stderr, "eval: --update-baseline needs --baseline PATH\n");
-    return 1;
+    return exit_usage;
   }
 
   // Corpus params layer: library defaults, overridden by the baseline's own
@@ -572,13 +592,160 @@ int cmd_eval(arg_parser& args) {
   return 0;
 }
 
+// `besdb serve` runs until a signal asks it to stop; the handler can only
+// flip a flag, and the main loop polls it alongside the server's own stop
+// state (a SHUTDOWN frame from a coordinator also ends the loop).
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+extern "C" void serve_signal_handler(int) { g_serve_stop = 1; }
+
+// Serves one shard of an SCRP1 corpus over the frame protocol. Loads ONLY
+// that shard's segment (load_shard), so each fleet member reads its own
+// file and nothing else.
+int cmd_serve(arg_parser& args) {
+  const std::string corpus = args.get_string("corpus");
+  if (corpus.empty()) {
+    std::fprintf(stderr, "serve: --corpus is required\n");
+    return exit_usage;
+  }
+  const long long shard_flag = args.get_int("shard");
+  if (shard_flag < 0) {
+    std::fprintf(stderr, "serve: --shard must be >= 0\n");
+    return exit_usage;
+  }
+  const auto shard = static_cast<std::size_t>(shard_flag);
+  loaded_shard ls = load_shard(corpus, shard);
+
+  net::server_options options;
+  options.port = static_cast<std::uint16_t>(args.get_int("port"));
+  if (const long long threads = args.get_int("threads"); threads > 0) {
+    options.scan_threads = static_cast<unsigned>(threads);
+  }
+  net::shard_server server(ls.db, std::move(ls.global_ids),
+                           static_cast<std::uint32_t>(shard), options);
+  std::printf("serving shard %zu/%zu of %s (%zu images) on 127.0.0.1:%u\n",
+              shard, ls.shard_count, corpus.c_str(), ls.db.size(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  while (g_serve_stop == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  std::printf("shard %zu stopped\n", shard);
+  return exit_ok;
+}
+
+// "--servers host:port,host:port,..." -> endpoints. Empty/malformed entries
+// report via stderr and return an empty list (a usage error: no fleet, no
+// query).
+std::vector<net::endpoint> parse_servers(const std::string& spec) {
+  std::vector<net::endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t colon = entry.rfind(':');
+    unsigned long port = 0;
+    std::size_t digits = 0;
+    if (colon != std::string::npos && colon + 1 < entry.size()) {
+      try {
+        port = std::stoul(entry.substr(colon + 1), &digits);
+      } catch (const std::exception&) {
+        digits = 0;
+      }
+    }
+    if (colon == std::string::npos || colon == 0 ||
+        digits != entry.size() - colon - 1 || port == 0 || port > 65535) {
+      std::fprintf(stderr, "connect: malformed server '%s' (want host:port)\n",
+                   entry.c_str());
+      return {};
+    }
+    endpoints.push_back(net::endpoint{entry.substr(0, colon),
+                                      static_cast<std::uint16_t>(port)});
+  }
+  if (endpoints.empty()) {
+    std::fprintf(stderr, "connect: --servers host:port[,host:port...] is "
+                         "required\n");
+  }
+  return endpoints;
+}
+
+// Scatters a sketch query across a serve fleet and prints the merged
+// answer plus how every shard ended. The query alphabet comes from the
+// fleet itself (fetch_symbols), so connect needs no local corpus at all.
+int cmd_connect(arg_parser& args) {
+  const std::vector<net::endpoint> servers =
+      parse_servers(args.get_string("servers"));
+  if (servers.empty()) return exit_usage;
+
+  net::coordinator_options options;
+  if (const long long ms = args.get_int("deadline-ms"); ms >= 0) {
+    options.default_deadline_ms = static_cast<unsigned>(ms);
+  }
+  options.gossip = !args.get_bool("no-gossip");
+  net::coordinator coord(servers, options);
+
+  if (args.get_bool("shutdown")) {
+    coord.shutdown_servers();
+    std::printf("asked %zu server%s to stop\n", servers.size(),
+                servers.size() == 1 ? "" : "s");
+    return exit_ok;
+  }
+
+  const std::string sketch = args.get_string("sketch");
+  if (sketch.empty()) {
+    std::fprintf(stderr, "connect: --sketch is required (or --shutdown)\n");
+    return exit_usage;
+  }
+  alphabet symbols;
+  for (const std::string& name : coord.fetch_symbols()) {
+    symbols.intern(name);
+  }
+  const symbolic_image query = parse_scene(sketch, symbols);
+  const be_string2d strings = encode(query);
+  const std::vector<symbol_id> query_symbols = distinct_symbols(query);
+
+  query_options qopts;
+  qopts.top_k = static_cast<std::size_t>(args.get_int("top-k"));
+  qopts.transform_invariant = args.get_bool("transform-invariant");
+  const net::remote_result answer = coord.search(strings, query_symbols, qopts);
+
+  std::printf("query: %zu icons over %zu shards (%zu symbols)\n\n",
+              query.size(), servers.size(), symbols.size());
+  text_table table({"rank", "image", "score", "transform"});
+  int rank = 1;
+  for (const query_result& result : answer.results) {
+    table.add_row({std::to_string(rank++), std::to_string(result.id),
+                   fmt_double(result.score, 3),
+                   std::string(to_string(result.transform))});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nscanned %zu = scored %zu + pruned %zu (of %zu generated)\n",
+              answer.stats.scanned, answer.stats.scored, answer.stats.pruned,
+              answer.stats.candidates_generated);
+  for (const shard_scan_status& status : answer.stats.shard_statuses) {
+    std::printf("shard %u: %s\n", status.shard,
+                std::string(to_string(status.state)).c_str());
+  }
+  if (answer.stats.degraded) {
+    std::fprintf(stderr, "connect: answer is DEGRADED (see shard states)\n");
+  }
+  return exit_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bes;
   arg_parser args(
       "besdb <create|convert|compact|shard|info|show|query|explain|spatial|"
-      "window|eval> [db-file] [flags]");
+      "window|eval|serve|connect> [db-file] [flags]");
   args.add_string("out", "", "create/convert/compact: output path");
   args.add_string("format", "text",
                   "create/convert: output format, text|binary (BSEG1)|sharded "
@@ -623,18 +790,54 @@ int main(int argc, char** argv) {
   args.add_int("y0", 0, "window: y low");
   args.add_int("y1", 1, "window: y high");
   args.add_string("symbol", "", "window: restrict to a symbol");
+  args.add_string("corpus", "", "serve: SCRP1 corpus directory");
+  args.add_int("shard", 0, "serve: shard index to serve");
+  args.add_int("port", 0, "serve: TCP port (0 = pick an ephemeral port)");
+  args.add_string("servers", "",
+                  "connect: comma-separated host:port shard server list");
+  args.add_int("deadline-ms", 30000,
+               "connect: per-query budget in ms (0 = wait forever)");
+  args.add_bool("no-gossip", false,
+                "connect: do not gossip the global k-th score to shards");
+  args.add_bool("shutdown", false,
+                "connect: ask every server to stop instead of querying");
 
+  // Flag parsing has its own error class: unknown or malformed flags throw
+  // std::invalid_argument and exit 2, while everything after dispatch that
+  // throws is a runtime failure and exits 1.
   try {
-    if (!args.parse(argc, argv) || args.positional().empty()) {
+    if (!args.parse(argc, argv)) {  // --help
       std::fputs(args.usage().c_str(), stdout);
-      return args.positional().empty() ? 1 : 0;
+      return exit_ok;
     }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "besdb: %s\n%s", error.what(), args.usage().c_str());
+    return exit_usage;
+  }
+  if (args.positional().empty()) {
+    std::fputs(args.usage().c_str(), stderr);
+    return exit_usage;
+  }
+  try {
     const std::string& command = args.positional()[0];
+    const bool known =
+        command == "create" || command == "convert" || command == "compact" ||
+        command == "shard" || command == "info" || command == "show" ||
+        command == "query" || command == "explain" || command == "spatial" ||
+        command == "window" || command == "eval" || command == "serve" ||
+        command == "connect";
+    if (!known) {
+      std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
+                   args.usage().c_str());
+      return exit_usage;
+    }
     if (command == "create") return cmd_create(args);
     if (command == "eval") return cmd_eval(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "connect") return cmd_connect(args);
     if (args.positional().size() < 2) {
       std::fprintf(stderr, "%s: missing database file\n", command.c_str());
-      return 1;
+      return exit_usage;
     }
     if (command == "convert") return cmd_convert(args);
     if (command == "compact") return cmd_compact(args);
@@ -645,12 +848,9 @@ int main(int argc, char** argv) {
     if (command == "query") return cmd_query(db, args);
     if (command == "explain") return cmd_explain(db, args);
     if (command == "spatial") return cmd_spatial(db, args);
-    if (command == "window") return cmd_window(db, args);
-    std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
-                 args.usage().c_str());
-    return 1;
+    return cmd_window(db, args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "besdb: %s\n", error.what());
-    return 1;
+    return exit_runtime;
   }
 }
