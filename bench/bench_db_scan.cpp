@@ -224,7 +224,8 @@ void print_shard_table() {
         const double t = 1e3 * time_per_call([&] {
           detail::shared_topk top(serial.top_k, serial.min_score);
           benchmark::DoNotOptimize(detail::scan_shard(
-              sharded.shard_db(s), strings, ids, sharded.shard_global_ids(s),
+              sharded.shard_db(s), strings, ids,
+              detail::id_map{.chunked = &sharded.shard_global_ids(s)},
               &histograms, nullptr, serial, &top, nullptr));
         });
         critical = std::max(critical, t);

@@ -12,6 +12,7 @@
 #include "baselines/g_string.hpp"
 #include "baselines/two_d_string.hpp"
 #include "core/encoder.hpp"
+#include "db/compaction.hpp"
 #include "db/shard_storage.hpp"
 #include "db/storage.hpp"
 
@@ -177,6 +178,52 @@ void print_sharded_persistence_table() {
   std::fputs(table.str().c_str(), stdout);
 }
 
+// E2f of ISSUE 9: tombstone compaction. A corpus carrying deletes pays for
+// its dead records on every open (they are read, installed, then
+// re-tombstoned); compact_corpus folds them out through the rename-aside
+// rewrite. The table shows bytes reclaimed and the flat-reopen wall time
+// before/after at increasing dead fractions.
+void print_compaction_table() {
+  print_header(
+      "E2f: crash-safe tombstone compaction (bytes reclaimed, reopen time)",
+      "compact_corpus folds tombstones via a rename-aside rewrite; the "
+      "reopen stops paying for dead records");
+  text_table table({"images", "dead%", "KB-before", "KB-after", "reclaimed%",
+                    "open-before-ms", "open-after-ms"});
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "bes_bench_storage_compact";
+  for (std::size_t n : benchsupport::smoke_sweep({512u, 2048u}, 64u)) {
+    for (int dead_pct : {10, 50}) {
+      image_database db;
+      for (std::size_t i = 0; i < n; ++i) {
+        db.add("scene" + std::to_string(i),
+               make_scene(i + 1, 8, db.symbols(), 256));
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (static_cast<int>(i % 100) < dead_pct) {
+          db.remove(static_cast<image_id>(i));
+        }
+      }
+      fs::remove_all(dir);
+      save_sharded(db, dir, 4);
+      const double open_before = benchsupport::time_per_call(
+          [&] { benchmark::DoNotOptimize(load_sharded_flat(dir)); });
+      const compaction_stats stats = compact_corpus(dir);
+      const double open_after = benchsupport::time_per_call(
+          [&] { benchmark::DoNotOptimize(load_sharded_flat(dir)); });
+      const auto kb_before = static_cast<double>(stats.bytes_before) / 1024;
+      const auto kb_after = static_cast<double>(stats.bytes_after) / 1024;
+      table.add_row(
+          {std::to_string(n), std::to_string(dead_pct),
+           fmt_double(kb_before, 1), fmt_double(kb_after, 1),
+           fmt_double(100.0 * (kb_before - kb_after) / kb_before, 1),
+           fmt_double(open_before * 1e3, 2), fmt_double(open_after * 1e3, 2)});
+      fs::remove_all(dir);
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
 void BM_EncodeTokens(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   alphabet names;
@@ -222,5 +269,6 @@ int main(int argc, char** argv) {
   bes::print_staircase_table();
   bes::print_persistence_table();
   bes::print_sharded_persistence_table();
+  bes::print_compaction_table();
   return bes::benchsupport::run_registered(argc, argv);
 }

@@ -1,0 +1,215 @@
+#include "db/compaction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "db/shard_storage.hpp"
+
+namespace bes {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// `dir` as callers spell it may carry a trailing slash or name the manifest
+// file; the rename-aside dance needs the directory itself.
+fs::path corpus_directory(fs::path path) {
+  if (path.filename().empty()) path = path.parent_path();
+  // Only a manifest FILE resolves to its parent; a missing directory stays
+  // as-is (repair must still find its .compact-tmp/.compact-old siblings
+  // when a crash left no corpus at all).
+  std::error_code ec;
+  if (fs::is_regular_file(path, ec) && path.has_parent_path()) {
+    path = path.parent_path();
+  }
+  return path;
+}
+
+fs::path sibling(const fs::path& corpus, const char* suffix) {
+  return corpus.parent_path() / (corpus.filename().string() + suffix);
+}
+
+std::uintmax_t directory_bytes(const fs::path& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+// The live subset of `db`, re-densified: live records keep their relative
+// order but renumber from zero, and no tombstone survives.
+image_database fold_tombstones(const image_database& db) {
+  image_database out;
+  for (const std::string& name : db.symbols().names()) {
+    out.symbols().intern(name);
+  }
+  out.reserve(db.live_size(), db.symbols().size());
+  for (const db_record& rec : db.records()) {
+    if (rec.removed_at != 0) continue;
+    out.add_encoded(rec.name, rec.image, rec.strings, rec.histograms);
+  }
+  return out;
+}
+
+}  // namespace
+
+compaction_stats compact_segment(const fs::path& path, const fs::path& out,
+                                 segment_read_options options) {
+  const fs::path target = out.empty() ? path : out;
+  compaction_stats stats;
+  stats.bytes_before = fs::file_size(path);
+
+  const segment_reader reader(path, options);
+  stats.recovered = reader.recovered();
+  const image_database db = materialize_segment(reader);
+  stats.records_before = db.size();
+  stats.tombstones_folded = db.tombstone_count();
+  stats.records_after = db.live_size();
+
+  // Full tmp write, then ONE rename: a crash leaves either the old segment
+  // or the new one on disk, never a torn mix.
+  fs::path tmp = target;
+  tmp += ".compact-tmp";
+  if (db.tombstone_count() == 0) {
+    save_segment(db, tmp);
+  } else {
+    save_segment(fold_tombstones(db), tmp);
+  }
+  fs::rename(tmp, target);
+
+  stats.bytes_after = fs::file_size(target);
+  stats.compacted = true;
+  return stats;
+}
+
+bool repair_compaction(const fs::path& dir) {
+  const fs::path corpus = corpus_directory(dir);
+  const fs::path tmp = sibling(corpus, ".compact-tmp");
+  const fs::path old = sibling(corpus, ".compact-old");
+  std::error_code ec;
+  const bool has_tmp = fs::exists(tmp, ec);
+  const bool has_old = fs::exists(old, ec);
+  const bool has_dir = fs::exists(corpus, ec);
+  if (!has_tmp && !has_old) return false;
+
+  // The SCRP1 manifest is the last thing shard_writer::finish writes, so a
+  // CRC-valid manifest in tmp means the rewrite ran to completion and the
+  // crash hit somewhere in the swap: roll forward. No manifest = the
+  // rewrite itself was torn: roll back (the source was never touched).
+  bool tmp_complete = false;
+  if (has_tmp) {
+    try {
+      (void)read_shard_manifest(tmp);
+      tmp_complete = true;
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // Torn tmp corpus; handled below.
+    }
+  }
+
+  if (!has_dir) {
+    // Crash mid-swap: the source is parked at .compact-old.
+    if (tmp_complete) {
+      fs::rename(tmp, corpus);
+      fs::remove_all(old);
+      return true;
+    }
+    if (has_old) {
+      fs::rename(old, corpus);
+      fs::remove_all(tmp);
+      return true;
+    }
+    throw std::runtime_error(
+        "besdb: interrupted compaction left no usable corpus at " +
+        corpus.string());
+  }
+  if (tmp_complete) {
+    fs::remove_all(old);  // a stale parked copy from an even earlier run
+    fs::rename(corpus, old);
+    fs::rename(tmp, corpus);
+    fs::remove_all(old);
+    return true;
+  }
+  // A torn tmp and/or a leftover parked copy beside a live corpus: the
+  // source is authoritative, discard the debris.
+  fs::remove_all(tmp);
+  fs::remove_all(old);
+  return true;
+}
+
+compaction_stats compact_corpus(const fs::path& dir, compaction_policy policy,
+                                segment_read_options options) {
+  const fs::path corpus = corpus_directory(dir);
+  repair_compaction(corpus);
+
+  const shard_manifest manifest = read_shard_manifest(corpus);
+  compaction_stats stats;
+  stats.shards_before = manifest.shard_count;
+  stats.shards_after = manifest.shard_count;
+  stats.records_before = manifest.images;
+  stats.bytes_before = directory_bytes(corpus);
+
+  // A torn segment only surfaces through recover_tail (a strict open of a
+  // torn corpus throws before reaching here); probe each shard's reader so
+  // "recovered" reflects dropped FOOTERS too, not just lost records.
+  if (options.recover_tail) {
+    for (const shard_manifest_entry& entry : manifest.shards) {
+      const segment_reader probe(corpus / entry.file, options);
+      if (probe.recovered()) {
+        stats.recovered = true;
+        break;
+      }
+    }
+  }
+
+  image_database flat = load_sharded_flat(corpus, options);
+  stats.tombstones_folded = flat.tombstone_count();
+  const std::uint64_t live = flat.live_size();
+  if (flat.size() < manifest.images) stats.recovered = true;
+
+  std::size_t shards_after = manifest.shard_count;
+  if (policy.min_live_per_shard > 0) {
+    const std::uint64_t fit = live / policy.min_live_per_shard;
+    shards_after = static_cast<std::size_t>(std::clamp<std::uint64_t>(
+        fit, 1, static_cast<std::uint64_t>(manifest.shard_count)));
+  }
+  stats.shards_after = shards_after;
+
+  const double dead_fraction =
+      flat.size() == 0 ? 0.0
+                       : static_cast<double>(stats.tombstones_folded) /
+                             static_cast<double>(flat.size());
+  const bool fold_worth = stats.tombstones_folded > 0 &&
+                          dead_fraction >= policy.min_dead_fraction;
+  if (!fold_worth && !stats.recovered &&
+      shards_after == manifest.shard_count) {
+    // Nothing to reclaim (or not enough to bother): leave the corpus alone.
+    stats.records_after = flat.size();
+    stats.bytes_after = stats.bytes_before;
+    return stats;
+  }
+  stats.records_after = live;
+
+  const fs::path tmp = sibling(corpus, ".compact-tmp");
+  const fs::path old = sibling(corpus, ".compact-old");
+  fs::remove_all(tmp);
+  if (flat.tombstone_count() == 0) {
+    save_sharded(flat, tmp, shards_after, manifest.ring_replicas);
+  } else {
+    save_sharded(fold_tombstones(flat), tmp, shards_after,
+                 manifest.ring_replicas);
+  }
+  // The swap. Every intermediate state here is one repair_compaction call
+  // away from a loadable corpus: tmp is complete (its manifest just
+  // landed), so any crash from now on rolls forward.
+  fs::rename(corpus, old);
+  fs::rename(tmp, corpus);
+  fs::remove_all(old);
+
+  stats.bytes_after = directory_bytes(corpus);
+  stats.compacted = true;
+  return stats;
+}
+
+}  // namespace bes

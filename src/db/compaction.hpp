@@ -1,0 +1,91 @@
+// Crash-safe compaction: folds tombstones out of persisted databases and
+// merges undersized shards (ROADMAP "Live ingest under traffic").
+//
+// Deletes never rewrite history — image_database::remove() tombstones, the
+// BSEG1 writer appends type-4 records, and the text format grows a trailing
+// section — so a long-lived corpus accumulates dead records that every scan
+// must still walk past. Compaction rewrites the live subset (ids
+// re-densify) and reclaims the bytes.
+//
+// Both entry points use the rename-aside pattern so a crash at ANY point
+// leaves a loadable database on disk:
+//
+//   segment:  write <out>.compact-tmp fully, then one atomic rename over
+//             <out>. A crash leaves either the old segment or the new one,
+//             never a torn mix.
+//   corpus:   write <dir>.compact-tmp as a complete sibling corpus, then
+//             rename <dir> -> <dir>.compact-old, tmp -> <dir>, remove old.
+//             The SCRP1 manifest is the LAST thing shard_writer::finish
+//             writes, so "tmp has a CRC-valid manifest" is exactly "the
+//             rewrite completed" — which is what repair_compaction keys on
+//             to roll an interrupted swap forward (manifest loads) or back
+//             (it does not).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "db/segment.hpp"
+
+namespace bes {
+
+// What a compaction pass did. `compacted == false` means the policy judged
+// the rewrite not worth it and the input was left untouched.
+struct compaction_stats {
+  std::uint64_t records_before = 0;    // records on disk, tombstoned included
+  std::uint64_t tombstones_folded = 0; // dead records dropped by the rewrite
+  std::uint64_t records_after = 0;     // live records written back
+  std::uintmax_t bytes_before = 0;     // file (or directory) footprint
+  std::uintmax_t bytes_after = 0;
+  std::size_t shards_before = 1;       // 1 for a flat segment
+  std::size_t shards_after = 1;
+  bool recovered = false;              // recover_tail dropped torn bytes
+  bool compacted = false;              // false: policy said leave it alone
+};
+
+// When a corpus compaction is worth the rewrite. The zero-initialized
+// policy compacts whenever any tombstone (or torn tail) exists.
+struct compaction_policy {
+  // Skip the rewrite while dead/total stays below this fraction (a corpus
+  // with one tombstone in a million records is not worth rewriting).
+  double min_dead_fraction = 0.0;
+  // Merge shards until every shard holds at least this many live records
+  // (never below one shard, never above the source count) — the small-tail
+  // merge for corpora that shrank well below their write-time sharding.
+  // 0 keeps the source shard count.
+  std::uint64_t min_live_per_shard = 0;
+};
+
+// Rewrites the BSEG1 segment at `path` with its tombstones folded out and a
+// fresh footer, via <out>.compact-tmp + rename. `out` empty = in place.
+// `options.recover_tail` additionally salvages a torn segment. Ids
+// re-densify: live records keep their order but renumber from zero.
+// Always rewrites (stats.compacted is always true) — a no-tombstone compact
+// is still the footer-refresh tool it always was.
+compaction_stats compact_segment(const std::filesystem::path& path,
+                                 const std::filesystem::path& out = {},
+                                 segment_read_options options = {});
+
+// Rewrites the SCRP1 corpus directory at `dir` in place: repairs any
+// interrupted earlier compaction first, folds tombstones, re-shards per
+// `policy`, and swaps the new corpus in with the rename-aside dance above.
+// Returns stats.compacted == false (and touches nothing) when there are no
+// tombstones to fold, no torn tail to drop, no shard-count change, or the
+// dead fraction is below policy.min_dead_fraction.
+compaction_stats compact_corpus(const std::filesystem::path& dir,
+                                compaction_policy policy = {},
+                                segment_read_options options = {});
+
+// Finishes or rolls back a compaction the process died in the middle of:
+//   - <dir>.compact-tmp holds a complete corpus (manifest loads): roll
+//     FORWARD — complete the swap so the compacted corpus wins.
+//   - <dir>.compact-tmp is torn (no valid manifest): roll BACK — remove it;
+//     the source corpus was never touched.
+//   - only <dir>.compact-old remains: the swap finished but cleanup died —
+//     remove the parked copy (or restore it if <dir> itself is gone).
+// Returns true when it changed anything. Safe to call on a healthy corpus
+// (returns false). compact_corpus calls this first, so simply re-running a
+// crashed compaction also repairs it.
+bool repair_compaction(const std::filesystem::path& dir);
+
+}  // namespace bes

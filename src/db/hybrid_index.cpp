@@ -37,6 +37,7 @@ hybrid_index::hybrid_index(const image_database& db, deferred_build_t)
 
 void hybrid_index::add_image(image_id id) {
   const db_record& rec = db_->record(id);
+  std::unique_lock lock(mutex_);
   for (std::size_t i = 0; i < rec.image.size(); ++i) {
     const icon& obj = rec.image.icons()[i];
     tree_.insert(obj.mbr, pack(rec.id, i), signature_of(obj.symbol));
@@ -57,8 +58,11 @@ std::vector<image_id> hybrid_index::candidates(const symbolic_image& query,
   }
 
   rtree::fused_stats fused;
-  const std::vector<rtree::payload_t> hits =
-      tree_.search_fused(probes, stats != nullptr ? &fused : nullptr);
+  std::vector<rtree::payload_t> hits;
+  {
+    std::shared_lock lock(mutex_);
+    hits = tree_.search_fused(probes, stats != nullptr ? &fused : nullptr);
+  }
   if (stats != nullptr) {
     stats->nodes_visited = fused.nodes_visited;
     stats->entries_tested = fused.entries_tested;

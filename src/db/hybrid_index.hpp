@@ -13,11 +13,15 @@
 // produce it is one traversal instead of two generations + an intersection.
 #pragma once
 
+#include <shared_mutex>
+
 #include "db/database.hpp"
 #include "db/rtree.hpp"
 
 namespace bes {
 
+// Live ingest: same reader/writer discipline as spatial_index — add_image
+// takes the exclusive side, fused traversals the shared side.
 class hybrid_index {
  public:
   // Indexes all icons of all current records (snapshot; add images first).
@@ -56,14 +60,18 @@ class hybrid_index {
     return 1ull << (static_cast<unsigned>(symbol) % 64u);
   }
 
-  [[nodiscard]] std::size_t indexed_icons() const noexcept {
+  [[nodiscard]] std::size_t indexed_icons() const {
+    std::shared_lock lock(mutex_);
     return tree_.size();
   }
+  // Direct tree access bypasses the lock: callers must be quiesced (no
+  // concurrent add_image).
   [[nodiscard]] const rtree& tree() const noexcept { return tree_; }
 
  private:
   const image_database* db_;
   rtree tree_;
+  mutable std::shared_mutex mutex_;
 };
 
 }  // namespace bes

@@ -5,6 +5,16 @@
 namespace bes {
 
 void inverted_index::add(std::uint32_t id, std::span<const symbol_id> symbols) {
+  // Phase 1 — all allocations: create missing lists and grow full ones.
+  // Anything thrown here leaves only empty lists / spare capacity behind,
+  // never a posting for `id`.
+  for (symbol_id s : symbols) {
+    auto& list = lists_[s];
+    if (list.size() == list.capacity()) {
+      list.reserve(list.empty() ? 4 : 2 * list.size());
+    }
+  }
+  // Phase 2 — no-throw appends into reserved capacity.
   for (symbol_id s : symbols) {
     auto& list = lists_[s];
     if (list.empty() || list.back() != id) list.push_back(id);

@@ -13,8 +13,16 @@ namespace bes {
 class inverted_index {
  public:
   // Registers an image under each of its (distinct) symbols. Ids must be
-  // added in increasing order so posting lists stay sorted.
+  // added in increasing order so posting lists stay sorted. Two-phase for
+  // the strong guarantee: every allocation (hash nodes, posting capacity)
+  // happens before any posting lands, so a throwing add never leaves a
+  // partial set of postings for `id` — at worst an empty list for a new
+  // symbol, which is semantically invisible.
   void add(std::uint32_t id, std::span<const symbol_id> symbols);
+
+  // Pre-sizes the posting-list hash for `symbol_count` distinct symbols so
+  // a bulk load never rehashes mid-ingest.
+  void reserve(std::size_t symbol_count) { lists_.reserve(symbol_count); }
 
   // Union of the posting lists of `symbols` (sorted, unique).
   [[nodiscard]] std::vector<std::uint32_t> lookup_any(

@@ -82,13 +82,9 @@ std::string_view to_string(shard_scan_state state) noexcept {
 
 namespace {
 
+using detail::id_map;
 using detail::result_better;
 using detail::shared_topk;
-
-// Maps a scan-local record id to the id reported in results.
-image_id map_id(std::span<const image_id> global_ids, image_id local) {
-  return global_ids.empty() ? local : global_ids[local];
-}
 
 // Top-k scan with the two-stage admissible pruner. Stage 1: candidates are
 // visited in decreasing histogram-bound order and skipped (or, serially,
@@ -106,7 +102,7 @@ std::vector<query_result> pruned_search(const image_database& db,
                                         const be_string2d& query_strings,
                                         const be_histogram2d& query_histograms,
                                         std::span<const image_id> ids,
-                                        std::span<const image_id> global_ids,
+                                        id_map globals,
                                         const query_options& options,
                                         shared_topk* shared,
                                         search_stats* stats) {
@@ -163,8 +159,7 @@ std::vector<query_result> pruned_search(const image_database& db,
       band_rejected.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    top.insert(
-        query_result{map_id(global_ids, rec.id), score, dihedral::identity});
+    top.insert(query_result{globals(rec.id), score, dihedral::identity});
   };
 
   if (options.threads <= 1) {
@@ -197,7 +192,7 @@ std::vector<query_result> exhaustive_search(const image_database& db,
                                             const be_string2d& query_strings,
                                             const query_transforms* transforms,
                                             std::span<const image_id> ids,
-                                            std::span<const image_id> global_ids,
+                                            id_map globals,
                                             const query_options& options,
                                             search_stats* stats) {
   // Transform-invariant scans need the 8 query variants; build them once for
@@ -216,7 +211,7 @@ std::vector<query_result> exhaustive_search(const image_database& db,
     const db_record& rec = db.record(ids[k]);
     lcs_context& ctx = contexts[worker];
     query_result r;
-    r.id = map_id(global_ids, rec.id);
+    r.id = globals(rec.id);
     if (options.transform_invariant) {
       const transform_match best = best_transform_similarity(
           *transforms, rec.strings, options.similarity, ctx);
@@ -237,23 +232,71 @@ namespace detail {
 
 std::vector<query_result> scan_shard(
     const image_database& db, const be_string2d& query_strings,
-    std::span<const image_id> ids, std::span<const image_id> global_ids,
+    std::span<const image_id> ids, id_map globals,
     const be_histogram2d* histograms, const query_transforms* transforms,
-    const query_options& options, shared_topk* shared, search_stats* stats) {
+    const query_options& options, shared_topk* shared, search_stats* stats,
+    const db_snapshot* snap) {
+  db_snapshot captured;
+  if (snap == nullptr) {
+    captured = db.snapshot();
+    snap = &captured;
+  }
+  // Snapshot filter. Candidates the snapshot cannot see (published after its
+  // watermark) are dropped before the scan even starts — they do not exist
+  // in this view, so they are neither scanned nor pruned. Tombstoned
+  // candidates ARE scanned: they count as pruned (the tombstone is a free,
+  // always-admissible pruning decision), never as scored. When the snapshot
+  // is all-live the scan runs on the caller's span untouched — EXCEPT for
+  // past-watermark ids, which must still be dropped: the inverted index
+  // publishes a record's postings BEFORE the record itself commits (that
+  // order is what makes the local->global mapping safe to read), so an
+  // index-generated candidate can precede the watermark bump by one racing
+  // add even when no tombstone exists.
+  std::vector<image_id> live;
+  std::size_t dead = 0;
+  std::span<const image_id> scan = ids;
+  if (!snap->all_live()) {
+    live.reserve(ids.size());
+    for (image_id id : ids) {
+      if (id >= snap->visible) continue;
+      if (snap->alive(id)) {
+        live.push_back(id);
+      } else {
+        ++dead;
+      }
+    }
+    scan = live;
+  } else {
+    std::size_t keep = 0;
+    while (keep < ids.size() && ids[keep] < snap->visible) ++keep;
+    if (keep < ids.size()) {
+      live.assign(ids.begin(),
+                  ids.begin() + static_cast<std::ptrdiff_t>(keep));
+      for (std::size_t k = keep + 1; k < ids.size(); ++k) {
+        if (ids[k] < snap->visible) live.push_back(ids[k]);
+      }
+      scan = live;
+    }
+  }
   if (stats != nullptr) {
     *stats = search_stats{};
-    stats->scanned = ids.size();
+    stats->scanned = scan.size() + dead;
   }
+  std::vector<query_result> out;
   if (pruning_applies(options)) {
     if (histograms != nullptr) {
-      return pruned_search(db, query_strings, *histograms, ids, global_ids,
-                           options, shared, stats);
+      out = pruned_search(db, query_strings, *histograms, scan, globals,
+                          options, shared, stats);
+    } else {
+      out = pruned_search(db, query_strings, make_histograms(query_strings),
+                          scan, globals, options, shared, stats);
     }
-    return pruned_search(db, query_strings, make_histograms(query_strings),
-                         ids, global_ids, options, shared, stats);
+  } else {
+    out = exhaustive_search(db, query_strings, transforms, scan, globals,
+                            options, stats);
   }
-  return exhaustive_search(db, query_strings, transforms, ids, global_ids,
-                           options, stats);
+  if (stats != nullptr) stats->pruned += dead;
+  return out;
 }
 
 }  // namespace detail
@@ -266,13 +309,14 @@ std::vector<query_result> search_impl(const image_database& db,
                                       const be_histogram2d* histograms,
                                       const query_transforms* transforms,
                                       const query_options& options,
-                                      search_stats* stats) {
+                                      search_stats* stats,
+                                      const db_snapshot* snap = nullptr) {
   std::size_t generated = 0;
   const std::vector<image_id> ids =
       detail::scan_ids(db, query_symbols, options,
                        stats != nullptr ? &generated : nullptr);
   auto out = detail::scan_shard(db, query_strings, ids, {}, histograms,
-                                transforms, options, nullptr, stats);
+                                transforms, options, nullptr, stats, snap);
   // scan_shard resets *stats; generation accounting goes on top.
   if (stats != nullptr) stats->candidates_generated = generated;
   return out;
@@ -319,6 +363,24 @@ std::vector<query_result> search(const image_database& db,
   const be_string2d strings = encode(query);
   const std::vector<symbol_id> symbols = distinct_symbols(query);
   return search(db, strings, symbols, options, stats);
+}
+
+std::vector<query_result> search(const db_snapshot& snap,
+                                 const be_string2d& query_strings,
+                                 std::span<const symbol_id> query_symbols,
+                                 const query_options& options,
+                                 search_stats* stats) {
+  return search_impl(*snap.db, query_strings, query_symbols, nullptr, nullptr,
+                     options, stats, &snap);
+}
+
+std::vector<query_result> search(const db_snapshot& snap,
+                                 const symbolic_image& query,
+                                 const query_options& options,
+                                 search_stats* stats) {
+  const be_string2d strings = encode(query);
+  const std::vector<symbol_id> symbols = distinct_symbols(query);
+  return search(snap, strings, symbols, options, stats);
 }
 
 namespace detail {

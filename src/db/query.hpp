@@ -75,8 +75,12 @@ struct shard_scan_status {
 
 // Scan accounting (filled when a non-null pointer is passed to search).
 // Every scanned candidate is either scored or pruned, on every scan path:
-// scanned == scored + pruned always holds, and an exhaustive scan reports
-// scored == scanned, pruned == 0.
+// scanned == scored + pruned always holds. Tombstoned candidates (live
+// ingest: image_database::remove) count as scanned AND pruned — never
+// scored — so an exhaustive scan reports scored == scanned, pruned == 0
+// exactly when every scanned candidate was live in the scan's snapshot.
+// Candidates published after the snapshot's watermark do not exist in that
+// view and are excluded from scanned entirely.
 //
 // `scanned` counts the candidates handed to the scoring scan — AFTER the
 // access path deduplicated, window-rejected, and intersected its raw hits.
@@ -116,6 +120,21 @@ struct search_stats {
     const image_database& db, const be_string2d& query_strings,
     std::span<const symbol_id> query_symbols, const query_options& options = {},
     search_stats* stats = nullptr);
+
+// Pinned searches: score against an explicit snapshot (db.snapshot()) so
+// several queries observe the SAME instant while add()/remove() proceed
+// underneath. Results are exactly what searching a quiesced database in the
+// snapshot's state would return. The snapshot's database must outlive the
+// call; the unpinned overloads are equivalent to pinning a fresh snapshot
+// per search.
+[[nodiscard]] std::vector<query_result> search(
+    const db_snapshot& snap, const be_string2d& query_strings,
+    std::span<const symbol_id> query_symbols, const query_options& options = {},
+    search_stats* stats = nullptr);
+[[nodiscard]] std::vector<query_result> search(const db_snapshot& snap,
+                                               const symbolic_image& query,
+                                               const query_options& options = {},
+                                               search_stats* stats = nullptr);
 
 // Scores exactly the given candidate set (sorted or not, duplicates scored
 // twice — callers pass the sorted/unique output of a prefilter). This is the

@@ -130,15 +130,37 @@ class shared_topk {
   std::atomic<double> floor_;
 };
 
+// Maps scan-local record ids to the ids reported in results. Default-
+// constructed = identity (the unsharded scan). `flat` serves a loaded,
+// static mapping (the shard server); `chunked` serves a live sharded part
+// whose mapping grows under concurrent adds — chunked storage never moves,
+// so the read is safe mid-ingest where a reallocating span would not be.
+struct id_map {
+  std::span<const image_id> flat{};
+  const stable_vector<image_id>* chunked = nullptr;
+
+  [[nodiscard]] image_id operator()(image_id local) const noexcept {
+    if (chunked != nullptr) return (*chunked)[local];
+    return flat.empty() ? local : flat[local];
+  }
+};
+
 // One shard-local scan: scores `ids` (record ids local to `db`) under
 // `options`.
 //
-// `global_ids` maps local record ids to the ids reported in results (and
-// used for top-k tie-breaks); pass empty for identity (the unsharded scan).
+// `globals` maps local record ids to the ids reported in results (and used
+// for top-k tie-breaks); pass {} for identity (the unsharded scan).
 // `histograms`/`transforms` are optional precomputed per-query state
 // (search_batch amortizes them across scans); null means compute on demand.
 // `stats` (if non-null) is overwritten with this scan's accounting
-// (scanned == ids.size(), scanned == scored + pruned).
+// (scanned == scored + pruned).
+//
+// `snap` pins the scan to a database snapshot; null means "capture
+// db.snapshot() now". Candidates not yet visible in the snapshot are
+// dropped before the scan (they do not exist in that view, so they are not
+// scanned); tombstoned candidates count as scanned AND pruned — never
+// scored. When the snapshot is all-live the filter is skipped outright and
+// the scan is byte-identical to the pre-ingest engine.
 //
 // `shared` is the query's cross-scan top-k, or null for a lone scan. When
 // null (or when the scan is exhaustive — no threshold to share), the
@@ -149,8 +171,9 @@ class shared_topk {
 // once, after every scan of the query finished.
 [[nodiscard]] std::vector<query_result> scan_shard(
     const image_database& db, const be_string2d& query_strings,
-    std::span<const image_id> ids, std::span<const image_id> global_ids,
+    std::span<const image_id> ids, id_map globals,
     const be_histogram2d* histograms, const query_transforms* transforms,
-    const query_options& options, shared_topk* shared, search_stats* stats);
+    const query_options& options, shared_topk* shared, search_stats* stats,
+    const db_snapshot* snap = nullptr);
 
 }  // namespace bes::detail

@@ -1,5 +1,6 @@
 #include "db/segment.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <utility>
@@ -30,6 +31,7 @@ enum record_type : std::uint32_t {
   rec_symbol_delta = 1,
   rec_image = 2,
   rec_footer = 3,
+  rec_tombstone = 4,
 };
 
 constexpr std::uint8_t endian_marker() {
@@ -243,6 +245,7 @@ bool decode_record_header(const std::byte* data, std::uint64_t offset,
 struct segment_layout {
   std::vector<std::uint64_t> offsets;        // every non-footer record
   std::vector<std::uint64_t> image_offsets;  // type-2 records, in order
+  std::vector<std::uint64_t> tombstones;     // image ordinals; sorted post-parse
   std::vector<std::string> symbols;
   std::uint64_t data_end = header_bytes;  // where the footer record begins
   std::uint64_t image_count = 0;
@@ -272,6 +275,44 @@ void parse_symbol_delta(const file_mapping& map, std::uint64_t offset,
   const auto count = in.get<std::uint32_t>();
   for (std::uint32_t i = 0; i < count; ++i) symbols.push_back(in.get_bytes());
   in.expect_end();
+}
+
+// Decodes one tombstone payload. Append-only causality: every ordinal must
+// reference an image record already seen at this point in the walk
+// (`images_so_far`), so a tombstone can never point forward.
+std::vector<std::uint64_t> parse_tombstone(const file_mapping& map,
+                                           std::uint64_t offset,
+                                           const record_header& header,
+                                           const std::filesystem::path& path,
+                                           std::uint64_t images_so_far) {
+  cursor in{map.data + offset + record_header_bytes, header.payload_bytes, 0,
+            &path};
+  const auto count = in.get<std::uint64_t>();
+  if (header.payload_bytes != 8 + count * 8) {
+    bad_segment(path, "tombstone record size mismatch");
+  }
+  std::vector<std::uint64_t> ordinals;
+  ordinals.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto ordinal = in.get<std::uint64_t>();
+    if (ordinal >= images_so_far) {
+      bad_segment(path, "tombstone references an image not yet written");
+    }
+    ordinals.push_back(ordinal);
+  }
+  in.expect_end();
+  return ordinals;
+}
+
+// Post-walk tombstone normalization shared by both parsers: sorted, unique.
+void finish_tombstones(segment_layout& layout,
+                       const std::filesystem::path& path) {
+  std::sort(layout.tombstones.begin(), layout.tombstones.end());
+  if (std::adjacent_find(layout.tombstones.begin(),
+                         layout.tombstones.end()) !=
+      layout.tombstones.end()) {
+    bad_segment(path, "duplicate tombstone ordinal");
+  }
 }
 
 // Strict parse: the footer tail and index are authoritative and every
@@ -351,6 +392,17 @@ segment_layout parse_strict(const file_mapping& map,
         bad_segment(path, "symbol delta corrupt");
       }
       parse_symbol_delta(map, offset, header, path, layout.symbols);
+    } else if (header.type == rec_tombstone) {
+      // Eager CRC: tombstones change which images are live, so a corrupt
+      // one must fail the whole load, not lurk until some later read.
+      const std::byte* payload = map.data + offset + record_header_bytes;
+      if (crc32(payload, header.payload_bytes) != header.payload_crc) {
+        bad_segment(path, "tombstone record corrupt");
+      }
+      const std::vector<std::uint64_t> ordinals = parse_tombstone(
+          map, offset, header, path, layout.image_offsets.size());
+      layout.tombstones.insert(layout.tombstones.end(), ordinals.begin(),
+                               ordinals.end());
     } else {
       bad_segment(path, "unexpected record type in index");
     }
@@ -363,6 +415,7 @@ segment_layout parse_strict(const file_mapping& map,
   if (layout.symbols.size() != symbol_count) {
     bad_segment(path, "footer symbol count mismatch");
   }
+  finish_tombstones(layout, path);
   return layout;
 }
 
@@ -390,6 +443,17 @@ segment_layout parse_recover(const file_mapping& map,
       }
     } else if (header.type == rec_image) {
       layout.image_offsets.push_back(pos);
+    } else if (header.type == rec_tombstone) {
+      // All-or-nothing per record: a tombstone that fails validation drops
+      // the prefix HERE, applying none of its ordinals.
+      try {
+        const std::vector<std::uint64_t> ordinals = parse_tombstone(
+            map, pos, header, path, layout.image_offsets.size());
+        layout.tombstones.insert(layout.tombstones.end(), ordinals.begin(),
+                                 ordinals.end());
+      } catch (const std::runtime_error&) {
+        break;
+      }
     } else {
       break;
     }
@@ -398,6 +462,7 @@ segment_layout parse_recover(const file_mapping& map,
   }
   layout.data_end = pos;
   layout.image_count = layout.image_offsets.size();
+  finish_tombstones(layout, path);
   return layout;
 }
 
@@ -425,19 +490,24 @@ std::uint32_t strings_checksum(const be_string2d& strings) {
 
 // ---------------------------------------------------------------- writer
 
-segment_writer::segment_writer(const std::filesystem::path& path, bool append)
+segment_writer::segment_writer(const std::filesystem::path& path, bool append,
+                               segment_read_options options)
     : path_(path) {
   if (append) {
     segment_layout layout;
     {
       const file_mapping map(path_);
-      layout = parse_strict(map, path_);
+      layout = parse_layout(map, path_, options);
     }
     offsets_ = std::move(layout.offsets);
     symbols_written_ = layout.symbols.size();
     images_ = layout.image_count;
+    tombstoned_.insert(layout.tombstones.begin(), layout.tombstones.end());
     pos_ = layout.data_end;
-    std::filesystem::resize_file(path_, pos_);  // drop the old footer + tail
+    // Drop the old footer + tail — and, after a recover_tail parse, every
+    // torn byte past the valid prefix: the truncation is physical, so no
+    // later strict reopen can resurrect a record this writer rejected.
+    std::filesystem::resize_file(path_, pos_);
     out_.open(path_, std::ios::binary | std::ios::app);
     if (!out_) {
       throw std::runtime_error("besdb: cannot reopen " + path_.string());
@@ -519,13 +589,61 @@ void segment_writer::append(const db_record& rec, const alphabet& symbols) {
   offsets_.push_back(pos_);
   write_record(rec_image, payload);
   ++images_;
+  if (rec.removed_at != 0) pending_tombstones_.push_back(images_ - 1);
   if (!out_) {
     throw std::runtime_error("besdb: write failed for " + path_.string());
   }
 }
 
+void segment_writer::write_tombstone_record(
+    std::span<const std::uint64_t> ordinals) {
+  std::string payload;
+  put<std::uint64_t>(payload, static_cast<std::uint64_t>(ordinals.size()));
+  for (std::uint64_t ordinal : ordinals) {
+    put<std::uint64_t>(payload, ordinal);
+  }
+  offsets_.push_back(pos_);
+  write_record(rec_tombstone, payload);
+  if (!out_) {
+    throw std::runtime_error("besdb: write failed for " + path_.string());
+  }
+}
+
+void segment_writer::append_tombstones(
+    std::span<const std::uint64_t> ordinals) {
+  if (finished_) {
+    throw std::runtime_error("besdb: append after finish on " + path_.string());
+  }
+  if (ordinals.empty()) return;
+  // Validate the whole batch before any byte lands: a rejected batch must
+  // not leave a partial tombstone record.
+  std::unordered_set<std::uint64_t> batch;
+  for (std::uint64_t ordinal : ordinals) {
+    if (ordinal >= images_) {
+      throw std::runtime_error(
+          "besdb: tombstone ordinal " + std::to_string(ordinal) +
+          " out of range for " + path_.string());
+    }
+    if (tombstoned_.contains(ordinal) || !batch.insert(ordinal).second) {
+      throw std::runtime_error(
+          "besdb: duplicate tombstone ordinal " + std::to_string(ordinal) +
+          " for " + path_.string());
+    }
+  }
+  write_tombstone_record(ordinals);
+  tombstoned_.insert(ordinals.begin(), ordinals.end());
+}
+
 void segment_writer::finish() {
   if (finished_) return;
+  if (!pending_tombstones_.empty()) {
+    // Queued by append() from records carried in with removed_at set;
+    // append() only queues fresh ordinals, so no dedup pass is needed.
+    write_tombstone_record(pending_tombstones_);
+    tombstoned_.insert(pending_tombstones_.begin(),
+                       pending_tombstones_.end());
+    pending_tombstones_.clear();
+  }
   std::string footer;
   put<std::uint64_t>(footer, images_);
   put<std::uint64_t>(footer, static_cast<std::uint64_t>(symbols_written_));
@@ -571,6 +689,17 @@ std::size_t segment_reader::image_count() const noexcept {
 
 const std::vector<std::string>& segment_reader::symbol_names() const noexcept {
   return impl_->layout.symbols;
+}
+
+const std::vector<std::uint64_t>& segment_reader::tombstones()
+    const noexcept {
+  return impl_->layout.tombstones;
+}
+
+bool segment_reader::image_tombstoned(std::size_t index) const noexcept {
+  return std::binary_search(impl_->layout.tombstones.begin(),
+                            impl_->layout.tombstones.end(),
+                            static_cast<std::uint64_t>(index));
 }
 
 bool segment_reader::recovered() const noexcept {
@@ -664,6 +793,12 @@ void materialize(const segment_reader& reader,
         std::move(record.name), std::move(record.image),
         std::move(record.strings), std::move(record.histograms));
     if (spatial != nullptr) spatial->add_image(id);
+  }
+  // Segment ordinals ARE the dense database ids of the loop above, so
+  // tombstones apply positionally. Applied after the load so the records
+  // stay addressable (and re-saving the database round-trips them).
+  for (std::uint64_t ordinal : reader.tombstones()) {
+    db.remove(static_cast<image_id>(ordinal));
   }
 }
 

@@ -36,6 +36,14 @@
 //                     re-encodes nor re-sorts anything.
 //   3  footer index   u64 image_count, u64 symbol_count, u64 record_count,
 //                     record_count x u64 absolute record offsets.
+//   4  tombstone      u64 count, then count x u64 image ordinal — the
+//                     position of a deleted image among this segment's
+//                     type-2 records, NOT its database id. Ordinals must
+//                     reference images already written (append-only
+//                     causality) and no ordinal may repeat across the
+//                     segment; loaders reject violations. Segments with no
+//                     deletes carry no tombstone record and stay
+//                     byte-identical to the pre-tombstone format.
 //
 // A token packs into a u32: 0xFFFFFFFF is the dummy E, otherwise
 // (symbol_id << 1) | kind with kind 0 = begin, 1 = end.
@@ -45,7 +53,9 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "db/database.hpp"
@@ -59,47 +69,65 @@ namespace bes {
 // re-encode to exactly the strings the writer saw.
 [[nodiscard]] std::uint32_t strings_checksum(const be_string2d& strings);
 
-// Appends records to a BSEG1 segment. All errors throw std::runtime_error.
-class segment_writer {
- public:
-  // Creates (truncates) `path` and writes a fresh header; or, with
-  // `append = true`, validates an existing segment, drops its footer, and
-  // continues after the last record.
-  explicit segment_writer(const std::filesystem::path& path,
-                          bool append = false);
-  ~segment_writer();
-
-  segment_writer(const segment_writer&) = delete;
-  segment_writer& operator=(const segment_writer&) = delete;
-
-  // Appends one image record, preceded by a symbol-delta record whenever
-  // `symbols` has grown since the last append.
-  void append(const db_record& rec, const alphabet& symbols);
-
-  // Writes the footer index and tail. Called by the destructor if needed,
-  // but call it explicitly to observe write failures.
-  void finish();
-
-  [[nodiscard]] std::size_t images_written() const noexcept { return images_; }
-
- private:
-  void write_record(std::uint32_t type, const std::string& payload);
-
-  std::filesystem::path path_;
-  std::ofstream out_;
-  std::vector<std::uint64_t> offsets_;  // every record written so far
-  std::uint64_t pos_ = 0;
-  std::uint64_t images_ = 0;
-  std::size_t symbols_written_ = 0;
-  bool finished_ = false;
-};
-
 struct segment_read_options {
   // Accept a segment whose footer or tail is missing/invalid (e.g. a crash
   // truncated the file) by scanning records sequentially and recovering the
   // longest valid prefix. Corruption *inside* that prefix still throws; the
   // recovered records are CRC-verified, never silently wrong.
   bool recover_tail = false;
+};
+
+// Appends records to a BSEG1 segment. All errors throw std::runtime_error.
+class segment_writer {
+ public:
+  // Creates (truncates) `path` and writes a fresh header; or, with
+  // `append = true`, validates an existing segment, drops its footer, and
+  // continues after the last record. With `options.recover_tail`, a torn
+  // segment (crashed writer) is accepted: the longest CRC-valid record
+  // prefix is kept and everything after it is PHYSICALLY truncated before
+  // the first new byte lands — a later strict reopen can never resurrect
+  // the torn records.
+  explicit segment_writer(const std::filesystem::path& path,
+                          bool append = false,
+                          segment_read_options options = {});
+  ~segment_writer();
+
+  segment_writer(const segment_writer&) = delete;
+  segment_writer& operator=(const segment_writer&) = delete;
+
+  // Appends one image record, preceded by a symbol-delta record whenever
+  // `symbols` has grown since the last append. A tombstoned record
+  // (rec.removed_at != 0) is written like any other and its ordinal queued;
+  // finish() emits one batched tombstone record covering every queued
+  // delete.
+  void append(const db_record& rec, const alphabet& symbols);
+
+  // Writes a tombstone record for `ordinals` (positions among this
+  // segment's image records) immediately — the durable path for deletes
+  // against an already-written segment. Throws on an ordinal >= the images
+  // written so far or one already tombstoned. Empty spans are a no-op.
+  void append_tombstones(std::span<const std::uint64_t> ordinals);
+
+  // Writes the footer index and tail (preceded by the queued tombstone
+  // record, if any). Called by the destructor if needed, but call it
+  // explicitly to observe write failures.
+  void finish();
+
+  [[nodiscard]] std::size_t images_written() const noexcept { return images_; }
+
+ private:
+  void write_record(std::uint32_t type, const std::string& payload);
+  void write_tombstone_record(std::span<const std::uint64_t> ordinals);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::vector<std::uint64_t> offsets_;  // every record written so far
+  std::vector<std::uint64_t> pending_tombstones_;  // queued by append()
+  std::unordered_set<std::uint64_t> tombstoned_;   // every ordinal on disk
+  std::uint64_t pos_ = 0;
+  std::uint64_t images_ = 0;
+  std::size_t symbols_written_ = 0;
+  bool finished_ = false;
 };
 
 // One materialized image record of a segment.
@@ -128,6 +156,10 @@ class segment_reader {
   [[nodiscard]] const std::vector<std::string>& symbol_names() const noexcept;
   // Decodes image record `index` straight from the mapping (no re-encode).
   [[nodiscard]] segment_image read_image(std::size_t index) const;
+  // Ordinals of tombstoned images (sorted, unique; validated on parse).
+  [[nodiscard]] const std::vector<std::uint64_t>& tombstones() const noexcept;
+  // Whether image `index` carries a tombstone (binary search).
+  [[nodiscard]] bool image_tombstoned(std::size_t index) const noexcept;
   // True when recover_tail engaged and dropped trailing bytes.
   [[nodiscard]] bool recovered() const noexcept;
 
@@ -138,7 +170,9 @@ class segment_reader {
 
 // Materializes the whole segment into a database: symbols interned in
 // recorded order, records installed through the pre-encoded bulk-load path
-// (image_database::add_encoded), inverted index rebuilt as records land.
+// (image_database::add_encoded), inverted index rebuilt as records land,
+// tombstones applied afterwards (the records stay addressable, searches
+// skip them — image_database::remove semantics).
 [[nodiscard]] image_database load_segment(const std::filesystem::path& path,
                                           segment_read_options options = {});
 

@@ -82,16 +82,38 @@ sharded_database::shard_part& sharded_database::route(std::size_t shard) {
   return part;
 }
 
+// The publication order scans depend on. (1) The local->global mapping is
+// STAGED (written but unpublished) before the record lands: a scan that sees
+// the record — published by the shard db's commit — is guaranteed to see the
+// mapping too, because the stage write happens-before that commit. Staging
+// instead of pushing keeps the strong guarantee: a throwing add leaves an
+// uncommitted slot the next add overwrites, never an orphan mapping that
+// would skew every later local id. (2) The spatial/hybrid indexes take their
+// own locks. (3) The global locator publishes LAST, so size() (and
+// record(global)) only ever cover fully wired records.
+image_id sharded_database::install(std::size_t shard, shard_part& part,
+                                   image_id global, std::string name,
+                                   symbolic_image image, be_string2d strings,
+                                   be_histogram2d histograms) {
+  part.global_ids.stage(global);
+  const image_id local =
+      part.db.add_encoded(std::move(name), std::move(image),
+                          std::move(strings), std::move(histograms));
+  part.global_ids.commit();
+  part.spatial.add_image(local);
+  part.hybrid.add_image(local);
+  locs_.push_back({static_cast<std::uint32_t>(shard), local});
+  return global;
+}
+
 image_id sharded_database::add(std::string name, symbolic_image image) {
   const auto global = static_cast<image_id>(locs_.size());
   const std::size_t shard = ring_.shard_of(global);
   shard_part& part = route(shard);
-  const image_id local = part.db.add(std::move(name), std::move(image));
-  part.spatial.add_image(local);
-  part.hybrid.add_image(local);
-  part.global_ids.push_back(global);
-  locs_.emplace_back(static_cast<std::uint32_t>(shard), local);
-  return global;
+  be_string2d strings = encode(image);
+  be_histogram2d histograms = make_histograms(strings);
+  return install(shard, part, global, std::move(name), std::move(image),
+                 std::move(strings), std::move(histograms));
 }
 
 image_id sharded_database::add_encoded(std::string name, symbolic_image image,
@@ -100,14 +122,27 @@ image_id sharded_database::add_encoded(std::string name, symbolic_image image,
   const auto global = static_cast<image_id>(locs_.size());
   const std::size_t shard = ring_.shard_of(global);
   shard_part& part = route(shard);
-  const image_id local =
-      part.db.add_encoded(std::move(name), std::move(image),
-                          std::move(strings), std::move(histograms));
-  part.spatial.add_image(local);
-  part.hybrid.add_image(local);
-  part.global_ids.push_back(global);
-  locs_.emplace_back(static_cast<std::uint32_t>(shard), local);
-  return global;
+  return install(shard, part, global, std::move(name), std::move(image),
+                 std::move(strings), std::move(histograms));
+}
+
+bool sharded_database::remove(image_id id) {
+  if (id >= locs_.size()) return false;
+  const auto& [shard, local] = locs_[id];
+  return shards_[shard]->db.remove(local);
+}
+
+sharded_snapshot sharded_database::snapshot() const {
+  sharded_snapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (const auto& part : shards_) snap.shards.push_back(part->db.snapshot());
+  return snap;
+}
+
+std::size_t sharded_database::tombstone_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& part : shards_) n += part->db.tombstone_count();
+  return n;
 }
 
 const db_record& sharded_database::record(image_id id) const {
@@ -139,7 +174,7 @@ const hybrid_index& sharded_database::shard_hybrid(std::size_t s) const {
   return shards_.at(s)->hybrid;
 }
 
-std::span<const image_id> sharded_database::shard_global_ids(
+const stable_vector<image_id>& sharded_database::shard_global_ids(
     std::size_t s) const {
   return shards_.at(s)->global_ids;
 }
@@ -175,7 +210,11 @@ sharded_database make_sharded(const image_database& db,
     out.symbols().intern(name);
   }
   for (const db_record& rec : db.records()) {
-    out.add_encoded(rec.name, rec.image, rec.strings, rec.histograms);
+    // Re-adding preserves global ids (dense insertion order); tombstones
+    // carry over so the partitioned copy answers like the original.
+    const image_id global =
+        out.add_encoded(rec.name, rec.image, rec.strings, rec.histograms);
+    if (rec.removed_at != 0) out.remove(global);
   }
   return out;
 }
@@ -234,8 +273,20 @@ std::vector<query_result> fanout_search(
     std::span<const symbol_id> query_symbols,
     const std::vector<std::vector<image_id>>* local_candidates,
     const be_histogram2d* histograms, const query_transforms* transforms,
-    const query_options& options, search_stats* stats) {
+    const query_options& options, search_stats* stats,
+    const sharded_snapshot* snap = nullptr) {
   const std::size_t shards = db.shard_count();
+  // Unpinned callers still get ONE consistent view across all their shard
+  // scans: capturing per scan instead would let a concurrent remove land
+  // between two shards of the same query.
+  sharded_snapshot captured;
+  if (snap == nullptr) {
+    captured = db.snapshot();
+    snap = &captured;
+  }
+  if (snap->shards.size() != shards) {
+    throw std::invalid_argument("search: snapshot/shard count mismatch");
+  }
   const bool pruned = detail::pruning_applies(options);
   std::optional<detail::shared_topk> shared;
   if (pruned) shared.emplace(options.top_k, options.min_score);
@@ -260,8 +311,10 @@ std::vector<query_result> fanout_search(
                 : detail::scan_ids(shard, query_symbols, options, &generated);
         if (local_candidates != nullptr) generated = ids.size();
         parts[s] = detail::scan_shard(
-            shard, query_strings, ids, db.shard_global_ids(s), histograms,
-            transforms, inner, pruned ? &*shared : nullptr, &part_stats[s]);
+            shard, query_strings, ids,
+            detail::id_map{.chunked = &db.shard_global_ids(s)}, histograms,
+            transforms, inner, pruned ? &*shared : nullptr, &part_stats[s],
+            &snap->shards[s]);
         // scan_shard resets its stats; the generation accounting goes on top.
         part_stats[s].candidates_generated = generated;
       },
@@ -313,6 +366,28 @@ std::vector<query_result> search(const sharded_database& db,
   const be_string2d strings = encode(query);
   const std::vector<symbol_id> symbols = distinct_symbols(query);
   return search(db, strings, symbols, options, stats);
+}
+
+std::vector<query_result> search(const sharded_database& db,
+                                 const sharded_snapshot& snap,
+                                 const be_string2d& query_strings,
+                                 std::span<const symbol_id> query_symbols,
+                                 const query_options& options,
+                                 search_stats* stats) {
+  const fanout_plan plan(query_strings, options);
+  return fanout_search(db, query_strings, query_symbols, nullptr,
+                       plan.histograms_ptr, plan.transforms_ptr, options,
+                       stats, &snap);
+}
+
+std::vector<query_result> search(const sharded_database& db,
+                                 const sharded_snapshot& snap,
+                                 const symbolic_image& query,
+                                 const query_options& options,
+                                 search_stats* stats) {
+  const be_string2d strings = encode(query);
+  const std::vector<symbol_id> symbols = distinct_symbols(query);
+  return search(db, snap, strings, symbols, options, stats);
 }
 
 std::vector<query_result> search_candidates(const sharded_database& db,
@@ -382,6 +457,10 @@ std::vector<std::vector<query_result>> search_batch(
   for (std::size_t i = 0; pruned && i < nq; ++i) {
     shared.emplace_back(options.top_k, options.min_score);
   }
+  // One snapshot for the whole batch: every (query, shard) scan filters
+  // against the same instant, so each query's merged result is consistent
+  // even while writes land mid-batch.
+  const sharded_snapshot snap = db.snapshot();
   std::vector<std::vector<std::vector<query_result>>> parts(
       nq, std::vector<std::vector<query_result>>(shards));
   std::vector<std::vector<search_stats>> part_stats(
@@ -402,10 +481,12 @@ std::vector<std::vector<query_result>> search_batch(
         const std::vector<image_id> ids =
             detail::scan_ids(shard, query_symbols[q], options, &generated);
         parts[q][s] = detail::scan_shard(
-            shard, queries[q], ids, db.shard_global_ids(s),
+            shard, queries[q], ids,
+            detail::id_map{.chunked = &db.shard_global_ids(s)},
             pruned ? &plans[q].histograms : nullptr,
             want_transforms ? &plans[q].transforms : nullptr, inner,
-            pruned ? &shared[q] : nullptr, &part_stats[q][s]);
+            pruned ? &shared[q] : nullptr, &part_stats[q][s],
+            &snap.shards[s]);
         part_stats[q][s].candidates_generated = generated;
       },
       /*chunk=*/1);
@@ -446,7 +527,7 @@ std::vector<image_id> fanout_path(const sharded_database& db,
   for (std::size_t s = 0; s < db.shard_count(); ++s) {
     const access_path_context ctx{&db.shard_db(s), &db.shard_spatial(s),
                                   &db.shard_hybrid(s)};
-    const std::span<const image_id> globals = db.shard_global_ids(s);
+    const auto& globals = db.shard_global_ids(s);
     for (image_id local : make_access_path(kind, ctx)->generate(
              path_probe{&query, symbols, pad})) {
       out.push_back(globals[local]);

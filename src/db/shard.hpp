@@ -60,6 +60,16 @@ class shard_ring {
 // assigns its global id, under a dense shard-local id. All shards mirror
 // one master alphabet, so symbol ids, BE-string tokens, and inverted-index
 // keys mean the same thing in every partition.
+//
+// Live ingest: like image_database, the sharded database is single-writer/
+// many-reader — one thread may add()/remove() while any number of scans
+// run. The local->global mapping and the global locator table live in
+// chunked stable storage and publish in the order scans need them (mapping
+// staged before the record becomes visible, locator last), so a racing
+// scan sees either nothing or a fully wired record. snapshot() captures
+// one db_snapshot per shard for pinned fan-out searches.
+struct sharded_snapshot;
+
 class sharded_database {
  public:
   explicit sharded_database(std::size_t shard_count,
@@ -86,8 +96,23 @@ class sharded_database {
   image_id add_encoded(std::string name, symbolic_image image,
                        be_string2d strings, be_histogram2d histograms);
 
+  // Tombstones global id `id` in its owning shard (image_database::remove
+  // semantics: the record stays addressable, searches skip it from the next
+  // snapshot on). Returns false when unknown or already removed. Safe
+  // against concurrent scans.
+  bool remove(image_id id);
+
+  // One db_snapshot per shard, captured now: pass to the pinned sharded
+  // search overload so several queries observe the same instant.
+  [[nodiscard]] sharded_snapshot snapshot() const;
+
   [[nodiscard]] std::size_t size() const noexcept { return locs_.size(); }
   [[nodiscard]] bool empty() const noexcept { return locs_.empty(); }
+  // Tombstoned records across all shards / records not tombstoned.
+  [[nodiscard]] std::size_t tombstone_count() const noexcept;
+  [[nodiscard]] std::size_t live_size() const noexcept {
+    return size() - tombstone_count();
+  }
 
   // The record with global id `id`. NOTE: the returned record's `.id` field
   // is the shard-LOCAL id; query results carry global ids.
@@ -100,7 +125,8 @@ class sharded_database {
   [[nodiscard]] const spatial_index& shard_spatial(std::size_t s) const;
   [[nodiscard]] const hybrid_index& shard_hybrid(std::size_t s) const;
   // Shard-local id -> global id, in local insertion order (ascending).
-  [[nodiscard]] std::span<const image_id> shard_global_ids(
+  // Chunked stable storage: safe to read while adds grow it.
+  [[nodiscard]] const stable_vector<image_id>& shard_global_ids(
       std::size_t s) const;
 
   // Global ids of images sharing at least one symbol with `query_symbols`
@@ -115,17 +141,28 @@ class sharded_database {
     image_database db;
     spatial_index spatial{db, deferred_build};
     hybrid_index hybrid{db, deferred_build};
-    std::vector<image_id> global_ids;  // local -> global
+    stable_vector<image_id> global_ids;  // local -> global
   };
 
   shard_part& route(std::size_t shard);
+  image_id install(std::size_t shard, shard_part& part, image_id global,
+                   std::string name, symbolic_image image, be_string2d strings,
+                   be_histogram2d histograms);
 
   shard_ring ring_;
   alphabet symbols_;
   // Stable addresses: spatial_index borrows its sibling db by reference.
   std::vector<std::unique_ptr<shard_part>> shards_;
-  // global id -> (shard, local id)
-  std::vector<std::pair<std::uint32_t, image_id>> locs_;
+  // global id -> (shard, local id); grows last in an add, so size() counts
+  // only fully wired records.
+  stable_vector<std::pair<std::uint32_t, image_id>> locs_;
+};
+
+// One db_snapshot per shard, captured at one instant
+// (sharded_database::snapshot()): pins a fan-out search so every shard scan
+// filters against the same view while add()/remove() proceed.
+struct sharded_snapshot {
+  std::vector<db_snapshot> shards;
 };
 
 // Partitions a copy of `db` into `shard_count` shards. Record i of `db`
@@ -154,6 +191,21 @@ class sharded_database {
     const sharded_database& db, const be_string2d& query_strings,
     std::span<const symbol_id> query_symbols, const query_options& options = {},
     search_stats* stats = nullptr);
+
+// Pinned fan-out: every shard scan filters against the matching entry of
+// `snap` (db.snapshot()), so several searches can observe one instant while
+// writes continue. snap.shards.size() must equal db.shard_count(); throws
+// std::invalid_argument otherwise. The unpinned overloads are equivalent to
+// pinning a fresh snapshot per search.
+[[nodiscard]] std::vector<query_result> search(
+    const sharded_database& db, const sharded_snapshot& snap,
+    const be_string2d& query_strings, std::span<const symbol_id> query_symbols,
+    const query_options& options = {}, search_stats* stats = nullptr);
+[[nodiscard]] std::vector<query_result> search(const sharded_database& db,
+                                               const sharded_snapshot& snap,
+                                               const symbolic_image& query,
+                                               const query_options& options = {},
+                                               search_stats* stats = nullptr);
 
 // Scores exactly the given GLOBAL-id candidate set (sorted or not;
 // duplicates scored twice), partitioned to the owning shards. Throws

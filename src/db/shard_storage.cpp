@@ -331,8 +331,8 @@ open_corpus open_sharded(const fs::path& path,
 
 // Walks records in GLOBAL id order: global id g lives at the next unread
 // position of shard ring.shard_of(g). `install` receives each materialized
-// record; a cursor overrun means the manifest's ring parameters do not
-// reproduce the writer's assignment.
+// record plus whether its segment tombstoned it; a cursor overrun means the
+// manifest's ring parameters do not reproduce the writer's assignment.
 template <typename Install>
 void for_each_global(const open_corpus& corpus, const Install& install) {
   std::vector<std::size_t> cursor(corpus.manifest.shard_count, 0);
@@ -345,7 +345,8 @@ void for_each_global(const open_corpus& corpus, const Install& install) {
                    "ring assignment does not match segment " +
                        corpus.manifest.shards[s].file);
     }
-    install(corpus.readers[s]->read_image(cursor[s]++));
+    const bool dead = corpus.readers[s]->image_tombstoned(cursor[s]);
+    install(corpus.readers[s]->read_image(cursor[s]++), dead);
   }
   for (std::size_t s = 0; s < cursor.size(); ++s) {
     if (cursor[s] != corpus.readers[s]->image_count()) {
@@ -364,9 +365,14 @@ sharded_database load_sharded_corpus(const fs::path& path,
   sharded_database db(corpus.manifest.shard_count,
                       corpus.manifest.ring_replicas);
   for (const std::string& name : corpus.symbols) db.symbols().intern(name);
-  for_each_global(corpus, [&](segment_image record) {
-    db.add_encoded(std::move(record.name), std::move(record.image),
-                   std::move(record.strings), std::move(record.histograms));
+  for_each_global(corpus, [&](segment_image record, bool dead) {
+    const image_id global = db.add_encoded(
+        std::move(record.name), std::move(record.image),
+        std::move(record.strings), std::move(record.histograms));
+    // Tombstones re-apply AFTER install so ids stay positional (the record
+    // remains addressable, searches skip it — image_database::remove
+    // semantics, sharded).
+    if (dead) db.remove(global);
   });
   return db;
 }
@@ -424,9 +430,12 @@ loaded_shard load_shard(const fs::path& path, std::size_t shard_index,
   out.db.reserve(static_cast<std::size_t>(held));
   for (std::size_t i = 0; i < held; ++i) {
     segment_image record = reader.read_image(i);
-    out.db.add_encoded(std::move(record.name), std::move(record.image),
-                       std::move(record.strings),
-                       std::move(record.histograms));
+    const image_id local = out.db.add_encoded(
+        std::move(record.name), std::move(record.image),
+        std::move(record.strings), std::move(record.histograms));
+    // The segment's tombstone ordinals ARE local ids (both count type-2
+    // records positionally), so deletes re-apply directly.
+    if (reader.image_tombstoned(i)) out.db.remove(local);
   }
   return out;
 }
@@ -437,9 +446,11 @@ image_database load_sharded_flat(const fs::path& path,
   image_database db;
   for (const std::string& name : corpus.symbols) db.symbols().intern(name);
   db.reserve(static_cast<std::size_t>(corpus.manifest.images));
-  for_each_global(corpus, [&](segment_image record) {
-    db.add_encoded(std::move(record.name), std::move(record.image),
-                   std::move(record.strings), std::move(record.histograms));
+  for_each_global(corpus, [&](segment_image record, bool dead) {
+    const image_id id = db.add_encoded(
+        std::move(record.name), std::move(record.image),
+        std::move(record.strings), std::move(record.histograms));
+    if (dead) db.remove(id);
   });
   return db;
 }
@@ -461,10 +472,14 @@ void reshard(const fs::path& src, const fs::path& dst,
   alphabet symbols;
   for (const std::string& name : corpus.symbols) symbols.intern(name);
   shard_writer writer(dst, new_shard_count, corpus.manifest.ring_replicas);
-  for_each_global(corpus, [&](segment_image record) {
+  for_each_global(corpus, [&](segment_image record, bool dead) {
+    // A non-zero removed_at makes the new shard's segment_writer queue a
+    // tombstone for this record's NEW ordinal, so deletes survive the
+    // reshard while global ids stay positional.
     const db_record rec{0, std::move(record.name), std::move(record.image),
                         std::move(record.strings),
-                        std::move(record.histograms)};
+                        std::move(record.histograms),
+                        dead ? std::uint64_t{1} : std::uint64_t{0}};
     writer.append(rec, symbols);
   });
   writer.finish();

@@ -30,6 +30,7 @@ spatial_index::spatial_index(const image_database& db, deferred_build_t)
 
 void spatial_index::add_image(image_id id) {
   const db_record& rec = db_->record(id);
+  std::unique_lock lock(mutex_);
   for (std::size_t i = 0; i < rec.image.size(); ++i) {
     tree_.insert(rec.image.icons()[i].mbr, pack(rec.id, i));
   }
@@ -55,12 +56,23 @@ std::vector<image_id> spatial_index::decode(
 
 std::vector<image_id> spatial_index::images_overlapping(
     const rect& window, std::optional<symbol_id> symbol) const {
-  return decode(tree_.search(window), symbol);
+  std::vector<rtree::payload_t> hits;
+  {
+    std::shared_lock lock(mutex_);
+    hits = tree_.search(window);
+  }
+  // decode() touches only database records (stable storage), not the tree.
+  return decode(std::move(hits), symbol);
 }
 
 std::vector<image_id> spatial_index::images_contained(
     const rect& window, std::optional<symbol_id> symbol) const {
-  return decode(tree_.search_contained(window), symbol);
+  std::vector<rtree::payload_t> hits;
+  {
+    std::shared_lock lock(mutex_);
+    hits = tree_.search_contained(window);
+  }
+  return decode(std::move(hits), symbol);
 }
 
 }  // namespace bes

@@ -5,12 +5,17 @@
 #pragma once
 
 #include <optional>
+#include <shared_mutex>
 
 #include "db/database.hpp"
 #include "db/rtree.hpp"
 
 namespace bes {
 
+// Live ingest: an internal reader/writer lock lets one add_image() run
+// against any number of window queries (the R-tree rebalances on insert, so
+// lock-free reads are off the table). Writers are the database's single
+// ingest thread; queries only ever take the shared side.
 class spatial_index {
  public:
   // Indexes all icons of all current records. The index is a snapshot: add
@@ -34,9 +39,12 @@ class spatial_index {
   [[nodiscard]] std::vector<image_id> images_contained(
       const rect& window, std::optional<symbol_id> symbol = {}) const;
 
-  [[nodiscard]] std::size_t indexed_icons() const noexcept {
+  [[nodiscard]] std::size_t indexed_icons() const {
+    std::shared_lock lock(mutex_);
     return tree_.size();
   }
+  // Direct tree access bypasses the lock: callers must be quiesced (no
+  // concurrent add_image).
   [[nodiscard]] const rtree& tree() const noexcept { return tree_; }
 
  private:
@@ -45,6 +53,7 @@ class spatial_index {
 
   const image_database* db_;
   rtree tree_;
+  mutable std::shared_mutex mutex_;
 };
 
 }  // namespace bes

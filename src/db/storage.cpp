@@ -23,9 +23,13 @@ void save_text(const image_database& db, const std::filesystem::path& path) {
   if (!out) {
     throw std::runtime_error("besdb: cannot write " + path.string());
   }
-  // Version 2 = version 1 plus per-image `check` lines; bumped because a
-  // version-1-only reader chokes on the extra keyword.
-  out << "BESDB 2\n";
+  // Version 2 = version 1 plus per-image `check` lines; version 3 = 2 plus
+  // a trailing `tombstones` section. Each bump is emitted only when the
+  // feature is present, so databases without deletes stay byte-identical to
+  // what a version-2 writer produced (and version-2 readers keep loading
+  // them).
+  const bool tombstones = db.tombstone_count() > 0;
+  out << (tombstones ? "BESDB 3\n" : "BESDB 2\n");
   out << "alphabet " << db.symbols().size() << '\n';
   for (const std::string& name : db.symbols().names()) out << name << '\n';
   out << "images " << db.size() << '\n';
@@ -40,6 +44,12 @@ void save_text(const image_database& db, const std::filesystem::path& path) {
     std::snprintf(check, sizeof(check), "%08x", strings_checksum(rec.strings));
     out << "check " << check << '\n';
   }
+  if (tombstones) {
+    out << "tombstones " << db.tombstone_count() << '\n';
+    for (const db_record& rec : db.records()) {
+      if (rec.removed_at != 0) out << rec.id << '\n';
+    }
+  }
   if (!out) {
     throw std::runtime_error("besdb: write failed for " + path.string());
   }
@@ -52,7 +62,7 @@ image_database load_text(const std::filesystem::path& path) {
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != "BESDB" ||
-      (version != 1 && version != 2)) {
+      (version != 1 && version != 2 && version != 3)) {
     malformed(path, "bad header");
   }
 
@@ -134,6 +144,23 @@ image_database load_text(const std::filesystem::path& path) {
     } else {
       in.clear();
       in.seekg(mark);
+    }
+  }
+  // Version 3: a trailing tombstones section re-applies the deletes. Ids
+  // must be in range and unique (remove() returns false on a repeat).
+  std::string peek;
+  if (in >> peek) {
+    if (peek != "tombstones" || version < 3) {
+      malformed(path, "trailing content after images");
+    }
+    std::size_t tombstone_count = 0;
+    if (!(in >> tombstone_count)) malformed(path, "bad tombstones section");
+    for (std::size_t i = 0; i < tombstone_count; ++i) {
+      image_id id = 0;
+      if (!(in >> id)) malformed(path, "truncated tombstones section");
+      if (id >= db.size() || !db.remove(id)) {
+        malformed(path, "bad tombstone id " + std::to_string(id));
+      }
     }
   }
   return db;

@@ -9,7 +9,7 @@ loopback_cluster::loopback_cluster(const sharded_database& sharded,
   servers_.reserve(sharded.shard_count());
   endpoints.reserve(sharded.shard_count());
   for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
-    const auto ids = sharded.shard_global_ids(s);
+    const auto& ids = sharded.shard_global_ids(s);
     auto server = std::make_unique<shard_server>(
         sharded.shard_db(s),
         std::vector<image_id>(ids.begin(), ids.end()),

@@ -282,7 +282,8 @@ result_msg shard_server::run_query(connection&, pending_query& q) {
         detail::scan_ids(db_, q.msg.query_symbols, opts, &generated);
     out.stats.candidates_generated = generated;
 
-    const std::span<const image_id> globals(global_ids_);
+    // Server databases are static after load; the flat span mapping holds.
+    const detail::id_map globals{.flat = global_ids_};
     const bool pruned = detail::pruning_applies(opts);
     // In pruned mode ONE shared top-k spans all chunks, so the k-th score
     // earned in chunk 0 keeps pruning chunk 9 — plus whatever floor the

@@ -30,6 +30,11 @@ class symbolic_image {
   // Throws std::invalid_argument unless both dimensions are positive.
   symbolic_image(int width, int height);
 
+  // An empty 1x1 picture: the value-initialized state chunked record
+  // storage (util/stable_vector.hpp) default-constructs slots into before
+  // a real record is staged over them. Satisfies every class invariant.
+  symbolic_image() : symbolic_image(1, 1) {}
+
   // Adds an icon. Throws std::invalid_argument if the MBR is invalid or not
   // fully inside the image domain. Returns the icon's index.
   std::size_t add(symbol_id symbol, const rect& mbr);

@@ -1,0 +1,214 @@
+// An append-only vector whose elements NEVER move: storage is a chain of
+// geometrically growing chunks behind a small fixed directory of atomic
+// pointers, so a push never reallocates earlier elements. This is what lets
+// live ingest (db/database.hpp) publish records to concurrent scans — a scan
+// holding `const db_record&` stays valid across any number of later adds,
+// which a std::vector cannot promise across a reallocation.
+//
+// Concurrency contract (single-writer / many-reader):
+//   - One writer at a time may call stage()/commit()/push_back()/reserve()
+//     (callers serialize writers externally; image_database uses a mutex).
+//   - Any number of readers may concurrently call size(), operator[], and
+//     iterate — they observe the committed prefix only. Publication is a
+//     release store of the size counter after the element (and its chunk
+//     pointer) are fully written; readers acquire the counter, so every
+//     element below the size they read is fully constructed.
+//   - stage() writes the NEXT slot without publishing it; commit() makes it
+//     visible. If the caller throws between the two (e.g. an index update
+//     fails), the staged slot is simply overwritten by the next stage() —
+//     the strong exception guarantee for "append record + update index"
+//     falls out of the ordering.
+//   - Move construction/assignment and the destructor are NOT thread-safe;
+//     quiesce readers first (loaders move databases before any scan exists).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+namespace bes {
+
+template <typename T>
+class stable_vector {
+  // Chunk k holds (64 << k) elements; 30 chunks cover ~2^36 elements, far
+  // past the u32 image_id space, for a 240-byte directory.
+  static constexpr std::size_t base_log2 = 6;
+  static constexpr std::size_t max_chunks = 30;
+
+ public:
+  stable_vector() = default;
+
+  stable_vector(stable_vector&& other) noexcept { steal(other); }
+
+  stable_vector& operator=(stable_vector&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+
+  stable_vector(const stable_vector&) = delete;
+  stable_vector& operator=(const stable_vector&) = delete;
+
+  ~stable_vector() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+    locate(i, chunk, offset);
+    return chunks_[chunk].load(std::memory_order_acquire)[offset];
+  }
+
+  // Writer-side mutable access (e.g. marking a tombstone epoch in place).
+  [[nodiscard]] T& mutable_ref(std::size_t i) noexcept {
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+    locate(i, chunk, offset);
+    return chunks_[chunk].load(std::memory_order_relaxed)[offset];
+  }
+
+  [[nodiscard]] const T& front() const noexcept { return (*this)[0]; }
+  [[nodiscard]] const T& back() const noexcept { return (*this)[size() - 1]; }
+
+  // Writes `value` into the slot that the NEXT commit() publishes and
+  // returns it. The slot is invisible to readers until commit(); calling
+  // stage() again before commit() overwrites it.
+  T& stage(T value) {
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    T* slot = slot_for(i);
+    *slot = std::move(value);
+    return *slot;
+  }
+
+  // Publishes the staged slot (release: readers that see the new size see
+  // the fully written element and its chunk pointer).
+  void commit() noexcept {
+    size_.store(size_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  void push_back(T value) {
+    stage(std::move(value));
+    commit();
+  }
+
+  // Preallocates chunks covering `n` elements so a bulk load never pauses to
+  // allocate. Throws std::length_error past the directory's capacity (a
+  // deliberate clean failure for absurd requests — nothing is allocated).
+  void reserve(std::size_t n) {
+    if (n == 0) return;
+    if (n > max_size()) {
+      throw std::length_error("stable_vector: reserve beyond capacity");
+    }
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+    locate(n - 1, chunk, offset);
+    for (std::size_t k = 0; k <= chunk; ++k) (void)ensure_chunk(k);
+  }
+
+  [[nodiscard]] static constexpr std::size_t max_size() noexcept {
+    return ((std::size_t{1} << max_chunks) - 1) << base_log2;
+  }
+
+  // Forward const iterator over the prefix committed when begin()/end() were
+  // taken; safe to use while a writer keeps appending.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    const_iterator() = default;
+    const_iterator(const stable_vector* v, std::size_t i) : v_(v), i_(i) {}
+
+    reference operator*() const noexcept { return (*v_)[i_]; }
+    pointer operator->() const noexcept { return &(*v_)[i_]; }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator old = *this;
+      ++i_;
+      return old;
+    }
+    friend bool operator==(const const_iterator& a,
+                           const const_iterator& b) noexcept {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    const stable_vector* v_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, size());
+  }
+
+ private:
+  static void locate(std::size_t i, std::size_t& chunk,
+                     std::size_t& offset) noexcept {
+    const std::size_t q = (i >> base_log2) + 1;
+    chunk = static_cast<std::size_t>(std::bit_width(q)) - 1;
+    offset = i - (((std::size_t{1} << chunk) - 1) << base_log2);
+  }
+
+  T* ensure_chunk(std::size_t k) {
+    T* chunk = chunks_[k].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new T[std::size_t{1} << (base_log2 + k)]();
+      // Release so a reader that acquires a later size() sees the pointer.
+      chunks_[k].store(chunk, std::memory_order_release);
+    }
+    return chunk;
+  }
+
+  T* slot_for(std::size_t i) {
+    if (i >= max_size()) {
+      throw std::length_error("stable_vector: capacity exhausted");
+    }
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+    locate(i, chunk, offset);
+    return ensure_chunk(chunk) + offset;
+  }
+
+  void steal(stable_vector& other) noexcept {
+    for (std::size_t k = 0; k < max_chunks; ++k) {
+      chunks_[k].store(other.chunks_[k].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      other.chunks_[k].store(nullptr, std::memory_order_relaxed);
+    }
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+
+  void release() noexcept {
+    for (std::size_t k = 0; k < max_chunks; ++k) {
+      delete[] chunks_[k].load(std::memory_order_relaxed);
+      chunks_[k].store(nullptr, std::memory_order_relaxed);
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  std::atomic<T*> chunks_[max_chunks] = {};
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace bes

@@ -120,7 +120,7 @@ TEST(ShardedDatabase, PartitionsRecordsWithoutLosingAny) {
     std::size_t total = 0;
     std::set<image_id> seen;
     for (std::size_t s = 0; s < shards; ++s) {
-      const auto globals = sharded.shard_global_ids(s);
+      const auto& globals = sharded.shard_global_ids(s);
       ASSERT_EQ(globals.size(), sharded.shard_db(s).size());
       total += globals.size();
       for (std::size_t local = 0; local < globals.size(); ++local) {

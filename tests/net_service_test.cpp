@@ -297,7 +297,7 @@ TEST(NetService, DeadShardDegradesInsteadOfSinkingTheQuery) {
   // candidates owned by shards 0 and 2.
   std::vector<image_id> surviving;
   for (const std::size_t s : {std::size_t{0}, std::size_t{2}}) {
-    const auto ids = sharded.shard_global_ids(s);
+    const auto& ids = sharded.shard_global_ids(s);
     surviving.insert(surviving.end(), ids.begin(), ids.end());
   }
   std::sort(surviving.begin(), surviving.end());

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "db/compaction.hpp"
 #include "db/shard.hpp"
 #include "db/shard_storage.hpp"
 #include "db/storage.hpp"
@@ -56,12 +57,16 @@ void expect_equal_records(const image_database& got,
                           const image_database& want) {
   ASSERT_EQ(got.size(), want.size());
   EXPECT_EQ(got.symbols().names(), want.symbols().names());
+  EXPECT_EQ(got.tombstone_count(), want.tombstone_count());
   for (std::size_t i = 0; i < want.size(); ++i) {
     const db_record& g = got.record(static_cast<image_id>(i));
     const db_record& w = want.record(static_cast<image_id>(i));
     EXPECT_EQ(g.name, w.name) << "record " << i;
     EXPECT_EQ(g.strings, w.strings) << "record " << i;
     EXPECT_EQ(g.image.icons(), w.image.icons()) << "record " << i;
+    EXPECT_EQ(got.removed(static_cast<image_id>(i)),
+              want.removed(static_cast<image_id>(i)))
+        << "record " << i;
   }
 }
 
@@ -411,6 +416,203 @@ TEST_F(ShardStorageTest, TruncatedShardRecoversItsValidPrefix) {
   }
   const sharded_database resharded = load_sharded_corpus(corpus, recover);
   EXPECT_EQ(resharded.size(), salvaged.size());
+}
+
+// ------------------------------------------------- tombstones + compaction
+
+image_database build_db_with_deletes(std::size_t images,
+                                     std::uint64_t seed = 11) {
+  image_database db = build_db(images, seed);
+  for (std::size_t i = 2; i < images; i += 5) {
+    if (!db.remove(static_cast<image_id>(i))) std::abort();
+  }
+  return db;
+}
+
+TEST_F(ShardStorageTest, ShardedCorpusRoundTripsTombstones) {
+  const image_database db = build_db_with_deletes(25);
+  ASSERT_GT(db.tombstone_count(), 0u);
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 3);
+
+  // Flat load: every record back, dead ones tombstoned again.
+  expect_equal_records(load_sharded_flat(corpus), db);
+
+  // Sharded load: per-shard tombstone counts sum to the corpus total.
+  const sharded_database sharded = load_sharded_corpus(corpus);
+  EXPECT_EQ(sharded.tombstone_count(), db.tombstone_count());
+  EXPECT_EQ(sharded.live_size(), db.live_size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto id = static_cast<image_id>(i);
+    EXPECT_EQ(sharded.record(id).removed_at != 0, db.removed(id))
+        << "global " << i;
+  }
+
+  // Per-shard solo load (the shard-server path): each shard re-applies
+  // exactly its own deletes.
+  std::size_t tombstones = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    const loaded_shard shard = load_shard(corpus, s);
+    tombstones += shard.db.tombstone_count();
+    for (std::size_t local = 0; local < shard.db.size(); ++local) {
+      EXPECT_EQ(shard.db.removed(static_cast<image_id>(local)),
+                db.removed(shard.global_ids[local]));
+    }
+  }
+  EXPECT_EQ(tombstones, db.tombstone_count());
+}
+
+TEST_F(ShardStorageTest, ReshardPreservesTombstones) {
+  const image_database db = build_db_with_deletes(30, 17);
+  const fs::path three = dir_ / "three";
+  const fs::path five = dir_ / "five";
+  save_sharded(db, three, 3);
+  reshard(three, five, 5);
+  expect_equal_records(load_sharded_flat(five), db);
+  EXPECT_EQ(load_sharded_corpus(five).tombstone_count(), db.tombstone_count());
+}
+
+TEST_F(ShardStorageTest, CompactCorpusFoldsTombstonesAndMergesShards) {
+  const image_database db = build_db_with_deletes(30, 23);
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 6);
+
+  compaction_policy policy;
+  policy.min_live_per_shard = 8;  // 24 live / 8 = 3 shards
+  const compaction_stats stats = compact_corpus(corpus, policy);
+  EXPECT_TRUE(stats.compacted);
+  EXPECT_EQ(stats.records_before, db.size());
+  EXPECT_EQ(stats.tombstones_folded, db.tombstone_count());
+  EXPECT_EQ(stats.records_after, db.live_size());
+  EXPECT_EQ(stats.shards_before, 6u);
+  EXPECT_EQ(stats.shards_after, 3u);
+  EXPECT_LT(stats.bytes_after, stats.bytes_before);
+
+  // The compacted corpus holds exactly the live records, re-densified, in
+  // the original live order, across the merged shard count.
+  const image_database compacted = load_sharded_flat(corpus);
+  EXPECT_EQ(compacted.tombstone_count(), 0u);
+  ASSERT_EQ(compacted.size(), db.live_size());
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto id = static_cast<image_id>(i);
+    if (db.removed(id)) continue;
+    const auto new_id = static_cast<image_id>(next++);
+    EXPECT_EQ(compacted.record(new_id).name, db.record(id).name);
+    EXPECT_EQ(compacted.record(new_id).strings, db.record(id).strings);
+  }
+  EXPECT_EQ(load_sharded_corpus(corpus).shard_count(), 3u);
+  // No swap debris.
+  EXPECT_FALSE(fs::exists(dir_ / "corpus.compact-tmp"));
+  EXPECT_FALSE(fs::exists(dir_ / "corpus.compact-old"));
+}
+
+TEST_F(ShardStorageTest, CompactCorpusPolicyLeavesHealthyCorpusAlone) {
+  image_database db = build_db(20, 29);
+  ASSERT_TRUE(db.remove(4));  // 1 dead of 20 = 5% dead
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 3);
+  const std::string manifest_before =
+      read_file(corpus / shard_manifest_name);
+
+  compaction_policy policy;
+  policy.min_dead_fraction = 0.25;
+  const compaction_stats stats = compact_corpus(corpus, policy);
+  EXPECT_FALSE(stats.compacted);
+  EXPECT_EQ(stats.bytes_after, stats.bytes_before);
+  // Untouched on disk, tombstone intact.
+  EXPECT_EQ(read_file(corpus / shard_manifest_name), manifest_before);
+  EXPECT_EQ(load_sharded_flat(corpus).tombstone_count(), 1u);
+
+  // A no-tombstone corpus is also left alone under the default policy.
+  const fs::path clean = dir_ / "clean";
+  save_sharded(build_db(10, 31), clean, 2);
+  EXPECT_FALSE(compact_corpus(clean).compacted);
+}
+
+TEST_F(ShardStorageTest, RepairRollsBackATornRewrite) {
+  const image_database db = build_db_with_deletes(15, 37);
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 2);
+
+  // A crash mid-rewrite: tmp exists but holds no CRC-valid manifest.
+  const fs::path tmp = dir_ / "corpus.compact-tmp";
+  fs::create_directories(tmp);
+  write_file(tmp / "shard-0000.bseg", "BSEG1\ntorn");
+  EXPECT_TRUE(repair_compaction(corpus));
+  EXPECT_FALSE(fs::exists(tmp));
+  expect_equal_records(load_sharded_flat(corpus), db);
+  // Idempotent: a healthy corpus repairs to a no-op.
+  EXPECT_FALSE(repair_compaction(corpus));
+}
+
+TEST_F(ShardStorageTest, RepairRollsForwardACompletedRewrite) {
+  const image_database db = build_db_with_deletes(15, 41);
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 2);
+
+  // A crash after the rewrite finished but before the swap: tmp is a
+  // complete corpus (manifest written) holding the folded records.
+  image_database folded;
+  for (const std::string& name : db.symbols().names()) {
+    folded.symbols().intern(name);
+  }
+  for (const db_record& rec : db.records()) {
+    if (rec.removed_at != 0) continue;
+    folded.add_encoded(rec.name, rec.image, rec.strings, rec.histograms);
+  }
+  save_sharded(folded, dir_ / "corpus.compact-tmp", 2);
+
+  EXPECT_TRUE(repair_compaction(corpus));
+  EXPECT_FALSE(fs::exists(dir_ / "corpus.compact-tmp"));
+  EXPECT_FALSE(fs::exists(dir_ / "corpus.compact-old"));
+  expect_equal_records(load_sharded_flat(corpus), folded);
+}
+
+TEST_F(ShardStorageTest, RepairRecoversEveryMidSwapCrashState) {
+  const image_database db = build_db_with_deletes(15, 43);
+  const fs::path corpus = dir_ / "corpus";
+  const fs::path tmp = dir_ / "corpus.compact-tmp";
+  const fs::path old = dir_ / "corpus.compact-old";
+
+  // Crash between rename(corpus -> old) and rename(tmp -> corpus): the
+  // replacement is complete at tmp, the source parked at old.
+  save_sharded(db, tmp, 2);
+  save_sharded(db, old, 2);
+  ASSERT_FALSE(fs::exists(corpus));
+  EXPECT_TRUE(repair_compaction(corpus));
+  expect_equal_records(load_sharded_flat(corpus), db);
+  EXPECT_FALSE(fs::exists(tmp));
+  EXPECT_FALSE(fs::exists(old));
+
+  // Crash after the swap, before cleanup: only the parked copy remains.
+  save_sharded(db, old, 2);
+  EXPECT_TRUE(repair_compaction(corpus));
+  EXPECT_FALSE(fs::exists(old));
+  expect_equal_records(load_sharded_flat(corpus), db);
+
+  // Only the parked copy and no corpus at all: restore it.
+  fs::rename(corpus, old);
+  EXPECT_TRUE(repair_compaction(corpus));
+  EXPECT_TRUE(fs::exists(corpus));
+  EXPECT_FALSE(fs::exists(old));
+  expect_equal_records(load_sharded_flat(corpus), db);
+}
+
+TEST_F(ShardStorageTest, CompactCorpusRepairsAnInterruptedRunFirst) {
+  const image_database db = build_db_with_deletes(20, 47);
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 2);
+  // Torn debris from an earlier crashed compaction.
+  const fs::path tmp = dir_ / "corpus.compact-tmp";
+  fs::create_directories(tmp);
+  write_file(tmp / "junk", "not a corpus");
+
+  const compaction_stats stats = compact_corpus(corpus);
+  EXPECT_TRUE(stats.compacted);
+  EXPECT_EQ(stats.tombstones_folded, db.tombstone_count());
+  EXPECT_EQ(load_sharded_flat(corpus).size(), db.live_size());
+  EXPECT_FALSE(fs::exists(tmp));
 }
 
 }  // namespace

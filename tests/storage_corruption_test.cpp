@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "db/segment.hpp"
 #include "db/storage.hpp"
@@ -174,6 +175,64 @@ TEST_F(SegmentCorruption, RecoveredPrefixRoundTripsThroughCompact) {
   expect_valid_prefix(load_database(out_path), *original_);
   fs::remove(trunc_path);
   fs::remove(out_path);
+}
+
+// Repeated crash/recover/append cycles against ONE segment file: each round
+// tears random tail bytes off, reopens the writer in recover-append mode
+// (which must physically truncate the torn bytes before writing), appends
+// fresh records, and strictly reopens. Torn records must never resurrect
+// under the newly appended data, in any round.
+TEST_F(SegmentCorruption, RecoverAppendRoundsNeverResurrectTornRecords) {
+  const auto path = temp_file("rounds");
+  write_bytes(path, *bytes_);
+  // The expected record sequence, as indices into *original_ (appends
+  // re-add original records, so every position maps back to one).
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < original_->size(); ++i) live.push_back(i);
+
+  rng r(2026);
+  for (int round = 0; round < 6; ++round) {
+    // Crash: tear a random chunk off the tail, keeping at least the header.
+    std::ifstream in(path, std::ios::binary);
+    const std::string cur((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+    in.close();
+    const auto cut = static_cast<std::size_t>(
+        r.uniform_int(9, static_cast<int>(cur.size()) - 1));
+    write_bytes(path, cur.substr(0, cut));
+    EXPECT_THROW((void)load_database(path), std::runtime_error)
+        << "round " << round << " cut " << cut << " loaded strictly";
+
+    {
+      segment_writer writer(path, /*append=*/true,
+                            segment_read_options{.recover_tail = true});
+      const std::size_t salvaged = writer.images_written();
+      ASSERT_LE(salvaged, live.size()) << "round " << round;
+      live.resize(salvaged);
+      for (int a = 0; a < 2; ++a) {
+        const auto idx = static_cast<std::size_t>(
+            r.uniform_int(0, static_cast<int>(original_->size()) - 1));
+        writer.append(original_->record(static_cast<image_id>(idx)),
+                      original_->symbols());
+        live.push_back(idx);
+      }
+      writer.finish();
+    }
+
+    // Strict reopen must succeed — recovery physically truncated the torn
+    // bytes, so nothing stale can hide beneath the appended records — and
+    // hold exactly the salvaged prefix plus the appends.
+    const image_database loaded = load_database(path);
+    ASSERT_EQ(loaded.size(), live.size()) << "round " << round;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const auto got = static_cast<image_id>(i);
+      const auto want = static_cast<image_id>(live[i]);
+      EXPECT_EQ(loaded.record(got).name, original_->record(want).name);
+      EXPECT_EQ(loaded.record(got).strings, original_->record(want).strings);
+      EXPECT_EQ(loaded.record(got).image, original_->record(want).image);
+    }
+  }
+  fs::remove(path);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/encoder.hpp"
+#include "db/compaction.hpp"
 #include "db/query.hpp"
 #include "db/segment.hpp"
 #include "db/storage.hpp"
@@ -52,12 +53,14 @@ void expect_equal_dbs(const image_database& actual,
                       const image_database& expected) {
   ASSERT_EQ(actual.size(), expected.size());
   EXPECT_EQ(actual.symbols().names(), expected.symbols().names());
+  EXPECT_EQ(actual.tombstone_count(), expected.tombstone_count());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     const auto id = static_cast<image_id>(i);
     EXPECT_EQ(actual.record(id).name, expected.record(id).name);
     EXPECT_EQ(actual.record(id).image, expected.record(id).image);
     EXPECT_EQ(actual.record(id).strings, expected.record(id).strings);
     EXPECT_EQ(actual.record(id).histograms, expected.record(id).histograms);
+    EXPECT_EQ(actual.removed(id), expected.removed(id)) << "record " << i;
   }
 }
 
@@ -167,6 +170,168 @@ TEST(Segment, AppendToCorruptSegmentRefuses) {
     out << "BSEG1\nnot really a segment";
   }
   EXPECT_THROW(segment_writer(path, /*append=*/true), std::runtime_error);
+  fs::remove(path);
+}
+
+// --------------------------------------------------------------- tombstones
+
+TEST(SegmentTombstones, BinaryRoundTripPreservesDeletes) {
+  image_database db = seeded_db(8);
+  ASSERT_TRUE(db.remove(1));
+  ASSERT_TRUE(db.remove(5));
+  const auto path = temp_file("tomb_bin");
+  save_database(db, path, db_format::binary);
+  const image_database loaded = load_database(path);
+  expect_equal_dbs(loaded, db);
+  EXPECT_EQ(loaded.tombstone_count(), 2u);
+  EXPECT_TRUE(loaded.removed(1));
+  EXPECT_TRUE(loaded.removed(5));
+  // Searches skip the dead records exactly as on the source database.
+  EXPECT_EQ(search(loaded, db.record(2).image), search(db, db.record(2).image));
+  // Save -> load -> save is byte-stable with tombstones present.
+  const auto again = temp_file("tomb_bin2");
+  save_database(loaded, again, db_format::binary);
+  EXPECT_EQ(read_bytes(again), read_bytes(path));
+  fs::remove(path);
+  fs::remove(again);
+}
+
+TEST(SegmentTombstones, TextRoundTripUsesVersion3OnlyWhenNeeded) {
+  image_database db = seeded_db(6);
+  const auto clean = temp_file("tomb_text_clean");
+  save_database(db, clean, db_format::text);
+  // No deletes: the header (and so the whole file) stays version 2.
+  EXPECT_EQ(read_bytes(clean).substr(0, 8), "BESDB 2\n");
+
+  ASSERT_TRUE(db.remove(3));
+  const auto dirty = temp_file("tomb_text");
+  save_database(db, dirty, db_format::text);
+  EXPECT_EQ(read_bytes(dirty).substr(0, 8), "BESDB 3\n");
+  const image_database loaded = load_database(dirty);
+  expect_equal_dbs(loaded, db);
+  EXPECT_TRUE(loaded.removed(3));
+  // Tombstones survive a text -> binary -> text conversion chain.
+  const auto bin = temp_file("tomb_text_bin");
+  save_database(loaded, bin, db_format::binary);
+  const auto text2 = temp_file("tomb_text2");
+  save_database(load_database(bin), text2, db_format::text);
+  EXPECT_EQ(read_bytes(text2), read_bytes(dirty));
+  for (const auto& p : {clean, dirty, bin, text2}) fs::remove(p);
+}
+
+TEST(SegmentTombstones, TextLoaderRejectsBadTombstoneSections) {
+  image_database db = seeded_db(4);
+  ASSERT_TRUE(db.remove(0));
+  const auto path = temp_file("tomb_text_bad");
+  save_database(db, path, db_format::text);
+  const std::string good = read_bytes(path);
+
+  // An id past the image count fails closed.
+  std::string out_of_range = good;
+  const auto at = out_of_range.rfind("tombstones 1\n0\n");
+  ASSERT_NE(at, std::string::npos);
+  out_of_range.replace(at, std::string("tombstones 1\n0\n").size(),
+                       "tombstones 1\n99\n");
+  const auto bad1 = temp_file("tomb_text_bad1");
+  {
+    std::ofstream out(bad1, std::ios::binary);
+    out << out_of_range;
+  }
+  EXPECT_THROW((void)load_database(bad1), std::runtime_error);
+
+  // A repeated id fails closed (remove() reports the duplicate).
+  std::string duplicated = good;
+  duplicated.replace(at, std::string("tombstones 1\n0\n").size(),
+                     "tombstones 2\n0\n0\n");
+  const auto bad2 = temp_file("tomb_text_bad2");
+  {
+    std::ofstream out(bad2, std::ios::binary);
+    out << duplicated;
+  }
+  EXPECT_THROW((void)load_database(bad2), std::runtime_error);
+
+  // A version-2 file with a trailing tombstones section fails closed.
+  std::string wrong_version = good;
+  wrong_version.replace(0, 8, "BESDB 2\n");
+  const auto bad3 = temp_file("tomb_text_bad3");
+  {
+    std::ofstream out(bad3, std::ios::binary);
+    out << wrong_version;
+  }
+  EXPECT_THROW((void)load_database(bad3), std::runtime_error);
+
+  for (const auto& p : {path, bad1, bad2, bad3}) fs::remove(p);
+}
+
+TEST(SegmentTombstones, AppendTombstonesWritesDurableDeletes) {
+  const image_database db = seeded_db(5);
+  const auto path = temp_file("tomb_append");
+  {
+    segment_writer writer(path);
+    for (const db_record& rec : db.records()) writer.append(rec, db.symbols());
+    writer.finish();
+  }
+  // Reopen in append mode and tombstone two already-written records.
+  {
+    segment_writer writer(path, /*append=*/true);
+    const std::uint64_t ordinals[] = {0, 3};
+    writer.append_tombstones(ordinals);
+    writer.finish();
+  }
+  const segment_reader reader(path);
+  EXPECT_EQ(reader.tombstones(), (std::vector<std::uint64_t>{0, 3}));
+  EXPECT_TRUE(reader.image_tombstoned(0));
+  EXPECT_FALSE(reader.image_tombstoned(1));
+  const image_database loaded = load_segment(path);
+  EXPECT_EQ(loaded.tombstone_count(), 2u);
+  EXPECT_TRUE(loaded.removed(0));
+  EXPECT_TRUE(loaded.removed(3));
+
+  // Validation: out-of-range ordinals, already-dead ordinals, and in-batch
+  // duplicates all throw — and a throwing batch writes nothing.
+  {
+    segment_writer writer(path, /*append=*/true);
+    const std::uint64_t past[] = {99};
+    EXPECT_THROW(writer.append_tombstones(past), std::runtime_error);
+    const std::uint64_t twice[] = {0};
+    EXPECT_THROW(writer.append_tombstones(twice), std::runtime_error);
+    const std::uint64_t dup[] = {2, 2};
+    EXPECT_THROW(writer.append_tombstones(dup), std::runtime_error);
+    writer.finish();
+  }
+  EXPECT_EQ(load_segment(path).tombstone_count(), 2u);
+  fs::remove(path);
+}
+
+TEST(SegmentTombstones, CompactFoldsDeletesAndRedensifiesIds) {
+  image_database db = seeded_db(9);
+  ASSERT_TRUE(db.remove(2));
+  ASSERT_TRUE(db.remove(6));
+  ASSERT_TRUE(db.remove(8));
+  const auto path = temp_file("tomb_compact");
+  save_database(db, path, db_format::binary);
+  const auto before_bytes = fs::file_size(path);
+
+  const compaction_stats stats = compact_segment(path);
+  EXPECT_TRUE(stats.compacted);
+  EXPECT_EQ(stats.records_before, db.size());
+  EXPECT_EQ(stats.tombstones_folded, 3u);
+  EXPECT_EQ(stats.records_after, db.size() - 3);
+  EXPECT_EQ(stats.bytes_before, before_bytes);
+  EXPECT_LT(stats.bytes_after, stats.bytes_before);
+
+  const image_database compacted = load_database(path);
+  ASSERT_EQ(compacted.size(), db.size() - 3);
+  EXPECT_EQ(compacted.tombstone_count(), 0u);
+  // Live records keep their order under the re-densified ids.
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto id = static_cast<image_id>(i);
+    if (db.removed(id)) continue;
+    const auto new_id = static_cast<image_id>(next++);
+    EXPECT_EQ(compacted.record(new_id).name, db.record(id).name);
+    EXPECT_EQ(compacted.record(new_id).strings, db.record(id).strings);
+  }
   fs::remove(path);
 }
 
@@ -322,6 +487,15 @@ image_database golden_db() {
     twins.add(db.symbols().id_of("tree"), rect::checked(2, 8, 10, 16));
     db.add("twins", std::move(twins));
   }
+  {
+    symbolic_image felled(20, 20);
+    felled.add(db.symbols().id_of("tree"), rect::checked(1, 5, 1, 5));
+    felled.add(db.symbols().intern("stump"), rect::checked(6, 9, 1, 3));
+    db.add("felled", std::move(felled));
+  }
+  // One deleted image so the committed bytes pin the type-4 tombstone wire
+  // format alongside the other record types.
+  if (!db.remove(1)) std::abort();
   return db;
 }
 

@@ -5,6 +5,7 @@
 //                                     --shards N]
 //   besdb convert corpus.besdb --out corpus.bseg [--format text|binary|sharded]
 //   besdb compact corpus.bseg  [--out other.bseg --recover]
+//   besdb compact corpus.scrp  [--recover --min-dead F --min-live-per-shard N]
 //   besdb shard   info  corpus.scrp
 //   besdb shard   split corpus.scrp [--shards N]   (default: one more)
 //   besdb shard   merge corpus.scrp [--shards N]   (default: one fewer)
@@ -41,6 +42,7 @@
 #include "core/serializer.hpp"
 #include "net/coordinator.hpp"
 #include "net/server.hpp"
+#include "db/compaction.hpp"
 #include "db/hybrid_index.hpp"
 #include "db/planner.hpp"
 #include "db/query.hpp"
@@ -268,30 +270,55 @@ int cmd_shard(arg_parser& args) {
   return 0;
 }
 
-// Rewrites a BSEG1 segment with a fresh footer (and, with --recover, salvages
-// the longest valid prefix of a truncated segment). Writes via a temp file so
-// an interrupted compact never destroys the input.
+// Folds tombstones out of a BSEG1 segment or an SCRP1 corpus (and, with
+// --recover, salvages the longest valid prefix of truncated segments). Both
+// paths write aside and rename, so an interrupted compact never destroys
+// the input — rerunning `compact` on a corpus also repairs a compaction a
+// crash cut short.
 int cmd_compact(arg_parser& args) {
   const std::string in = args.positional()[1];
-  if (detect_format(in) != db_format::binary) {
+  segment_read_options options;
+  options.recover_tail = args.get_bool("recover");
+  const db_format format = detect_format(in);
+  compaction_stats stats;
+  if (format == db_format::binary) {
+    const std::string out =
+        args.get_string("out").empty() ? in : args.get_string("out");
+    stats = compact_segment(in, out, options);
+    std::printf("compacted %s -> %s:\n", in.c_str(), out.c_str());
+  } else if (format == db_format::sharded) {
+    compaction_policy policy;
+    policy.min_dead_fraction = args.get_double("min-dead");
+    const long long per_shard = args.get_int("min-live-per-shard");
+    policy.min_live_per_shard =
+        per_shard > 0 ? static_cast<std::uint64_t>(per_shard) : 0;
+    stats = compact_corpus(in, policy, options);
+    if (!stats.compacted) {
+      std::printf(
+          "%s left alone: %llu tombstones of %llu records is below the "
+          "compaction policy\n",
+          in.c_str(), static_cast<unsigned long long>(stats.tombstones_folded),
+          static_cast<unsigned long long>(stats.records_before));
+      return 0;
+    }
+    std::printf("compacted %s in place:\n", in.c_str());
+  } else {
     std::fprintf(stderr,
-                 "compact: %s is not a BSEG1 segment (use convert first)\n",
+                 "compact: %s is a text database (use convert first)\n",
                  in.c_str());
     return 1;
   }
-  segment_read_options options;
-  options.recover_tail = args.get_bool("recover");
-  const segment_reader reader(in, options);
-  const bool recovered = reader.recovered();
-  const image_database db = materialize_segment(reader);
-  const std::string out = args.get_string("out").empty()
-                              ? in
-                              : args.get_string("out");
-  const std::string tmp = out + ".compact-tmp";
-  save_database(db, tmp, db_format::binary);
-  std::filesystem::rename(tmp, out);
-  std::printf("compacted %s -> %s: %zu images%s\n", in.c_str(), out.c_str(),
-              db.size(), recovered ? " (recovered truncated tail)" : "");
+  text_table table({"metric", "before", "after"});
+  table.add_row({"records", std::to_string(stats.records_before),
+                 std::to_string(stats.records_after)});
+  table.add_row({"bytes", std::to_string(stats.bytes_before),
+                 std::to_string(stats.bytes_after)});
+  table.add_row({"shards", std::to_string(stats.shards_before),
+                 std::to_string(stats.shards_after)});
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("tombstones folded: %llu%s\n",
+              static_cast<unsigned long long>(stats.tombstones_folded),
+              stats.recovered ? " (recovered truncated tail)" : "");
   return 0;
 }
 
@@ -755,6 +782,12 @@ int main(int argc, char** argv) {
                "implies --format sharded); shard split/merge: target count");
   args.add_bool("recover", false,
                 "compact: salvage the valid prefix of a truncated segment");
+  args.add_double("min-dead", 0.0,
+                  "compact (corpus): skip the rewrite while the dead "
+                  "fraction stays below this");
+  args.add_int("min-live-per-shard", 0,
+               "compact (corpus): merge shards until each holds at least "
+               "this many live records");
   args.add_int("images", 30, "create: number of images");
   args.add_int("objects", 8, "create: icons per image");
   args.add_int("pool", 8, "create: symbol pool size");
