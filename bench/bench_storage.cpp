@@ -13,6 +13,7 @@
 #include "baselines/two_d_string.hpp"
 #include "core/encoder.hpp"
 #include "db/compaction.hpp"
+#include "db/group_commit.hpp"
 #include "db/shard_storage.hpp"
 #include "db/storage.hpp"
 
@@ -224,6 +225,66 @@ void print_compaction_table() {
   std::fputs(table.str().c_str(), stdout);
 }
 
+// E2g of ISSUE 11: group-commit batching on the durable-delete path. A
+// stream of single deletes through append_tombstones pays one type-4 record
+// and one flush+fsync EACH; tombstone_group_commit coalesces deletes that
+// arrive within a window into one record and one sync. The table contrasts
+// per-delete commits (max_batch = 1, the old behaviour) against grouped
+// commits, counting the records and fsyncs actually issued.
+void print_group_commit_table() {
+  print_header(
+      "E2g: group-commit batching for durable deletes (records, fsyncs)",
+      "coalescing deletes into one type-4 record + one fsync per window "
+      "amortizes the sync cost without weakening durability");
+  text_table table({"images", "deletes", "mode", "type4-records", "fsyncs",
+                    "ms", "ms/delete"});
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "bes_bench_storage_gc.bseg";
+  for (std::size_t n : benchsupport::smoke_sweep({256u, 1024u}, 64u)) {
+    image_database db;
+    for (std::size_t i = 0; i < n; ++i) {
+      db.add("scene" + std::to_string(i),
+             make_scene(i + 1, 8, db.symbols(), 256));
+    }
+    const std::size_t deletes = n / 2;
+    struct mode_spec {
+      const char* name;
+      group_commit_options options;
+      bool blocking;  // remove() per delete (forces one batch each) vs
+                      // remove_async() + flush() (lets the window coalesce)
+    };
+    const mode_spec modes[] = {
+        {"per-delete", {std::chrono::milliseconds(0), 1, true}, true},
+        {"grouped", {std::chrono::milliseconds(2), 256, true}, false},
+    };
+    for (const mode_spec& mode : modes) {
+      fs::remove(path);
+      save_segment(db, path);
+      group_commit_stats stats;
+      const double secs = benchsupport::time_seconds([&] {
+        segment_writer writer(path, /*append=*/true);
+        tombstone_group_commit commit(writer, mode.options);
+        for (std::size_t i = 0; i < deletes; ++i) {
+          if (mode.blocking) {
+            commit.remove(2 * i);  // every other record dies
+          } else {
+            commit.remove_async(2 * i);
+          }
+        }
+        commit.flush();
+        stats = commit.stats();
+        writer.finish();
+      });
+      table.add_row({std::to_string(n), std::to_string(deletes), mode.name,
+                     std::to_string(stats.records), std::to_string(stats.syncs),
+                     fmt_double(secs * 1e3, 2),
+                     fmt_double(secs * 1e3 / static_cast<double>(deletes), 4)});
+    }
+    fs::remove(path);
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
 void BM_EncodeTokens(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   alphabet names;
@@ -270,5 +331,6 @@ int main(int argc, char** argv) {
   bes::print_persistence_table();
   bes::print_sharded_persistence_table();
   bes::print_compaction_table();
+  bes::print_group_commit_table();
   return bes::benchsupport::run_registered(argc, argv);
 }

@@ -84,6 +84,53 @@ compaction_stats compact_segment(const fs::path& path, const fs::path& out,
   return stats;
 }
 
+corpus_usage read_corpus_usage(const fs::path& dir,
+                               segment_read_options options) {
+  const fs::path corpus = corpus_directory(dir);
+  const shard_manifest manifest = read_shard_manifest(corpus);
+  corpus_usage usage;
+  for (const shard_manifest_entry& entry : manifest.shards) {
+    const segment_reader reader(corpus / entry.file, options);
+    usage.records += reader.image_count();
+    usage.tombstones += reader.tombstones().size();
+  }
+  return usage;
+}
+
+bool should_compact(const corpus_usage& usage,
+                    const maintenance_policy& policy) noexcept {
+  if (usage.tombstones < policy.min_tombstones) return false;
+  return usage.dead_fraction() >= policy.max_dead_fraction;
+}
+
+compaction_stats maybe_compact_corpus(const fs::path& dir,
+                                      maintenance_policy maintenance,
+                                      compaction_policy policy,
+                                      segment_read_options options) {
+  const fs::path corpus = corpus_directory(dir);
+  repair_compaction(corpus);
+
+  const corpus_usage usage = read_corpus_usage(corpus, options);
+  if (!should_compact(usage, maintenance)) {
+    const shard_manifest manifest = read_shard_manifest(corpus);
+    compaction_stats stats;
+    stats.records_before = usage.records;
+    stats.records_after = usage.records;
+    // Matches compact_corpus' own skip path: the count OBSERVED, with
+    // compacted == false saying none were actually folded.
+    stats.tombstones_folded = usage.tombstones;
+    stats.bytes_before = directory_bytes(corpus);
+    stats.bytes_after = stats.bytes_before;
+    stats.shards_before = manifest.shard_count;
+    stats.shards_after = manifest.shard_count;
+    return stats;  // compacted == false: policy said leave it alone
+  }
+  // Maintenance made the go/no-go call; compact_corpus must not veto it on
+  // its own fraction knob.
+  policy.min_dead_fraction = 0.0;
+  return compact_corpus(corpus, policy, options);
+}
+
 bool repair_compaction(const fs::path& dir) {
   const fs::path corpus = corpus_directory(dir);
   const fs::path tmp = sibling(corpus, ".compact-tmp");

@@ -76,6 +76,49 @@ compaction_stats compact_corpus(const std::filesystem::path& dir,
                                 compaction_policy policy = {},
                                 segment_read_options options = {});
 
+// When to FIRE a compaction at all — the background-trigger knob (`besdb
+// compact --auto`), distinct from compaction_policy, which tunes what the
+// rewrite does once it runs. The decision reads only the per-shard footers
+// and tombstone records (mmap + parse, no materialization), so polling it
+// after every delete burst is cheap.
+struct maintenance_policy {
+  // Fire when dead/total reaches this fraction.
+  double max_dead_fraction = 0.25;
+  // ...but never for fewer than this many tombstones (a tiny corpus hits
+  // any fraction with one delete; rewriting it buys nothing).
+  std::uint64_t min_tombstones = 1;
+};
+
+// Tombstone load of a persisted corpus, read from footers only.
+struct corpus_usage {
+  std::uint64_t records = 0;     // image records on disk, dead included
+  std::uint64_t tombstones = 0;  // of which tombstoned
+  [[nodiscard]] double dead_fraction() const noexcept {
+    return records == 0
+               ? 0.0
+               : static_cast<double>(tombstones) / static_cast<double>(records);
+  }
+};
+
+// Sums image and tombstone counts across every shard segment of the SCRP1
+// corpus at `dir` (manifest file or directory) without materializing any
+// records. Throws std::runtime_error on a bad manifest/segment.
+[[nodiscard]] corpus_usage read_corpus_usage(const std::filesystem::path& dir,
+                                             segment_read_options options = {});
+
+[[nodiscard]] bool should_compact(const corpus_usage& usage,
+                                  const maintenance_policy& policy) noexcept;
+
+// The auto-compaction entry point: repairs any interrupted run, reads the
+// corpus usage, and either returns immediately (stats.compacted == false,
+// counts filled in) when the maintenance policy says the corpus is healthy,
+// or runs compact_corpus under `policy`. The threshold decision is
+// maintenance's alone — `policy.min_dead_fraction` is NOT consulted again.
+compaction_stats maybe_compact_corpus(const std::filesystem::path& dir,
+                                      maintenance_policy maintenance,
+                                      compaction_policy policy = {},
+                                      segment_read_options options = {});
+
 // Finishes or rolls back a compaction the process died in the middle of:
 //   - <dir>.compact-tmp holds a complete corpus (manifest loads): roll
 //     FORWARD — complete the swap so the compacted corpus wins.

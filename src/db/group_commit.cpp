@@ -1,0 +1,156 @@
+#include "db/group_commit.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace bes {
+
+namespace {
+
+// Durability past the page cache: fsync the segment through a throwaway
+// read-only descriptor. The writer's own ofstream has no portable handle to
+// sync, and opening a second descriptor to the same file syncs the same
+// inode. No-op where fsync does not exist.
+void sync_file(const std::filesystem::path& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("group commit: cannot open for fsync: " +
+                             path.string());
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error("group commit: fsync failed: " + path.string());
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+tombstone_group_commit::tombstone_group_commit(segment_writer& writer,
+                                               group_commit_options options)
+    : writer_(writer), options_(options) {
+  thread_ = std::thread([this] { worker(); });
+}
+
+tombstone_group_commit::~tombstone_group_commit() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  batch_cv_.notify_all();
+  thread_.join();
+}
+
+void tombstone_group_commit::enqueue(std::uint64_t ordinal, bool wait) {
+  std::unique_lock<std::mutex> lock(m_);
+  if (error_) std::rethrow_exception(error_);
+  // Mirror append_tombstones' validation eagerly so the offending call gets
+  // the error, instead of poisoning a batch shared with innocent waiters.
+  if (ordinal >= writer_.images_written()) {
+    throw std::runtime_error(
+        "group commit: tombstone ordinal out of range: " +
+        std::to_string(ordinal));
+  }
+  if (!seen_.insert(ordinal).second) {
+    throw std::runtime_error("group commit: ordinal already tombstoned: " +
+                             std::to_string(ordinal));
+  }
+  pending_.push_back(ordinal);
+  ++stats_.deletes;
+  const std::uint64_t my_batch = open_batch_;
+  batch_cv_.notify_all();
+  if (wait) wait_for_batch(lock, my_batch);
+}
+
+void tombstone_group_commit::remove(std::uint64_t ordinal) {
+  enqueue(ordinal, /*wait=*/true);
+}
+
+void tombstone_group_commit::remove_async(std::uint64_t ordinal) {
+  enqueue(ordinal, /*wait=*/false);
+}
+
+void tombstone_group_commit::flush() {
+  std::unique_lock<std::mutex> lock(m_);
+  // Everything enqueued so far lives either in pending_ (will become batch
+  // open_batch_) or in a batch the worker already took (< open_batch_).
+  const std::uint64_t target = pending_.empty() ? open_batch_ : open_batch_ + 1;
+  if (done_batch_ >= target) {
+    if (error_) std::rethrow_exception(error_);
+    return;
+  }
+  flush_now_ = true;
+  batch_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return done_batch_ >= target; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+void tombstone_group_commit::wait_for_batch(std::unique_lock<std::mutex>& lock,
+                                            std::uint64_t batch) {
+  done_cv_.wait(lock, [&] { return done_batch_ > batch; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+group_commit_stats tombstone_group_commit::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return stats_;
+}
+
+void tombstone_group_commit::worker() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(m_);
+    batch_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) break;  // stop_ set and nothing left to drain
+    // Hold the batch open for the window so siblings can pile in; cut it
+    // early when it fills, a flush demands it, or shutdown begins.
+    batch_cv_.wait_for(lock, options_.window, [&] {
+      return stop_ || flush_now_ ||
+             (options_.max_batch != 0 && pending_.size() >= options_.max_batch);
+    });
+    std::vector<std::uint64_t> batch = std::move(pending_);
+    pending_.clear();
+    flush_now_ = false;
+    const std::uint64_t my_batch = open_batch_++;
+    const bool do_sync = options_.fsync;
+    lock.unlock();
+
+    std::exception_ptr failure;
+    bool synced = false;
+    if (!error_hit_) {
+      try {
+        writer_.append_tombstones(batch);
+        writer_.flush();
+        if (do_sync) {
+          sync_file(writer_.path());
+          synced = true;
+        }
+      } catch (...) {
+        failure = std::current_exception();
+      }
+    }
+
+    lock.lock();
+    if (failure) {
+      if (!error_) error_ = failure;
+      error_hit_ = true;
+    } else if (!error_hit_) {
+      ++stats_.records;
+      if (synced) ++stats_.syncs;
+    }
+    done_batch_ = my_batch + 1;
+    lock.unlock();
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace bes

@@ -1,0 +1,103 @@
+// Group-commit batching for the durable-delete path (ROADMAP follow-on to
+// live ingest). segment_writer::append_tombstones writes one CRC'd type-4
+// record — and pays one flush + fsync — per call; under a stream of single
+// deletes that is one record and one disk sync EACH. This batcher coalesces
+// deletes that arrive within a configurable window (or up to a batch-size
+// cap) into ONE type-4 record followed by ONE flush/fsync, amortizing the
+// expensive part across the batch exactly like a WAL group commit.
+//
+// Durability contract: remove() returns only after the batch holding its
+// ordinal has been written, flushed, and (when options.fsync) fsynced — the
+// same guarantee as a direct append_tombstones call, at up to `window`
+// extra latency. remove_async() enqueues without waiting; flush() drains
+// everything queued so far. Write errors latch: the failed batch's waiters
+// and every later call see the original exception (the segment is in an
+// unknown state; the caller owns recovery, same as a failed direct append).
+//
+// Threading: any number of producer threads may call remove()/remove_async()
+// concurrently; one background thread owns the segment_writer while the
+// batcher lives (callers must not touch the writer directly until after
+// destruction, which drains the queue).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "db/segment.hpp"
+
+namespace bes {
+
+struct group_commit_options {
+  // How long the first delete of a batch waits for company.
+  std::chrono::milliseconds window{2};
+  // Flush early once this many deletes are queued (0 = window only).
+  std::size_t max_batch = 256;
+  // fsync the segment after each batch's flush (through a separate
+  // read-only descriptor; no-op on platforms without fsync).
+  bool fsync = true;
+};
+
+// Monotone totals since construction.
+struct group_commit_stats {
+  std::uint64_t deletes = 0;   // ordinals accepted
+  std::uint64_t records = 0;   // type-4 records written (== batches)
+  std::uint64_t syncs = 0;     // fsync calls issued
+};
+
+class tombstone_group_commit {
+ public:
+  // The writer must outlive the batcher.
+  explicit tombstone_group_commit(segment_writer& writer,
+                                  group_commit_options options = {});
+  // Drains and commits everything still queued (swallowing write errors —
+  // call flush() explicitly to observe them), then joins the worker.
+  ~tombstone_group_commit();
+
+  tombstone_group_commit(const tombstone_group_commit&) = delete;
+  tombstone_group_commit& operator=(const tombstone_group_commit&) = delete;
+
+  // Queues `ordinal` and blocks until its batch is durable. Throws
+  // std::runtime_error immediately on an ordinal out of range or already
+  // queued/written (append_tombstones' validation, done eagerly so the
+  // error surfaces on the offending call, not on an unrelated waiter).
+  void remove(std::uint64_t ordinal);
+
+  // Queues without waiting; a later remove()/flush() observes any failure.
+  void remove_async(std::uint64_t ordinal);
+
+  // Blocks until everything queued before this call is durable.
+  void flush();
+
+  [[nodiscard]] group_commit_stats stats() const;
+
+ private:
+  void worker();
+  void enqueue(std::uint64_t ordinal, bool wait);
+  void wait_for_batch(std::unique_lock<std::mutex>& lock,
+                      std::uint64_t batch);
+
+  segment_writer& writer_;
+  group_commit_options options_;
+
+  mutable std::mutex m_;
+  std::condition_variable batch_cv_;   // wakes the worker
+  std::condition_variable done_cv_;    // wakes producers
+  std::vector<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> seen_;  // queued or written ordinals
+  std::uint64_t open_batch_ = 0;   // id of the batch now accepting deletes
+  std::uint64_t done_batch_ = 0;   // highest batch durably committed + 1
+  std::exception_ptr error_;
+  bool error_hit_ = false;   // worker-side latch: stop touching the writer
+  bool flush_now_ = false;   // a flush() wants the open batch cut early
+  group_commit_stats stats_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace bes

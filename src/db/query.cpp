@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "db/result_cache.hpp"
 #include "db/scan.hpp"
 #include "util/parallel.hpp"
 
@@ -484,6 +485,165 @@ std::vector<std::vector<query_result>> search_batch(
   const detail::encoded_queries encoded =
       detail::encode_queries(queries, options.threads);
   return batch_impl(db, encoded.strings, encoded.symbols, options, stats);
+}
+
+namespace {
+
+// Delta-scan refresh of a flat cache entry: upgrade results valid at the
+// entry's cut to `now` by (1) re-checking the cached hits against the new
+// snapshot's tombstone view and (2) scoring only the records appended in
+// [cut.visible, now.visible). Returns nullopt when the entry cannot be
+// upgraded without a full rescan — a deletion hit an INCOMPLETE entry (the
+// deletion may promote a runner-up the entry never stored), in which case
+// the caller falls back to the full scan.
+std::optional<std::vector<query_result>> flat_delta_refresh(
+    const image_database& db, const db_snapshot& snap, result_cache& cache,
+    const cache_key& key, const cache_entry& entry, const cache_cut& now,
+    const be_string2d& query_strings, std::span<const symbol_id> query_symbols,
+    const query_options& options, search_stats* stats) {
+  const cache_cut& at = entry.cuts[0];
+
+  // Survivors: cached hits still alive at the new cut, back in query frame.
+  std::vector<query_result> survivors = entry.results;
+  from_canonical_frame(survivors, key.canon);
+  std::size_t deaths = 0;
+  std::erase_if(survivors, [&](const query_result& r) {
+    const bool dead = !snap.alive(r.id);
+    deaths += dead ? 1 : 0;
+    return dead;
+  });
+  if (deaths > 0 && !entry.complete) return std::nullopt;
+
+  // Suffix candidates: the full scan's generation rule, restricted to the
+  // appended range. Records the entry's cut already saw are NOT regenerated.
+  const std::vector<image_id> all_ids =
+      detail::scan_ids(db, query_symbols, options, nullptr);
+  std::vector<image_id> suffix;
+  for (image_id id : all_ids) {
+    if (id >= at.visible && id < now.visible) suffix.push_back(id);
+  }
+
+  // With a full cached top-k the k-th surviving score is an admissible floor
+  // for suffix candidates: every suffix id is larger than every cached id,
+  // so an equal score loses the id-ascending tie-break anyway.
+  query_options delta_options = options;
+  if (options.top_k > 0 && survivors.size() == options.top_k) {
+    delta_options.min_score =
+        std::max(options.min_score, survivors.back().score);
+  }
+
+  search_stats delta_stats;
+  std::vector<query_result> fresh =
+      detail::scan_shard(db, query_strings, suffix, {}, nullptr, nullptr,
+                         delta_options, nullptr, &delta_stats, &snap);
+
+  std::vector<query_result> merged = std::move(survivors);
+  merged.insert(merged.end(), fresh.begin(), fresh.end());
+  merged = detail::rank_results(std::move(merged), options);
+
+  cache.note_delta_refresh(delta_stats.scanned);
+  if (stats != nullptr) {
+    *stats = delta_stats;
+    stats->candidates_generated = suffix.size();
+    stats->cache_delta_refreshes = 1;
+    stats->cache_delta_rescored = delta_stats.scanned;
+  }
+
+  cache_entry updated;
+  updated.results = merged;
+  to_canonical_frame(updated.results, key.canon);
+  updated.cuts = {now};
+  updated.complete = options.top_k == 0 || merged.size() < options.top_k;
+  cache.put(key, std::move(updated));
+  return merged;
+}
+
+std::vector<query_result> flat_cached_impl(
+    const image_database& db, const db_snapshot& snap, result_cache& cache,
+    const be_string2d& query_strings, std::span<const symbol_id> query_symbols,
+    const query_options& options, search_stats* stats) {
+  const cache_key key = make_cache_key(query_strings, query_symbols, options,
+                                       cache_scope::flat, /*shard_count=*/1,
+                                       /*ring_replicas=*/0);
+  const cache_cut now{snap.visible, snap.epoch};
+
+  const std::optional<cache_entry> entry = cache.find(key);
+  if (entry.has_value() && entry->cuts.size() == 1) {
+    if (entry->cuts[0] == now) {
+      cache.note_hit();
+      if (stats != nullptr) {
+        *stats = search_stats{};
+        stats->cache_hits = 1;
+      }
+      std::vector<query_result> out = entry->results;
+      from_canonical_frame(out, key.canon);
+      return out;
+    }
+    const cache_cut& at = entry->cuts[0];
+    const bool forward = now.visible >= at.visible && now.epoch >= at.epoch;
+    if (forward &&
+        now.visible - at.visible <= cache.options().max_delta_records) {
+      auto refreshed =
+          flat_delta_refresh(db, snap, cache, key, *entry, now, query_strings,
+                             query_symbols, options, stats);
+      if (refreshed.has_value()) return std::move(*refreshed);
+    }
+  }
+
+  // Miss (no entry, past the staleness budget, or not upgradeable): full
+  // pinned scan. Store unless it would REGRESS a fresher entry — a search
+  // pinned to an old snapshot must not overwrite results newer readers use.
+  cache.note_miss();
+  std::vector<query_result> out = search_impl(
+      db, query_strings, query_symbols, nullptr, nullptr, options, stats,
+      &snap);
+  if (stats != nullptr) stats->cache_misses = 1;
+  const bool store =
+      !entry.has_value() || entry->cuts.size() != 1 ||
+      (now.visible >= entry->cuts[0].visible &&
+       now.epoch >= entry->cuts[0].epoch);
+  if (store) {
+    cache_entry fresh;
+    fresh.results = out;
+    to_canonical_frame(fresh.results, key.canon);
+    fresh.cuts = {now};
+    fresh.complete = options.top_k == 0 || out.size() < options.top_k;
+    cache.put(key, std::move(fresh));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<query_result> search_cached(const db_snapshot& snap,
+                                        result_cache& cache,
+                                        const be_string2d& query_strings,
+                                        std::span<const symbol_id> query_symbols,
+                                        const query_options& options,
+                                        search_stats* stats) {
+  return flat_cached_impl(*snap.db, snap, cache, query_strings, query_symbols,
+                          options, stats);
+}
+
+std::vector<query_result> search_cached(const image_database& db,
+                                        result_cache& cache,
+                                        const be_string2d& query_strings,
+                                        std::span<const symbol_id> query_symbols,
+                                        const query_options& options,
+                                        search_stats* stats) {
+  const db_snapshot snap = db.snapshot();
+  return flat_cached_impl(db, snap, cache, query_strings, query_symbols,
+                          options, stats);
+}
+
+std::vector<query_result> search_cached(const image_database& db,
+                                        result_cache& cache,
+                                        const symbolic_image& query,
+                                        const query_options& options,
+                                        search_stats* stats) {
+  const be_string2d strings = encode(query);
+  const std::vector<symbol_id> symbols = distinct_symbols(query);
+  return search_cached(db, cache, strings, symbols, options, stats);
 }
 
 std::vector<std::vector<query_result>> search_batch_candidates(

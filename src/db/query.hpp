@@ -106,6 +106,17 @@ struct search_stats {
   // degraded stays false and shard_statuses stays empty.
   bool degraded = false;
   std::vector<shard_scan_status> shard_statuses;
+  // Filled by the search_cached entry points (db/result_cache.hpp). A pure
+  // hit reports cache_hits == 1 and touches nothing else; a miss reports
+  // cache_misses == 1 plus the full scan's accounting; a delta refresh
+  // reports cache_delta_refreshes == 1 with scanned/scored/pruned covering
+  // ONLY the appended suffix and cache_delta_rescored == that suffix's
+  // scanned count (the O(appended) claim, measurable per query). Plain
+  // search() leaves all four at zero.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_delta_refreshes = 0;
+  std::size_t cache_delta_rescored = 0;
 };
 
 // Ranks by score descending, ties by id ascending; truncates to top_k.
@@ -135,6 +146,30 @@ struct search_stats {
                                                const symbolic_image& query,
                                                const query_options& options = {},
                                                search_stats* stats = nullptr);
+
+class result_cache;  // db/result_cache.hpp
+
+// Cached searches: identical results to the matching search() overload —
+// bit-identical ids, scores, and transforms — consulting/populating `cache`
+// around the scan. A fresh entry is stamped with the scan's snapshot cut;
+// a later identical query at the same cut is a pure hit, at a newer cut it
+// is upgraded by scoring only the records appended since (delta-scan
+// refresh; see db/result_cache.hpp for the invalidation rules). The
+// unpinned overloads evaluate at a fresh db.snapshot(); the pinned overload
+// evaluates exactly at `snap` and never serves results the snapshot cannot
+// see. Safe to call concurrently with add()/remove() and with other cached
+// or uncached searches.
+[[nodiscard]] std::vector<query_result> search_cached(
+    const image_database& db, result_cache& cache, const symbolic_image& query,
+    const query_options& options = {}, search_stats* stats = nullptr);
+[[nodiscard]] std::vector<query_result> search_cached(
+    const image_database& db, result_cache& cache,
+    const be_string2d& query_strings, std::span<const symbol_id> query_symbols,
+    const query_options& options = {}, search_stats* stats = nullptr);
+[[nodiscard]] std::vector<query_result> search_cached(
+    const db_snapshot& snap, result_cache& cache,
+    const be_string2d& query_strings, std::span<const symbol_id> query_symbols,
+    const query_options& options = {}, search_stats* stats = nullptr);
 
 // Scores exactly the given candidate set (sorted or not, duplicates scored
 // twice — callers pass the sorted/unique output of a prefilter). This is the

@@ -1,0 +1,192 @@
+// Epoch-aware query-result cache with delta-scan refresh.
+//
+// Production retrieval traffic is heavily skewed: a small set of hot queries
+// dominates, yet every repeat pays a full scan/plan/score pass even when
+// nothing relevant changed. This cache closes that gap at the whole-query
+// layer. Entries are keyed on a CANONICAL serialization of everything that
+// can change the answer — the encoded query token streams (dihedral-
+// canonicalized under transform_invariant so all 8 variants of one picture
+// share an entry), the query's symbol set (it drives the index filter), the
+// result-shaping options, the active LCS kernel's name, and the shard-set /
+// ring parameters — and stamped with the `{visible, epoch}` snapshot cut(s)
+// they were computed at.
+//
+// Correctness comes from the epoch model; performance comes from delta-scan
+// refresh. Record storage is append-only with in-place tombstones, so a
+// cached top-k valid at watermark W upgrades to W′ by scoring ONLY the
+// records appended in [W, W′) plus re-checking the cached hits against
+// tombstone epochs — never a full rescan — falling back to a fresh scan past
+// a configurable staleness budget (see search_cached in db/query.hpp and
+// db/shard.hpp; the refresh logic lives with the scans, this file owns the
+// keying, the store, and the canonical-frame transform algebra).
+//
+// The store itself is a sharded segmented LRU: keys hash-partition over
+// independently locked shards; within a shard an entry enters a probation
+// list and is promoted to a protected list on its first re-reference, so a
+// burst of one-off queries cannot flush the hot working set. Lookups compare
+// the FULL canonical key bytes (the 64-bit digest only picks the shard and
+// the bucket), so a digest collision can never serve the wrong results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/be_string.hpp"
+#include "db/query.hpp"
+#include "geometry/dihedral.hpp"
+
+namespace bes {
+
+struct result_cache_options {
+  std::size_t capacity = 4096;  // total entries across all cache shards
+  std::size_t shards = 8;       // independently locked partitions
+  // Fraction of each shard's capacity reserved for re-referenced entries.
+  double protected_fraction = 0.8;
+  // Delta-refresh staleness budget: if more than this many records were
+  // appended since an entry's cut, refresh falls back to a full scan (the
+  // suffix scan would no longer be meaningfully cheaper).
+  std::size_t max_delta_records = 4096;
+};
+
+// Monotone counters, readable while the cache is in use. hits/misses/
+// delta_refreshes/delta_rescored are noted by the search_cached layers (the
+// cache cannot tell a pure hit from a refresh by itself); insertions/
+// evictions are counted by the store.
+struct result_cache_stats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t delta_refreshes = 0;
+  std::uint64_t delta_rescored = 0;  // records scored by delta refreshes
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+// Which search surface an entry answers for. Scopes never share entries:
+// a flat database, a sharded database, and a remote scatter/gather return
+// identical results but stamp different cut shapes.
+enum class cache_scope : std::uint8_t { flat = 0, sharded = 1, remote = 2 };
+
+// One shard's snapshot cut: the entry's results are exactly what a pinned
+// search at {visible, epoch} returns.
+struct cache_cut {
+  std::uint64_t visible = 0;
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const cache_cut&, const cache_cut&) = default;
+};
+
+// A computed cache key. `bytes` is the full canonical serialization (stored
+// and compared exactly on every lookup); `digest` is its 64-bit FNV-1a hash
+// (shard pick + hash buckets only). `canon` is the dihedral that maps the
+// query onto its canonical variant — identity unless transform_invariant —
+// and is what converts result transforms into/out of the canonical frame.
+struct cache_key {
+  std::string bytes;
+  std::uint64_t digest = 0;
+  dihedral canon = dihedral::identity;
+};
+
+// Serializes (query, symbols, options, kernel, scope/ring params) into a
+// canonical key. Everything that can change the answer is included; thread
+// count is deliberately NOT (results are thread-count-invariant by
+// construction). Under options.transform_invariant the key uses the
+// lexicographically smallest of the query's 8 dihedral variants, so every
+// orientation of the same picture lands on one entry. `key_top_k` = false
+// omits top_k from the key (the remote scope stores the gathered union and
+// serves any k up to the gathered depth from one entry).
+[[nodiscard]] cache_key make_cache_key(const be_string2d& query_strings,
+                                       std::span<const symbol_id> query_symbols,
+                                       const query_options& options,
+                                       cache_scope scope,
+                                       std::uint32_t shard_count,
+                                       std::uint32_t ring_replicas,
+                                       bool key_top_k = true);
+
+// One cached answer. `results` hold transforms in the CANONICAL frame (see
+// to_canonical_frame); ids and scores are frame-independent. `cuts` is one
+// cache_cut per database shard (exactly one for the flat scope; empty for
+// the remote scope — remote corpora are immutable, the coordinator
+// invalidates wholesale on topology change). `complete` records whether the
+// entry holds EVERY record >= min_score (top_k == 0, or the scan returned
+// fewer than top_k hits): a complete entry survives deletions without a
+// rescan, an incomplete one cannot (a deletion may promote an unknown
+// runner-up). `gathered_k` is the remote scope's gather depth (0 =
+// unlimited): the union serves any request with top_k <= gathered_k.
+struct cache_entry {
+  std::vector<query_result> results;
+  std::vector<cache_cut> cuts;
+  std::size_t gathered_k = 0;
+  bool complete = false;
+};
+
+// Rewrites result transforms between the query frame and the canonical
+// frame. Storing: u = compose(inverse(canon), t) — "undo the canonicalizer,
+// then the realized transform" — so the entry is frame-independent.
+// Serving a query whose canonicalizer is `canon`: t = compose(canon, u).
+// Round-tripping with the same canon is exactly identity, so repeated
+// identical queries get bit-identical transforms back; sibling orientations
+// of the same picture get identical ids/scores and a transform that realizes
+// the same score (when a symmetric query has several realizing transforms,
+// the reported element may differ from a fresh scan's enumeration pick).
+// Both are no-ops when canon == identity.
+void to_canonical_frame(std::vector<query_result>& results, dihedral canon);
+void from_canonical_frame(std::vector<query_result>& results, dihedral canon);
+
+// The sharded segmented-LRU store. All methods are thread-safe; find()
+// returns a copy so the caller never holds a reference into a shard.
+class result_cache {
+ public:
+  explicit result_cache(result_cache_options options = {});
+  ~result_cache();
+
+  result_cache(const result_cache&) = delete;
+  result_cache& operator=(const result_cache&) = delete;
+
+  [[nodiscard]] const result_cache_options& options() const noexcept;
+
+  // Copy of the entry, promoting it probation -> protected; nullopt on miss.
+  // Matches on the full key bytes, never on the digest alone.
+  [[nodiscard]] std::optional<cache_entry> find(const cache_key& key);
+
+  // Inserts or replaces. New keys enter probation; replacing an existing key
+  // refreshes its position in whichever segment it occupies.
+  void put(const cache_key& key, cache_entry entry);
+
+  // Drops every entry (corpus swapped / topology changed). Stats survive.
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] result_cache_stats stats() const noexcept;
+
+  // Outcome accounting, called by the search_cached layers.
+  void note_hit() noexcept;
+  void note_miss() noexcept;
+  void note_delta_refresh(std::uint64_t rescored) noexcept;
+
+  // TEST HOOK: mutates the stored entry for `key` in place (no promotion),
+  // returning false if the key is absent. Exists so tests can FORGE a stale
+  // entry — e.g. advance its cuts without rescanning — and prove the suite
+  // would catch a real staleness bug. Never call outside tests.
+  bool debug_mutate(const cache_key& key,
+                    const std::function<void(cache_entry&)>& fn);
+
+ private:
+  struct shard_state;
+  struct counters;
+
+  shard_state& shard_for(std::uint64_t digest) noexcept;
+
+  result_cache_options options_;
+  std::size_t per_shard_capacity_ = 0;
+  std::size_t protected_capacity_ = 0;
+  std::unique_ptr<shard_state[]> shards_;
+  std::size_t shard_count_ = 0;
+  std::unique_ptr<counters> counters_;
+};
+
+}  // namespace bes

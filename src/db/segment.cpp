@@ -535,6 +535,14 @@ segment_writer::~segment_writer() {
   }
 }
 
+void segment_writer::flush() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("segment_writer: flush failed: " +
+                             path_.string());
+  }
+}
+
 void segment_writer::write_record(std::uint32_t type,
                                   const std::string& payload) {
   record_header header;

@@ -115,6 +115,15 @@ class segment_writer {
 
   [[nodiscard]] std::size_t images_written() const noexcept { return images_; }
 
+  // Pushes buffered bytes to the OS (std::ofstream::flush), throwing on
+  // failure. Durability beyond the page cache is the caller's business —
+  // db/group_commit.hpp fsyncs through a separate descriptor after this.
+  void flush();
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
  private:
   void write_record(std::uint32_t type, const std::string& payload);
   void write_tombstone_record(std::span<const std::uint64_t> ordinals);

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "db/access_path.hpp"
+#include "db/result_cache.hpp"
 #include "db/scan.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -160,6 +161,15 @@ std::size_t sharded_database::shard_of(image_id id) const {
                             std::to_string(id));
   }
   return locs_[id].first;
+}
+
+std::uint64_t sharded_database::removed_epoch(image_id id) const {
+  if (id >= locs_.size()) {
+    throw std::out_of_range("sharded_database: unknown id " +
+                            std::to_string(id));
+  }
+  const auto& [shard, local] = locs_[id];
+  return shards_[shard]->db.removed_epoch(local);
 }
 
 const image_database& sharded_database::shard_db(std::size_t s) const {
@@ -430,6 +440,216 @@ std::vector<query_result> search_local_candidates(
   return fanout_search(db, query_strings, {}, &local_candidates,
                        plan.histograms_ptr, plan.transforms_ptr, options,
                        stats);
+}
+
+std::vector<query_result> search_local_candidates(
+    const sharded_database& db, const sharded_snapshot& snap,
+    const be_string2d& query_strings,
+    const std::vector<std::vector<image_id>>& local_candidates,
+    const query_options& options, search_stats* stats) {
+  if (local_candidates.size() != db.shard_count()) {
+    throw std::invalid_argument(
+        "search_local_candidates: need one candidate list per shard");
+  }
+  for (std::size_t s = 0; s < local_candidates.size(); ++s) {
+    for (image_id local : local_candidates[s]) {
+      if (local >= db.shard_db(s).size()) {
+        throw std::out_of_range("search_local_candidates: local id " +
+                                std::to_string(local) + " out of range");
+      }
+    }
+  }
+  const fanout_plan plan(query_strings, options);
+  return fanout_search(db, query_strings, {}, &local_candidates,
+                       plan.histograms_ptr, plan.transforms_ptr, options,
+                       stats, &snap);
+}
+
+// --------------------------------------------------------- cached fan-out
+
+namespace {
+
+std::vector<cache_cut> cuts_of(const sharded_snapshot& snap) {
+  std::vector<cache_cut> cuts;
+  cuts.reserve(snap.shards.size());
+  for (const db_snapshot& s : snap.shards) {
+    cuts.push_back(cache_cut{s.visible, s.epoch});
+  }
+  return cuts;
+}
+
+// Sharded delta-scan refresh: re-check the cached hits against each owning
+// shard's new cut, then score only each shard's appended local-id suffix
+// through the pinned local-candidate fan-out. Nullopt = not upgradeable
+// (a deletion hit an incomplete entry); the caller full-scans instead.
+//
+// The kth-survivor floor is admissible without any id-order argument: both
+// the min_score filter and the pruning threshold discard strictly-below
+// scores only, and with a FULL surviving top-k every record scoring below
+// the k-th survivor is beaten by at least top_k alive records.
+std::optional<std::vector<query_result>> sharded_delta_refresh(
+    const sharded_database& db, const sharded_snapshot& snap,
+    result_cache& cache, const cache_key& key, const cache_entry& entry,
+    const std::vector<cache_cut>& now, const be_string2d& query_strings,
+    std::span<const symbol_id> query_symbols, const query_options& options,
+    search_stats* stats) {
+  const std::size_t shards = db.shard_count();
+
+  std::vector<query_result> survivors = entry.results;
+  from_canonical_frame(survivors, key.canon);
+  std::size_t deaths = 0;
+  std::erase_if(survivors, [&](const query_result& r) {
+    const std::size_t s = db.shard_of(r.id);
+    const bool dead = !snap.shards[s].alive(db.record(r.id).id);
+    deaths += dead ? 1 : 0;
+    return dead;
+  });
+  if (deaths > 0 && !entry.complete) return std::nullopt;
+
+  // Each shard's suffix through that shard's own generation rule, exactly
+  // as the full fan-out would generate it, restricted to the appended range.
+  std::vector<std::vector<image_id>> suffix(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::vector<image_id> ids =
+        detail::scan_ids(db.shard_db(s), query_symbols, options, nullptr);
+    for (image_id local : ids) {
+      if (local >= entry.cuts[s].visible && local < now[s].visible) {
+        suffix[s].push_back(local);
+      }
+    }
+  }
+
+  query_options delta_options = options;
+  if (options.top_k > 0 && survivors.size() == options.top_k) {
+    delta_options.min_score =
+        std::max(options.min_score, survivors.back().score);
+  }
+
+  search_stats delta_stats;
+  std::vector<query_result> fresh = search_local_candidates(
+      db, snap, query_strings, suffix, delta_options, &delta_stats);
+
+  std::vector<query_result> merged = std::move(survivors);
+  merged.insert(merged.end(), fresh.begin(), fresh.end());
+  merged = detail::rank_results(std::move(merged), options);
+
+  cache.note_delta_refresh(delta_stats.scanned);
+  if (stats != nullptr) {
+    *stats = delta_stats;
+    stats->cache_delta_refreshes = 1;
+    stats->cache_delta_rescored = delta_stats.scanned;
+  }
+
+  cache_entry updated;
+  updated.results = merged;
+  to_canonical_frame(updated.results, key.canon);
+  updated.cuts = now;
+  updated.complete = options.top_k == 0 || merged.size() < options.top_k;
+  cache.put(key, std::move(updated));
+  return merged;
+}
+
+std::vector<query_result> sharded_cached_impl(
+    const sharded_database& db, const sharded_snapshot& snap,
+    result_cache& cache, const be_string2d& query_strings,
+    std::span<const symbol_id> query_symbols, const query_options& options,
+    search_stats* stats) {
+  if (snap.shards.size() != db.shard_count()) {
+    throw std::invalid_argument("search_cached: snapshot/shard count mismatch");
+  }
+  const cache_key key = make_cache_key(
+      query_strings, query_symbols, options, cache_scope::sharded,
+      static_cast<std::uint32_t>(db.shard_count()),
+      static_cast<std::uint32_t>(db.ring().replicas()));
+  const std::vector<cache_cut> now = cuts_of(snap);
+
+  const std::optional<cache_entry> entry = cache.find(key);
+  if (entry.has_value() && entry->cuts.size() == now.size()) {
+    if (entry->cuts == now) {
+      cache.note_hit();
+      if (stats != nullptr) {
+        *stats = search_stats{};
+        stats->cache_hits = 1;
+      }
+      std::vector<query_result> out = entry->results;
+      from_canonical_frame(out, key.canon);
+      return out;
+    }
+    bool forward = true;
+    std::uint64_t appended = 0;
+    for (std::size_t s = 0; s < now.size(); ++s) {
+      if (now[s].visible < entry->cuts[s].visible ||
+          now[s].epoch < entry->cuts[s].epoch) {
+        forward = false;
+        break;
+      }
+      appended += now[s].visible - entry->cuts[s].visible;
+    }
+    if (forward && appended <= cache.options().max_delta_records) {
+      auto refreshed =
+          sharded_delta_refresh(db, snap, cache, key, *entry, now,
+                                query_strings, query_symbols, options, stats);
+      if (refreshed.has_value()) return std::move(*refreshed);
+    }
+  }
+
+  cache.note_miss();
+  std::vector<query_result> out =
+      search(db, snap, query_strings, query_symbols, options, stats);
+  if (stats != nullptr) stats->cache_misses = 1;
+  bool store = true;
+  if (entry.has_value() && entry->cuts.size() == now.size()) {
+    for (std::size_t s = 0; s < now.size(); ++s) {
+      if (now[s].visible < entry->cuts[s].visible ||
+          now[s].epoch < entry->cuts[s].epoch) {
+        store = false;
+        break;
+      }
+    }
+  }
+  if (store) {
+    cache_entry fresh;
+    fresh.results = out;
+    to_canonical_frame(fresh.results, key.canon);
+    fresh.cuts = now;
+    fresh.complete = options.top_k == 0 || out.size() < options.top_k;
+    cache.put(key, std::move(fresh));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<query_result> search_cached(const sharded_database& db,
+                                        const sharded_snapshot& snap,
+                                        result_cache& cache,
+                                        const be_string2d& query_strings,
+                                        std::span<const symbol_id> query_symbols,
+                                        const query_options& options,
+                                        search_stats* stats) {
+  return sharded_cached_impl(db, snap, cache, query_strings, query_symbols,
+                             options, stats);
+}
+
+std::vector<query_result> search_cached(const sharded_database& db,
+                                        result_cache& cache,
+                                        const be_string2d& query_strings,
+                                        std::span<const symbol_id> query_symbols,
+                                        const query_options& options,
+                                        search_stats* stats) {
+  const sharded_snapshot snap = db.snapshot();
+  return sharded_cached_impl(db, snap, cache, query_strings, query_symbols,
+                             options, stats);
+}
+
+std::vector<query_result> search_cached(const sharded_database& db,
+                                        result_cache& cache,
+                                        const symbolic_image& query,
+                                        const query_options& options,
+                                        search_stats* stats) {
+  const be_string2d strings = encode(query);
+  const std::vector<symbol_id> symbols = distinct_symbols(query);
+  return search_cached(db, cache, strings, symbols, options, stats);
 }
 
 std::vector<std::vector<query_result>> search_batch(

@@ -119,6 +119,10 @@ class sharded_database {
   [[nodiscard]] const db_record& record(image_id id) const;
   // Which shard holds global id `id`.
   [[nodiscard]] std::size_t shard_of(image_id id) const;
+  // Epoch at which global id `id` was removed (0 = live), read from the
+  // owning shard. Safe against a concurrent remove, like the flat
+  // image_database::removed_epoch.
+  [[nodiscard]] std::uint64_t removed_epoch(image_id id) const;
 
   // Per-shard views (s < shard_count()).
   [[nodiscard]] const image_database& shard_db(std::size_t s) const;
@@ -225,6 +229,34 @@ struct sharded_snapshot {
     const sharded_database& db, const be_string2d& query_strings,
     const std::vector<std::vector<image_id>>& local_candidates,
     const query_options& options = {}, search_stats* stats = nullptr);
+
+// Pinned variant: every shard scan filters its candidate list against the
+// matching entry of `snap`. This is how the cached search scores exactly
+// the per-shard appended suffixes of a delta refresh.
+[[nodiscard]] std::vector<query_result> search_local_candidates(
+    const sharded_database& db, const sharded_snapshot& snap,
+    const be_string2d& query_strings,
+    const std::vector<std::vector<image_id>>& local_candidates,
+    const query_options& options = {}, search_stats* stats = nullptr);
+
+// Cached fan-out searches (db/result_cache.hpp): identical results to the
+// matching sharded search() overload, consulting/populating `cache` around
+// the fan-out. Entries are stamped with one {visible, epoch} cut PER SHARD;
+// a delta refresh rescans only each shard's appended suffix. Semantics
+// otherwise match the flat search_cached family (db/query.hpp).
+[[nodiscard]] std::vector<query_result> search_cached(
+    const sharded_database& db, result_cache& cache,
+    const symbolic_image& query, const query_options& options = {},
+    search_stats* stats = nullptr);
+[[nodiscard]] std::vector<query_result> search_cached(
+    const sharded_database& db, result_cache& cache,
+    const be_string2d& query_strings, std::span<const symbol_id> query_symbols,
+    const query_options& options = {}, search_stats* stats = nullptr);
+[[nodiscard]] std::vector<query_result> search_cached(
+    const sharded_database& db, const sharded_snapshot& snap,
+    result_cache& cache, const be_string2d& query_strings,
+    std::span<const symbol_id> query_symbols, const query_options& options = {},
+    search_stats* stats = nullptr);
 
 // Batch retrieval: results[i] == search(db, queries[i], options). The
 // (query, shard) pairs become work items on ONE dynamic queue, so neither a

@@ -84,10 +84,11 @@ unsigned remaining_ms(net_time deadline) noexcept {
 // on a gather — readers erase the pending entry under the link state mutex,
 // RELEASE it, and only then touch the gather.
 struct gather_state {
-  explicit gather_state(const query_options& opts, std::size_t shards)
+  gather_state(const query_options& opts, std::size_t shards,
+               double floor_seed)
       : options(opts),
         outstanding(shards),
-        floor(opts.min_score),
+        floor(std::max(opts.min_score, floor_seed)),
         resolved(shards, false) {
     statuses.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) {
@@ -105,6 +106,12 @@ struct gather_state {
   // the sorted-truncated union IS the exact global answer at every moment.
   std::vector<query_result> merged;
   double floor;  // admissible global pruning floor; only ever rises
+  // Union collection for the coordinator cache: when `collect` is set,
+  // every per-shard result lands in `all` BEFORE the running merge
+  // truncates — the union is what a cached entry stores, since the global
+  // top-k of ANY smaller k is a subset of it.
+  bool collect = false;
+  std::vector<query_result> all;
   std::vector<shard_scan_status> statuses;
   std::vector<bool> resolved;
   search_stats agg;
@@ -127,6 +134,7 @@ struct coordinator::impl {
   std::vector<std::unique_ptr<link>> links;
   std::atomic<std::uint64_t> next_query_id{1};
   admission_gate gate;
+  std::unique_ptr<result_cache> cache;  // null when cache_entries == 0
 
   impl(std::vector<endpoint> shards, const coordinator_options& opts)
       : options(opts), gate(opts.max_inflight) {
@@ -136,6 +144,11 @@ struct coordinator::impl {
       l->ep = std::move(shards[s]);
       l->shard = static_cast<std::uint32_t>(s);
       links.push_back(std::move(l));
+    }
+    if (opts.cache_entries > 0) {
+      result_cache_options copts;
+      copts.capacity = opts.cache_entries;
+      cache = std::make_unique<result_cache>(copts);
     }
   }
 
@@ -279,6 +292,9 @@ struct coordinator::impl {
       // ok and expired both contribute results (expired's are partial —
       // the degraded flag already says so); failed/rejected carry none.
       if (!msg.results.empty()) {
+        if (g.collect) {
+          g.all.insert(g.all.end(), msg.results.begin(), msg.results.end());
+        }
         g.merged.insert(g.merged.end(), msg.results.begin(),
                         msg.results.end());
         std::sort(g.merged.begin(), g.merged.end(), detail::result_better);
@@ -310,12 +326,14 @@ struct coordinator::impl {
 
   remote_result run_search(const be_string2d& query,
                            std::span<const symbol_id> query_symbols,
-                           const query_options& qopts) {
+                           const query_options& qopts, double floor_seed,
+                           std::vector<query_result>* union_out) {
     if (links.empty()) {
       throw std::invalid_argument("coordinator: no shard endpoints");
     }
     gate_slot slot(gate);
-    auto g = std::make_shared<gather_state>(qopts, links.size());
+    auto g = std::make_shared<gather_state>(qopts, links.size(), floor_seed);
+    g->collect = union_out != nullptr;
     g->query_id = next_query_id.fetch_add(1, std::memory_order_relaxed);
     const net_time deadline = deadline_in(options.default_deadline_ms);
 
@@ -331,6 +349,68 @@ struct coordinator::impl {
     out.stats = std::move(g->agg);
     out.stats.degraded = g->degraded;
     out.stats.shard_statuses = std::move(g->statuses);
+    if (union_out != nullptr) *union_out = std::move(g->all);
+    return out;
+  }
+
+  // The cached front door search()/search_batch() go through. A full hit
+  // serves from the stored union without touching a socket; a partial hit
+  // (request deeper than the stored gather) re-scatters with the gossip
+  // floor pre-seeded from the cached k-th score — admissible, because k
+  // genuine record scores sit at or above it — and counts as a delta
+  // refresh. Only non-degraded gathers are stored.
+  remote_result run_cached(const be_string2d& query,
+                           std::span<const symbol_id> query_symbols,
+                           const query_options& qopts) {
+    if (cache == nullptr) {
+      return run_search(query, query_symbols, qopts, qopts.min_score, nullptr);
+    }
+    const cache_key key = make_cache_key(
+        query, query_symbols, qopts, cache_scope::remote,
+        static_cast<std::uint32_t>(links.size()), /*ring_replicas=*/0,
+        /*key_top_k=*/false);
+    double floor_seed = qopts.min_score;
+    bool partial = false;
+    if (std::optional<cache_entry> entry = cache->find(key)) {
+      std::vector<query_result> stored = std::move(entry->results);
+      from_canonical_frame(stored, key.canon);
+      const bool serveable =
+          entry->gathered_k == 0 ||
+          (qopts.top_k != 0 && qopts.top_k <= entry->gathered_k);
+      if (serveable) {
+        cache->note_hit();
+        remote_result out;
+        out.results = detail::rank_results(std::move(stored), qopts);
+        out.stats.cache_hits = 1;
+        return out;
+      }
+      partial = true;
+      if (options.gossip && qopts.top_k != 0 &&
+          stored.size() >= qopts.top_k) {
+        std::sort(stored.begin(), stored.end(), detail::result_better);
+        floor_seed = std::max(floor_seed, stored[qopts.top_k - 1].score);
+      }
+    }
+
+    std::vector<query_result> gathered;
+    remote_result out =
+        run_search(query, query_symbols, qopts, floor_seed, &gathered);
+    if (partial) {
+      cache->note_delta_refresh(out.stats.scored);
+      out.stats.cache_delta_refreshes = 1;
+      out.stats.cache_delta_rescored = out.stats.scored;
+    } else {
+      cache->note_miss();
+      out.stats.cache_misses = 1;
+    }
+    if (!out.stats.degraded) {
+      cache_entry fresh;
+      fresh.results = std::move(gathered);
+      to_canonical_frame(fresh.results, key.canon);
+      fresh.gathered_k = qopts.top_k;
+      fresh.complete = qopts.top_k == 0;
+      cache->put(key, std::move(fresh));
+    }
     return out;
   }
 
@@ -495,7 +575,7 @@ std::size_t coordinator::shard_count() const noexcept {
 remote_result coordinator::search(const be_string2d& query,
                                   std::span<const symbol_id> query_symbols,
                                   const query_options& options) {
-  return impl_->run_search(query, query_symbols, options);
+  return impl_->run_cached(query, query_symbols, options);
 }
 
 std::vector<remote_result> coordinator::search_batch(
@@ -511,7 +591,7 @@ std::vector<remote_result> coordinator::search_batch(
       queries.size()));
   if (workers <= 1) {
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      results[i] = impl_->run_search(queries[i], query_symbols[i], options);
+      results[i] = impl_->run_cached(queries[i], query_symbols[i], options);
     }
     return results;
   }
@@ -526,7 +606,7 @@ std::vector<remote_result> coordinator::search_batch(
         const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= queries.size()) return;
         try {
-          results[i] = impl_->run_search(queries[i], query_symbols[i], options);
+          results[i] = impl_->run_cached(queries[i], query_symbols[i], options);
         } catch (...) {
           std::lock_guard lock(error_m);
           if (!first_error) first_error = std::current_exception();
@@ -564,6 +644,15 @@ std::vector<std::string> coordinator::fetch_symbols() {
   }
   if (!reached) throw net_error("net: no shard server reachable");
   return best;
+}
+
+result_cache_stats coordinator::cache_stats() const noexcept {
+  if (impl_->cache == nullptr) return {};
+  return impl_->cache->stats();
+}
+
+void coordinator::invalidate_cache() noexcept {
+  if (impl_->cache != nullptr) impl_->cache->clear();
 }
 
 void coordinator::shutdown_servers() {

@@ -26,6 +26,7 @@
 
 #include "core/be_string.hpp"
 #include "db/query.hpp"
+#include "db/result_cache.hpp"
 #include "symbolic/alphabet.hpp"
 
 namespace bes::net {
@@ -49,6 +50,17 @@ struct coordinator_options {
   // floor in each QUERY frame. Slower (no overlap) but every run prunes
   // identically — the mode the gossip-effectiveness tests pin down.
   bool sequential_scatter = false;
+  // Coordinator-side result cache (db/result_cache.hpp): > 0 enables a
+  // cache of that many entries, so a repeated query short-circuits before
+  // touching any socket. Remote corpora are immutable while served, so
+  // entries have no epoch cut; call invalidate_cache() when the fleet's
+  // corpus or topology changes. Entries store the gathered per-shard UNION
+  // (pre-truncation), keyed without top_k: one entry serves any request
+  // whose top_k fits within the depth it was gathered at, and a deeper
+  // request re-scatters with the gossip floor pre-seeded from the cached
+  // k-th score (the THRESHOLD frames start a round ahead). Only
+  // non-degraded answers are cached.
+  std::size_t cache_entries = 0;
 };
 
 struct remote_result {
@@ -89,6 +101,17 @@ class coordinator {
 
   // Asks every reachable shard server to stop (best effort).
   void shutdown_servers();
+
+  // Counters of the coordinator-side cache (all zero when disabled).
+  // Partial hits that re-scattered with a seeded floor count as
+  // delta_refreshes, with delta_rescored totaling the records the re-scatter
+  // scored.
+  [[nodiscard]] result_cache_stats cache_stats() const noexcept;
+
+  // Drops every cached entry. Call when the served corpus changes (reshard,
+  // compaction, corpus swap) — remote entries carry no epoch cut to expire
+  // them automatically.
+  void invalidate_cache() noexcept;
 
  private:
   struct impl;

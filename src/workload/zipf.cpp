@@ -1,0 +1,61 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bes {
+
+zipf_sampler::zipf_sampler(std::size_t n, double s, std::uint64_t seed)
+    : rng_(seed) {
+  if (n == 0) throw std::invalid_argument("zipf_sampler: n must be > 0");
+  if (!(s >= 0.0)) throw std::invalid_argument("zipf_sampler: s must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -s);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t zipf_sampler::next() {
+  const double u = rng_.uniform01();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return std::min<std::size_t>(
+      static_cast<std::size_t>(it - cdf_.begin()), cdf_.size() - 1);
+}
+
+query_stream make_query_stream(std::span<const symbolic_image> targets,
+                               alphabet& names,
+                               const query_stream_params& params) {
+  if (targets.empty()) {
+    throw std::invalid_argument("make_query_stream: no target scenes");
+  }
+  if (params.pool_size == 0) {
+    throw std::invalid_argument("make_query_stream: pool_size must be > 0");
+  }
+  query_stream out;
+  out.pool.reserve(params.pool_size);
+  // Stream 0: which target each pool slot distorts. Streams 1..pool_size:
+  // one distortion master seed per slot. Stream pool_size + 1: the request
+  // order. Fixed assignments, so growing the stream length never reshuffles
+  // the pool and vice versa.
+  rng pick(derive_seed(params.seed, 0));
+  for (std::size_t i = 0; i < params.pool_size; ++i) {
+    const std::size_t target = static_cast<std::size_t>(
+        pick.next_u64() % targets.size());
+    distortion_params d = params.distortion;
+    d.seed = derive_seed(params.seed, 1 + i);
+    out.pool.push_back(distort(targets[target], d, names));
+  }
+  zipf_sampler ranks(params.pool_size, params.skew,
+                     derive_seed(params.seed, params.pool_size + 1));
+  out.order.reserve(params.length);
+  for (std::size_t i = 0; i < params.length; ++i) {
+    out.order.push_back(ranks.next());
+  }
+  return out;
+}
+
+}  // namespace bes

@@ -1,0 +1,65 @@
+// Seeded zipfian query streams (experiment E11): production retrieval
+// traffic is heavily skewed — a small set of hot queries dominates — and the
+// result cache's whole value proposition rests on that skew. This generator
+// reproduces it deterministically: a pool of distinct queries (distorted
+// copies of caller-supplied target scenes, workload/query_gen.hpp) and a
+// stream of pool indices drawn zipf(s), so rank r is requested with
+// probability proportional to 1/(r+1)^s. s = 0 degenerates to uniform
+// traffic (the cache's worst case), s = 1.2 is the hot-head regime the
+// bench's headline numbers quote.
+//
+// Everything is derived from one master seed via derive_seed streams, so two
+// runs with equal (targets, params) produce identical pools and identical
+// request orders on any machine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/query_gen.hpp"
+
+namespace bes {
+
+// Draws ranks in [0, n) with P(r) proportional to 1/(r+1)^s via an explicit
+// CDF (binary search per draw). s = 0 is uniform. Deterministic for a given
+// (n, s, seed).
+class zipf_sampler {
+ public:
+  zipf_sampler(std::size_t n, double s, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t next();
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized inclusive prefix sums
+  rng rng_;
+};
+
+struct query_stream_params {
+  std::size_t pool_size = 64;  // distinct queries (zipf ranks)
+  std::size_t length = 512;    // requests in the stream
+  double skew = 1.0;           // zipf exponent s; 0 = uniform
+  std::uint64_t seed = 1;
+  // How each pool query degrades its target scene; the per-query seed is
+  // derived from `seed` and the pool slot, overriding distortion.seed.
+  distortion_params distortion;
+};
+
+struct query_stream {
+  // pool[r] is the rank-r query — hottest first. Each is a distorted copy
+  // of a (seeded-uniformly chosen) target scene.
+  std::vector<symbolic_image> pool;
+  // The request stream, as indices into `pool`.
+  std::vector<std::size_t> order;
+};
+
+// Builds the pool from `targets` (usually the corpus scenes, so queries hit)
+// and draws the zipfian request order. Throws std::invalid_argument on an
+// empty target set or a zero pool size.
+[[nodiscard]] query_stream make_query_stream(
+    std::span<const symbolic_image> targets, alphabet& names,
+    const query_stream_params& params);
+
+}  // namespace bes

@@ -530,6 +530,83 @@ TEST_F(ShardStorageTest, CompactCorpusPolicyLeavesHealthyCorpusAlone) {
   EXPECT_FALSE(compact_corpus(clean).compacted);
 }
 
+// --------------------------------------------- maintenance (compact --auto)
+
+TEST(MaintenancePolicy, ShouldCompactHonorsBothGates) {
+  const maintenance_policy policy{.max_dead_fraction = 0.25,
+                                  .min_tombstones = 2};
+  // Below the count floor: never, no matter how dead.
+  EXPECT_FALSE(should_compact({.records = 2, .tombstones = 1}, policy));
+  // At the floor but under the fraction.
+  EXPECT_FALSE(should_compact({.records = 20, .tombstones = 2}, policy));
+  // Both gates pass (fraction compares >=).
+  EXPECT_TRUE(should_compact({.records = 8, .tombstones = 2}, policy));
+  EXPECT_TRUE(should_compact({.records = 4, .tombstones = 3}, policy));
+  // Empty corpus defines dead_fraction as zero.
+  EXPECT_FALSE(should_compact({.records = 0, .tombstones = 0}, policy));
+}
+
+TEST_F(ShardStorageTest, ReadCorpusUsageSumsFooterCounts) {
+  const image_database db = build_db_with_deletes(25);  // 5 dead of 25
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 3);
+
+  const corpus_usage usage = read_corpus_usage(corpus);
+  EXPECT_EQ(usage.records, 25u);
+  EXPECT_EQ(usage.tombstones, 5u);
+  EXPECT_DOUBLE_EQ(usage.dead_fraction(), 0.2);
+}
+
+TEST_F(ShardStorageTest, MaybeCompactLeavesAHealthyCorpusUntouched) {
+  const image_database db = build_db_with_deletes(25);  // 20% dead
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 3);
+  const std::string manifest_before =
+      read_file(corpus / shard_manifest_name);
+
+  const compaction_stats stats =
+      maybe_compact_corpus(corpus, {.max_dead_fraction = 0.25});
+  EXPECT_FALSE(stats.compacted);
+  EXPECT_EQ(stats.records_before, 25u);
+  EXPECT_EQ(stats.records_after, 25u);
+  EXPECT_EQ(stats.tombstones_folded, 5u);  // observed, not folded
+  EXPECT_EQ(stats.bytes_after, stats.bytes_before);
+  EXPECT_EQ(read_file(corpus / shard_manifest_name), manifest_before);
+  EXPECT_EQ(load_sharded_flat(corpus).tombstone_count(), 5u);
+}
+
+TEST_F(ShardStorageTest, MaybeCompactFiresOnceTheCorpusIsDeadEnough) {
+  const image_database db = build_db_with_deletes(25);  // 20% dead
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 3);
+
+  // 20% >= 15%: maintenance fires, and compact_corpus must not re-veto on
+  // its own (default 0.0 would pass anyway; this pins the zeroing contract).
+  const compaction_stats stats =
+      maybe_compact_corpus(corpus, {.max_dead_fraction = 0.15},
+                           {.min_dead_fraction = 0.5});
+  EXPECT_TRUE(stats.compacted);
+  EXPECT_EQ(stats.records_before, 25u);
+  EXPECT_EQ(stats.tombstones_folded, 5u);
+  EXPECT_EQ(stats.records_after, 20u);
+
+  const image_database compacted = load_sharded_flat(corpus);
+  EXPECT_EQ(compacted.size(), 20u);
+  EXPECT_EQ(compacted.tombstone_count(), 0u);
+}
+
+TEST_F(ShardStorageTest, MaybeCompactHonorsTheTombstoneCountFloor) {
+  image_database db = build_db(4, 53);
+  ASSERT_TRUE(db.remove(1));  // 25% dead, but only ONE tombstone
+  const fs::path corpus = dir_ / "corpus";
+  save_sharded(db, corpus, 2);
+
+  const compaction_stats stats = maybe_compact_corpus(
+      corpus, {.max_dead_fraction = 0.25, .min_tombstones = 2});
+  EXPECT_FALSE(stats.compacted);
+  EXPECT_EQ(load_sharded_flat(corpus).tombstone_count(), 1u);
+}
+
 TEST_F(ShardStorageTest, RepairRollsBackATornRewrite) {
   const image_database db = build_db_with_deletes(15, 37);
   const fs::path corpus = dir_ / "corpus";

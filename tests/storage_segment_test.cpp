@@ -8,9 +8,12 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/encoder.hpp"
 #include "db/compaction.hpp"
+#include "db/group_commit.hpp"
 #include "db/query.hpp"
 #include "db/segment.hpp"
 #include "db/storage.hpp"
@@ -332,6 +335,122 @@ TEST(SegmentTombstones, CompactFoldsDeletesAndRedensifiesIds) {
     EXPECT_EQ(compacted.record(new_id).name, db.record(id).name);
     EXPECT_EQ(compacted.record(new_id).strings, db.record(id).strings);
   }
+  fs::remove(path);
+}
+
+// ------------------------------------------------------------- group commit
+
+TEST(GroupCommit, AsyncDeletesCoalesceIntoOneDurableRecord) {
+  const image_database db = seeded_db(8);
+  const auto path = temp_file("gc_coalesce");
+  {
+    segment_writer writer(path);
+    for (const db_record& rec : db.records()) writer.append(rec, db.symbols());
+    writer.finish();
+  }
+  {
+    segment_writer writer(path, /*append=*/true);
+    // A generous window so all four enqueues land in the same batch.
+    tombstone_group_commit commit(
+        writer, {.window = std::chrono::milliseconds(250), .max_batch = 0});
+    commit.remove_async(1);
+    commit.remove_async(4);
+    commit.remove_async(6);
+    commit.remove_async(2);
+    commit.flush();
+    const group_commit_stats stats = commit.stats();
+    EXPECT_EQ(stats.deletes, 4u);
+    EXPECT_EQ(stats.records, 1u);  // ONE type-4 record for the whole batch
+    EXPECT_EQ(stats.syncs, 1u);
+    writer.finish();
+  }
+  const segment_reader reader(path);
+  EXPECT_EQ(reader.tombstones(), (std::vector<std::uint64_t>{1, 2, 4, 6}));
+  fs::remove(path);
+}
+
+TEST(GroupCommit, ConcurrentBlockingProducersAreAllDurableAndCoalesced) {
+  constexpr std::size_t kImages = 24;
+  const image_database db = seeded_db(kImages);
+  const auto path = temp_file("gc_race");
+  {
+    segment_writer writer(path);
+    for (const db_record& rec : db.records()) writer.append(rec, db.symbols());
+    writer.finish();
+  }
+  group_commit_stats stats;
+  {
+    segment_writer writer(path, /*append=*/true);
+    tombstone_group_commit commit(
+        writer, {.window = std::chrono::milliseconds(5)});
+    // Every producer's remove() blocks until its batch is fsynced, so after
+    // the joins each ordinal is already durable.
+    std::vector<std::thread> producers;
+    for (std::size_t t = 0; t < 4; ++t) {
+      producers.emplace_back([&commit, t] {
+        for (std::uint64_t ordinal = t; ordinal < kImages; ordinal += 4) {
+          commit.remove(ordinal);
+        }
+      });
+    }
+    for (std::thread& thread : producers) thread.join();
+    stats = commit.stats();
+    writer.finish();
+  }
+  EXPECT_EQ(stats.deletes, kImages);
+  EXPECT_EQ(stats.records, stats.syncs);
+  // Coalescing is timing-dependent, but 24 deletes racing into 5ms windows
+  // must not degenerate to one record each.
+  EXPECT_LT(stats.records, kImages);
+
+  const segment_reader reader(path);
+  std::vector<std::uint64_t> expected(kImages);
+  for (std::size_t i = 0; i < kImages; ++i) expected[i] = i;
+  EXPECT_EQ(reader.tombstones(), expected);
+  fs::remove(path);
+}
+
+TEST(GroupCommit, ValidationThrowsEagerlyAndLeavesTheBatcherUsable) {
+  const image_database db = seeded_db(5);
+  const auto path = temp_file("gc_validate");
+  {
+    segment_writer writer(path);
+    for (const db_record& rec : db.records()) writer.append(rec, db.symbols());
+    writer.finish();
+  }
+  {
+    segment_writer writer(path, /*append=*/true);
+    tombstone_group_commit commit(writer);
+    // Out-of-range and duplicate ordinals throw on the calling thread,
+    // before anything is queued; the batcher keeps working afterwards.
+    EXPECT_THROW(commit.remove(99), std::runtime_error);
+    commit.remove_async(3);
+    EXPECT_THROW(commit.remove_async(3), std::runtime_error);
+    commit.remove(1);
+    EXPECT_EQ(commit.stats().deletes, 2u);
+    writer.finish();
+  }
+  EXPECT_EQ(segment_reader(path).tombstones(),
+            (std::vector<std::uint64_t>{1, 3}));
+  fs::remove(path);
+}
+
+TEST(GroupCommit, BlockingRemoveIsDurableBeforeFinish) {
+  const image_database db = seeded_db(4);
+  const auto path = temp_file("gc_durable");
+  {
+    segment_writer writer(path);
+    for (const db_record& rec : db.records()) writer.append(rec, db.symbols());
+    writer.finish();
+  }
+  segment_writer writer(path, /*append=*/true);
+  tombstone_group_commit commit(writer);
+  commit.remove(2);
+  // No finish() yet: the footer is missing, but the type-4 record must
+  // already be on disk — exactly what a crash right now would leave behind.
+  const segment_reader crashed(path, {.recover_tail = true});
+  EXPECT_EQ(crashed.tombstones(), (std::vector<std::uint64_t>{2}));
+  writer.finish();
   fs::remove(path);
 }
 

@@ -169,6 +169,58 @@ TEST_F(BesdbCli, HappyPathsExitZero) {
   EXPECT_EQ(run("query " + db + " --id 1 --top-k 2").exit_code, 0);
 }
 
+// ----------------------------------------------------- cache + compact auto
+
+TEST_F(BesdbCli, QueryCacheRepeatPrintsHitLine) {
+  const std::string db = (dir_ / "tiny.besdb").string();
+  ASSERT_EQ(run("create --out " + db + " --images 6 --objects 3").exit_code,
+            0);
+  const run_result r =
+      run("query " + db + " --id 1 --top-k 2 --cache --repeat 3");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  // First pass misses and fills; the other two are pure hits.
+  EXPECT_NE(r.out.find("cache: hits 2 misses 1"), std::string::npos) << r.out;
+
+  // Without --cache there is no cache line at all.
+  const run_result plain = run("query " + db + " --id 1 --top-k 2");
+  EXPECT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(plain.out.find("cache:"), std::string::npos) << plain.out;
+}
+
+TEST_F(BesdbCli, ContradictoryCacheFlagsAreAUsageError) {
+  const std::string db = (dir_ / "tiny.besdb").string();
+  ASSERT_EQ(run("create --out " + db + " --images 4 --objects 3").exit_code,
+            0);
+  const run_result r = run("query " + db + " --id 0 --cache --no-cache");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("contradictory"), std::string::npos) << r.err;
+  EXPECT_TRUE(r.out.empty()) << r.out;
+}
+
+TEST_F(BesdbCli, CompactAutoLeavesAHealthyCorpusAlone) {
+  const std::string corpus = (dir_ / "c.scrp").string();
+  ASSERT_EQ(run("create --out " + corpus +
+                " --format sharded --shards 2 --images 12")
+                .exit_code,
+            0);
+  const run_result r = run("compact " + corpus + " --auto");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("left alone: 0 tombstones of 12 records"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST_F(BesdbCli, CompactAutoOnASegmentIsAUsageError) {
+  const std::string db = (dir_ / "tiny.bseg").string();
+  ASSERT_EQ(run("create --out " + db +
+                " --format binary --images 4 --objects 3")
+                .exit_code,
+            0);
+  const run_result r = run("compact " + db + " --auto");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("needs an SCRP1 corpus"), std::string::npos) << r.err;
+}
+
 // ------------------------------------------------------------- serve fleet
 
 TEST_F(BesdbCli, ServeConnectAnswersAndSigkilledShardDegrades) {

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/encoder.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "workload/query_gen.hpp"
 #include "workload/scene_gen.hpp"
+#include "workload/zipf.hpp"
 
 namespace bes {
 namespace {
@@ -357,6 +361,109 @@ TEST(QueryGen, RejectsBadRelabelParams) {
   d.relabel_fraction = 0.5;
   d.relabel_pool = 0;
   EXPECT_THROW((void)distort(scene, d, names), std::invalid_argument);
+}
+
+// ------------------------------------------------ zipfian query streams
+
+std::vector<symbolic_image> zipf_targets(alphabet& names, std::size_t count) {
+  std::vector<symbolic_image> targets;
+  rng r(7);
+  scene_params params;
+  params.object_count = 6;
+  for (std::size_t i = 0; i < count; ++i) {
+    targets.push_back(random_scene(params, r, names));
+  }
+  return targets;
+}
+
+std::vector<std::size_t> rank_counts(const query_stream& stream) {
+  std::vector<std::size_t> counts(stream.pool.size(), 0);
+  for (std::size_t rank : stream.order) {
+    EXPECT_LT(rank, stream.pool.size());
+    ++counts[rank];
+  }
+  return counts;
+}
+
+TEST(Zipf, StreamIsDeterministicForEqualParams) {
+  alphabet names1;
+  alphabet names2;
+  const auto targets1 = zipf_targets(names1, 8);
+  const auto targets2 = zipf_targets(names2, 8);
+  query_stream_params params;
+  params.pool_size = 12;
+  params.length = 64;
+  params.skew = 1.2;
+  params.seed = 99;
+  const query_stream a = make_query_stream(targets1, names1, params);
+  const query_stream b = make_query_stream(targets2, names2, params);
+  EXPECT_EQ(a.pool, b.pool);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.pool.size(), 12u);
+  EXPECT_EQ(a.order.size(), 64u);
+}
+
+TEST(Zipf, SkewConcentratesTrafficOnTheHotHead) {
+  alphabet names;
+  const auto targets = zipf_targets(names, 8);
+  query_stream_params params;
+  params.pool_size = 16;
+  params.length = 4096;
+  params.seed = 5;
+
+  params.skew = 1.2;
+  const auto hot = rank_counts(make_query_stream(targets, names, params));
+  // Rank 0 dominates: under s = 1.2 its share is ~29%; uniform would be
+  // ~6%. Leave slack for sampling noise.
+  EXPECT_GT(hot[0], params.length / 5);
+  EXPECT_GT(hot[0], hot[8]);
+
+  params.skew = 0.0;
+  const auto flat = rank_counts(make_query_stream(targets, names, params));
+  // s = 0 is uniform: every rank lands near length / pool_size = 256.
+  for (std::size_t r = 0; r < flat.size(); ++r) {
+    EXPECT_GT(flat[r], 256u / 2) << "rank " << r;
+    EXPECT_LT(flat[r], 256u * 2) << "rank " << r;
+  }
+}
+
+TEST(Zipf, GrowingTheStreamNeverReshufflesThePool) {
+  // Pool slots and the request order draw from fixed seed streams, so a
+  // longer stream with the same params extends the order without touching
+  // the pool (and the shorter order is a prefix of the longer one).
+  alphabet names1;
+  alphabet names2;
+  const auto targets1 = zipf_targets(names1, 8);
+  const auto targets2 = zipf_targets(names2, 8);
+  query_stream_params params;
+  params.pool_size = 10;
+  params.length = 32;
+  params.skew = 0.8;
+  params.seed = 17;
+  const query_stream short_stream =
+      make_query_stream(targets1, names1, params);
+  params.length = 128;
+  const query_stream long_stream =
+      make_query_stream(targets2, names2, params);
+  EXPECT_EQ(short_stream.pool, long_stream.pool);
+  ASSERT_GE(long_stream.order.size(), short_stream.order.size());
+  EXPECT_TRUE(std::equal(short_stream.order.begin(),
+                         short_stream.order.end(),
+                         long_stream.order.begin()));
+}
+
+TEST(Zipf, RejectsDegenerateParams) {
+  alphabet names;
+  const auto targets = zipf_targets(names, 4);
+  query_stream_params params;
+  params.pool_size = 0;
+  EXPECT_THROW((void)make_query_stream(targets, names, params),
+               std::invalid_argument);
+  params.pool_size = 4;
+  EXPECT_THROW((void)make_query_stream({}, names, params),
+               std::invalid_argument);
+  EXPECT_THROW(zipf_sampler(0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(zipf_sampler(4, -0.5, 1), std::invalid_argument);
 }
 
 }  // namespace

@@ -46,6 +46,7 @@
 #include "db/hybrid_index.hpp"
 #include "db/planner.hpp"
 #include "db/query.hpp"
+#include "db/result_cache.hpp"
 #include "db/segment.hpp"
 #include "db/shard_storage.hpp"
 #include "db/spatial_index.hpp"
@@ -279,9 +280,16 @@ int cmd_compact(arg_parser& args) {
   const std::string in = args.positional()[1];
   segment_read_options options;
   options.recover_tail = args.get_bool("recover");
+  const bool auto_mode = args.get_bool("auto");
   const db_format format = detect_format(in);
   compaction_stats stats;
   if (format == db_format::binary) {
+    if (auto_mode) {
+      std::fprintf(stderr,
+                   "compact: --auto needs an SCRP1 corpus (a segment compact "
+                   "always rewrites)\n");
+      return exit_usage;
+    }
     const std::string out =
         args.get_string("out").empty() ? in : args.get_string("out");
     stats = compact_segment(in, out, options);
@@ -292,7 +300,19 @@ int cmd_compact(arg_parser& args) {
     const long long per_shard = args.get_int("min-live-per-shard");
     policy.min_live_per_shard =
         per_shard > 0 ? static_cast<std::uint64_t>(per_shard) : 0;
-    stats = compact_corpus(in, policy, options);
+    if (auto_mode) {
+      // The background-trigger path: fire only when the footer-level dead
+      // fraction crosses the maintenance threshold (no records read for a
+      // "no" answer).
+      maintenance_policy maintenance;
+      maintenance.max_dead_fraction = args.get_double("max-dead-frac");
+      const long long min_tomb = args.get_int("min-tombstones");
+      maintenance.min_tombstones =
+          min_tomb > 0 ? static_cast<std::uint64_t>(min_tomb) : 0;
+      stats = maybe_compact_corpus(in, maintenance, policy, options);
+    } else {
+      stats = compact_corpus(in, policy, options);
+    }
     if (!stats.compacted) {
       std::printf(
           "%s left alone: %llu tombstones of %llu records is below the "
@@ -404,6 +424,31 @@ void print_plans(const search_stats& stats) {
               stats.candidates_generated);
 }
 
+// The "--cache / --no-cache / --repeat" trio shared by query and connect.
+// Returns false (usage error) on the contradictory pair; `repeats` is always
+// >= 1 afterwards.
+bool parse_cache_flags(arg_parser& args, const char* command, bool& use_cache,
+                       std::size_t& repeats) {
+  use_cache = args.get_bool("cache");
+  if (use_cache && args.get_bool("no-cache")) {
+    std::fprintf(stderr, "%s: --cache and --no-cache are contradictory\n",
+                 command);
+    return false;
+  }
+  const long long r = args.get_int("repeat");
+  repeats = r > 1 ? static_cast<std::size_t>(r) : 1;
+  return true;
+}
+
+void print_cache_stats(const result_cache_stats& stats) {
+  std::printf("cache: hits %llu misses %llu delta-refreshes %llu "
+              "evictions %llu\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.delta_refreshes),
+              static_cast<unsigned long long>(stats.evictions));
+}
+
 int cmd_query(const image_database& db, arg_parser& args) {
   symbolic_image query(1, 1);
   std::string provenance;
@@ -413,17 +458,30 @@ int cmd_query(const image_database& db, arg_parser& args) {
   options.top_k = static_cast<std::size_t>(args.get_int("top-k"));
   options.transform_invariant = args.get_bool("transform-invariant");
 
+  bool use_cache = false;
+  std::size_t repeats = 1;
+  if (!parse_cache_flags(args, "query", use_cache, repeats)) return exit_usage;
+
   const bool explain = args.get_bool("explain");
   std::vector<query_result> results;
   search_stats stats;
+  result_cache cache;
   if (explain) {
     // Route through the planner so the printed plan is the one that ran.
     const spatial_index spatial(db);
     const hybrid_index hybrid(db);
     const planner_context ctx{&db, &spatial, &hybrid};
     results = search_planned(ctx, query, options, &stats);
+  } else if (use_cache) {
+    // --repeat with --cache is the point: the first pass misses and
+    // populates, every later pass is a hit, and the stats line proves it.
+    for (std::size_t i = 0; i < repeats; ++i) {
+      results = search_cached(db, cache, query, options, &stats);
+    }
   } else {
-    results = search(db, query, options);
+    for (std::size_t i = 0; i < repeats; ++i) {
+      results = search(db, query, options);
+    }
   }
 
   std::printf("query: %zu icons (%s)\n\n", query.size(), provenance.c_str());
@@ -439,6 +497,7 @@ int cmd_query(const image_database& db, arg_parser& args) {
                    std::string(to_string(result.transform))});
   }
   std::fputs(table.str().c_str(), stdout);
+  if (use_cache) print_cache_stats(cache.stats());
   return 0;
 }
 
@@ -711,11 +770,18 @@ int cmd_connect(arg_parser& args) {
       parse_servers(args.get_string("servers"));
   if (servers.empty()) return exit_usage;
 
+  bool use_cache = false;
+  std::size_t repeats = 1;
+  if (!parse_cache_flags(args, "connect", use_cache, repeats)) {
+    return exit_usage;
+  }
+
   net::coordinator_options options;
   if (const long long ms = args.get_int("deadline-ms"); ms >= 0) {
     options.default_deadline_ms = static_cast<unsigned>(ms);
   }
   options.gossip = !args.get_bool("no-gossip");
+  if (use_cache) options.cache_entries = 1024;
   net::coordinator coord(servers, options);
 
   if (args.get_bool("shutdown")) {
@@ -741,7 +807,10 @@ int cmd_connect(arg_parser& args) {
   query_options qopts;
   qopts.top_k = static_cast<std::size_t>(args.get_int("top-k"));
   qopts.transform_invariant = args.get_bool("transform-invariant");
-  const net::remote_result answer = coord.search(strings, query_symbols, qopts);
+  net::remote_result answer;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    answer = coord.search(strings, query_symbols, qopts);
+  }
 
   std::printf("query: %zu icons over %zu shards (%zu symbols)\n\n",
               query.size(), servers.size(), symbols.size());
@@ -760,6 +829,7 @@ int cmd_connect(arg_parser& args) {
     std::printf("shard %u: %s\n", status.shard,
                 std::string(to_string(status.state)).c_str());
   }
+  if (use_cache) print_cache_stats(coord.cache_stats());
   if (answer.stats.degraded) {
     std::fprintf(stderr, "connect: answer is DEGRADED (see shard states)\n");
   }
@@ -788,6 +858,23 @@ int main(int argc, char** argv) {
   args.add_int("min-live-per-shard", 0,
                "compact (corpus): merge shards until each holds at least "
                "this many live records");
+  args.add_bool("auto", false,
+                "compact (corpus): fire only when the dead fraction crosses "
+                "--max-dead-frac (footer-level check, no records read)");
+  args.add_double("max-dead-frac", 0.25,
+                  "compact --auto: dead/total threshold that triggers the "
+                  "rewrite");
+  args.add_int("min-tombstones", 1,
+               "compact --auto: never fire below this many tombstones");
+  args.add_bool("cache", false,
+                "query/connect: serve repeats through the result cache and "
+                "print a cache-stats line");
+  args.add_bool("no-cache", false,
+                "query/connect: explicitly disable the result cache (the "
+                "default; contradicts --cache)");
+  args.add_int("repeat", 1,
+               "query/connect: run the same search this many times (with "
+               "--cache the repeats hit)");
   args.add_int("images", 30, "create: number of images");
   args.add_int("objects", 8, "create: icons per image");
   args.add_int("pool", 8, "create: symbol pool size");
